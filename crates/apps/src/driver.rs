@@ -1,0 +1,180 @@
+//! Common plumbing for running a mini-application on one physical process.
+//!
+//! Every application is written once and runs in the paper's three
+//! configurations (native / replicated / intra) by switching the
+//! [`ExecutionMode`]: intra-parallel sections degrade gracefully to local
+//! execution when work is not shared, and kernels that are *not*
+//! intra-parallelized are executed redundantly on every replica through
+//! [`AppContext::run_redundant`].
+
+use crate::report::AppRunReport;
+use ipr_core::{IntraConfig, IntraResult, IntraRuntime, TaskCost};
+use kernels::KernelCost;
+use replication::{ExecutionMode, FailureInjector, ReplicatedEnv};
+use simcluster::SimTime;
+use simmpi::{MpiResult, ProcHandle};
+
+/// Converts a kernel cost descriptor into the task cost charged by the
+/// intra-parallelization runtime.
+pub fn task_cost(cost: KernelCost) -> TaskCost {
+    TaskCost::new(cost.flops, cost.mem_bytes())
+}
+
+/// Per-process context shared by all the mini-applications.
+pub struct AppContext {
+    /// The replication environment (communicators, failure injection).
+    pub env: ReplicatedEnv,
+    /// The intra-parallelization runtime.
+    pub rt: IntraRuntime,
+    /// Virtual time at which the measured region started.
+    start: SimTime,
+    /// Section count / drain time already consumed by previous measured
+    /// regions (so a context can be reused).
+    sections_at_start: usize,
+}
+
+impl AppContext {
+    /// Builds the context for this physical process.  Collective: every
+    /// process of the cluster must call it with the same mode and intra
+    /// configuration.
+    pub fn new(
+        proc: ProcHandle,
+        mode: ExecutionMode,
+        intra: IntraConfig,
+        injector: FailureInjector,
+    ) -> MpiResult<Self> {
+        let env = ReplicatedEnv::new(proc, mode, injector)?;
+        let rt = IntraRuntime::new(env.clone(), intra);
+        let start = env.now();
+        Ok(AppContext {
+            env,
+            rt,
+            start,
+            sections_at_start: 0,
+        })
+    }
+
+    /// Convenience constructor without failure injection.
+    pub fn without_failures(
+        proc: ProcHandle,
+        mode: ExecutionMode,
+        intra: IntraConfig,
+    ) -> MpiResult<Self> {
+        Self::new(proc, mode, intra, FailureInjector::none())
+    }
+
+    /// Marks the beginning of the measured region (e.g. after problem setup).
+    pub fn start_measurement(&mut self) {
+        self.start = self.env.now();
+        self.sections_at_start = self.rt.report().num_sections();
+    }
+
+    /// Executes a kernel redundantly on every replica (no work sharing),
+    /// charging its modeled cost.  This is how the applications run the
+    /// kernels that are *not* intra-parallelized.
+    pub fn run_redundant<R>(&self, cost: KernelCost, f: impl FnOnce() -> R) -> R {
+        self.env.charge_compute(cost.flops, cost.mem_bytes());
+        f()
+    }
+
+    /// Charges communication-free "other" work (e.g. problem setup phases
+    /// that are modeled but not executed).
+    pub fn charge_other(&self, cost: KernelCost) {
+        self.env.charge_compute(cost.flops, cost.mem_bytes());
+    }
+
+    /// Builds the per-process report for the measured region.
+    pub fn finish(&self, app: &str, iterations: usize, verification: f64) -> AppRunReport {
+        let total_time = self.env.now().saturating_sub(self.start);
+        let sections: Vec<_> = self.rt.report().sections()[self.sections_at_start..].to_vec();
+        let section_time: SimTime = sections.iter().map(|s| s.total_time()).sum();
+        let update_drain_time: SimTime = sections.iter().map(|s| s.update_drain_time()).sum();
+        let tasks_executed: usize = sections.iter().map(|s| s.tasks_executed_locally).sum();
+        let update_bytes_sent: usize = sections.iter().map(|s| s.update_bytes_sent).sum();
+        AppRunReport {
+            app: app.to_string(),
+            mode: self.env.mode().label().to_string(),
+            logical_rank: self.env.logical_rank(),
+            replica_id: self.env.replica_id(),
+            iterations,
+            total_time,
+            section_time,
+            update_drain_time,
+            sections: sections.len(),
+            tasks_executed,
+            update_bytes_sent,
+            verification,
+        }
+    }
+}
+
+/// Parameters shared by the applications to describe the scale gap between
+/// the arrays actually allocated and the paper-scale problem being modeled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaledWorkload {
+    /// Number of elements (grid points, particles, …) actually allocated per
+    /// logical process.
+    pub actual: usize,
+    /// Number of elements of the modeled, paper-scale problem per logical
+    /// process.
+    pub modeled: usize,
+}
+
+impl ScaledWorkload {
+    /// A workload where the actual and modeled sizes coincide.
+    pub fn exact(n: usize) -> Self {
+        ScaledWorkload {
+            actual: n,
+            modeled: n,
+        }
+    }
+
+    /// A workload running on `actual` elements while modeling `modeled`.
+    pub fn scaled(actual: usize, modeled: usize) -> Self {
+        assert!(actual > 0, "actual size must be positive");
+        assert!(modeled >= actual, "modeled size must be at least the actual size");
+        ScaledWorkload { actual, modeled }
+    }
+
+    /// The ratio modeled / actual, used as the `modeled_scale` of the intra
+    /// runtime and for scaling halo-exchange message sizes.
+    pub fn scale(&self) -> f64 {
+        self.modeled as f64 / self.actual as f64
+    }
+
+    /// Scales an element count from actual to modeled size.
+    pub fn scale_count(&self, actual_count: usize) -> usize {
+        (actual_count as f64 * self.scale()).round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_workload_ratios() {
+        let w = ScaledWorkload::exact(1000);
+        assert_eq!(w.scale(), 1.0);
+        let w = ScaledWorkload::scaled(1000, 8000);
+        assert_eq!(w.scale(), 8.0);
+        assert_eq!(w.scale_count(10), 80);
+    }
+
+    #[test]
+    #[should_panic]
+    fn modeled_smaller_than_actual_is_rejected() {
+        let _ = ScaledWorkload::scaled(100, 10);
+    }
+
+    #[test]
+    fn task_cost_conversion_keeps_flops_and_traffic() {
+        let c = KernelCost::new(10.0, 100.0, 50.0, 8.0);
+        let t = task_cost(c);
+        assert_eq!(t.flops, 10.0);
+        assert_eq!(t.mem_bytes, 150.0);
+    }
+}
+
+/// Re-exported so applications can return `IntraResult` uniformly.
+pub type AppResult<T> = IntraResult<T>;

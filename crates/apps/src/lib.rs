@@ -1,0 +1,32 @@
+//! # apps — mini-applications of the paper's evaluation
+//!
+//! The four workloads of Section V, each written once and runnable in the
+//! paper's three configurations (native, replicated, intra-parallelized):
+//!
+//! * [`hpccg`] — the Mantevo conjugate-gradient mini-app (Figures 5a / 5b);
+//! * [`amg_proxy`] — AMG2013 stand-in: PCG on a 27-point operator and GMRES
+//!   on a 7-point operator (Figures 6a / 6b);
+//! * [`gtc_proxy`] — particle-in-cell charge/push proxy for GTC (Figure 6c);
+//! * [`minighost`] — 27-point stencil + grid summation proxy for MiniGhost
+//!   (Figure 6d).
+//!
+//! [`driver`] holds the shared per-process plumbing ([`driver::AppContext`])
+//! and [`report::AppRunReport`] the per-process results that the benchmark
+//! harness aggregates into the paper's efficiency figures.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod amg_proxy;
+pub mod driver;
+pub mod gtc_proxy;
+pub mod hpccg;
+pub mod minighost;
+pub mod report;
+
+pub use amg_proxy::{run_amg, AmgOutput, AmgParams, AmgSolver};
+pub use driver::{task_cost, AppContext, ScaledWorkload};
+pub use gtc_proxy::{run_gtc, GtcOutput, GtcParams};
+pub use hpccg::{run_hpccg, HpccgOutput, HpccgParams, KernelSelection};
+pub use minighost::{run_minighost, MiniGhostOutput, MiniGhostParams};
+pub use report::AppRunReport;

@@ -1,0 +1,23 @@
+//! Criterion wrapper around the replica-link bandwidth ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipr_bench::{ablations, ExperimentScale};
+
+fn bench_bandwidth(c: &mut Criterion) {
+    let rows = ablations::bandwidth(ExperimentScale::Small, &ablations::default_bandwidths());
+    for r in &rows {
+        println!(
+            "bandwidth[{:.2} GB/s, {}]: intra efficiency={:.2}",
+            r.bandwidth_gbs, r.kernel, r.efficiency
+        );
+    }
+    let mut group = c.benchmark_group("ablation_bandwidth");
+    group.sample_size(10);
+    group.bench_function("kernel_bandwidth_sweep_small", |b| {
+        b.iter(|| ablations::bandwidth(ExperimentScale::Small, &[0.9, 1.8]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bandwidth);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion wrapper around the task-granularity ablation (the paper's
+//! stated choice of 8 tasks per section).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipr_bench::{ablations, ExperimentScale};
+
+fn bench_granularity(c: &mut Criterion) {
+    let rows = ablations::granularity(ExperimentScale::Small, &ablations::default_task_counts());
+    for r in &rows {
+        println!(
+            "granularity[{} tasks]: time={:.4}s efficiency={:.2}",
+            r.tasks_per_section, r.time_s, r.efficiency
+        );
+    }
+    let mut group = c.benchmark_group("ablation_granularity");
+    group.sample_size(10);
+    group.bench_function("sparsemv_task_sweep_small", |b| {
+        b.iter(|| ablations::granularity(ExperimentScale::Small, &[2, 8, 32]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_granularity);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion wrapper around the Figure 5a kernel study (reduced scale).
+//!
+//! The measured quantity is the wall-clock time of the whole simulated
+//! experiment; the virtual-time results (the actual figure content) are
+//! printed once per bench run so they appear in the bench log.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipr_bench::{fig5a, ExperimentScale};
+
+fn bench_fig5a(c: &mut Criterion) {
+    // Print the figure content once so `cargo bench` output documents it.
+    let rows = fig5a::run(ExperimentScale::Small);
+    for r in &rows {
+        println!(
+            "fig5a[{}/{}]: normalized={:.2} efficiency={:.2} update_share={:.0}%",
+            r.kernel,
+            r.mode,
+            r.normalized,
+            r.efficiency,
+            r.update_fraction * 100.0
+        );
+    }
+    let mut group = c.benchmark_group("fig5a");
+    group.sample_size(10);
+    group.bench_function("kernel_study_small", |b| {
+        b.iter(|| fig5a::run(ExperimentScale::Small))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5a);
+criterion_main!(benches);

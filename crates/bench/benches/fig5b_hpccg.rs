@@ -1,0 +1,24 @@
+//! Criterion wrapper around the Figure 5b HPCCG weak-scaling study
+//! (reduced scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipr_bench::{fig5b, ExperimentScale};
+
+fn bench_fig5b(c: &mut Criterion) {
+    let rows = fig5b::run(ExperimentScale::Small);
+    for r in &rows {
+        println!(
+            "fig5b[{} procs/{}]: time={:.3}s efficiency={:.2}",
+            r.procs, r.mode, r.time_s, r.efficiency
+        );
+    }
+    let mut group = c.benchmark_group("fig5b");
+    group.sample_size(10);
+    group.bench_function("hpccg_weak_scaling_small", |b| {
+        b.iter(|| fig5b::run(ExperimentScale::Small))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5b);
+criterion_main!(benches);

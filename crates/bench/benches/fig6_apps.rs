@@ -1,0 +1,34 @@
+//! Criterion wrapper around the four Figure 6 application studies
+//! (reduced scale): AMG2013 PCG-27pt (6a), AMG2013 GMRES-7pt (6b), GTC (6c)
+//! and MiniGhost (6d).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipr_bench::fig6::{self, Fig6App};
+use ipr_bench::ExperimentScale;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    for app in Fig6App::ALL {
+        let rows = fig6::run(app, ExperimentScale::Small);
+        for r in &rows {
+            println!(
+                "fig{}[{}/{}]: time={:.3}s sections={:.3}s others={:.3}s efficiency={:.2}",
+                app.figure(),
+                r.app,
+                r.mode,
+                r.time_s,
+                r.sections_s,
+                r.others_s,
+                r.efficiency
+            );
+        }
+        group.bench_function(format!("fig{}_{:?}_small", app.figure(), app), |b| {
+            b.iter(|| fig6::run(app, ExperimentScale::Small))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

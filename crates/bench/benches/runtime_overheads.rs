@@ -1,0 +1,84 @@
+//! Micro-benchmarks of the runtime primitives themselves (real wall-clock
+//! time, not virtual time): section overhead, update framing, message
+//! round-trips, scheduler cost.  These guard against regressions in the
+//! simulator and runtime implementation rather than reproducing a paper
+//! figure.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ipr_core::{ArgSpec, IntraConfig, IntraRuntime, StaticBlockScheduler, Scheduler, TaskDef, Workspace};
+use replication::{ExecutionMode, ReplicatedEnv};
+use simmpi::{run_cluster, ClusterConfig};
+
+fn bench_section_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(20);
+
+    // Cost of running one 8-task section (2 replicas, work shared) including
+    // thread spawning for the 2-process simulated cluster.
+    group.bench_function("shared_section_2_replicas", |b| {
+        b.iter(|| {
+            run_cluster(&ClusterConfig::ideal(2), |proc| {
+                let env = ReplicatedEnv::without_failures(
+                    proc,
+                    ExecutionMode::IntraParallel { degree: 2 },
+                )
+                .unwrap();
+                let mut rt = IntraRuntime::new(env, IntraConfig::paper());
+                let mut ws = Workspace::new();
+                let x = ws.add("x", vec![1.0; 4096]);
+                let w = ws.add_zeros("w", 4096);
+                let mut section = rt.section(&mut ws);
+                section
+                    .add_split(4096, |chunk| {
+                        TaskDef::new(
+                            "double",
+                            |c| {
+                                for i in 0..c.outputs[0].len() {
+                                    c.outputs[0][i] = 2.0 * c.inputs[0][i];
+                                }
+                            },
+                            vec![ArgSpec::input(x, chunk.clone()), ArgSpec::output(w, chunk)],
+                        )
+                    })
+                    .unwrap();
+                section.end().unwrap();
+            })
+            .unwrap_results()
+        })
+    });
+
+    // Pure MPI ping-pong round trip through the simulated router.
+    group.bench_function("simmpi_pingpong_1kb", |b| {
+        b.iter(|| {
+            run_cluster(&ClusterConfig::ideal(2), |proc| {
+                let world = proc.world();
+                let payload = vec![1.0f64; 128];
+                for tag in 0..16 {
+                    if world.rank() == 0 {
+                        world.send(&payload, 1, tag).unwrap();
+                        let _: Vec<f64> = world.recv(1, tag).unwrap();
+                    } else {
+                        let _: Vec<f64> = world.recv(0, tag).unwrap();
+                        world.send(&payload, 0, tag).unwrap();
+                    }
+                }
+            })
+            .unwrap_results()
+        })
+    });
+
+    // Scheduler assignment cost for a large section.
+    group.bench_function("static_block_assign_2048_tasks", |b| {
+        let weights = vec![1.0; 2048];
+        b.iter_batched(
+            || weights.clone(),
+            |w| StaticBlockScheduler.assign(&w, &[0, 1]),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_section_overhead);
+criterion_main!(benches);

@@ -1,0 +1,226 @@
+//! Ablation studies for the design choices called out in DESIGN.md.
+//!
+//! * **Task granularity** (`ABL-GRAN`) — the paper uses 8 tasks per section
+//!   (4 per replica) and argues that fewer tasks reduce transfer/compute
+//!   overlap while more tasks add synchronization overhead.  The sweep
+//!   reproduces that U-shape on the sparsemv kernel.
+//! * **Replica-link bandwidth** (`ABL-NET`) — how the kernel efficiencies of
+//!   Figure 5a move when the inter-node bandwidth changes (waxpby is
+//!   bandwidth-bound, ddot is not).
+//! * **Scheduler** (`ABL-SCHED`) — static block vs round-robin vs cost-aware
+//!   scheduling on a section with heterogeneous task costs.
+
+use crate::fig5a;
+use crate::scale::ExperimentScale;
+use ipr_core::{
+    ArgSpec, CostAwareScheduler, IntraConfig, IntraRuntime, RoundRobinScheduler, Scheduler,
+    StaticBlockScheduler, TaskCost, TaskDef, Workspace,
+};
+use replication::{ExecutionMode, ReplicatedEnv};
+use simcluster::{MachineModel, Topology};
+use simmpi::{run_cluster, ClusterConfig};
+use std::sync::Arc;
+
+/// One row of the task-granularity sweep.
+#[derive(Debug, Clone)]
+pub struct GranularityRow {
+    /// Tasks per section.
+    pub tasks_per_section: usize,
+    /// Average per-process section time (virtual seconds).
+    pub time_s: f64,
+    /// Efficiency relative to the native (non-replicated) kernel time.
+    pub efficiency: f64,
+}
+
+/// Sweeps the number of tasks per section for the sparsemv kernel.
+pub fn granularity(scale: ExperimentScale, task_counts: &[usize]) -> Vec<GranularityRow> {
+    let machine = MachineModel::grid5000_ib20g();
+    let procs = match scale {
+        ExperimentScale::Full => 64,
+        ExperimentScale::Small => 8,
+    };
+    let actual_edge = scale.actual_grid_edge();
+    let modeled_edge = 128;
+    let reps = scale.kernel_reps();
+
+    let time_for = |tasks: usize, mode: ExecutionMode| -> f64 {
+        let degree = mode.degree();
+        let num_logical = procs / degree;
+        let (ax, ay, az) = (actual_edge, actual_edge, actual_edge * degree);
+        let (mx, my, mz) = (modeled_edge, modeled_edge, modeled_edge * degree);
+        let actual_n = ax * ay * az;
+        let modeled_n = mx * my * mz;
+        let topology = if degree > 1 {
+            Topology::replica_disjoint(num_logical, degree, machine.cores_per_node)
+        } else {
+            Topology::block(procs, machine.cores_per_node)
+        };
+        let config = ClusterConfig::new(procs)
+            .with_machine(machine)
+            .with_topology(topology);
+        let report = run_cluster(&config, move |proc| {
+            let env = ReplicatedEnv::without_failures(proc, mode).unwrap();
+            let intra_config = IntraConfig::paper()
+                .with_tasks_per_section(tasks)
+                .with_modeled_scale(modeled_n as f64 / actual_n as f64);
+            let mut rt = IntraRuntime::new(env, intra_config);
+            let mut ws = Workspace::new();
+            let x = ws.add("x", vec![1.0; actual_n]);
+            let w = ws.add_zeros("w", actual_n);
+            let matrix = Arc::new(kernels::sparse::CsrMatrix::stencil27(ax, ay, az, false, false));
+            let nnz_ratio = matrix.nnz() as f64 / actual_n as f64;
+            let cost = kernels::sparse::spmv_cost(
+                modeled_n / tasks,
+                ((modeled_n as f64 * nnz_ratio) as usize) / tasks,
+            );
+            let cost = TaskCost::new(cost.flops, cost.mem_bytes());
+            for _ in 0..reps {
+                let matrix = Arc::clone(&matrix);
+                let mut section = rt.section(&mut ws);
+                section
+                    .add_split(actual_n, |chunk| {
+                        let matrix = Arc::clone(&matrix);
+                        let (start, end) = (chunk.start, chunk.end);
+                        TaskDef::new(
+                            "sparsemv",
+                            move |c| {
+                                let rows = c.scalar_usize(0)..c.scalar_usize(1);
+                                let mut scratch = vec![0.0; rows.end];
+                                matrix.spmv_rows(rows.clone(), &c.inputs[0], &mut scratch);
+                                c.outputs[0].copy_from_slice(&scratch[rows]);
+                            },
+                            vec![ArgSpec::input(x, 0..actual_n), ArgSpec::output(w, chunk)],
+                        )
+                        .with_scalars(vec![start as f64, end as f64])
+                        .with_cost(cost)
+                    })
+                    .unwrap();
+                section.end().unwrap();
+            }
+            rt.report().total_section_time().as_secs() / reps as f64
+        });
+        let results = report.unwrap_results();
+        results.iter().sum::<f64>() / results.len() as f64
+    };
+
+    let t_native = time_for(8, ExecutionMode::Native);
+    task_counts
+        .iter()
+        .map(|&tasks| {
+            let t = time_for(tasks, ExecutionMode::IntraParallel { degree: 2 });
+            GranularityRow {
+                tasks_per_section: tasks,
+                time_s: t,
+                efficiency: t_native / t,
+            }
+        })
+        .collect()
+}
+
+/// One row of the bandwidth-sensitivity sweep.
+#[derive(Debug, Clone)]
+pub struct BandwidthRow {
+    /// Inter-node bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Intra-parallelization efficiency at that bandwidth.
+    pub efficiency: f64,
+}
+
+/// Sweeps the inter-node bandwidth and reports the intra efficiency of the
+/// three kernels of Figure 5a.
+pub fn bandwidth(scale: ExperimentScale, bandwidths_gbs: &[f64]) -> Vec<BandwidthRow> {
+    let mut rows = Vec::new();
+    for &bw in bandwidths_gbs {
+        let mut machine = MachineModel::grid5000_ib20g();
+        machine.inter_node = machine.inter_node.with_bandwidth(bw * 1e9);
+        let kernel_rows = fig5a::run_with_machine(scale, machine);
+        for kr in kernel_rows.into_iter().filter(|r| r.mode == "intra") {
+            rows.push(BandwidthRow {
+                bandwidth_gbs: bw,
+                kernel: kr.kernel,
+                efficiency: kr.efficiency,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the scheduler comparison.
+#[derive(Debug, Clone)]
+pub struct SchedulerRow {
+    /// Scheduler name.
+    pub scheduler: &'static str,
+    /// Average per-process section time (virtual seconds).
+    pub time_s: f64,
+}
+
+/// Compares the schedulers on a section whose tasks have strongly
+/// heterogeneous costs (a geometric distribution of work).
+pub fn scheduler(scale: ExperimentScale) -> Vec<SchedulerRow> {
+    let machine = MachineModel::grid5000_ib20g();
+    let procs = 2;
+    let reps = scale.kernel_reps();
+    let schedulers: Vec<(&'static str, Arc<dyn Scheduler>)> = vec![
+        ("static-block", Arc::new(StaticBlockScheduler)),
+        ("round-robin", Arc::new(RoundRobinScheduler)),
+        ("cost-aware", Arc::new(CostAwareScheduler)),
+    ];
+    let mut rows = Vec::new();
+    for (name, sched) in schedulers {
+        let config = ClusterConfig::new(procs)
+            .with_machine(machine)
+            .with_topology(Topology::one_per_node(procs));
+        let report = run_cluster(&config, move |proc| {
+            let env = ReplicatedEnv::without_failures(
+                proc,
+                ExecutionMode::IntraParallel { degree: 2 },
+            )
+            .unwrap();
+            let intra_config = IntraConfig::paper()
+                .with_tasks_per_section(12)
+                .with_scheduler(Arc::clone(&sched));
+            let mut rt = IntraRuntime::new(env, intra_config);
+            let mut ws = Workspace::new();
+            let out = ws.add_zeros("out", 12);
+            for _ in 0..reps {
+                let mut section = rt.section(&mut ws);
+                for t in 0..12usize {
+                    // Task t models 2^(t/3) units of work: heterogeneous.
+                    let weight = (1 << (t / 3)) as f64;
+                    section
+                        .add_task(
+                            TaskDef::new(
+                                "hetero",
+                                |c| {
+                                    c.outputs[0][0] = 1.0;
+                                },
+                                vec![ArgSpec::output(out, t..t + 1)],
+                            )
+                            .with_cost(TaskCost::new(weight * 1e8, weight * 1e8)),
+                        )
+                        .unwrap();
+                }
+                section.end().unwrap();
+            }
+            rt.report().total_section_time().as_secs() / reps as f64
+        });
+        let results = report.unwrap_results();
+        rows.push(SchedulerRow {
+            scheduler: name,
+            time_s: results.iter().sum::<f64>() / results.len() as f64,
+        });
+    }
+    rows
+}
+
+/// The granularity sweep used by the paper discussion (1 to 64 tasks).
+pub fn default_task_counts() -> Vec<usize> {
+    vec![1, 2, 4, 8, 16, 32, 64]
+}
+
+/// The default bandwidth sweep in GB/s (IB 20G is ~1.8 GB/s).
+pub fn default_bandwidths() -> Vec<f64> {
+    vec![0.45, 0.9, 1.8, 3.6, 7.2]
+}

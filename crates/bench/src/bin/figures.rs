@@ -1,0 +1,199 @@
+//! Regenerates the paper's evaluation figures as text tables.
+//!
+//! ```text
+//! cargo run --release -p ipr-bench --bin figures -- all          # every figure, paper scale
+//! cargo run --release -p ipr-bench --bin figures -- fig5a small  # one figure, reduced scale
+//! cargo run --release -p ipr-bench --bin figures -- granularity
+//! ```
+//!
+//! Available figure ids: `fig5a`, `fig5b`, `fig6a`, `fig6b`, `fig6c`,
+//! `fig6d`, `granularity`, `bandwidth`, `scheduler`, `all`.
+
+use ipr_bench::fig6::Fig6App;
+use ipr_bench::table::{f2, f3, render};
+use ipr_bench::{ablations, fig5a, fig5b, fig6, ExperimentScale};
+
+fn print_fig5a(scale: ExperimentScale) {
+    let rows = fig5a::run(scale);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.kernel.to_string(),
+                r.mode.to_string(),
+                format!("{:.4}", r.time_s),
+                f2(r.normalized),
+                f2(r.efficiency),
+                format!("{:.0}%", r.update_fraction * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            "Figure 5a — HPCCG kernels, normalized time & efficiency",
+            &["kernel", "config", "time [s]", "normalized", "efficiency", "update share"],
+            &table_rows,
+        )
+    );
+    println!("Paper reference: waxpby 0.5/0.34, ddot 0.5/0.99, sparsemv 0.5/0.94 (SDR/intra efficiency)\n");
+}
+
+fn print_fig5b(scale: ExperimentScale) {
+    let rows = fig5b::run(scale);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.procs.to_string(),
+                r.mode.to_string(),
+                f3(r.time_s),
+                f2(r.efficiency),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            "Figure 5b — HPCCG weak scaling (execution time & efficiency)",
+            &["procs", "config", "time [s]", "efficiency"],
+            &table_rows,
+        )
+    );
+    println!("Paper reference: SDR-MPI 0.5; intra 0.80 / 0.79 / 0.82 at 128 / 256 / 512 processes\n");
+}
+
+fn print_fig6(app: Fig6App, scale: ExperimentScale) {
+    let rows = fig6::run(app, scale);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                format!("{} ps", r.procs),
+                f3(r.time_s),
+                f3(r.sections_s),
+                f3(r.others_s),
+                f2(r.efficiency),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &format!("Figure {} — {}", app.figure(), app.name()),
+            &["config", "procs", "time [s]", "sections [s]", "others [s]", "efficiency"],
+            &table_rows,
+        )
+    );
+    let reference = match app {
+        Fig6App::AmgPcg27 => "paper: 0.48 / 0.61 (SDR / intra), sections ≈ 62% of native time",
+        Fig6App::AmgGmres7 => "paper: 0.49 / 0.59 (SDR / intra), sections ≈ 42% of native time",
+        Fig6App::Gtc => "paper: 0.49 / 0.71 (SDR / intra), sections ≈ 75% of native time",
+        Fig6App::MiniGhost => "paper: 0.49 / 0.51 (SDR / intra), sections ≈ 10% of native time",
+    };
+    println!("Paper reference: {reference}\n");
+}
+
+fn print_granularity(scale: ExperimentScale) {
+    let rows = ablations::granularity(scale, &ablations::default_task_counts());
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.tasks_per_section.to_string(),
+                format!("{:.4}", r.time_s),
+                f2(r.efficiency),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            "Ablation — tasks per section (sparsemv, intra)",
+            &["tasks/section", "time [s]", "efficiency"],
+            &table_rows,
+        )
+    );
+    println!("Paper choice: 8 tasks per section (4 per replica)\n");
+}
+
+fn print_bandwidth(scale: ExperimentScale) {
+    let rows = ablations::bandwidth(scale, &ablations::default_bandwidths());
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.2}", r.bandwidth_gbs),
+                r.kernel.to_string(),
+                f2(r.efficiency),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            "Ablation — inter-node bandwidth vs intra efficiency",
+            &["bandwidth [GB/s]", "kernel", "efficiency"],
+            &table_rows,
+        )
+    );
+}
+
+fn print_scheduler(scale: ExperimentScale) {
+    let rows = ablations::scheduler(scale);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.scheduler.to_string(), format!("{:.4}", r.time_s)])
+        .collect();
+    println!(
+        "{}",
+        render(
+            "Ablation — scheduler comparison on heterogeneous tasks",
+            &["scheduler", "section time [s]"],
+            &table_rows,
+        )
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let scale = args
+        .get(1)
+        .and_then(|s| ExperimentScale::parse(s))
+        .unwrap_or(ExperimentScale::Full);
+
+    println!("intra-replication figure harness — target: {what}, scale: {scale:?}\n");
+    match what {
+        "fig5a" => print_fig5a(scale),
+        "fig5b" => print_fig5b(scale),
+        "fig6a" => print_fig6(Fig6App::AmgPcg27, scale),
+        "fig6b" => print_fig6(Fig6App::AmgGmres7, scale),
+        "fig6c" => print_fig6(Fig6App::Gtc, scale),
+        "fig6d" => print_fig6(Fig6App::MiniGhost, scale),
+        "fig6" => {
+            for app in Fig6App::ALL {
+                print_fig6(app, scale);
+            }
+        }
+        "granularity" => print_granularity(scale),
+        "bandwidth" => print_bandwidth(scale),
+        "scheduler" => print_scheduler(scale),
+        "all" => {
+            print_fig5a(scale);
+            print_fig5b(scale);
+            for app in Fig6App::ALL {
+                print_fig6(app, scale);
+            }
+            print_granularity(scale);
+            print_bandwidth(scale);
+            print_scheduler(scale);
+        }
+        other => {
+            eprintln!("unknown figure id '{other}'");
+            eprintln!("expected one of: fig5a fig5b fig6a fig6b fig6c fig6d fig6 granularity bandwidth scheduler all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Figure 5a: kernel-level performance of intra-parallelization.
+//!
+//! The paper measures the average time a process spends inside each HPCCG
+//! computation kernel (waxpby, ddot, sparsemv) on 512 cores, comparing the
+//! unmodified library ("Open MPI"), classic active replication ("SDR-MPI")
+//! and intra-parallelization ("intra"), all for the *same amount of physical
+//! resources* (so the replicated configurations run half as many logical
+//! processes, each with twice the data).  The published outcome:
+//!
+//! | kernel   | SDR-MPI | intra | intra update share |
+//! |----------|---------|-------|--------------------|
+//! | waxpby   | 0.50    | 0.34  | dominant           |
+//! | ddot     | 0.50    | 0.99  | ~0                 |
+//! | sparsemv | 0.50    | 0.94  | small              |
+
+use crate::scale::ExperimentScale;
+use ipr_core::{ArgSpec, IntraConfig, IntraRuntime, TaskDef, Workspace};
+use kernels::sparse::{spmv_cost, CsrMatrix};
+use kernels::vecops::{ddot_cost, waxpby_cost};
+use replication::{ExecutionMode, ReplicatedEnv};
+use simcluster::{MachineModel, Topology};
+use simmpi::{run_cluster, ClusterConfig};
+use std::sync::Arc;
+
+/// The kernel under study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// `w = alpha x + beta y`.
+    Waxpby,
+    /// Local dot product.
+    Ddot,
+    /// Sparse matrix-vector product (27-point operator).
+    Sparsemv,
+}
+
+impl Kernel {
+    /// All three kernels, in the order of the figure.
+    pub const ALL: [Kernel; 3] = [Kernel::Waxpby, Kernel::Ddot, Kernel::Sparsemv];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::Waxpby => "waxpby",
+            Kernel::Ddot => "ddot",
+            Kernel::Sparsemv => "sparsemv",
+        }
+    }
+}
+
+/// One bar of Figure 5a.
+#[derive(Debug, Clone)]
+pub struct KernelRow {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Configuration label ("Open MPI", "SDR-MPI", "intra").
+    pub mode: &'static str,
+    /// Average per-process virtual time spent in the kernel (seconds).
+    pub time_s: f64,
+    /// Time normalized to the Open MPI configuration.
+    pub normalized: f64,
+    /// Efficiency (T_openmpi / T_mode).
+    pub efficiency: f64,
+    /// Fraction of the kernel time spent finishing update transfers (the
+    /// dashed "intra updates" area; zero for the other configurations).
+    pub update_fraction: f64,
+}
+
+/// Average per-process section time and update-drain time for one kernel in
+/// one configuration.
+fn kernel_time(
+    kernel: Kernel,
+    mode: ExecutionMode,
+    procs: usize,
+    actual_edge: usize,
+    modeled_edge: usize,
+    reps: usize,
+    machine: MachineModel,
+) -> (f64, f64) {
+    let degree = mode.degree();
+    let num_logical = procs / degree;
+    assert!(num_logical > 0, "not enough processes for degree {degree}");
+    // Same physical resources for every configuration: replicated runs have
+    // half the logical processes, each owning twice the data (z is doubled).
+    let (ax, ay, az) = (actual_edge, actual_edge, actual_edge * degree);
+    let (mx, my, mz) = (modeled_edge, modeled_edge, modeled_edge * degree);
+    let actual_n = ax * ay * az;
+    let modeled_n = mx * my * mz;
+    let scale = modeled_n as f64 / actual_n as f64;
+
+    let topology = if degree > 1 {
+        Topology::replica_disjoint(num_logical, degree, machine.cores_per_node)
+    } else {
+        Topology::block(procs, machine.cores_per_node)
+    };
+    let config = ClusterConfig::new(procs)
+        .with_machine(machine)
+        .with_topology(topology);
+
+    let report = run_cluster(&config, move |proc| {
+        let env = ReplicatedEnv::without_failures(proc, mode).unwrap();
+        let intra_config = IntraConfig::paper().with_modeled_scale(scale);
+        let tasks = intra_config.tasks_per_section;
+        let mut rt = IntraRuntime::new(env, intra_config);
+
+        let mut ws = Workspace::new();
+        let x = ws.add("x", (0..actual_n).map(|i| (i % 13) as f64).collect());
+        let y = ws.add("y", (0..actual_n).map(|i| (i % 7) as f64 * 0.5).collect());
+        let w = ws.add_zeros("w", actual_n);
+        let partial = ws.add_zeros("partial", tasks);
+        let matrix = Arc::new(CsrMatrix::stencil27(ax, ay, az, false, false));
+        let nnz = matrix.nnz();
+
+        for _ in 0..reps {
+            match kernel {
+                Kernel::Waxpby => {
+                    let cost = crate::fig6::to_task_cost(waxpby_cost(modeled_n / tasks));
+                    let mut section = rt.section(&mut ws);
+                    section
+                        .add_split(actual_n, |chunk| {
+                            TaskDef::new(
+                                "waxpby",
+                                |c| {
+                                    let xs = &c.inputs[0];
+                                    let ys = &c.inputs[1];
+                                    let ws_ = &mut c.outputs[0];
+                                    for i in 0..ws_.len() {
+                                        ws_[i] = 2.0 * xs[i] + 0.5 * ys[i];
+                                    }
+                                },
+                                vec![
+                                    ArgSpec::input(x, chunk.clone()),
+                                    ArgSpec::input(y, chunk.clone()),
+                                    ArgSpec::output(w, chunk),
+                                ],
+                            )
+                            .with_cost(cost)
+                        })
+                        .unwrap();
+                    section.end().unwrap();
+                }
+                Kernel::Ddot => {
+                    let cost = crate::fig6::to_task_cost(ddot_cost(modeled_n / tasks));
+                    let mut section = rt.section(&mut ws);
+                    let chunks = ipr_core::split_ranges(actual_n, tasks);
+                    for (t, chunk) in chunks.into_iter().enumerate() {
+                        section
+                            .add_task(
+                                TaskDef::new(
+                                    "ddot",
+                                    |c| {
+                                        c.outputs[0][0] = c.inputs[0]
+                                            .iter()
+                                            .zip(c.inputs[1].iter())
+                                            .map(|(a, b)| a * b)
+                                            .sum();
+                                    },
+                                    vec![
+                                        ArgSpec::input(x, chunk.clone()),
+                                        ArgSpec::input(y, chunk),
+                                        ArgSpec::output(partial, t..t + 1),
+                                    ],
+                                )
+                                .with_cost(cost),
+                            )
+                            .unwrap();
+                    }
+                    section.end().unwrap();
+                }
+                Kernel::Sparsemv => {
+                    let cost = crate::fig6::to_task_cost(spmv_cost(
+                        modeled_n / tasks,
+                        ((modeled_n as f64) * (nnz as f64 / actual_n as f64)) as usize / tasks,
+                    ));
+                    let matrix = Arc::clone(&matrix);
+                    let mut section = rt.section(&mut ws);
+                    section
+                        .add_split(actual_n, |chunk| {
+                            let matrix = Arc::clone(&matrix);
+                            let (start, end) = (chunk.start, chunk.end);
+                            TaskDef::new(
+                                "sparsemv",
+                                move |c| {
+                                    let rows = c.scalar_usize(0)..c.scalar_usize(1);
+                                    let mut scratch = vec![0.0; rows.end];
+                                    matrix.spmv_rows(rows.clone(), &c.inputs[0], &mut scratch);
+                                    c.outputs[0].copy_from_slice(&scratch[rows]);
+                                },
+                                vec![ArgSpec::input(x, 0..actual_n), ArgSpec::output(w, chunk)],
+                            )
+                            .with_scalars(vec![start as f64, end as f64])
+                            .with_cost(cost)
+                        })
+                        .unwrap();
+                    section.end().unwrap();
+                }
+            }
+        }
+        let rep_count = reps.max(1) as f64;
+        let total = rt.report().total_section_time().as_secs() / rep_count;
+        let drain = rt.report().total_update_drain_time().as_secs() / rep_count;
+        (total, drain)
+    });
+
+    let results = report.unwrap_results();
+    let n = results.len() as f64;
+    let total: f64 = results.iter().map(|(t, _)| t).sum::<f64>() / n;
+    let drain: f64 = results.iter().map(|(_, d)| d).sum::<f64>() / n;
+    (total, drain)
+}
+
+/// Runs the Figure 5a study and returns one row per (kernel, configuration).
+pub fn run(scale: ExperimentScale) -> Vec<KernelRow> {
+    run_with_machine(scale, MachineModel::grid5000_ib20g())
+}
+
+/// Same as [`run`] but with an explicit machine model (used by the bandwidth
+/// ablation).
+pub fn run_with_machine(scale: ExperimentScale, machine: MachineModel) -> Vec<KernelRow> {
+    let procs = scale.fig5a_procs();
+    let actual_edge = scale.actual_grid_edge();
+    let modeled_edge = 128;
+    let reps = scale.kernel_reps();
+    let mut rows = Vec::new();
+    for kernel in Kernel::ALL {
+        let (t_native, _) = kernel_time(
+            kernel,
+            ExecutionMode::Native,
+            procs,
+            actual_edge,
+            modeled_edge,
+            reps,
+            machine,
+        );
+        let (t_sdr, _) = kernel_time(
+            kernel,
+            ExecutionMode::Replicated { degree: 2 },
+            procs,
+            actual_edge,
+            modeled_edge,
+            reps,
+            machine,
+        );
+        let (t_intra, drain_intra) = kernel_time(
+            kernel,
+            ExecutionMode::IntraParallel { degree: 2 },
+            procs,
+            actual_edge,
+            modeled_edge,
+            reps,
+            machine,
+        );
+        for (mode, time, drain) in [
+            ("Open MPI", t_native, 0.0),
+            ("SDR-MPI", t_sdr, 0.0),
+            ("intra", t_intra, drain_intra),
+        ] {
+            rows.push(KernelRow {
+                kernel: kernel.name(),
+                mode,
+                time_s: time,
+                normalized: time / t_native,
+                efficiency: t_native / time,
+                update_fraction: if time > 0.0 { drain / time } else { 0.0 },
+            });
+        }
+    }
+    rows
+}

@@ -1,0 +1,90 @@
+//! Figure 5b: HPCCG application weak scaling.
+//!
+//! The paper fixes the number of physical processes (128, 256, 512), keeps
+//! the per-logical-process problem size constant (128³ for the native runs,
+//! doubled for the replicated configurations, which use half as many logical
+//! processes) and reports the total execution time, with the efficiency
+//! above each point.  Intra-parallelization is applied only to ddot and
+//! sparsemv (waxpby performs poorly, see Figure 5a), yielding ≈ 0.8
+//! efficiency against 0.5 for plain replication.
+
+use crate::scale::ExperimentScale;
+use apps::{run_hpccg, AppContext, HpccgParams, KernelSelection};
+use ipr_core::IntraConfig;
+use replication::ExecutionMode;
+use simcluster::{MachineModel, Topology};
+use simmpi::{run_cluster, ClusterConfig};
+
+/// One point of Figure 5b.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Number of physical processes.
+    pub procs: usize,
+    /// Configuration label.
+    pub mode: &'static str,
+    /// Application execution time (virtual seconds, makespan).
+    pub time_s: f64,
+    /// Efficiency relative to the native run on the same resources.
+    pub efficiency: f64,
+}
+
+fn hpccg_time(mode: ExecutionMode, procs: usize, scale: ExperimentScale) -> f64 {
+    let degree = mode.degree();
+    let num_logical = procs / degree;
+    assert!(num_logical > 0);
+    let machine = MachineModel::grid5000_ib20g();
+    let topology = if degree > 1 {
+        Topology::replica_disjoint(num_logical, degree, machine.cores_per_node)
+    } else {
+        Topology::block(procs, machine.cores_per_node)
+    };
+    let config = ClusterConfig::new(procs)
+        .with_machine(machine)
+        .with_topology(topology);
+
+    let actual_edge = scale.actual_grid_edge();
+    let iters = scale.app_iterations();
+    let report = run_cluster(&config, move |proc| {
+        // Per-logical-process problem size: 128^3 for native, doubled along z
+        // for the replicated configurations (half as many logical processes
+        // on the same physical resources).
+        let params = HpccgParams {
+            nx: actual_edge,
+            ny: actual_edge,
+            nz: actual_edge * degree,
+            modeled_nx: 128,
+            modeled_ny: 128,
+            modeled_nz: 128 * degree,
+            max_iters: iters,
+            kernels: KernelSelection::paper_application(),
+        };
+        let mut ctx = AppContext::without_failures(proc, mode, IntraConfig::paper()).unwrap();
+        let out = run_hpccg(&mut ctx, &params).unwrap();
+        out.report.total_time.as_secs()
+    });
+    let results = report.unwrap_results();
+    results.iter().cloned().fold(0.0f64, f64::max)
+}
+
+/// Runs the Figure 5b study: one row per (process count, configuration).
+pub fn run(scale: ExperimentScale) -> Vec<ScalingRow> {
+    let mut rows = Vec::new();
+    for procs in scale.fig5b_procs() {
+        let t_native = hpccg_time(ExecutionMode::Native, procs, scale);
+        let t_sdr = hpccg_time(ExecutionMode::Replicated { degree: 2 }, procs, scale);
+        let t_intra = hpccg_time(ExecutionMode::IntraParallel { degree: 2 }, procs, scale);
+        for (mode, time) in [
+            ("Open MPI", t_native),
+            ("SDR-MPI", t_sdr),
+            ("intra", t_intra),
+        ] {
+            rows.push(ScalingRow {
+                procs,
+                mode,
+                time_s: time,
+                efficiency: t_native / time,
+            });
+        }
+    }
+    rows
+}

@@ -1,0 +1,182 @@
+//! Figure 6: full-application performance (AMG2013, GTC, MiniGhost).
+//!
+//! Methodology of the paper's Section V-D: the problem size is fixed and the
+//! replicated configurations use twice as many physical processes as the
+//! native run, so equal execution time means 50 % efficiency.  Each bar is
+//! split into the time spent in intra-parallelized sections and the rest
+//! ("others"); the efficiency is printed above the bar.
+//!
+//! Published outcomes: AMG2013/PCG-27pt ≈ 0.61, AMG2013/GMRES-7pt ≈ 0.59,
+//! GTC ≈ 0.71, MiniGhost ≈ 0.51 (plain replication ≈ 0.48–0.49 everywhere).
+
+use crate::scale::ExperimentScale;
+use apps::{
+    run_amg, run_gtc, run_minighost, AmgParams, AmgSolver, AppContext, AppRunReport, GtcParams,
+    MiniGhostParams,
+};
+use ipr_core::{IntraConfig, TaskCost};
+use kernels::KernelCost;
+use replication::ExecutionMode;
+use simcluster::{MachineModel, Topology};
+use simmpi::{run_cluster, ClusterConfig};
+
+/// Converts a kernel cost into a task cost (re-exported for the kernel-level
+/// figure module).
+pub fn to_task_cost(cost: KernelCost) -> TaskCost {
+    TaskCost::new(cost.flops, cost.mem_bytes())
+}
+
+/// The application of one Figure 6 sub-plot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig6App {
+    /// Figure 6a: AMG2013, 27-point stencil, PCG solver.
+    AmgPcg27,
+    /// Figure 6b: AMG2013, 7-point stencil, GMRES solver.
+    AmgGmres7,
+    /// Figure 6c: GTC.
+    Gtc,
+    /// Figure 6d: MiniGhost.
+    MiniGhost,
+}
+
+impl Fig6App {
+    /// All four applications in figure order.
+    pub const ALL: [Fig6App; 4] = [
+        Fig6App::AmgPcg27,
+        Fig6App::AmgGmres7,
+        Fig6App::Gtc,
+        Fig6App::MiniGhost,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fig6App::AmgPcg27 => "AMG2013 (27-pt PCG)",
+            Fig6App::AmgGmres7 => "AMG2013 (7-pt GMRES)",
+            Fig6App::Gtc => "GTC",
+            Fig6App::MiniGhost => "MiniGhost",
+        }
+    }
+
+    /// Figure label in the paper.
+    pub fn figure(&self) -> &'static str {
+        match self {
+            Fig6App::AmgPcg27 => "6a",
+            Fig6App::AmgGmres7 => "6b",
+            Fig6App::Gtc => "6c",
+            Fig6App::MiniGhost => "6d",
+        }
+    }
+}
+
+/// One bar of a Figure 6 sub-plot.
+#[derive(Debug, Clone)]
+pub struct AppRow {
+    /// Application name.
+    pub app: &'static str,
+    /// Configuration label.
+    pub mode: &'static str,
+    /// Number of physical processes used.
+    pub procs: usize,
+    /// Total execution time (virtual seconds, makespan).
+    pub time_s: f64,
+    /// Time spent in intra-parallel(izable) sections (average per process).
+    pub sections_s: f64,
+    /// Remaining time.
+    pub others_s: f64,
+    /// Efficiency (1.0 for native; 0.5 * T_native / T for the replicated
+    /// configurations, which use twice the resources).
+    pub efficiency: f64,
+}
+
+fn run_app(app: Fig6App, mode: ExecutionMode, scale: ExperimentScale) -> (f64, f64, usize) {
+    let degree = mode.degree();
+    let num_logical = scale.fig6_logical_procs();
+    let procs = num_logical * degree;
+    let machine = MachineModel::grid5000_ib20g();
+    let topology = if degree > 1 {
+        Topology::replica_disjoint(num_logical, degree, machine.cores_per_node)
+    } else {
+        Topology::block(procs, machine.cores_per_node)
+    };
+    let config = ClusterConfig::new(procs)
+        .with_machine(machine)
+        .with_topology(topology);
+
+    let actual_edge = scale.actual_grid_edge();
+    let particles = scale.actual_particles();
+    let iters = scale.app_iterations();
+
+    let report = run_cluster(&config, move |proc| {
+        let mut ctx = AppContext::without_failures(proc, mode, IntraConfig::paper()).unwrap();
+        let r: AppRunReport = match app {
+            Fig6App::AmgPcg27 => {
+                let params = AmgParams::paper_scale(AmgSolver::Pcg27, actual_edge, iters);
+                run_amg(&mut ctx, &params).unwrap().report
+            }
+            Fig6App::AmgGmres7 => {
+                let mut params = AmgParams::paper_scale(AmgSolver::Gmres7, actual_edge, iters.div_ceil(8));
+                params.restart = 10;
+                run_amg(&mut ctx, &params).unwrap().report
+            }
+            Fig6App::Gtc => {
+                let params = GtcParams::paper_scale(particles, iters);
+                run_gtc(&mut ctx, &params).unwrap().report
+            }
+            Fig6App::MiniGhost => {
+                let params = MiniGhostParams::paper_scale(actual_edge, iters);
+                run_minighost(&mut ctx, &params).unwrap().report
+            }
+        };
+        (r.total_time.as_secs(), r.section_time.as_secs())
+    });
+    let results = report.unwrap_results();
+    let makespan = results.iter().map(|(t, _)| *t).fold(0.0f64, f64::max);
+    let avg_sections = results.iter().map(|(_, s)| *s).sum::<f64>() / results.len() as f64;
+    (makespan, avg_sections, procs)
+}
+
+/// Runs one Figure 6 sub-plot: native, replicated and intra bars.
+pub fn run(app: Fig6App, scale: ExperimentScale) -> Vec<AppRow> {
+    let (t_native, sec_native, procs_native) = run_app(app, ExecutionMode::Native, scale);
+    let (t_sdr, sec_sdr, procs_sdr) = run_app(app, ExecutionMode::Replicated { degree: 2 }, scale);
+    let (t_intra, sec_intra, procs_intra) =
+        run_app(app, ExecutionMode::IntraParallel { degree: 2 }, scale);
+    vec![
+        AppRow {
+            app: app.name(),
+            mode: "Open MPI",
+            procs: procs_native,
+            time_s: t_native,
+            sections_s: sec_native,
+            others_s: (t_native - sec_native).max(0.0),
+            efficiency: 1.0,
+        },
+        AppRow {
+            app: app.name(),
+            mode: "SDR-MPI",
+            procs: procs_sdr,
+            time_s: t_sdr,
+            sections_s: sec_sdr,
+            others_s: (t_sdr - sec_sdr).max(0.0),
+            efficiency: 0.5 * t_native / t_sdr,
+        },
+        AppRow {
+            app: app.name(),
+            mode: "intra",
+            procs: procs_intra,
+            time_s: t_intra,
+            sections_s: sec_intra,
+            others_s: (t_intra - sec_intra).max(0.0),
+            efficiency: 0.5 * t_native / t_intra,
+        },
+    ]
+}
+
+/// Runs all four Figure 6 sub-plots.
+pub fn run_all(scale: ExperimentScale) -> Vec<AppRow> {
+    Fig6App::ALL
+        .into_iter()
+        .flat_map(|app| run(app, scale))
+        .collect()
+}

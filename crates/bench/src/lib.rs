@@ -1,0 +1,29 @@
+//! # ipr-bench — experiment harness regenerating the paper's figures
+//!
+//! Every evaluation figure of the paper has a generator here:
+//!
+//! | Figure | Generator | Content |
+//! |--------|-----------|---------|
+//! | 5a | [`fig5a::run`] | waxpby / ddot / sparsemv kernel efficiency |
+//! | 5b | [`fig5b::run`] | HPCCG weak scaling (128/256/512 processes) |
+//! | 6a | [`fig6::run`] (`Fig6App::AmgPcg27`) | AMG2013, 27-pt PCG |
+//! | 6b | [`fig6::run`] (`Fig6App::AmgGmres7`) | AMG2013, 7-pt GMRES |
+//! | 6c | [`fig6::run`] (`Fig6App::Gtc`) | GTC charge/push |
+//! | 6d | [`fig6::run`] (`Fig6App::MiniGhost`) | MiniGhost stencil + sum |
+//! | — | [`ablations`] | task granularity, bandwidth, scheduler ablations |
+//!
+//! The `figures` binary prints the rows in the same form as the paper
+//! (normalized time / execution time plus the efficiency above each bar);
+//! the Criterion benches under `benches/` wrap the same generators at a
+//! reduced scale so they can run repeatedly.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod fig5a;
+pub mod fig5b;
+pub mod fig6;
+pub mod scale;
+pub mod table;
+
+pub use scale::ExperimentScale;

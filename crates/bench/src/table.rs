@@ -1,0 +1,69 @@
+//! Minimal fixed-width table printing for the `figures` binary.
+
+/// Renders a table with a header row and data rows as a fixed-width string.
+pub fn render(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = render(
+            "demo",
+            &["kernel", "eff"],
+            &[
+                vec!["waxpby".to_string(), "0.34".to_string()],
+                vec!["ddot".to_string(), "0.99".to_string()],
+            ],
+        );
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("waxpby"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f3(0.3456), "0.346");
+        assert_eq!(f2(1.005), "1.00");
+    }
+}

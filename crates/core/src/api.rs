@@ -1,0 +1,175 @@
+//! Paper-style API shim.
+//!
+//! The paper's Open MPI extension exposes four C functions:
+//!
+//! ```c
+//! Intra_Section_begin();
+//! id = Intra_Task_register(f_ptr, tag type arg, ...);
+//! Intra_Task_launch(id, data_ptr, ...);
+//! Intra_Section_end();
+//! ```
+//!
+//! [`IntraSession`] mirrors that flow on top of the richer [`Section`] API:
+//! task *types* are registered once with their function and argument tags,
+//! then instantiated any number of times with concrete variable ranges and
+//! scalar parameters.  The quickstart example and the waxpby test of
+//! Section IV use this shim so the code reads like Figure 4 of the paper.
+
+use crate::error::{IntraError, IntraResult};
+use crate::report::SectionReport;
+use crate::section::Section;
+use crate::task::{ArgSpec, ArgTag, TaskCost, TaskDef, TaskFn};
+use crate::workspace::VarId;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Identifier returned by [`IntraSession::register_task`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskTypeId(usize);
+
+struct TaskType {
+    name: String,
+    func: TaskFn,
+    tags: Vec<ArgTag>,
+}
+
+/// A paper-style intra-parallel session wrapping an open [`Section`].
+pub struct IntraSession<'a> {
+    section: Section<'a>,
+    types: Vec<TaskType>,
+}
+
+impl<'a> IntraSession<'a> {
+    /// `Intra_Section_begin`: wraps an open section.
+    pub fn begin(section: Section<'a>) -> Self {
+        IntraSession {
+            section,
+            types: Vec::new(),
+        }
+    }
+
+    /// `Intra_Task_register`: declares a task type from a function and the
+    /// `in`/`out`/`inout` tags of its array arguments.
+    pub fn register_task<F>(&mut self, name: &str, tags: Vec<ArgTag>, func: F) -> TaskTypeId
+    where
+        F: Fn(&mut crate::task::TaskCtx) + Send + Sync + 'static,
+    {
+        self.types.push(TaskType {
+            name: name.to_string(),
+            func: Arc::new(func),
+            tags,
+        });
+        TaskTypeId(self.types.len() - 1)
+    }
+
+    /// `Intra_Task_launch`: instantiates a registered task type on concrete
+    /// variable ranges (one per registered tag, in order) plus scalar
+    /// parameters.
+    pub fn launch_task(
+        &mut self,
+        id: TaskTypeId,
+        bindings: Vec<(VarId, Range<usize>)>,
+        scalars: Vec<f64>,
+    ) -> IntraResult<()> {
+        self.launch_task_with_cost(id, bindings, scalars, None)
+    }
+
+    /// [`IntraSession::launch_task`] with an explicit modeled compute cost.
+    pub fn launch_task_with_cost(
+        &mut self,
+        id: TaskTypeId,
+        bindings: Vec<(VarId, Range<usize>)>,
+        scalars: Vec<f64>,
+        cost: Option<TaskCost>,
+    ) -> IntraResult<()> {
+        let ty = self
+            .types
+            .get(id.0)
+            .ok_or_else(|| IntraError::InvalidTask(format!("unknown task type id {}", id.0)))?;
+        if bindings.len() != ty.tags.len() {
+            return Err(IntraError::InvalidTask(format!(
+                "task type '{}' declares {} array arguments but {} were bound",
+                ty.name,
+                ty.tags.len(),
+                bindings.len()
+            )));
+        }
+        let args = bindings
+            .into_iter()
+            .zip(ty.tags.iter())
+            .map(|((var, range), &tag)| ArgSpec { var, range, tag })
+            .collect();
+        let mut task = TaskDef {
+            name: ty.name.clone(),
+            func: Arc::clone(&ty.func),
+            args,
+            scalars,
+            cost,
+        };
+        if cost.is_none() {
+            task.cost = None;
+        }
+        self.section.add_task(task)
+    }
+
+    /// Number of task instances launched so far.
+    pub fn num_tasks(&self) -> usize {
+        self.section.num_tasks()
+    }
+
+    /// `Intra_Section_end`: runs the work-sharing protocol.
+    pub fn end(self) -> IntraResult<SectionReport> {
+        self.section.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::ArgTag;
+    use crate::workspace::Workspace;
+
+    // The session cannot execute without a cluster (that is covered by the
+    // integration tests); here we only test the registration plumbing.
+    #[test]
+    fn launch_rejects_wrong_binding_count() {
+        // Build a throwaway runtime on a single-process cluster to get a
+        // Section; protocol execution is not triggered.
+        let report = simmpi::run_cluster(&simmpi::ClusterConfig::ideal(1), |proc| {
+            let env = replication::ReplicatedEnv::without_failures(
+                proc,
+                replication::ExecutionMode::Native,
+            )
+            .unwrap();
+            let mut rt = crate::runtime::IntraRuntime::new(env, crate::runtime::IntraConfig::default());
+            let mut ws = Workspace::new();
+            let x = ws.add("x", vec![0.0; 4]);
+            let mut session = IntraSession::begin(rt.section(&mut ws));
+            let ty = session.register_task("t", vec![ArgTag::In, ArgTag::Out], |_| {});
+            let err = session
+                .launch_task(ty, vec![(x, 0..4)], vec![])
+                .unwrap_err();
+            matches!(err, IntraError::InvalidTask(_))
+        });
+        assert!(report.unwrap_results()[0]);
+    }
+
+    #[test]
+    fn launch_rejects_unknown_type() {
+        let report = simmpi::run_cluster(&simmpi::ClusterConfig::ideal(1), |proc| {
+            let env = replication::ReplicatedEnv::without_failures(
+                proc,
+                replication::ExecutionMode::Native,
+            )
+            .unwrap();
+            let mut rt = crate::runtime::IntraRuntime::new(env, crate::runtime::IntraConfig::default());
+            let mut ws = Workspace::new();
+            let _x = ws.add("x", vec![0.0; 4]);
+            let mut session = IntraSession::begin(rt.section(&mut ws));
+            session
+                .launch_task(TaskTypeId(3), vec![], vec![])
+                .is_err()
+        });
+        assert!(report.unwrap_results()[0]);
+    }
+}

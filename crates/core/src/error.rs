@@ -1,0 +1,70 @@
+//! Error type of the intra-parallelization runtime.
+
+use simmpi::MpiError;
+use std::fmt;
+
+/// Errors surfaced by the intra-parallelization runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntraError {
+    /// An underlying MPI operation failed for a reason other than a peer
+    /// crash the protocol can recover from.
+    Mpi(MpiError),
+    /// The local process crashed (through failure injection); the caller
+    /// must stop doing any work.
+    Crashed,
+    /// Every replica of this logical process has crashed, so the section can
+    /// never complete.
+    NoAliveReplica,
+    /// A task definition is inconsistent (bad variable id, range out of
+    /// bounds, argument/tag mismatch, …).
+    InvalidTask(String),
+    /// A workspace variable id or range was invalid.
+    InvalidVariable(String),
+}
+
+impl fmt::Display for IntraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntraError::Mpi(e) => write!(f, "MPI error: {e}"),
+            IntraError::Crashed => write!(f, "local replica has crashed"),
+            IntraError::NoAliveReplica => write!(f, "no alive replica left for this logical process"),
+            IntraError::InvalidTask(msg) => write!(f, "invalid task: {msg}"),
+            IntraError::InvalidVariable(msg) => write!(f, "invalid workspace variable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IntraError {}
+
+impl From<MpiError> for IntraError {
+    fn from(e: MpiError) -> Self {
+        match e {
+            MpiError::SelfFailed => IntraError::Crashed,
+            other => IntraError::Mpi(other),
+        }
+    }
+}
+
+/// Result alias for intra-parallelization operations.
+pub type IntraResult<T> = Result<T, IntraError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_failed_maps_to_crashed() {
+        assert_eq!(IntraError::from(MpiError::SelfFailed), IntraError::Crashed);
+        assert_eq!(
+            IntraError::from(MpiError::Aborted),
+            IntraError::Mpi(MpiError::Aborted)
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(IntraError::Crashed.to_string().contains("crashed"));
+        assert!(IntraError::InvalidTask("x".into()).to_string().contains('x'));
+        assert!(IntraError::NoAliveReplica.to_string().contains("alive"));
+    }
+}

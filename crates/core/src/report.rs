@@ -1,0 +1,167 @@
+//! Per-section and per-run metrics.
+//!
+//! These reports are what the benchmark harness turns into the paper's
+//! figures: the split between local compute time and the time spent finishing
+//! update transfers ("intra updates", the dashed area of Figure 5a), the
+//! number of bytes shipped between replicas, and the bookkeeping of
+//! failure-driven re-executions.
+
+use simcluster::SimTime;
+
+/// Metrics of one executed intra-parallel section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectionReport {
+    /// Index of the section (0-based, per logical process).
+    pub section_index: usize,
+    /// Number of tasks in the section.
+    pub num_tasks: usize,
+    /// Tasks executed by this replica (including re-executions).
+    pub tasks_executed_locally: usize,
+    /// Tasks whose result was received from another replica.
+    pub tasks_received: usize,
+    /// Tasks re-executed locally because their owner crashed.
+    pub tasks_reexecuted: usize,
+    /// Modeled bytes of update data sent to other replicas.
+    pub update_bytes_sent: usize,
+    /// Modeled bytes of update data received from other replicas.
+    pub update_bytes_received: usize,
+    /// Modeled bytes snapshotted for `inout` arguments.
+    pub inout_snapshot_bytes: usize,
+    /// Number of replica failures of this logical process observed while the
+    /// section executed.
+    pub replica_failures_observed: usize,
+    /// Virtual time at section entry.
+    pub start_time: SimTime,
+    /// Virtual time when this replica finished executing its own tasks (and
+    /// had posted all its update sends).
+    pub local_work_done: SimTime,
+    /// Virtual time at section exit (all updates exchanged).
+    pub end_time: SimTime,
+}
+
+impl SectionReport {
+    /// Total virtual time spent in the section.
+    pub fn total_time(&self) -> SimTime {
+        self.end_time.saturating_sub(self.start_time)
+    }
+
+    /// Virtual time spent executing this replica's own tasks (the solid part
+    /// of the Figure 5a bars).
+    pub fn local_work_time(&self) -> SimTime {
+        self.local_work_done.saturating_sub(self.start_time)
+    }
+
+    /// Virtual time spent finishing update transfers after the local work was
+    /// done (the dashed "intra updates" part of the Figure 5a bars).
+    pub fn update_drain_time(&self) -> SimTime {
+        self.end_time.saturating_sub(self.local_work_done)
+    }
+}
+
+/// Accumulated metrics over every section executed by one
+/// [`crate::runtime::IntraRuntime`].
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeReport {
+    sections: Vec<SectionReport>,
+}
+
+impl RuntimeReport {
+    /// Records a section report.
+    pub fn push(&mut self, report: SectionReport) {
+        self.sections.push(report);
+    }
+
+    /// All recorded sections.
+    pub fn sections(&self) -> &[SectionReport] {
+        &self.sections
+    }
+
+    /// Number of sections executed.
+    pub fn num_sections(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Total virtual time spent inside sections.
+    pub fn total_section_time(&self) -> SimTime {
+        self.sections.iter().map(SectionReport::total_time).sum()
+    }
+
+    /// Total virtual time spent executing local tasks.
+    pub fn total_local_work_time(&self) -> SimTime {
+        self.sections.iter().map(SectionReport::local_work_time).sum()
+    }
+
+    /// Total virtual time spent draining update transfers.
+    pub fn total_update_drain_time(&self) -> SimTime {
+        self.sections
+            .iter()
+            .map(SectionReport::update_drain_time)
+            .sum()
+    }
+
+    /// Total modeled update bytes sent.
+    pub fn total_update_bytes_sent(&self) -> usize {
+        self.sections.iter().map(|s| s.update_bytes_sent).sum()
+    }
+
+    /// Total modeled update bytes received.
+    pub fn total_update_bytes_received(&self) -> usize {
+        self.sections.iter().map(|s| s.update_bytes_received).sum()
+    }
+
+    /// Total tasks executed locally across all sections.
+    pub fn total_tasks_executed(&self) -> usize {
+        self.sections.iter().map(|s| s.tasks_executed_locally).sum()
+    }
+
+    /// Total tasks re-executed after failures.
+    pub fn total_tasks_reexecuted(&self) -> usize {
+        self.sections.iter().map(|s| s.tasks_reexecuted).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(start: f64, work_done: f64, end: f64) -> SectionReport {
+        SectionReport {
+            section_index: 0,
+            num_tasks: 8,
+            tasks_executed_locally: 4,
+            tasks_received: 4,
+            tasks_reexecuted: 0,
+            update_bytes_sent: 100,
+            update_bytes_received: 200,
+            inout_snapshot_bytes: 0,
+            replica_failures_observed: 0,
+            start_time: SimTime::from_secs(start),
+            local_work_done: SimTime::from_secs(work_done),
+            end_time: SimTime::from_secs(end),
+        }
+    }
+
+    #[test]
+    fn section_time_breakdown() {
+        let r = report(1.0, 3.0, 4.5);
+        assert_eq!(r.total_time().as_secs(), 3.5);
+        assert_eq!(r.local_work_time().as_secs(), 2.0);
+        assert_eq!(r.update_drain_time().as_secs(), 1.5);
+    }
+
+    #[test]
+    fn runtime_report_accumulates() {
+        let mut rr = RuntimeReport::default();
+        rr.push(report(0.0, 1.0, 2.0));
+        rr.push(report(2.0, 2.5, 4.0));
+        assert_eq!(rr.num_sections(), 2);
+        assert_eq!(rr.total_section_time().as_secs(), 4.0);
+        assert_eq!(rr.total_local_work_time().as_secs(), 1.5);
+        assert_eq!(rr.total_update_drain_time().as_secs(), 2.5);
+        assert_eq!(rr.total_update_bytes_sent(), 200);
+        assert_eq!(rr.total_update_bytes_received(), 400);
+        assert_eq!(rr.total_tasks_executed(), 8);
+        assert_eq!(rr.total_tasks_reexecuted(), 0);
+        assert_eq!(rr.sections().len(), 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! The intra-parallelization runtime owned by one physical process.
+
+use crate::report::RuntimeReport;
+use crate::sched::{Scheduler, StaticBlockScheduler};
+use crate::section::Section;
+use crate::workspace::Workspace;
+use replication::ReplicatedEnv;
+use std::sync::Arc;
+
+/// Configuration of the intra-parallelization runtime.
+#[derive(Clone)]
+pub struct IntraConfig {
+    /// Default number of tasks per section used by the convenience helpers
+    /// that split a kernel automatically (`Section::add_split_task`, the
+    /// paper-style API).  The paper uses 8 tasks per section (4 per replica)
+    /// for all its experiments.
+    pub tasks_per_section: usize,
+    /// Scale factor applied to update sizes and `inout` snapshot sizes when
+    /// charging the network/memory model.  Used by paper-scale experiments
+    /// that run the protocol on reduced actual arrays (see DESIGN.md); 1.0
+    /// means "charge exactly what is really transferred".
+    pub modeled_scale: f64,
+    /// Whether to charge modeled task compute costs to the virtual clock.
+    pub charge_costs: bool,
+    /// Scheduler deciding which replica executes which task.
+    pub scheduler: Arc<dyn Scheduler>,
+}
+
+impl std::fmt::Debug for IntraConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntraConfig")
+            .field("tasks_per_section", &self.tasks_per_section)
+            .field("modeled_scale", &self.modeled_scale)
+            .field("charge_costs", &self.charge_costs)
+            .field("scheduler", &self.scheduler.name())
+            .finish()
+    }
+}
+
+impl Default for IntraConfig {
+    fn default() -> Self {
+        IntraConfig {
+            tasks_per_section: 8,
+            modeled_scale: 1.0,
+            charge_costs: true,
+            scheduler: Arc::new(StaticBlockScheduler),
+        }
+    }
+}
+
+impl IntraConfig {
+    /// The paper's configuration: 8 tasks per section, static block
+    /// scheduling.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of tasks per section.
+    pub fn with_tasks_per_section(mut self, n: usize) -> Self {
+        self.tasks_per_section = n.max(1);
+        self
+    }
+
+    /// Sets the modeled-size scale factor.
+    pub fn with_modeled_scale(mut self, scale: f64) -> Self {
+        self.modeled_scale = if scale.is_finite() && scale > 0.0 {
+            scale
+        } else {
+            1.0
+        };
+        self
+    }
+
+    /// Enables or disables charging modeled compute costs.
+    pub fn with_charge_costs(mut self, charge: bool) -> Self {
+        self.charge_costs = charge;
+        self
+    }
+
+    /// Sets the scheduler.
+    pub fn with_scheduler(mut self, scheduler: Arc<dyn Scheduler>) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+}
+
+/// The per-physical-process intra-parallelization runtime.
+///
+/// One `IntraRuntime` is created per physical process (replica).  It hands
+/// out [`Section`]s, executes the work-sharing protocol when a section ends,
+/// and accumulates per-section metrics.
+pub struct IntraRuntime {
+    env: ReplicatedEnv,
+    config: IntraConfig,
+    section_count: usize,
+    report: RuntimeReport,
+}
+
+impl IntraRuntime {
+    /// Creates the runtime for this physical process.
+    pub fn new(env: ReplicatedEnv, config: IntraConfig) -> Self {
+        IntraRuntime {
+            env,
+            config,
+            section_count: 0,
+            report: RuntimeReport::default(),
+        }
+    }
+
+    /// The replication environment of this process.
+    pub fn env(&self) -> &ReplicatedEnv {
+        &self.env
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &IntraConfig {
+        &self.config
+    }
+
+    /// Opens a new intra-parallel section over `workspace`
+    /// (`Intra_Section_begin` in the paper's API).
+    pub fn section<'a>(&'a mut self, workspace: &'a mut Workspace) -> Section<'a> {
+        Section::new(self, workspace)
+    }
+
+    /// Number of sections executed so far.
+    pub fn sections_executed(&self) -> usize {
+        self.section_count
+    }
+
+    /// Accumulated per-section metrics.
+    pub fn report(&self) -> &RuntimeReport {
+        &self.report
+    }
+
+    pub(crate) fn next_section_index(&mut self) -> usize {
+        let idx = self.section_count;
+        self.section_count += 1;
+        idx
+    }
+
+    pub(crate) fn record(&mut self, report: crate::report::SectionReport) {
+        self.report.push(report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_the_paper() {
+        let c = IntraConfig::paper();
+        assert_eq!(c.tasks_per_section, 8);
+        assert_eq!(c.modeled_scale, 1.0);
+        assert!(c.charge_costs);
+        assert_eq!(c.scheduler.name(), "static-block");
+    }
+
+    #[test]
+    fn builders_clamp_invalid_values() {
+        let c = IntraConfig::default()
+            .with_tasks_per_section(0)
+            .with_modeled_scale(-3.0);
+        assert_eq!(c.tasks_per_section, 1);
+        assert_eq!(c.modeled_scale, 1.0);
+        let c = c.with_modeled_scale(64.0).with_charge_costs(false);
+        assert_eq!(c.modeled_scale, 64.0);
+        assert!(!c.charge_costs);
+    }
+
+    #[test]
+    fn debug_impl_shows_scheduler_name() {
+        let c = IntraConfig::default();
+        assert!(format!("{c:?}").contains("static-block"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Task schedulers: deciding which replica executes which task.
+//!
+//! The paper's prototype uses a simple static strategy ("the N/2 first
+//! launched tasks of a section are executed by replica 1 and the N/2 last
+//! ones are executed by replica 2") and notes that more elaborate strategies
+//! could be designed.  [`StaticBlockScheduler`] is that strategy;
+//! [`RoundRobinScheduler`] and [`CostAwareScheduler`] are the obvious
+//! alternatives, compared in the `ABL-SCHED` ablation.
+//!
+//! A scheduler is a pure function of the task weights and the set of alive
+//! replicas, so all replicas of a logical process independently compute the
+//! same assignment — no coordination messages are needed, which is what
+//! makes failure-driven rescheduling (Algorithm 1, line 24) cheap.
+
+/// Assigns every task of a section to one alive replica.
+pub trait Scheduler: Send + Sync {
+    /// Returns, for each task weight in `task_weights`, the replica id (an
+    /// element of `alive_replicas`) that must execute it.
+    ///
+    /// `alive_replicas` is never empty and is sorted in increasing order.
+    fn assign(&self, task_weights: &[f64], alive_replicas: &[usize]) -> Vec<usize>;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's static block scheduler: the first `N/k` tasks go to the first
+/// alive replica, the next block to the second, and so on.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticBlockScheduler;
+
+impl Scheduler for StaticBlockScheduler {
+    fn assign(&self, task_weights: &[f64], alive_replicas: &[usize]) -> Vec<usize> {
+        let n = task_weights.len();
+        let k = alive_replicas.len();
+        let mut out = Vec::with_capacity(n);
+        if n == 0 {
+            return out;
+        }
+        // Block sizes differ by at most one (ceil for the first `n % k`
+        // blocks), matching the N/2-first / N/2-last split of the paper.
+        let base = n / k;
+        let extra = n % k;
+        let mut task = 0usize;
+        for (i, &replica) in alive_replicas.iter().enumerate() {
+            let count = base + usize::from(i < extra);
+            for _ in 0..count {
+                out.push(replica);
+                task += 1;
+            }
+        }
+        debug_assert_eq!(task, n);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "static-block"
+    }
+}
+
+/// Round-robin assignment: task `i` goes to alive replica `i % k`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinScheduler;
+
+impl Scheduler for RoundRobinScheduler {
+    fn assign(&self, task_weights: &[f64], alive_replicas: &[usize]) -> Vec<usize> {
+        let k = alive_replicas.len();
+        (0..task_weights.len())
+            .map(|i| alive_replicas[i % k])
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Greedy longest-processing-time assignment balancing the task weights
+/// across replicas (useful when tasks are heterogeneous).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostAwareScheduler;
+
+impl Scheduler for CostAwareScheduler {
+    fn assign(&self, task_weights: &[f64], alive_replicas: &[usize]) -> Vec<usize> {
+        let k = alive_replicas.len();
+        let mut load = vec![0.0f64; k];
+        // Sort task indices by decreasing weight, assign each to the least
+        // loaded replica; ties broken by task index so the assignment is
+        // deterministic across replicas.
+        let mut order: Vec<usize> = (0..task_weights.len()).collect();
+        order.sort_by(|&a, &b| {
+            task_weights[b]
+                .partial_cmp(&task_weights[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut out = vec![alive_replicas[0]; task_weights.len()];
+        for &t in &order {
+            let (slot, _) = load
+                .iter()
+                .enumerate()
+                .min_by(|(ia, a), (ib, b)| {
+                    a.partial_cmp(b)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(ia.cmp(ib))
+                })
+                .expect("at least one replica");
+            load[slot] += task_weights[t];
+            out[t] = alive_replicas[slot];
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "cost-aware"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn static_block_splits_in_halves_for_degree_two() {
+        // The paper's configuration: 8 tasks per section, 2 replicas.
+        let s = StaticBlockScheduler;
+        let a = s.assign(&[1.0; 8], &[0, 1]);
+        assert_eq!(a, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        assert_eq!(s.name(), "static-block");
+    }
+
+    #[test]
+    fn static_block_handles_remainders_and_single_replica() {
+        let s = StaticBlockScheduler;
+        assert_eq!(s.assign(&[1.0; 5], &[0, 1]), vec![0, 0, 0, 1, 1]);
+        assert_eq!(s.assign(&[1.0; 3], &[1]), vec![1, 1, 1]);
+        assert_eq!(s.assign(&[], &[0, 1]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn static_block_uses_surviving_replica_ids() {
+        // After replica 0 failed, everything must go to replica 1.
+        let s = StaticBlockScheduler;
+        assert_eq!(s.assign(&[1.0; 4], &[1]), vec![1; 4]);
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let s = RoundRobinScheduler;
+        assert_eq!(s.assign(&[1.0; 5], &[0, 1]), vec![0, 1, 0, 1, 0]);
+        assert_eq!(s.name(), "round-robin");
+    }
+
+    #[test]
+    fn cost_aware_balances_heterogeneous_tasks() {
+        let s = CostAwareScheduler;
+        // Weights 8, 1, 1, 1, 1, 1, 1, 1, 1: the heavy task goes alone.
+        let weights = [8.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let a = s.assign(&weights, &[0, 1]);
+        let load0: f64 = weights.iter().zip(&a).filter(|(_, &r)| r == 0).map(|(w, _)| w).sum();
+        let load1: f64 = weights.iter().zip(&a).filter(|(_, &r)| r == 1).map(|(w, _)| w).sum();
+        assert!((load0 - load1).abs() <= 1.0, "loads {load0} vs {load1}");
+        assert_eq!(s.name(), "cost-aware");
+    }
+
+    #[test]
+    fn schedulers_are_deterministic() {
+        let weights = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        for s in [
+            &StaticBlockScheduler as &dyn Scheduler,
+            &RoundRobinScheduler,
+            &CostAwareScheduler,
+        ] {
+            assert_eq!(s.assign(&weights, &[0, 1]), s.assign(&weights, &[0, 1]));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn every_task_is_assigned_to_an_alive_replica(
+            weights in proptest::collection::vec(0.1f64..100.0, 0..64),
+            alive_mask in 1u8..7,
+        ) {
+            let alive: Vec<usize> = (0..3).filter(|i| alive_mask & (1 << i) != 0).collect();
+            for s in [
+                &StaticBlockScheduler as &dyn Scheduler,
+                &RoundRobinScheduler,
+                &CostAwareScheduler,
+            ] {
+                let a = s.assign(&weights, &alive);
+                prop_assert_eq!(a.len(), weights.len());
+                for r in &a {
+                    prop_assert!(alive.contains(r), "{} assigned to dead replica {}", s.name(), r);
+                }
+            }
+        }
+
+        #[test]
+        fn static_block_is_contiguous(n in 0usize..64) {
+            let a = StaticBlockScheduler.assign(&vec![1.0; n], &[0, 1, 2]);
+            // Once the replica id increases it never goes back down.
+            for w in a.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! Intra-parallel sections: the work-sharing protocol (Algorithm 1).
+//!
+//! A [`Section`] collects task instances between `Intra_Section_begin` and
+//! `Intra_Section_end`.  When the section ends, the protocol runs:
+//!
+//! 1. every replica snapshots the `inout` ranges of every task (the extra
+//!    copy of Section III-B2 that makes re-execution safe after a partial
+//!    update);
+//! 2. a deterministic scheduler assigns every task to one replica.  The
+//!    assignment is computed over the *full* replica set (dead replicas
+//!    included) so that every replica derives exactly the same assignment
+//!    locally, with no coordination messages, even when a failure
+//!    notification races with section entry.  Tasks assigned to a replica
+//!    that is already known to be dead are simply adopted in step 5;
+//! 3. each replica executes its own tasks in order, posting non-blocking
+//!    sends of every `out`/`inout` range to its peer replicas as each task
+//!    completes (so update transfers overlap with the remaining computation,
+//!    as in the paper's Open MPI implementation);
+//! 4. each replica then receives the updates of the tasks it did not
+//!    execute and applies them to its workspace;
+//! 5. if the owner of a pending task is detected as crashed (a receive
+//!    returns an error, as Algorithm 1 assumes), the task is *re-executed
+//!    locally* after restoring the `inout` snapshots — this is the "execute
+//!    the task locally" option of the paper's failure case 2 and is always
+//!    correct because tasks of one section are only input-dependent;
+//! 6. the section completes once every task is done and all posted sends
+//!    have drained (`MPI_Waitall` in the paper's implementation).
+//!
+//! In `Native` and `Replicated` execution modes the same API executes every
+//! task locally and ships nothing, which is how the same application code
+//! produces the paper's three configurations (Open MPI / SDR-MPI / intra).
+
+use crate::error::{IntraError, IntraResult};
+use crate::report::SectionReport;
+use crate::runtime::IntraRuntime;
+use crate::task::{ArgTag, TaskCtx, TaskDef};
+use crate::workspace::Workspace;
+use replication::ProtocolPoint;
+use simmpi::{MpiError, SendRequest, Tag};
+use std::ops::Range;
+
+/// First tag used for update messages on the replica communicator.  The
+/// replica communicator carries no other traffic, so this only needs to stay
+/// clear of the reserved collective range.
+const UPDATE_TAG_BASE: Tag = 1 << 27;
+/// Maximum number of tasks per section (tag-encoding limit).
+pub const MAX_TASKS_PER_SECTION: usize = 2048;
+/// Maximum number of arguments per task (tag-encoding limit).
+pub const MAX_ARGS_PER_TASK: usize = 16;
+
+fn update_tag(section: usize, task: usize, arg: usize) -> Tag {
+    let window = (section % 512) as u32;
+    UPDATE_TAG_BASE
+        + window * (MAX_TASKS_PER_SECTION * MAX_ARGS_PER_TASK) as u32
+        + (task as u32) * MAX_ARGS_PER_TASK as u32
+        + arg as u32
+}
+
+/// Splits `0..total` into `parts` contiguous ranges whose lengths differ by
+/// at most one (empty ranges are omitted when `total < parts`).
+pub fn split_ranges(total: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            continue;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// An open intra-parallel section.
+pub struct Section<'a> {
+    rt: &'a mut IntraRuntime,
+    ws: &'a mut Workspace,
+    tasks: Vec<TaskDef>,
+}
+
+impl<'a> Section<'a> {
+    pub(crate) fn new(rt: &'a mut IntraRuntime, ws: &'a mut Workspace) -> Self {
+        Section {
+            rt,
+            ws,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Adds a task instance to the section (`Intra_Task_launch`).
+    pub fn add_task(&mut self, task: TaskDef) -> IntraResult<()> {
+        task.validate(self.ws)?;
+        if task.args.len() > MAX_ARGS_PER_TASK {
+            return Err(IntraError::InvalidTask(format!(
+                "task '{}' has {} arguments (max {MAX_ARGS_PER_TASK})",
+                task.name,
+                task.args.len()
+            )));
+        }
+        if self.tasks.len() >= MAX_TASKS_PER_SECTION {
+            return Err(IntraError::InvalidTask(format!(
+                "section already has {MAX_TASKS_PER_SECTION} tasks"
+            )));
+        }
+        self.tasks.push(task);
+        Ok(())
+    }
+
+    /// Splits the index space `0..total` into the configured number of tasks
+    /// per section and adds one task per chunk, built by `make`.
+    pub fn add_split<F>(&mut self, total: usize, make: F) -> IntraResult<()>
+    where
+        F: Fn(Range<usize>) -> TaskDef,
+    {
+        let parts = self.rt.config().tasks_per_section;
+        for chunk in split_ranges(total, parts) {
+            self.add_task(make(chunk))?;
+        }
+        Ok(())
+    }
+
+    /// Number of tasks launched so far.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Read access to the workspace (e.g. to compute argument ranges).
+    pub fn workspace(&self) -> &Workspace {
+        self.ws
+    }
+
+    /// Ends the section (`Intra_Section_end`): runs the work-sharing
+    /// protocol and returns the section report.
+    pub fn end(self) -> IntraResult<SectionReport> {
+        let Section { rt, ws, tasks } = self;
+        execute_section(rt, ws, tasks)
+    }
+}
+
+/// Builds the execution context for a task from the workspace, restoring
+/// `inout` ranges from their snapshots ("loading a' into a" in Figure 2c).
+fn build_ctx(
+    ws: &mut Workspace,
+    task: &TaskDef,
+    snapshots: &[Option<Vec<f64>>],
+) -> TaskCtx {
+    // First restore inout snapshots into the workspace so that both the
+    // workspace and the context see the pre-section values.
+    for (arg, snap) in task.args.iter().zip(snapshots) {
+        if let Some(values) = snap {
+            ws.write_range(arg.var, arg.range.clone(), values);
+        }
+    }
+    let mut ctx = TaskCtx {
+        inputs: Vec::new(),
+        outputs: Vec::new(),
+        scalars: task.scalars.clone(),
+    };
+    for arg in &task.args {
+        let data = ws.read_range(arg.var, arg.range.clone());
+        match arg.tag {
+            ArgTag::In => ctx.inputs.push(data),
+            ArgTag::Out | ArgTag::InOut => ctx.outputs.push(data),
+        }
+    }
+    ctx
+}
+
+/// Writes the output buffers of a finished task back into the workspace.
+fn write_back(ws: &mut Workspace, task: &TaskDef, ctx: &TaskCtx) -> IntraResult<()> {
+    let mut out_idx = 0;
+    for arg in &task.args {
+        if !arg.tag.is_output() {
+            continue;
+        }
+        let buf = &ctx.outputs[out_idx];
+        if buf.len() != arg.len() {
+            return Err(IntraError::InvalidTask(format!(
+                "task '{}' resized output argument {} ({} -> {} elements)",
+                task.name,
+                out_idx,
+                arg.len(),
+                buf.len()
+            )));
+        }
+        ws.write_range(arg.var, arg.range.clone(), buf);
+        out_idx += 1;
+    }
+    Ok(())
+}
+
+/// Executes one task locally: restore snapshots, build the context, charge
+/// the modeled cost, run the body, write the outputs back.
+fn run_task(
+    rt: &IntraRuntime,
+    ws: &mut Workspace,
+    task: &TaskDef,
+    snapshots: &[Option<Vec<f64>>],
+) -> IntraResult<()> {
+    let mut ctx = build_ctx(ws, task, snapshots);
+    if rt.config().charge_costs {
+        if let Some(cost) = task.cost {
+            rt.env().charge_compute(cost.flops, cost.mem_bytes);
+        }
+    }
+    (task.func)(&mut ctx);
+    write_back(ws, task, &ctx)
+}
+
+fn execute_section(
+    rt: &mut IntraRuntime,
+    ws: &mut Workspace,
+    tasks: Vec<TaskDef>,
+) -> IntraResult<SectionReport> {
+    let result = execute_section_inner(rt, ws, tasks);
+    if let Err(e) = &result {
+        // A replica that cannot complete the section protocol (bad task
+        // definition, unexpected MPI error, …) can no longer stay consistent
+        // with its peers; converting the local error into a crash-stop
+        // failure lets the surviving replicas detect it and re-execute the
+        // affected tasks instead of blocking on updates that will never
+        // arrive.
+        if *e != IntraError::Crashed && !rt.env().is_failed() {
+            rt.env().proc().fail_here();
+        }
+    }
+    result
+}
+
+fn execute_section_inner(
+    rt: &mut IntraRuntime,
+    ws: &mut Workspace,
+    tasks: Vec<TaskDef>,
+) -> IntraResult<SectionReport> {
+    let section = rt.next_section_index();
+    let start_time = rt.env().now();
+
+    if rt.env().maybe_fail(ProtocolPoint::SectionEnter { section }) {
+        return Err(IntraError::Crashed);
+    }
+    if rt.env().is_failed() {
+        return Err(IntraError::Crashed);
+    }
+
+    let share = rt.env().mode().shares_work() && rt.env().rcomm().degree() > 1;
+    let modeled_scale = rt.config().modeled_scale;
+
+    // --- inout snapshots (only needed when work is shared) -------------
+    let mut snapshots: Vec<Vec<Option<Vec<f64>>>> = Vec::with_capacity(tasks.len());
+    let mut inout_snapshot_bytes = 0usize;
+    for task in &tasks {
+        let mut per_arg = Vec::with_capacity(task.args.len());
+        for arg in &task.args {
+            if share && arg.tag == ArgTag::InOut {
+                per_arg.push(Some(ws.read_range(arg.var, arg.range.clone())));
+                let bytes = (arg.bytes() as f64 * modeled_scale) as usize;
+                inout_snapshot_bytes += bytes;
+                rt.env().proc().charge_memcpy(bytes);
+            } else {
+                per_arg.push(None);
+            }
+        }
+        snapshots.push(per_arg);
+    }
+
+    // --- non-sharing modes: execute everything locally -----------------
+    if !share {
+        for task in &tasks {
+            run_task(rt, ws, task, &vec![None; task.args.len()])?;
+        }
+        let end = rt.env().now();
+        if rt.env().maybe_fail(ProtocolPoint::SectionExit { section }) {
+            return Err(IntraError::Crashed);
+        }
+        let report = SectionReport {
+            section_index: section,
+            num_tasks: tasks.len(),
+            tasks_executed_locally: tasks.len(),
+            tasks_received: 0,
+            tasks_reexecuted: 0,
+            update_bytes_sent: 0,
+            update_bytes_received: 0,
+            inout_snapshot_bytes: 0,
+            replica_failures_observed: 0,
+            start_time,
+            local_work_done: end,
+            end_time: end,
+        };
+        rt.record(report.clone());
+        return Ok(report);
+    }
+
+    // --- work-sharing protocol ------------------------------------------
+    let rcomm = rt.env().rcomm().clone();
+    let rc = rcomm.replica_comm().clone();
+    let my = rcomm.replica_id();
+    let alive = rcomm.alive_replicas();
+    if alive.is_empty() {
+        return Err(IntraError::NoAliveReplica);
+    }
+    if !alive.contains(&my) {
+        return Err(IntraError::Crashed);
+    }
+    let failures_at_start = alive.len();
+
+    // Scheduling is a pure function of the task weights and the *full*
+    // replica set, never of the (racy) alive set: every replica therefore
+    // computes the same assignment without exchanging messages.  Work lost
+    // to crashed replicas is recovered by adoption in Phase B.
+    let all_replicas: Vec<usize> = (0..rcomm.degree()).collect();
+    let weights: Vec<f64> = tasks.iter().map(TaskDef::weight).collect();
+    let mut assignment = rt.config().scheduler.assign(&weights, &all_replicas);
+    debug_assert_eq!(assignment.len(), tasks.len());
+
+    let n = tasks.len();
+    let mut done = vec![false; n];
+    let mut received_args: Vec<Vec<bool>> = tasks.iter().map(|t| vec![false; t.args.len()]).collect();
+    let mut send_reqs: Vec<SendRequest> = Vec::new();
+    let mut update_bytes_sent = 0usize;
+    let mut update_bytes_received = 0usize;
+    let mut tasks_local = 0usize;
+    let mut tasks_received = 0usize;
+    let mut tasks_reexecuted = 0usize;
+
+    // Sends the updates of task `i` to every alive peer replica.
+    let send_updates = |ws: &Workspace,
+                        i: usize,
+                        rt: &IntraRuntime,
+                        send_reqs: &mut Vec<SendRequest>,
+                        update_bytes_sent: &mut usize|
+     -> IntraResult<()> {
+        let task = &tasks[i];
+        let mut vars_sent = 0usize;
+        for (ai, arg) in task.args.iter().enumerate() {
+            if !arg.tag.is_output() {
+                continue;
+            }
+            let data = ws.read_range(arg.var, arg.range.clone());
+            let modeled = ((data.len() * std::mem::size_of::<f64>()) as f64 * modeled_scale) as usize;
+            for &peer in rcomm.alive_replicas().iter() {
+                if peer == my {
+                    continue;
+                }
+                let tag = update_tag(section, i, ai);
+                let req = rc.isend_with_modeled_size(&data, peer, tag, modeled)?;
+                send_reqs.push(req);
+                *update_bytes_sent += modeled;
+            }
+            vars_sent += 1;
+            if rt.env().maybe_fail(ProtocolPoint::MidUpdateSend {
+                section,
+                task: i,
+                vars_sent,
+            }) {
+                return Err(IntraError::Crashed);
+            }
+        }
+        if rt.env().maybe_fail(ProtocolPoint::AfterUpdateSend { section, task: i }) {
+            return Err(IntraError::Crashed);
+        }
+        Ok(())
+    };
+
+    // Phase A: execute my tasks, overlapping update sends with the remaining
+    // computation.
+    for i in 0..n {
+        if assignment[i] != my {
+            continue;
+        }
+        run_task(rt, ws, &tasks[i], &snapshots[i])?;
+        tasks_local += 1;
+        done[i] = true;
+        if rt.env().maybe_fail(ProtocolPoint::BeforeUpdateSend { section, task: i }) {
+            return Err(IntraError::Crashed);
+        }
+        send_updates(ws, i, rt, &mut send_reqs, &mut update_bytes_sent)?;
+    }
+    let local_work_done = rt.env().now();
+
+    // Phase B: collect (or recompute) the remaining tasks.
+    for i in 0..n {
+        if done[i] {
+            continue;
+        }
+        let owner = assignment[i];
+        // Always try to receive first, even when the owner is already known
+        // to be dead: updates it sent before crashing are still deliverable
+        // (the paper's failure case 2 — "get the update from the replicas
+        // that already got it" degenerates to draining the channel here), and
+        // the receive returns an error immediately if nothing was sent.
+        let mut adopt = owner == my;
+        if !adopt {
+            // Receive every output argument of the task from its owner.
+            let mut receive_failed = false;
+            for (ai, arg) in tasks[i].args.iter().enumerate() {
+                if !arg.tag.is_output() || received_args[i][ai] {
+                    continue;
+                }
+                let tag = update_tag(section, i, ai);
+                match rc.recv::<f64>(owner, tag) {
+                    Ok(data) => {
+                        if data.len() != arg.len() {
+                            return Err(IntraError::InvalidTask(format!(
+                                "update for task '{}' arg {ai} has {} elements, expected {}",
+                                tasks[i].name,
+                                data.len(),
+                                arg.len()
+                            )));
+                        }
+                        ws.write_range(arg.var, arg.range.clone(), &data);
+                        received_args[i][ai] = true;
+                        update_bytes_received +=
+                            ((data.len() * std::mem::size_of::<f64>()) as f64 * modeled_scale) as usize;
+                    }
+                    Err(MpiError::ProcessFailed { .. }) => {
+                        // Owner crashed before completing this update: adopt
+                        // the task (failure cases 1 and 3 of Section III-B2).
+                        receive_failed = true;
+                        break;
+                    }
+                    Err(MpiError::SelfFailed) => return Err(IntraError::Crashed),
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            if !receive_failed {
+                done[i] = true;
+                tasks_received += 1;
+                continue;
+            }
+            adopt = true;
+        }
+        if adopt {
+            assignment[i] = my;
+            // Re-execute locally.  `run_task` restores the inout snapshots
+            // first, so a partial update applied above cannot create the
+            // true-dependence problem of Figure 2b.
+            run_task(rt, ws, &tasks[i], &snapshots[i])?;
+            tasks_local += 1;
+            tasks_reexecuted += 1;
+            done[i] = true;
+        }
+    }
+
+    // Drain the posted update sends (MPI_Waitall in the paper's prototype).
+    rc.waitall_send(send_reqs)?;
+    let end_time = rt.env().now();
+
+    if rt.env().maybe_fail(ProtocolPoint::SectionExit { section }) {
+        return Err(IntraError::Crashed);
+    }
+
+    let report = SectionReport {
+        section_index: section,
+        num_tasks: n,
+        tasks_executed_locally: tasks_local,
+        tasks_received,
+        tasks_reexecuted,
+        update_bytes_sent,
+        update_bytes_received,
+        inout_snapshot_bytes,
+        replica_failures_observed: failures_at_start.saturating_sub(rcomm.alive_replicas().len()),
+        start_time,
+        local_work_done,
+        end_time,
+    };
+    rt.record(report.clone());
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_cover_the_index_space() {
+        let ranges = split_ranges(10, 3);
+        assert_eq!(ranges, vec![0..4, 4..7, 7..10]);
+        let ranges = split_ranges(8, 8);
+        assert_eq!(ranges.len(), 8);
+        assert!(ranges.iter().all(|r| r.len() == 1));
+        // Fewer elements than parts: empty chunks are dropped.
+        let ranges = split_ranges(3, 8);
+        assert_eq!(ranges.len(), 3);
+        assert!(split_ranges(0, 4).is_empty());
+        // parts == 0 is clamped to 1.
+        assert_eq!(split_ranges(5, 0), vec![0..5]);
+    }
+
+    #[test]
+    fn update_tags_are_unique_within_a_section() {
+        let mut seen = std::collections::HashSet::new();
+        for task in 0..32 {
+            for arg in 0..MAX_ARGS_PER_TASK {
+                assert!(seen.insert(update_tag(3, task, arg)));
+            }
+        }
+        // Different sections (within the window) do not collide either.
+        assert_ne!(update_tag(1, 0, 0), update_tag(2, 0, 0));
+    }
+}

@@ -1,0 +1,120 @@
+//! Small dense linear-algebra helpers used by the GMRES solver of the
+//! AMG2013 proxy (Hessenberg least-squares via Givens rotations).
+//!
+//! These operate on tiny `m × m` problems (`m` = restart length, 30 in the
+//! paper-scale runs) and are never intra-parallelized — they live outside the
+//! sections, in the "others" part of the Figure 6 breakdown.
+
+/// A Givens rotation `(c, s)` that zeroes `b` in the pair `(a, b)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Givens {
+    /// Cosine component.
+    pub c: f64,
+    /// Sine component.
+    pub s: f64,
+}
+
+impl Givens {
+    /// Computes the rotation annihilating `b` against `a`.
+    pub fn compute(a: f64, b: f64) -> Self {
+        if b == 0.0 {
+            Givens { c: 1.0, s: 0.0 }
+        } else if a == 0.0 {
+            Givens { c: 0.0, s: 1.0 }
+        } else {
+            let r = (a * a + b * b).sqrt();
+            Givens { c: a / r, s: b / r }
+        }
+    }
+
+    /// Applies the rotation to the pair `(a, b)`, returning the rotated pair
+    /// (second component is zero when applied to the pair the rotation was
+    /// computed from).
+    pub fn apply(&self, a: f64, b: f64) -> (f64, f64) {
+        (self.c * a + self.s * b, -self.s * a + self.c * b)
+    }
+}
+
+/// Solves the upper-triangular system `R y = g` for the leading `k × k`
+/// block, where `R` is stored column-major as the Hessenberg matrix after
+/// Givens elimination (`h[j][i]` = entry (i, j)).
+///
+/// # Panics
+/// Panics if the system is singular (zero diagonal) or the dimensions are
+/// inconsistent.
+pub fn back_substitute(h: &[Vec<f64>], g: &[f64], k: usize) -> Vec<f64> {
+    assert!(h.len() >= k, "not enough Hessenberg columns");
+    assert!(g.len() >= k, "right-hand side too short");
+    let mut y = vec![0.0; k];
+    for i in (0..k).rev() {
+        let mut sum = g[i];
+        for (j, yj) in y.iter().enumerate().take(k).skip(i + 1) {
+            sum -= h[j][i] * yj;
+        }
+        let diag = h[i][i];
+        assert!(diag.abs() > 1e-300, "singular triangular system");
+        y[i] = sum / diag;
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn givens_annihilates_second_component() {
+        let g = Givens::compute(3.0, 4.0);
+        let (r, zero) = g.apply(3.0, 4.0);
+        assert!((r - 5.0).abs() < 1e-12);
+        assert!(zero.abs() < 1e-12);
+    }
+
+    #[test]
+    fn givens_handles_degenerate_inputs() {
+        let g = Givens::compute(2.0, 0.0);
+        assert_eq!(g, Givens { c: 1.0, s: 0.0 });
+        let g = Givens::compute(0.0, 2.0);
+        assert_eq!(g, Givens { c: 0.0, s: 1.0 });
+        let (a, b) = g.apply(0.0, 2.0);
+        assert!((a - 2.0).abs() < 1e-12 && b.abs() < 1e-12);
+    }
+
+    #[test]
+    fn givens_preserves_norm() {
+        let g = Givens::compute(1.5, -2.5);
+        let (a, b) = g.apply(0.7, 3.1);
+        let before = (0.7f64 * 0.7 + 3.1 * 3.1).sqrt();
+        let after = (a * a + b * b).sqrt();
+        assert!((before - after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn back_substitution_solves_triangular_system() {
+        // Columns of R: R = [[2, 0, 0], [1, 3, 0], [4, 5, 6]] (upper tri,
+        // column-major storage h[j][i]).
+        let h = vec![
+            vec![2.0, 0.0, 0.0],
+            vec![1.0, 3.0, 0.0],
+            vec![4.0, 5.0, 6.0],
+        ];
+        let y_true = [1.0, -2.0, 0.5];
+        // g = R * y_true
+        let g = vec![
+            2.0 * 1.0 + 1.0 * -2.0 + 4.0 * 0.5,
+            3.0 * -2.0 + 5.0 * 0.5,
+            6.0 * 0.5,
+        ];
+        let y = back_substitute(&h, &g, 3);
+        for i in 0..3 {
+            assert!((y[i] - y_true[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn back_substitution_rejects_singular_systems() {
+        let h = vec![vec![0.0]];
+        let _ = back_substitute(&h, &[1.0], 1);
+    }
+}

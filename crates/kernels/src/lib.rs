@@ -1,0 +1,32 @@
+//! # kernels — HPC computational kernels and analytic cost descriptors
+//!
+//! The paper evaluates intra-parallelization on the computational kernels of
+//! HPCCG (`waxpby`, `ddot`, `sparsemv`), on stencil codes (MiniGhost,
+//! AMG2013's Laplacian problems) and on a particle-in-cell code (GTC, with
+//! its `charge` and `push` kernels).  This crate implements those kernels as
+//! plain sequential Rust functions — they are the units of work the
+//! intra-parallelization runtime schedules onto replicas — together with
+//! analytic *cost descriptors* ([`cost::KernelCost`]) that tell the
+//! simulator's roofline model how many flops and bytes of memory traffic a
+//! kernel performs at a given (possibly paper-scale) problem size.
+//!
+//! Nothing in this crate knows about MPI, replication or tasks; it is pure
+//! computation, which is exactly what the paper requires of code placed
+//! inside an intra-parallel section ("It cannot include message-passing
+//! communication").
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cost;
+pub mod dense;
+pub mod grid;
+pub mod pic;
+pub mod sparse;
+pub mod stencil;
+pub mod vecops;
+
+pub use cost::KernelCost;
+pub use grid::Grid3d;
+pub use pic::ParticleSet;
+pub use sparse::CsrMatrix;

@@ -1,0 +1,179 @@
+//! Failure injection hooks.
+//!
+//! The paper's Section III-B2 distinguishes three crash scenarios relative to
+//! a task update: before any update bytes were sent, after the full update
+//! reached only a subset of the replicas, and in the middle of an update
+//! (partial update).  To test all of them deterministically, the runtime
+//! layers call [`FailureInjector::should_fail`] at well-defined protocol
+//! points ([`ProtocolPoint`]); a test arms the injector with (physical rank,
+//! point) pairs and the matching process crashes itself (crash-stop) exactly
+//! there.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A point in the intra-parallelization / replication protocol at which a
+/// failure can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolPoint {
+    /// Right after entering the section with the given index (0-based count
+    /// of sections executed by the process).
+    SectionEnter {
+        /// Section index.
+        section: usize,
+    },
+    /// Right after finishing the local execution of a task, before sending
+    /// any update for it.
+    BeforeUpdateSend {
+        /// Section index.
+        section: usize,
+        /// Task index within the section.
+        task: usize,
+    },
+    /// In the middle of sending the update of a task: after `vars_sent`
+    /// output variables have been shipped, before the remaining ones.
+    MidUpdateSend {
+        /// Section index.
+        section: usize,
+        /// Task index within the section.
+        task: usize,
+        /// Number of output variables already sent when the crash happens.
+        vars_sent: usize,
+    },
+    /// Right after the full update of a task has been sent.
+    AfterUpdateSend {
+        /// Section index.
+        section: usize,
+        /// Task index within the section.
+        task: usize,
+    },
+    /// Right after leaving the section with the given index (i.e. outside any
+    /// section — the "no specific action required" case of the paper).
+    SectionExit {
+        /// Section index.
+        section: usize,
+    },
+    /// At the beginning of application iteration `iteration` (used by the
+    /// mini-apps to crash a replica between solver iterations).
+    IterationStart {
+        /// Iteration index.
+        iteration: usize,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Plan {
+    /// Armed one-shot injections: (physical rank, point).
+    armed: Vec<(usize, ProtocolPoint)>,
+    /// History of fired injections.
+    fired: Vec<(usize, ProtocolPoint)>,
+}
+
+/// A shared, thread-safe failure-injection plan.
+///
+/// Cloning is cheap; all clones share the same plan.  An injector with no
+/// armed entries never fires, so production code paths can always consult it.
+#[derive(Debug, Clone, Default)]
+pub struct FailureInjector {
+    plan: Arc<Mutex<Plan>>,
+}
+
+impl FailureInjector {
+    /// Creates an injector with no armed failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Arms a one-shot failure of `physical_rank` at `point`.
+    pub fn arm(&self, physical_rank: usize, point: ProtocolPoint) -> &Self {
+        self.plan.lock().armed.push((physical_rank, point));
+        self
+    }
+
+    /// Returns true exactly once if a failure is armed for this rank and
+    /// point; the armed entry is consumed.
+    pub fn should_fail(&self, physical_rank: usize, point: ProtocolPoint) -> bool {
+        let mut plan = self.plan.lock();
+        if let Some(pos) = plan
+            .armed
+            .iter()
+            .position(|&(r, p)| r == physical_rank && p == point)
+        {
+            plan.armed.remove(pos);
+            plan.fired.push((physical_rank, point));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of armed injections that have not fired yet.
+    pub fn pending(&self) -> usize {
+        self.plan.lock().armed.len()
+    }
+
+    /// Injections that fired, in firing order.
+    pub fn fired(&self) -> Vec<(usize, ProtocolPoint)> {
+        self.plan.lock().fired.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_injector_never_fires() {
+        let inj = FailureInjector::none();
+        assert!(!inj.should_fail(0, ProtocolPoint::SectionEnter { section: 0 }));
+        assert_eq!(inj.pending(), 0);
+        assert!(inj.fired().is_empty());
+    }
+
+    #[test]
+    fn armed_injection_fires_exactly_once() {
+        let inj = FailureInjector::none();
+        let point = ProtocolPoint::BeforeUpdateSend { section: 1, task: 2 };
+        inj.arm(3, point);
+        assert_eq!(inj.pending(), 1);
+        assert!(!inj.should_fail(2, point), "wrong rank must not fire");
+        assert!(!inj.should_fail(3, ProtocolPoint::SectionEnter { section: 1 }));
+        assert!(inj.should_fail(3, point));
+        assert!(!inj.should_fail(3, point), "one-shot: second query is false");
+        assert_eq!(inj.fired(), vec![(3, point)]);
+    }
+
+    #[test]
+    fn multiple_injections_are_independent() {
+        let inj = FailureInjector::none();
+        inj.arm(0, ProtocolPoint::SectionEnter { section: 0 });
+        inj.arm(
+            1,
+            ProtocolPoint::MidUpdateSend {
+                section: 0,
+                task: 1,
+                vars_sent: 1,
+            },
+        );
+        assert!(inj.should_fail(0, ProtocolPoint::SectionEnter { section: 0 }));
+        assert_eq!(inj.pending(), 1);
+        assert!(inj.should_fail(
+            1,
+            ProtocolPoint::MidUpdateSend {
+                section: 0,
+                task: 1,
+                vars_sent: 1,
+            }
+        ));
+        assert_eq!(inj.pending(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_plan() {
+        let a = FailureInjector::none();
+        let b = a.clone();
+        a.arm(5, ProtocolPoint::SectionExit { section: 2 });
+        assert!(b.should_fail(5, ProtocolPoint::SectionExit { section: 2 }));
+        assert!(!a.should_fail(5, ProtocolPoint::SectionExit { section: 2 }));
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-process virtual clocks.
+//!
+//! Every simulated physical process owns a [`VirtualClock`].  Compute regions
+//! advance it by their modeled duration; the message-passing layer advances
+//! it according to the LogP-style rules implemented in `simmpi`:
+//!
+//! * a send charges the sender its *occupancy* (overhead + serialization) and
+//!   stamps the message with the sender's clock at the moment injection
+//!   finished;
+//! * a receive completes no earlier than `max(receiver clock, message
+//!   arrival)`, where arrival = stamp + latency + size/bandwidth.
+//!
+//! For deterministic message-passing programs this conservative rule yields
+//! the same virtual timeline as a full discrete-event simulation, while
+//! letting every process run freely on its own OS thread.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A monotonically non-decreasing virtual clock owned by one simulated
+/// process.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VirtualClock {
+    now: SimTime,
+    /// Total time attributed to compute regions.
+    compute: SimTime,
+    /// Total time attributed to communication (sender occupancy + waiting).
+    comm: SimTime,
+    /// Total time spent blocked waiting for messages that had not yet
+    /// arrived (a subset of `comm`).
+    wait: SimTime,
+}
+
+impl VirtualClock {
+    /// A clock starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `dt`, attributing the time to computation.
+    pub fn advance_compute(&mut self, dt: SimTime) {
+        self.now += dt;
+        self.compute += dt;
+    }
+
+    /// Advances the clock by `dt`, attributing the time to communication
+    /// overhead (e.g. sender occupancy, receiver overhead).
+    pub fn advance_comm(&mut self, dt: SimTime) {
+        self.now += dt;
+        self.comm += dt;
+    }
+
+    /// Advances the clock to `target` if it is in the future, attributing the
+    /// jump to waiting for communication.  Returns the amount of time waited.
+    pub fn wait_until(&mut self, target: SimTime) -> SimTime {
+        if target > self.now {
+            let waited = target - self.now;
+            self.now = target;
+            self.comm += waited;
+            self.wait += waited;
+            waited
+        } else {
+            SimTime::ZERO
+        }
+    }
+
+    /// Advances the clock by `dt` without attributing it to either bucket
+    /// (used for application phases we explicitly do not break down).
+    pub fn advance_other(&mut self, dt: SimTime) {
+        self.now += dt;
+    }
+
+    /// Total virtual time attributed to computation.
+    pub fn compute_time(&self) -> SimTime {
+        self.compute
+    }
+
+    /// Total virtual time attributed to communication (incl. waiting).
+    pub fn comm_time(&self) -> SimTime {
+        self.comm
+    }
+
+    /// Virtual time spent blocked waiting for remote progress.
+    pub fn wait_time(&self) -> SimTime {
+        self.wait
+    }
+
+    /// Resets the breakdown counters (but not the current time).  Useful when
+    /// an application wants per-phase breakdowns.
+    pub fn reset_breakdown(&mut self) {
+        self.compute = SimTime::ZERO;
+        self.comm = SimTime::ZERO;
+        self.wait = SimTime::ZERO;
+    }
+
+    /// Takes a snapshot of the current time, used to measure a region.
+    pub fn mark(&self) -> SimTime {
+        self.now
+    }
+
+    /// Time elapsed since a snapshot obtained from [`VirtualClock::mark`].
+    pub fn since(&self, mark: SimTime) -> SimTime {
+        self.now.saturating_sub(mark)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        assert_eq!(c.compute_time(), SimTime::ZERO);
+        assert_eq!(c.comm_time(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn advance_attributes_time_to_buckets() {
+        let mut c = VirtualClock::new();
+        c.advance_compute(SimTime::from_secs(2.0));
+        c.advance_comm(SimTime::from_secs(1.0));
+        assert_eq!(c.now().as_secs(), 3.0);
+        assert_eq!(c.compute_time().as_secs(), 2.0);
+        assert_eq!(c.comm_time().as_secs(), 1.0);
+        assert_eq!(c.wait_time(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn wait_until_only_moves_forward() {
+        let mut c = VirtualClock::new();
+        c.advance_compute(SimTime::from_secs(5.0));
+        let waited = c.wait_until(SimTime::from_secs(3.0));
+        assert_eq!(waited, SimTime::ZERO);
+        assert_eq!(c.now().as_secs(), 5.0);
+        let waited = c.wait_until(SimTime::from_secs(7.5));
+        assert_eq!(waited.as_secs(), 2.5);
+        assert_eq!(c.now().as_secs(), 7.5);
+        assert_eq!(c.wait_time().as_secs(), 2.5);
+        // waiting counts as communication time
+        assert_eq!(c.comm_time().as_secs(), 2.5);
+    }
+
+    #[test]
+    fn mark_and_since_measure_regions() {
+        let mut c = VirtualClock::new();
+        let m = c.mark();
+        c.advance_compute(SimTime::from_secs(1.0));
+        c.advance_comm(SimTime::from_secs(0.5));
+        assert_eq!(c.since(m).as_secs(), 1.5);
+    }
+
+    #[test]
+    fn reset_breakdown_keeps_now() {
+        let mut c = VirtualClock::new();
+        c.advance_compute(SimTime::from_secs(1.0));
+        c.reset_breakdown();
+        assert_eq!(c.now().as_secs(), 1.0);
+        assert_eq!(c.compute_time(), SimTime::ZERO);
+    }
+}

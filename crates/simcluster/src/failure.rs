@@ -1,0 +1,236 @@
+//! Crash-stop failure injection and detection.
+//!
+//! The paper assumes crash-stop failures of physical processes (replicas) and
+//! assumes a failure detector exists ("Failure detection is outside the scope
+//! of this paper").  We implement the part the protocols need: a shared
+//! [`FailureStatusBoard`] on which the injector marks processes as dead, and
+//! which the runtime layers query when a receive from a dead peer must return
+//! an error instead of blocking forever.
+//!
+//! A crashed process stops executing at the injection point; the messages it
+//! sent *before* the crash remain deliverable (they were already handed to
+//! the network), while nothing sent after the crash exists — this mirrors the
+//! semantics the paper relies on for partially transmitted task updates.
+
+use crate::time::SimTime;
+use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Liveness of one simulated physical process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcessState {
+    /// The process is running normally.
+    Alive,
+    /// The process has crashed (crash-stop).
+    Failed,
+}
+
+/// A recorded failure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// Physical rank that failed.
+    pub rank: usize,
+    /// Virtual time at which the failure was injected (as observed by the
+    /// failing process's own clock).
+    pub time: SimTime,
+}
+
+#[derive(Debug)]
+struct Board {
+    states: Vec<ProcessState>,
+    events: Vec<FailureEvent>,
+    /// Monotonic counter bumped at every failure; cheap "something changed"
+    /// check for detectors.
+    epoch: u64,
+}
+
+/// Shared, thread-safe view of which physical processes have crashed.
+///
+/// Cloning the board is cheap (it is an `Arc`); all clones observe the same
+/// state.
+#[derive(Debug, Clone)]
+pub struct FailureStatusBoard {
+    inner: Arc<(Mutex<Board>, Condvar)>,
+}
+
+impl FailureStatusBoard {
+    /// Creates a board for `num_procs` processes, all alive.
+    pub fn new(num_procs: usize) -> Self {
+        FailureStatusBoard {
+            inner: Arc::new((
+                Mutex::new(Board {
+                    states: vec![ProcessState::Alive; num_procs],
+                    events: Vec::new(),
+                    epoch: 0,
+                }),
+                Condvar::new(),
+            )),
+        }
+    }
+
+    /// Number of processes tracked.
+    pub fn num_procs(&self) -> usize {
+        self.inner.0.lock().states.len()
+    }
+
+    /// Marks `rank` as failed at virtual time `time`.  Idempotent: marking an
+    /// already-failed process again is a no-op and does not bump the epoch.
+    pub fn mark_failed(&self, rank: usize, time: SimTime) {
+        let (lock, cvar) = &*self.inner;
+        let mut board = lock.lock();
+        if board.states[rank] == ProcessState::Failed {
+            return;
+        }
+        board.states[rank] = ProcessState::Failed;
+        board.events.push(FailureEvent { rank, time });
+        board.epoch += 1;
+        cvar.notify_all();
+    }
+
+    /// Marks `rank` as alive again (replica restart — the paper's discussion
+    /// section points out that restarting failed replicas quickly matters).
+    pub fn mark_recovered(&self, rank: usize) {
+        let (lock, cvar) = &*self.inner;
+        let mut board = lock.lock();
+        if board.states[rank] == ProcessState::Alive {
+            return;
+        }
+        board.states[rank] = ProcessState::Alive;
+        board.epoch += 1;
+        cvar.notify_all();
+    }
+
+    /// Liveness of `rank`.
+    pub fn state_of(&self, rank: usize) -> ProcessState {
+        self.inner.0.lock().states[rank]
+    }
+
+    /// True if `rank` has crashed.
+    pub fn is_failed(&self, rank: usize) -> bool {
+        self.state_of(rank) == ProcessState::Failed
+    }
+
+    /// All ranks currently alive.
+    pub fn alive_ranks(&self) -> Vec<usize> {
+        self.inner
+            .0
+            .lock()
+            .states
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &s)| (s == ProcessState::Alive).then_some(r))
+            .collect()
+    }
+
+    /// All ranks currently failed.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        self.inner
+            .0
+            .lock()
+            .states
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &s)| (s == ProcessState::Failed).then_some(r))
+            .collect()
+    }
+
+    /// Complete failure history.
+    pub fn events(&self) -> Vec<FailureEvent> {
+        self.inner.0.lock().events.clone()
+    }
+
+    /// Current epoch (bumped on every state change).
+    pub fn epoch(&self) -> u64 {
+        self.inner.0.lock().epoch
+    }
+
+    /// Blocks the calling thread until the epoch differs from
+    /// `observed_epoch` (i.e. until at least one failure/recovery happened
+    /// after the caller last looked).  Intended for test harnesses; the
+    /// protocol layers use non-blocking queries.
+    pub fn wait_for_change(&self, observed_epoch: u64) {
+        let (lock, cvar) = &*self.inner;
+        let mut board = lock.lock();
+        while board.epoch == observed_epoch {
+            cvar.wait(&mut board);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn everyone_starts_alive() {
+        let b = FailureStatusBoard::new(4);
+        assert_eq!(b.num_procs(), 4);
+        assert_eq!(b.alive_ranks(), vec![0, 1, 2, 3]);
+        assert!(b.failed_ranks().is_empty());
+        assert_eq!(b.epoch(), 0);
+    }
+
+    #[test]
+    fn mark_failed_is_visible_and_idempotent() {
+        let b = FailureStatusBoard::new(3);
+        b.mark_failed(1, SimTime::from_secs(2.0));
+        assert!(b.is_failed(1));
+        assert!(!b.is_failed(0));
+        assert_eq!(b.epoch(), 1);
+        b.mark_failed(1, SimTime::from_secs(3.0));
+        assert_eq!(b.epoch(), 1, "re-marking must not bump the epoch");
+        assert_eq!(b.events().len(), 1);
+        assert_eq!(b.failed_ranks(), vec![1]);
+    }
+
+    #[test]
+    fn recovery_restores_liveness() {
+        let b = FailureStatusBoard::new(2);
+        b.mark_failed(0, SimTime::ZERO);
+        assert!(b.is_failed(0));
+        b.mark_recovered(0);
+        assert!(!b.is_failed(0));
+        assert_eq!(b.epoch(), 2);
+        // Recovering an alive process is a no-op.
+        b.mark_recovered(0);
+        assert_eq!(b.epoch(), 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = FailureStatusBoard::new(2);
+        let b = a.clone();
+        a.mark_failed(1, SimTime::ZERO);
+        assert!(b.is_failed(1));
+    }
+
+    #[test]
+    fn wait_for_change_wakes_on_failure() {
+        let b = FailureStatusBoard::new(2);
+        let observed = b.epoch();
+        let waiter = {
+            let b = b.clone();
+            thread::spawn(move || {
+                b.wait_for_change(observed);
+                b.failed_ranks()
+            })
+        };
+        // Give the waiter a moment to block, then inject.
+        thread::sleep(std::time::Duration::from_millis(10));
+        b.mark_failed(0, SimTime::from_secs(1.0));
+        let failed = waiter.join().expect("waiter thread panicked");
+        assert_eq!(failed, vec![0]);
+    }
+
+    #[test]
+    fn events_record_time() {
+        let b = FailureStatusBoard::new(2);
+        b.mark_failed(1, SimTime::from_secs(4.5));
+        let ev = b.events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].rank, 1);
+        assert_eq!(ev[0].time.as_secs(), 4.5);
+    }
+}

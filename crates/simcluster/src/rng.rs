@@ -1,0 +1,76 @@
+//! Deterministic random-number helpers.
+//!
+//! Simulated processes must be reproducible run-to-run regardless of thread
+//! scheduling, so every process derives its own RNG from a global seed and
+//! its rank.  Mixing uses SplitMix64 so that neighbouring ranks do not get
+//! correlated streams.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// SplitMix64 step — a cheap, well-mixed 64-bit finalizer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a deterministic per-rank RNG from a global `seed` and the caller's
+/// `rank` (or any other stream identifier).
+pub fn seeded_rng(seed: u64, rank: usize) -> SmallRng {
+    let mixed = splitmix64(seed ^ splitmix64(rank as u64 ^ 0xA076_1D64_78BD_642F));
+    SmallRng::seed_from_u64(mixed)
+}
+
+/// Derives a deterministic sub-stream from an existing stream identifier,
+/// e.g. one stream per (rank, iteration) pair.
+pub fn substream(seed: u64, rank: usize, stream: usize) -> SmallRng {
+    let mixed = splitmix64(seed ^ splitmix64(rank as u64) ^ splitmix64((stream as u64) << 32));
+    SmallRng::seed_from_u64(mixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = seeded_rng(42, 3);
+        let mut b = seeded_rng(42, 3);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_ranks_get_different_streams() {
+        let mut a = seeded_rng(42, 0);
+        let mut b = seeded_rng(42, 1);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_get_different_streams() {
+        let mut a = seeded_rng(1, 0);
+        let mut b = seeded_rng(2, 0);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn substreams_differ_from_each_other() {
+        let mut a = substream(7, 0, 0);
+        let mut b = substream(7, 0, 1);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn splitmix_is_not_identity() {
+        assert_ne!(splitmix64(0), 0);
+        assert_ne!(splitmix64(1), 1);
+    }
+}

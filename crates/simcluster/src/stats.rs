@@ -1,0 +1,134 @@
+//! Lightweight shared counters for instrumentation.
+//!
+//! The runtime layers (MPI, replication, intra-parallelization) count
+//! messages, bytes, task executions, re-executions after failures, etc.  A
+//! [`StatsRegistry`] is a small named-counter registry that can be cloned
+//! across threads; counters are plain relaxed atomics because they are only
+//! read after the simulated run has completed.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A single named counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A registry of named counters shared between the threads of a simulation.
+#[derive(Debug, Clone, Default)]
+pub struct StatsRegistry {
+    counters: Arc<RwLock<BTreeMap<String, Arc<Counter>>>>,
+}
+
+impl StatsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        let mut w = self.counters.write();
+        Arc::clone(w.entry(name.to_string()).or_default())
+    }
+
+    /// Convenience: adds `n` to the counter named `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Convenience: increments the counter named `name`.
+    pub fn incr(&self, name: &str) {
+        self.counter(name).incr();
+    }
+
+    /// Current value of the counter named `name` (0 if it was never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.read().get(name).map_or(0, |c| c.get())
+    }
+
+    /// Snapshot of all counters, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = StatsRegistry::new();
+        s.incr("messages");
+        s.add("messages", 4);
+        s.add("bytes", 128);
+        assert_eq!(s.get("messages"), 5);
+        assert_eq!(s.get("bytes"), 128);
+        assert_eq!(s.get("missing"), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let s = StatsRegistry::new();
+        s.incr("zeta");
+        s.incr("alpha");
+        let snap = s.snapshot();
+        assert_eq!(snap[0].0, "alpha");
+        assert_eq!(snap[1].0, "zeta");
+    }
+
+    #[test]
+    fn clones_share_counters_across_threads() {
+        let s = StatsRegistry::new();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = s.clone();
+            handles.push(thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.incr("ops");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("stats thread panicked");
+        }
+        assert_eq!(s.get("ops"), 4000);
+    }
+
+    #[test]
+    fn counter_handle_can_be_cached() {
+        let s = StatsRegistry::new();
+        let c = s.counter("cached");
+        c.add(7);
+        assert_eq!(s.get("cached"), 7);
+    }
+}

@@ -1,0 +1,288 @@
+//! Cluster launcher: spawns one OS thread per simulated physical process and
+//! collects results, virtual-time breakdowns and statistics.
+
+use crate::proc::{ProcCore, ProcHandle};
+use crate::router::Router;
+use parking_lot::{Condvar, Mutex};
+use simcluster::{FailureEvent, FailureStatusBoard, MachineModel, SimTime, StatsRegistry, Topology};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of a simulated cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of physical processes (threads) to spawn.
+    pub num_procs: usize,
+    /// Machine model (compute + network calibration).
+    pub machine: MachineModel,
+    /// Placement of processes on nodes.  Defaults to block placement with
+    /// `machine.cores_per_node` processes per node.
+    pub topology: Option<Topology>,
+    /// Global seed for deterministic per-process randomness.
+    pub seed: u64,
+    /// Real-time watchdog: if the run has not finished after this wall-clock
+    /// duration, all pending operations abort with `MpiError::Aborted`
+    /// (protects the test suite against protocol deadlocks).
+    pub watchdog: Option<Duration>,
+}
+
+impl ClusterConfig {
+    /// A cluster of `num_procs` processes on the paper's Grid'5000/IB-20G
+    /// machine model.
+    pub fn new(num_procs: usize) -> Self {
+        ClusterConfig {
+            num_procs,
+            machine: MachineModel::grid5000_ib20g(),
+            topology: None,
+            seed: 42,
+            watchdog: Some(Duration::from_secs(300)),
+        }
+    }
+
+    /// A cluster with a zero-cost machine model, for protocol-correctness
+    /// tests that do not care about timing.
+    pub fn ideal(num_procs: usize) -> Self {
+        ClusterConfig {
+            machine: MachineModel::ideal(),
+            ..ClusterConfig::new(num_procs)
+        }
+    }
+
+    /// Sets the machine model.
+    pub fn with_machine(mut self, machine: MachineModel) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Sets an explicit topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets (or disables) the real-time watchdog.
+    pub fn with_watchdog(mut self, watchdog: Option<Duration>) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    fn resolved_topology(&self) -> Topology {
+        self.topology
+            .clone()
+            .unwrap_or_else(|| Topology::block(self.num_procs, self.machine.cores_per_node.max(1)))
+    }
+}
+
+/// Per-process summary collected after the run.
+#[derive(Debug, Clone)]
+pub struct ProcReport {
+    /// World rank.
+    pub rank: usize,
+    /// Final virtual time of the process.
+    pub final_time: SimTime,
+    /// Virtual time attributed to computation.
+    pub compute_time: SimTime,
+    /// Virtual time attributed to communication (incl. waiting).
+    pub comm_time: SimTime,
+    /// Virtual time spent blocked waiting for remote progress.
+    pub wait_time: SimTime,
+    /// True if the process was marked as crashed during the run.
+    pub failed: bool,
+}
+
+/// Result of a cluster run.
+#[derive(Debug)]
+pub struct ClusterReport<R> {
+    /// Per-rank closure results (`Err` carries the panic payload if the
+    /// process panicked).
+    pub results: Vec<Result<R, String>>,
+    /// Per-rank virtual-time summaries.
+    pub procs: Vec<ProcReport>,
+    /// Shared statistics registry.
+    pub stats: StatsRegistry,
+    /// Failure history (injected crashes).
+    pub failures: Vec<FailureEvent>,
+}
+
+impl<R> ClusterReport<R> {
+    /// Virtual makespan: the largest final virtual time over the processes
+    /// that did *not* crash (crashed processes stop early by construction).
+    pub fn makespan(&self) -> SimTime {
+        self.procs
+            .iter()
+            .filter(|p| !p.failed)
+            .map(|p| p.final_time)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Largest final virtual time over all processes.
+    pub fn max_time(&self) -> SimTime {
+        self.procs
+            .iter()
+            .map(|p| p.final_time)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Unwraps every per-rank result, panicking (with the original payload
+    /// text) if any process panicked.
+    pub fn unwrap_results(self) -> Vec<R> {
+        self.results
+            .into_iter()
+            .enumerate()
+            .map(|(rank, r)| match r {
+                Ok(v) => v,
+                Err(msg) => panic!("simulated process {rank} panicked: {msg}"),
+            })
+            .collect()
+    }
+
+    /// Result of a specific rank, if it completed without panicking.
+    pub fn result_of(&self, rank: usize) -> Option<&R> {
+        self.results.get(rank).and_then(|r| r.as_ref().ok())
+    }
+
+    /// True if at least one process panicked.
+    pub fn any_panicked(&self) -> bool {
+        self.results.iter().any(|r| r.is_err())
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// Runs `body` once per simulated physical process and collects the results.
+///
+/// `body` receives a [`ProcHandle`] giving access to the world communicator,
+/// virtual time, failure injection and statistics.  The call returns when
+/// every process has returned (or panicked, or the watchdog fired).
+pub fn run_cluster<R, F>(config: &ClusterConfig, body: F) -> ClusterReport<R>
+where
+    R: Send,
+    F: Fn(ProcHandle) -> R + Send + Sync,
+{
+    assert!(config.num_procs > 0, "cluster needs at least one process");
+    let topology = config.resolved_topology();
+    assert!(
+        topology.num_procs() >= config.num_procs,
+        "topology covers {} ranks but the cluster has {}",
+        topology.num_procs(),
+        config.num_procs
+    );
+    let failures = FailureStatusBoard::new(config.num_procs);
+    let router = Arc::new(Router::new(config.num_procs, failures.clone()));
+    let stats = StatsRegistry::new();
+
+    let cores: Vec<Arc<ProcCore>> = (0..config.num_procs)
+        .map(|rank| {
+            Arc::new(ProcCore::new(
+                rank,
+                config.num_procs,
+                Arc::clone(&router),
+                config.machine,
+                topology.clone(),
+                stats.clone(),
+                config.seed,
+            ))
+        })
+        .collect();
+
+    // Watchdog bookkeeping: signalled when all workers have joined.
+    let done = Arc::new((Mutex::new(false), Condvar::new()));
+
+    let results: Vec<Result<R, String>> = std::thread::scope(|scope| {
+        let watchdog_handle = config.watchdog.map(|deadline| {
+            let router = Arc::clone(&router);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                let (lock, cvar) = &*done;
+                let mut finished = lock.lock();
+                if !*finished {
+                    cvar.wait_for(&mut finished, deadline);
+                }
+                if !*finished {
+                    router.abort();
+                }
+            })
+        });
+
+        let handles: Vec<_> = cores
+            .iter()
+            .map(|core| {
+                let core = Arc::clone(core);
+                let body = &body;
+                let router = Arc::clone(&router);
+                scope.spawn(move || {
+                    let handle = ProcHandle::new(Arc::clone(&core));
+                    let rank = handle.rank();
+                    let out = catch_unwind(AssertUnwindSafe(|| body(handle)));
+                    match out {
+                        Ok(v) => Ok(v),
+                        Err(payload) => {
+                            // Mark the rank as failed so peers blocked on it
+                            // observe ProcessFailed instead of hanging.
+                            let now = core.clock.lock().now();
+                            router.failures().mark_failed(rank, now);
+                            router.notify_all();
+                            Err(panic_message(payload))
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let results: Vec<Result<R, String>> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("join failed".to_string())))
+            .collect();
+
+        // Release the watchdog.
+        {
+            let (lock, cvar) = &*done;
+            *lock.lock() = true;
+            cvar.notify_all();
+        }
+        if let Some(w) = watchdog_handle {
+            let _ = w.join();
+        }
+        results
+    });
+
+    let procs = cores
+        .iter()
+        .enumerate()
+        .map(|(rank, core)| {
+            let clock = core.clock.lock();
+            ProcReport {
+                rank,
+                final_time: clock.now(),
+                compute_time: clock.compute_time(),
+                comm_time: clock.comm_time(),
+                wait_time: clock.wait_time(),
+                failed: failures.is_failed(rank),
+            }
+        })
+        .collect();
+
+    ClusterReport {
+        results,
+        procs,
+        stats,
+        failures: failures.events(),
+    }
+}

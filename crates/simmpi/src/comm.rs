@@ -1,0 +1,441 @@
+//! Communicators and point-to-point communication.
+//!
+//! A [`Comm`] is a group of physical processes with a private communication
+//! context.  The world communicator contains every process; `split` and
+//! `dup` derive sub-communicators with deterministic, globally consistent
+//! identifiers (all members perform the same sequence of collective calls,
+//! as MPI requires, so they derive the same ids without any exchange).
+//!
+//! Point-to-point operations follow MPI semantics: standard-mode sends are
+//! buffered (they complete locally once the payload has been handed to the
+//! "NIC"), receives match on `(communicator, source, tag)` with optional
+//! wildcards, and message order is non-overtaking per (source, tag).
+
+use crate::datatype::{self, Pod};
+use crate::error::{MpiError, MpiResult};
+use crate::message::{CommId, Envelope, MatchSelector, Tag, RESERVED_TAG_BASE};
+use crate::proc::ProcCore;
+use crate::request::{RecvRequest, SendRequest};
+use bytes::Bytes;
+use simcluster::SimTime;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of the world communicator.
+pub const WORLD_COMM_ID: CommId = 1;
+
+fn mix(a: u64, b: u64, c: u64) -> u64 {
+    // SplitMix64-style mixing of (parent id, split counter, color) so every
+    // member of a split derives the same child id without communication.
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB));
+    x ^= x >> 31;
+    x = x.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    x ^= x >> 29;
+    x | 0x2 // never collide with WORLD_COMM_ID
+}
+
+/// A communicator: an ordered group of physical processes plus a private
+/// matching context.
+#[derive(Clone)]
+pub struct Comm {
+    core: Arc<ProcCore>,
+    id: CommId,
+    /// Communicator rank -> world rank.
+    group: Arc<Vec<usize>>,
+    /// This process's rank within the communicator.
+    my_rank: usize,
+    /// Per-process counter of collective operations on this communicator
+    /// (all members stay in lockstep because collectives are collective).
+    coll_seq: Arc<AtomicU64>,
+    /// Per-process counter of split/dup operations on this communicator.
+    child_seq: Arc<AtomicU64>,
+}
+
+/// Status information returned by receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvStatus {
+    /// Communicator rank of the sender.
+    pub source: usize,
+    /// Tag of the received message.
+    pub tag: Tag,
+    /// Number of payload bytes received.
+    pub bytes: usize,
+}
+
+impl Comm {
+    /// Builds the world communicator for a process.
+    pub(crate) fn world(core: Arc<ProcCore>) -> Self {
+        let n = core.num_procs;
+        let rank = core.world_rank;
+        Comm {
+            core,
+            id: WORLD_COMM_ID,
+            group: Arc::new((0..n).collect()),
+            my_rank: rank,
+            coll_seq: Arc::new(AtomicU64::new(0)),
+            child_seq: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// This process's rank within the communicator.
+    pub fn rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// Number of processes in the communicator.
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// Identifier of this communicator (diagnostic).
+    pub fn id(&self) -> CommId {
+        self.id
+    }
+
+    /// World rank of the process with communicator rank `r`.
+    pub fn world_rank_of(&self, r: usize) -> usize {
+        self.group[r]
+    }
+
+    /// World rank of this process.
+    pub fn my_world_rank(&self) -> usize {
+        self.core.world_rank
+    }
+
+    /// Communicator rank of the given world rank, if it is a member.
+    pub fn comm_rank_of_world(&self, world: usize) -> Option<usize> {
+        self.group.iter().position(|&w| w == world)
+    }
+
+    /// The underlying per-process core (used by higher layers for timing).
+    pub(crate) fn core(&self) -> &Arc<ProcCore> {
+        &self.core
+    }
+
+    /// Current virtual time of the calling process.
+    pub fn now(&self) -> SimTime {
+        self.core.clock.lock().now()
+    }
+
+    /// True if the member with communicator rank `r` has crashed.
+    pub fn is_failed(&self, r: usize) -> bool {
+        self.core.router.failures().is_failed(self.group[r])
+    }
+
+    /// Communicator ranks of all members that are still alive.
+    pub fn alive_ranks(&self) -> Vec<usize> {
+        (0..self.size()).filter(|&r| !self.is_failed(r)).collect()
+    }
+
+    fn validate_rank(&self, r: usize) -> MpiResult<()> {
+        if r < self.size() {
+            Ok(())
+        } else {
+            Err(MpiError::InvalidRank {
+                rank: r,
+                size: self.size(),
+            })
+        }
+    }
+
+    fn validate_tag(tag: Tag) -> MpiResult<()> {
+        if tag < RESERVED_TAG_BASE {
+            Ok(())
+        } else {
+            Err(MpiError::InvalidCommunicator(format!(
+                "application tag {tag} is in the reserved range"
+            )))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Internal send of raw bytes on this communicator (used by collectives
+    /// with reserved tags, hence no tag validation).
+    pub(crate) fn send_bytes(
+        &self,
+        payload: Bytes,
+        modeled_bytes: usize,
+        dest: usize,
+        tag: Tag,
+    ) -> MpiResult<SendRequest> {
+        self.validate_rank(dest)?;
+        self.core.check_alive()?;
+        let dst_world = self.group[dest];
+        let (arrival, inject_done) = self.core.inject(modeled_bytes, dst_world);
+        let env = Envelope {
+            src_world: self.core.world_rank,
+            dst_world,
+            comm: self.id,
+            tag,
+            payload,
+            modeled_bytes,
+            arrival,
+            seq: self.core.router.next_seq(),
+        };
+        self.core.stats.incr("mpi.messages_sent");
+        self.core.stats.add("mpi.bytes_sent", modeled_bytes as u64);
+        self.core.router.deliver(env);
+        Ok(SendRequest::new(inject_done))
+    }
+
+    /// Blocking standard-mode send of a typed slice.
+    ///
+    /// The send is buffered: it returns once the payload has been handed to
+    /// the NIC; the sender's clock is charged the per-message overhead while
+    /// the serialization occupies the NIC in the background.
+    pub fn send<T: Pod>(&self, buf: &[T], dest: usize, tag: Tag) -> MpiResult<()> {
+        Self::validate_tag(tag)?;
+        let bytes = Bytes::from(datatype::to_bytes(buf));
+        let modeled = bytes.len();
+        self.send_bytes(bytes, modeled, dest, tag)?;
+        Ok(())
+    }
+
+    /// Blocking send that charges the network model for `modeled_bytes`
+    /// instead of the actual payload size.  Used by paper-scale experiments
+    /// that run the protocol on reduced arrays (see `DESIGN.md`).
+    pub fn send_with_modeled_size<T: Pod>(
+        &self,
+        buf: &[T],
+        dest: usize,
+        tag: Tag,
+        modeled_bytes: usize,
+    ) -> MpiResult<()> {
+        Self::validate_tag(tag)?;
+        let bytes = Bytes::from(datatype::to_bytes(buf));
+        self.send_bytes(bytes, modeled_bytes, dest, tag)?;
+        Ok(())
+    }
+
+    /// Non-blocking send.  The returned request completes when the NIC has
+    /// finished injecting the message (`Comm::wait_send`).
+    pub fn isend<T: Pod>(&self, buf: &[T], dest: usize, tag: Tag) -> MpiResult<SendRequest> {
+        Self::validate_tag(tag)?;
+        let bytes = Bytes::from(datatype::to_bytes(buf));
+        let modeled = bytes.len();
+        self.send_bytes(bytes, modeled, dest, tag)
+    }
+
+    /// Non-blocking send with an explicit modeled size.
+    pub fn isend_with_modeled_size<T: Pod>(
+        &self,
+        buf: &[T],
+        dest: usize,
+        tag: Tag,
+        modeled_bytes: usize,
+    ) -> MpiResult<SendRequest> {
+        Self::validate_tag(tag)?;
+        let bytes = Bytes::from(datatype::to_bytes(buf));
+        self.send_bytes(bytes, modeled_bytes, dest, tag)
+    }
+
+    /// Waits for a send request: the sender's clock advances to the point
+    /// where the NIC finished injecting the message.
+    pub fn wait_send(&self, req: SendRequest) -> MpiResult<()> {
+        let t = req.consume()?;
+        self.core.clock.lock().wait_until(t);
+        Ok(())
+    }
+
+    /// Waits for all send requests.
+    pub fn waitall_send(&self, reqs: Vec<SendRequest>) -> MpiResult<()> {
+        for r in reqs {
+            self.wait_send(r)?;
+        }
+        Ok(())
+    }
+
+    fn selector(&self, src: Option<usize>, tag: Option<Tag>) -> MpiResult<MatchSelector> {
+        if let Some(s) = src {
+            self.validate_rank(s)?;
+        }
+        Ok(MatchSelector {
+            comm: self.id,
+            src_world: src.map(|s| self.group[s]),
+            tag,
+        })
+    }
+
+    /// Internal blocking receive of raw bytes.
+    pub(crate) fn recv_bytes(
+        &self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> MpiResult<(Bytes, RecvStatus)> {
+        let sel = self.selector(src, tag)?;
+        self.core.check_alive()?;
+        let env = self
+            .core
+            .router
+            .recv_blocking(self.core.world_rank, &sel)?;
+        self.core.complete_recv(env.arrival, env.src_world);
+        self.core.stats.incr("mpi.messages_received");
+        self.core
+            .stats
+            .add("mpi.bytes_received", env.modeled_bytes as u64);
+        let source = self
+            .comm_rank_of_world(env.src_world)
+            .expect("sender is not a member of this communicator");
+        let status = RecvStatus {
+            source,
+            tag: env.tag,
+            bytes: env.payload.len(),
+        };
+        Ok((env.payload, status))
+    }
+
+    /// Blocking receive returning a freshly allocated typed vector.
+    pub fn recv<T: Pod>(&self, src: usize, tag: Tag) -> MpiResult<Vec<T>> {
+        Self::validate_tag(tag)?;
+        let (payload, _) = self.recv_bytes(Some(src), Some(tag))?;
+        datatype::from_bytes(&payload)
+    }
+
+    /// Blocking receive from any source.
+    pub fn recv_any<T: Pod>(&self, tag: Tag) -> MpiResult<(Vec<T>, RecvStatus)> {
+        Self::validate_tag(tag)?;
+        let (payload, status) = self.recv_bytes(None, Some(tag))?;
+        Ok((datatype::from_bytes(&payload)?, status))
+    }
+
+    /// Blocking receive into an existing, exactly-sized buffer.
+    pub fn recv_into<T: Pod>(&self, buf: &mut [T], src: usize, tag: Tag) -> MpiResult<RecvStatus> {
+        Self::validate_tag(tag)?;
+        let (payload, status) = self.recv_bytes(Some(src), Some(tag))?;
+        datatype::copy_into(&payload, buf)?;
+        Ok(status)
+    }
+
+    /// Posts a non-blocking receive.  Matching happens at wait time, which is
+    /// equivalent for timing purposes because arrival times are computed on
+    /// the sender side.
+    pub fn irecv(&self, src: usize, tag: Tag) -> MpiResult<RecvRequest> {
+        Self::validate_tag(tag)?;
+        let sel = self.selector(Some(src), Some(tag))?;
+        Ok(RecvRequest::new(sel))
+    }
+
+    /// Waits for a posted receive and returns the typed payload.
+    pub fn wait_recv<T: Pod>(&self, req: RecvRequest) -> MpiResult<Vec<T>> {
+        let sel = req.consume()?;
+        self.core.check_alive()?;
+        let env = self
+            .core
+            .router
+            .recv_blocking(self.core.world_rank, &sel)?;
+        self.core.complete_recv(env.arrival, env.src_world);
+        self.core.stats.incr("mpi.messages_received");
+        self.core
+            .stats
+            .add("mpi.bytes_received", env.modeled_bytes as u64);
+        datatype::from_bytes(&env.payload)
+    }
+
+    /// Waits for every posted receive, returning the payloads in request
+    /// order.
+    pub fn waitall_recv<T: Pod>(&self, reqs: Vec<RecvRequest>) -> MpiResult<Vec<Vec<T>>> {
+        reqs.into_iter().map(|r| self.wait_recv(r)).collect()
+    }
+
+    /// Convenience: sends a single scalar.
+    pub fn send_one<T: Pod>(&self, value: T, dest: usize, tag: Tag) -> MpiResult<()> {
+        self.send(&[value], dest, tag)
+    }
+
+    /// Convenience: receives a single scalar.
+    pub fn recv_one<T: Pod>(&self, src: usize, tag: Tag) -> MpiResult<T> {
+        let v: Vec<T> = self.recv(src, tag)?;
+        v.into_iter().next().ok_or(MpiError::TypeMismatch {
+            bytes: 0,
+            elem_size: T::SIZE,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Communicator management
+    // ------------------------------------------------------------------
+
+    /// Collectively splits the communicator by `color`; members with the same
+    /// color form a new communicator ordered by `key` (ties broken by the
+    /// parent rank).  Like `MPI_Comm_split`, every member must call this with
+    /// its own color/key.
+    ///
+    /// The membership of every color must be derivable locally, so this
+    /// implementation requires the caller to pass the full color/key table
+    /// via `colors_of_all` (an exchange the real MPI performs internally);
+    /// helpers such as [`Comm::split_by`] build the table from a function of
+    /// the rank, which is how all the code in this workspace uses it.
+    pub fn split_with_table(
+        &self,
+        colors_of_all: &[(u64, u64)],
+        my_color: u64,
+    ) -> MpiResult<Comm> {
+        if colors_of_all.len() != self.size() {
+            return Err(MpiError::InvalidCommunicator(format!(
+                "color table has {} entries for a communicator of size {}",
+                colors_of_all.len(),
+                self.size()
+            )));
+        }
+        let seq = self.child_seq.fetch_add(1, Ordering::Relaxed);
+        let id = mix(self.id, seq, my_color);
+        let mut members: Vec<(u64, usize)> = colors_of_all
+            .iter()
+            .enumerate()
+            .filter(|(_, (c, _))| *c == my_color)
+            .map(|(r, (_, k))| (*k, r))
+            .collect();
+        members.sort();
+        let group: Vec<usize> = members.iter().map(|&(_, r)| self.group[r]).collect();
+        let my_world = self.core.world_rank;
+        let my_rank = group
+            .iter()
+            .position(|&w| w == my_world)
+            .ok_or_else(|| MpiError::InvalidCommunicator("caller not in its own color".into()))?;
+        Ok(Comm {
+            core: Arc::clone(&self.core),
+            id,
+            group: Arc::new(group),
+            my_rank,
+            coll_seq: Arc::new(AtomicU64::new(0)),
+            child_seq: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// Splits the communicator using a function from communicator rank to
+    /// (color, key).  Every member must pass an equivalent function.
+    pub fn split_by<F>(&self, f: F) -> MpiResult<Comm>
+    where
+        F: Fn(usize) -> (u64, u64),
+    {
+        let table: Vec<(u64, u64)> = (0..self.size()).map(&f).collect();
+        let (my_color, _) = f(self.rank());
+        self.split_with_table(&table, my_color)
+    }
+
+    /// Duplicates the communicator (same group, fresh matching context).
+    pub fn dup(&self) -> Comm {
+        let seq = self.child_seq.fetch_add(1, Ordering::Relaxed);
+        let id = mix(self.id, seq, u64::MAX);
+        Comm {
+            core: Arc::clone(&self.core),
+            id,
+            group: Arc::clone(&self.group),
+            my_rank: self.my_rank,
+            coll_seq: Arc::new(AtomicU64::new(0)),
+            child_seq: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Next reserved tag for an internal collective operation.
+    pub(crate) fn next_collective_tag(&self) -> Tag {
+        let seq = self.coll_seq.fetch_add(1, Ordering::Relaxed);
+        RESERVED_TAG_BASE + (seq % ((u32::MAX - RESERVED_TAG_BASE) as u64)) as u32
+    }
+}

@@ -1,0 +1,215 @@
+//! Typed message buffers.
+//!
+//! MPI moves raw bytes; applications move typed arrays.  The [`Pod`] trait
+//! marks the plain-old-data element types the runtime knows how to
+//! (de)serialize by direct memory reinterpretation: fixed-size numeric types
+//! with no padding and no invalid bit patterns.
+//!
+//! The two `unsafe` blocks in this module are the only unsafe code in the
+//! whole workspace.  They are sound because:
+//! * `Pod` is a sealed-by-convention marker implemented only for numeric
+//!   primitives (`f64`, `f32`, `i64`, `i32`, `u64`, `u32`, `u8`, `usize`),
+//!   all of which are valid for every bit pattern and have alignment equal
+//!   to their size;
+//! * byte views never outlive the borrowed slice;
+//! * deserialization copies into a properly typed, properly aligned `Vec`
+//!   element by element (`from_le_bytes`), so no alignment assumption is made
+//!   about the incoming byte buffer.
+
+use crate::error::{MpiError, MpiResult};
+
+/// Marker trait for element types that can be shipped by reinterpreting their
+/// memory.  See the module documentation for the safety argument.
+pub trait Pod: Copy + Send + Sync + 'static {
+    /// Size of one element in bytes.
+    const SIZE: usize;
+    /// Serializes one element into little-endian bytes.
+    fn write_le(&self, out: &mut Vec<u8>);
+    /// Deserializes one element from little-endian bytes.
+    ///
+    /// # Panics
+    /// Panics if `bytes.len() < Self::SIZE`; callers always slice exactly.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_pod {
+    ($($t:ty),*) => {
+        $(
+            impl Pod for $t {
+                const SIZE: usize = std::mem::size_of::<$t>();
+                fn write_le(&self, out: &mut Vec<u8>) {
+                    out.extend_from_slice(&self.to_le_bytes());
+                }
+                fn read_le(bytes: &[u8]) -> Self {
+                    let mut buf = [0u8; std::mem::size_of::<$t>()];
+                    buf.copy_from_slice(&bytes[..std::mem::size_of::<$t>()]);
+                    <$t>::from_le_bytes(buf)
+                }
+            }
+        )*
+    };
+}
+
+impl_pod!(f64, f32, i64, i32, u64, u32, u16, i16, u8);
+
+impl Pod for usize {
+    const SIZE: usize = 8;
+    fn write_le(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(*self as u64).to_le_bytes());
+    }
+    fn read_le(bytes: &[u8]) -> Self {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&bytes[..8]);
+        u64::from_le_bytes(buf) as usize
+    }
+}
+
+/// Serializes a typed slice into a byte vector (little-endian).
+///
+/// On little-endian targets with native-endian layout this is a straight
+/// `memcpy`; the element-wise path is kept as the portable fallback.
+pub fn to_bytes<T: Pod>(data: &[T]) -> Vec<u8> {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: `T: Pod` guarantees `T` is a plain numeric type valid for
+        // any bit pattern with no padding; viewing its memory as bytes is
+        // therefore always defined.  The view does not outlive `data`.
+        let bytes: &[u8] = unsafe {
+            std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), std::mem::size_of_val(data))
+        };
+        bytes.to_vec()
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        let mut out = Vec::with_capacity(data.len() * T::SIZE);
+        for x in data {
+            x.write_le(&mut out);
+        }
+        out
+    }
+}
+
+/// Deserializes a byte buffer into a typed vector.
+///
+/// Returns [`MpiError::TypeMismatch`] if the byte length is not a multiple of
+/// the element size.
+pub fn from_bytes<T: Pod>(bytes: &[u8]) -> MpiResult<Vec<T>> {
+    if bytes.len() % T::SIZE != 0 {
+        return Err(MpiError::TypeMismatch {
+            bytes: bytes.len(),
+            elem_size: T::SIZE,
+        });
+    }
+    let n = bytes.len() / T::SIZE;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(T::read_le(&bytes[i * T::SIZE..(i + 1) * T::SIZE]));
+    }
+    Ok(out)
+}
+
+/// Deserializes a byte buffer into an existing typed slice.
+///
+/// The destination must have exactly the right number of elements; a shorter
+/// destination yields [`MpiError::Truncated`], a longer one
+/// [`MpiError::TypeMismatch`] (the protocols in this workspace always size
+/// buffers exactly).
+pub fn copy_into<T: Pod>(bytes: &[u8], dst: &mut [T]) -> MpiResult<()> {
+    if bytes.len() % T::SIZE != 0 {
+        return Err(MpiError::TypeMismatch {
+            bytes: bytes.len(),
+            elem_size: T::SIZE,
+        });
+    }
+    let n = bytes.len() / T::SIZE;
+    if n > dst.len() {
+        return Err(MpiError::Truncated {
+            got: bytes.len(),
+            capacity: dst.len() * T::SIZE,
+        });
+    }
+    if n < dst.len() {
+        return Err(MpiError::TypeMismatch {
+            bytes: bytes.len(),
+            elem_size: T::SIZE,
+        });
+    }
+    for (i, slot) in dst.iter_mut().enumerate() {
+        *slot = T::read_le(&bytes[i * T::SIZE..(i + 1) * T::SIZE]);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trip() {
+        let data = vec![1.5f64, -2.25, 0.0, f64::MAX, f64::MIN_POSITIVE];
+        let bytes = to_bytes(&data);
+        assert_eq!(bytes.len(), data.len() * 8);
+        let back: Vec<f64> = from_bytes(&bytes).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn integer_round_trips() {
+        let a = vec![1i32, -7, i32::MAX, i32::MIN];
+        assert_eq!(from_bytes::<i32>(&to_bytes(&a)).unwrap(), a);
+        let b = vec![0u64, 42, u64::MAX];
+        assert_eq!(from_bytes::<u64>(&to_bytes(&b)).unwrap(), b);
+        let c = vec![3usize, 0, usize::MAX];
+        assert_eq!(from_bytes::<usize>(&to_bytes(&c)).unwrap(), c);
+        let d = vec![1u8, 2, 255];
+        assert_eq!(from_bytes::<u8>(&to_bytes(&d)).unwrap(), d);
+    }
+
+    #[test]
+    fn empty_slices_are_fine() {
+        let empty: Vec<f64> = Vec::new();
+        let bytes = to_bytes(&empty);
+        assert!(bytes.is_empty());
+        assert!(from_bytes::<f64>(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn type_mismatch_is_detected() {
+        let bytes = vec![0u8; 10];
+        assert!(matches!(
+            from_bytes::<f64>(&bytes),
+            Err(MpiError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn copy_into_checks_sizes() {
+        let data = vec![1.0f64, 2.0, 3.0];
+        let bytes = to_bytes(&data);
+        let mut exact = [0.0f64; 3];
+        copy_into(&bytes, &mut exact).unwrap();
+        assert_eq!(exact, [1.0, 2.0, 3.0]);
+
+        let mut short = [0.0f64; 2];
+        assert!(matches!(
+            copy_into(&bytes, &mut short),
+            Err(MpiError::Truncated { .. })
+        ));
+
+        let mut long = [0.0f64; 4];
+        assert!(matches!(
+            copy_into(&bytes, &mut long),
+            Err(MpiError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_type_interpretation_is_consistent() {
+        // 2 f64 == 16 bytes == 4 f32 worth of bytes; reinterpreting must fail
+        // only when the length does not divide evenly.
+        let data = vec![1.0f64, 2.0];
+        let bytes = to_bytes(&data);
+        assert_eq!(from_bytes::<f32>(&bytes).unwrap().len(), 4);
+        assert!(from_bytes::<u64>(&bytes).is_ok());
+    }
+}

@@ -1,0 +1,58 @@
+//! # simmpi — an in-process MPI-like runtime with a virtual-time cost model
+//!
+//! The reproduced paper implements intra-parallelization inside Open MPI and
+//! runs it on an InfiniBand cluster.  `simmpi` plays the role of that MPI
+//! library: every *physical process* is an OS thread, communicators and
+//! point-to-point/collective operations follow MPI semantics, and all timing
+//! is accounted in *virtual time* through the calibrated cost model of
+//! [`simcluster`].
+//!
+//! ## Quick example
+//!
+//! ```
+//! use simmpi::{run_cluster, ClusterConfig};
+//!
+//! let report = run_cluster(&ClusterConfig::ideal(4), |proc| {
+//!     let world = proc.world();
+//!     // Every rank contributes its rank; the sum must be 0+1+2+3 = 6.
+//!     world.allreduce_sum_f64(world.rank() as f64).unwrap()
+//! });
+//! for sum in report.unwrap_results() {
+//!     assert_eq!(sum, 6.0);
+//! }
+//! ```
+//!
+//! ## Layering
+//!
+//! * [`cluster`] spawns the threads and collects reports;
+//! * [`comm`] implements communicators and point-to-point messaging;
+//! * [`collectives`] adds barrier / bcast / reduce / allreduce / (all)gather /
+//!   scatter;
+//! * [`router`] moves envelopes between per-rank mailboxes;
+//! * [`datatype`] converts typed slices to and from bytes.
+//!
+//! The replication layer (`replication` crate) and the intra-parallelization
+//! runtime (`ipr-core`) are built purely on this public API, exactly like the
+//! paper's prototype is built on (a patched) Open MPI.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod cluster;
+pub mod collectives;
+pub mod comm;
+pub mod datatype;
+pub mod error;
+pub mod message;
+pub mod proc;
+pub mod request;
+pub mod router;
+
+pub use cluster::{run_cluster, ClusterConfig, ClusterReport, ProcReport};
+pub use comm::{Comm, RecvStatus, WORLD_COMM_ID};
+pub use datatype::{copy_into, from_bytes, to_bytes, Pod};
+pub use error::{MpiError, MpiResult};
+pub use message::{CommId, Envelope, MatchSelector, Tag, RESERVED_TAG_BASE};
+pub use proc::ProcHandle;
+pub use request::{RecvRequest, SendRequest};
+pub use router::Router;

@@ -1,0 +1,135 @@
+//! Message envelopes.
+
+use bytes::Bytes;
+use simcluster::SimTime;
+
+/// Identifier of a communicator, globally consistent across the processes
+/// that are members of it (derived deterministically at `split`/`dup` time).
+pub type CommId = u64;
+
+/// Message tag.  Application tags must stay below [`RESERVED_TAG_BASE`];
+/// larger values are reserved for internal collective operations.
+pub type Tag = u32;
+
+/// First tag value reserved for internal use (collectives).
+pub const RESERVED_TAG_BASE: Tag = 1 << 30;
+
+/// A message in flight or queued at the destination's mailbox.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// World rank of the sender.
+    pub src_world: usize,
+    /// World rank of the destination.
+    pub dst_world: usize,
+    /// Communicator the message was sent on.
+    pub comm: CommId,
+    /// Application or internal tag.
+    pub tag: Tag,
+    /// Actual payload carried (used for correctness).
+    pub payload: Bytes,
+    /// Number of bytes charged to the network model.  Usually equal to
+    /// `payload.len()`, but paper-scale experiments can run the protocol on
+    /// reduced actual arrays while charging the modeled size (see
+    /// `DESIGN.md`, "Timing / efficiency methodology").
+    pub modeled_bytes: usize,
+    /// Virtual time at which the message is fully available at the receiver.
+    pub arrival: SimTime,
+    /// Global sequence number (used only for deterministic tie-breaking and
+    /// debugging).
+    pub seq: u64,
+}
+
+impl Envelope {
+    /// True if this envelope matches the given selector.
+    pub fn matches(&self, sel: &MatchSelector) -> bool {
+        if self.comm != sel.comm {
+            return false;
+        }
+        if let Some(src) = sel.src_world {
+            if self.src_world != src {
+                return false;
+            }
+        }
+        if let Some(tag) = sel.tag {
+            if self.tag != tag {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Receiver-side matching criteria: communicator plus optional source and
+/// tag wildcards (the equivalents of `MPI_ANY_SOURCE` / `MPI_ANY_TAG`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchSelector {
+    /// Communicator to match on (always required).
+    pub comm: CommId,
+    /// World rank of the expected sender, or `None` for any source.
+    pub src_world: Option<usize>,
+    /// Expected tag, or `None` for any tag.
+    pub tag: Option<Tag>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: usize, comm: CommId, tag: Tag) -> Envelope {
+        Envelope {
+            src_world: src,
+            dst_world: 0,
+            comm,
+            tag,
+            payload: Bytes::new(),
+            modeled_bytes: 0,
+            arrival: SimTime::ZERO,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn exact_match() {
+        let e = env(2, 7, 5);
+        assert!(e.matches(&MatchSelector {
+            comm: 7,
+            src_world: Some(2),
+            tag: Some(5)
+        }));
+    }
+
+    #[test]
+    fn comm_must_match() {
+        let e = env(2, 7, 5);
+        assert!(!e.matches(&MatchSelector {
+            comm: 8,
+            src_world: None,
+            tag: None
+        }));
+    }
+
+    #[test]
+    fn wildcards_match_anything() {
+        let e = env(2, 7, 5);
+        assert!(e.matches(&MatchSelector {
+            comm: 7,
+            src_world: None,
+            tag: None
+        }));
+        assert!(e.matches(&MatchSelector {
+            comm: 7,
+            src_world: None,
+            tag: Some(5)
+        }));
+        assert!(!e.matches(&MatchSelector {
+            comm: 7,
+            src_world: Some(3),
+            tag: None
+        }));
+        assert!(!e.matches(&MatchSelector {
+            comm: 7,
+            src_world: Some(2),
+            tag: Some(6)
+        }));
+    }
+}

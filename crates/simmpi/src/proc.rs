@@ -1,0 +1,254 @@
+//! Per-process state and the user-facing process handle.
+
+use crate::error::{MpiError, MpiResult};
+use crate::router::Router;
+use parking_lot::Mutex;
+use simcluster::{FailureStatusBoard, MachineModel, SimTime, StatsRegistry, Topology, VirtualClock};
+use std::sync::Arc;
+
+/// Internal per-process state shared by every communicator owned by one
+/// simulated process.  One `ProcCore` exists per physical rank; it is only
+/// ever touched from that rank's thread plus (read-only) from the report
+/// collector once the run has finished, hence the plain mutexes.
+pub struct ProcCore {
+    pub(crate) world_rank: usize,
+    pub(crate) num_procs: usize,
+    pub(crate) router: Arc<Router>,
+    pub(crate) machine: MachineModel,
+    pub(crate) topology: Topology,
+    pub(crate) clock: Mutex<VirtualClock>,
+    /// Virtual time until which this process's local copy engine is busy
+    /// (used for intra-node messages, which do not touch the network card).
+    pub(crate) local_channel_busy_until: Mutex<SimTime>,
+    /// Virtual time until which this process's share of the node NIC is busy
+    /// injecting inter-node messages.
+    pub(crate) nic_busy_until: Mutex<SimTime>,
+    /// Number of processes co-located on this process's node.  The node's
+    /// network card is fair-shared between them, so each process sees
+    /// `1/nic_sharing` of the inter-node bandwidth — this contention is what
+    /// makes update-heavy kernels (waxpby) perform poorly under
+    /// intra-parallelization in the paper's Figure 5a.  (A static fair share
+    /// is used instead of a dynamically shared busy-until timestamp so that
+    /// virtual time stays causally consistent regardless of thread
+    /// scheduling; the experiments are SPMD, so every co-located process is
+    /// communicating at the same points anyway.)
+    pub(crate) nic_sharing: f64,
+    pub(crate) stats: StatsRegistry,
+    pub(crate) seed: u64,
+}
+
+impl ProcCore {
+    pub(crate) fn new(
+        world_rank: usize,
+        num_procs: usize,
+        router: Arc<Router>,
+        machine: MachineModel,
+        topology: Topology,
+        stats: StatsRegistry,
+        seed: u64,
+    ) -> Self {
+        let node = topology.node_of(world_rank);
+        let nic_sharing = topology.ranks_on(node).len().max(1) as f64;
+        ProcCore {
+            world_rank,
+            num_procs,
+            router,
+            machine,
+            topology,
+            clock: Mutex::new(VirtualClock::new()),
+            local_channel_busy_until: Mutex::new(SimTime::ZERO),
+            nic_busy_until: Mutex::new(SimTime::ZERO),
+            nic_sharing,
+            stats,
+            seed,
+        }
+    }
+
+    /// Charges the local clock for a compute region.
+    pub(crate) fn charge_compute(&self, flops: f64, mem_bytes: f64) {
+        let dt = self.machine.compute.region_time(flops, mem_bytes);
+        self.clock.lock().advance_compute(dt);
+    }
+
+    /// Charges the local clock for a plain memory copy of `bytes` bytes.
+    pub(crate) fn charge_memcpy(&self, bytes: usize) {
+        let dt = self.machine.compute.memcpy_time(bytes);
+        self.clock.lock().advance_compute(dt);
+    }
+
+    /// Models the injection of a message of `bytes` bytes towards `dest`.
+    ///
+    /// Returns `(arrival, inject_done)`: the virtual time at which the
+    /// message is fully available at the destination, and the virtual time
+    /// at which the sending channel (node NIC for inter-node messages, local
+    /// copy engine for intra-node messages) finishes injecting it.  The
+    /// channel serializes back-to-back sends — and, for the node NIC, sends
+    /// from *all* processes on the node — while the sender's CPU is only
+    /// charged the fixed per-message overhead, so computation posted after a
+    /// non-blocking send overlaps with the transfer (the overlap the paper's
+    /// implementation exploits when shipping task updates).
+    pub(crate) fn inject(&self, bytes: usize, dest: usize) -> (SimTime, SimTime) {
+        let same_node = self.topology.same_node(self.world_rank, dest);
+        let link = *self.machine.link(same_node);
+        let mut clock = self.clock.lock();
+        let inject_done = {
+            let mut channel = if same_node {
+                self.local_channel_busy_until.lock()
+            } else {
+                self.nic_busy_until.lock()
+            };
+            let start = (*channel).max(clock.now());
+            // Inter-node messages only get this process's fair share of the
+            // node's network card.
+            let occupancy = if same_node {
+                link.sender_occupancy(bytes)
+            } else {
+                let serialization = link.wire_time(bytes).saturating_sub(
+                    SimTime::from_secs(link.latency_s),
+                ) * self.nic_sharing;
+                SimTime::from_secs(link.send_overhead_s) + serialization
+            };
+            let done = start + occupancy;
+            *channel = done;
+            done
+        };
+        clock.advance_comm(SimTime::from_secs(link.send_overhead_s));
+        let arrival = inject_done + SimTime::from_secs(link.latency_s);
+        (arrival, inject_done)
+    }
+
+    /// Completes a receive whose message arrived (in virtual time) at
+    /// `arrival` from world rank `src`.
+    pub(crate) fn complete_recv(&self, arrival: SimTime, src: usize) {
+        let same_node = self.topology.same_node(self.world_rank, src);
+        let link = self.machine.link(same_node);
+        let mut clock = self.clock.lock();
+        clock.wait_until(arrival);
+        clock.advance_comm(link.receiver_overhead());
+    }
+
+    /// Returns an error if this process has been marked as failed.
+    pub(crate) fn check_alive(&self) -> MpiResult<()> {
+        if self.router.failures().is_failed(self.world_rank) {
+            Err(MpiError::SelfFailed)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Handle given to the per-process closure by the cluster launcher.
+///
+/// It exposes the world communicator, virtual-time accounting, the machine
+/// model, statistics, and failure injection.  Cloning is cheap; all clones
+/// refer to the same process.
+#[derive(Clone)]
+pub struct ProcHandle {
+    core: Arc<ProcCore>,
+}
+
+impl ProcHandle {
+    pub(crate) fn new(core: Arc<ProcCore>) -> Self {
+        ProcHandle { core }
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn core(&self) -> &Arc<ProcCore> {
+        &self.core
+    }
+
+    /// World rank of this process.
+    pub fn rank(&self) -> usize {
+        self.core.world_rank
+    }
+
+    /// Total number of physical processes in the cluster.
+    pub fn num_procs(&self) -> usize {
+        self.core.num_procs
+    }
+
+    /// The world communicator (all physical processes).
+    pub fn world(&self) -> crate::comm::Comm {
+        crate::comm::Comm::world(Arc::clone(&self.core))
+    }
+
+    /// Current virtual time of this process.
+    pub fn now(&self) -> SimTime {
+        self.core.clock.lock().now()
+    }
+
+    /// Charges virtual time for a compute region described by its flop count
+    /// and memory traffic (roofline model).
+    pub fn charge_compute(&self, flops: f64, mem_bytes: f64) {
+        self.core.charge_compute(flops, mem_bytes);
+    }
+
+    /// Charges virtual time for a memory copy of `bytes` bytes.
+    pub fn charge_memcpy(&self, bytes: usize) {
+        self.core.charge_memcpy(bytes);
+    }
+
+    /// Charges an explicit amount of virtual time as "other" (neither compute
+    /// nor communication); used by applications to model phases that are not
+    /// broken down.
+    pub fn charge_other(&self, dt: SimTime) {
+        self.core.clock.lock().advance_other(dt);
+    }
+
+    /// Virtual-time breakdown: (now, compute, comm, wait).
+    pub fn time_breakdown(&self) -> (SimTime, SimTime, SimTime, SimTime) {
+        let c = self.core.clock.lock();
+        (c.now(), c.compute_time(), c.comm_time(), c.wait_time())
+    }
+
+    /// The machine model in effect.
+    pub fn machine(&self) -> &MachineModel {
+        &self.core.machine
+    }
+
+    /// The process placement in effect.
+    pub fn topology(&self) -> &Topology {
+        &self.core.topology
+    }
+
+    /// Shared statistics registry.
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.core.stats
+    }
+
+    /// Shared failure board.
+    pub fn failures(&self) -> &FailureStatusBoard {
+        self.core.router.failures()
+    }
+
+    /// Global seed configured for this run (use with
+    /// [`simcluster::seeded_rng`] and the local rank for deterministic
+    /// per-process randomness).
+    pub fn seed(&self) -> u64 {
+        self.core.seed
+    }
+
+    /// True if this process has been marked as crashed.
+    pub fn is_failed(&self) -> bool {
+        self.core.router.failures().is_failed(self.rank())
+    }
+
+    /// Injects a crash-stop failure of this process at the current virtual
+    /// time: the failure board is updated and every blocked receiver in the
+    /// cluster is woken so it can observe the failure.  The caller is
+    /// expected to stop communicating afterwards (the runtime layers return
+    /// early when they see `SelfFailed`).
+    pub fn fail_here(&self) {
+        let now = self.now();
+        self.core.router.failures().mark_failed(self.rank(), now);
+        self.core.router.notify_all();
+    }
+
+    /// Marks another rank as failed (used by test harnesses that simulate an
+    /// external failure detector killing a peer).
+    pub fn kill_rank(&self, rank: usize) {
+        let now = self.now();
+        self.core.router.failures().mark_failed(rank, now);
+        self.core.router.notify_all();
+    }
+}

@@ -1,0 +1,80 @@
+//! Non-blocking operation handles.
+//!
+//! Requests are deliberately lightweight: a send request remembers the
+//! virtual time at which the local NIC finishes injecting the message, and a
+//! receive request remembers the matching selector.  `Comm::wait_*` consumes
+//! them.  A request can only be waited on once; waiting twice is a protocol
+//! bug and surfaces as [`crate::MpiError::RequestConsumed`].
+
+use crate::error::{MpiError, MpiResult};
+use crate::message::MatchSelector;
+use simcluster::SimTime;
+
+/// Handle for a pending (non-blocking) send.
+#[derive(Debug)]
+pub struct SendRequest {
+    complete_at: Option<SimTime>,
+}
+
+impl SendRequest {
+    pub(crate) fn new(complete_at: SimTime) -> Self {
+        SendRequest {
+            complete_at: Some(complete_at),
+        }
+    }
+
+    /// Virtual time at which the send completes locally, without consuming
+    /// the request.
+    pub fn completion_time(&self) -> Option<SimTime> {
+        self.complete_at
+    }
+
+    pub(crate) fn consume(mut self) -> MpiResult<SimTime> {
+        self.complete_at.take().ok_or(MpiError::RequestConsumed)
+    }
+}
+
+/// Handle for a pending (non-blocking) receive.
+#[derive(Debug)]
+pub struct RecvRequest {
+    sel: Option<MatchSelector>,
+}
+
+impl RecvRequest {
+    pub(crate) fn new(sel: MatchSelector) -> Self {
+        RecvRequest { sel: Some(sel) }
+    }
+
+    /// The matching selector of this request, without consuming it.
+    pub fn selector(&self) -> Option<&MatchSelector> {
+        self.sel.as_ref()
+    }
+
+    pub(crate) fn consume(mut self) -> MpiResult<MatchSelector> {
+        self.sel.take().ok_or(MpiError::RequestConsumed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_request_reports_completion_time() {
+        let r = SendRequest::new(SimTime::from_secs(2.0));
+        assert_eq!(r.completion_time().unwrap().as_secs(), 2.0);
+        assert_eq!(r.consume().unwrap().as_secs(), 2.0);
+    }
+
+    #[test]
+    fn recv_request_carries_selector() {
+        let sel = MatchSelector {
+            comm: 3,
+            src_world: Some(1),
+            tag: Some(7),
+        };
+        let r = RecvRequest::new(sel);
+        assert_eq!(r.selector().unwrap().comm, 3);
+        assert_eq!(r.consume().unwrap(), sel);
+    }
+}

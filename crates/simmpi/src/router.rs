@@ -1,0 +1,268 @@
+//! Message routing between simulated processes.
+//!
+//! The router owns one mailbox per physical rank.  A send pushes a fully
+//! formed [`Envelope`] (payload + precomputed arrival time) into the
+//! destination mailbox; a receive scans the mailbox for the first envelope
+//! matching its [`MatchSelector`] and blocks until one appears, the expected
+//! sender is declared failed, or the simulation is aborted.
+//!
+//! Matching is purely receiver-side, which preserves MPI's non-overtaking
+//! guarantee: envelopes from a given sender are pushed in program order and
+//! the scan always takes the earliest match.
+
+use crate::error::{MpiError, MpiResult};
+use crate::message::{Envelope, MatchSelector};
+use parking_lot::{Condvar, Mutex};
+use simcluster::FailureStatusBoard;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How long a blocked receive sleeps before re-checking the failure board
+/// and the abort flag.  Purely a liveness bound for the simulation host; it
+/// has no effect on virtual time.
+const RECHECK_INTERVAL: Duration = Duration::from_millis(20);
+
+struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Mailbox {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// The shared message router of a simulated cluster.
+pub struct Router {
+    mailboxes: Vec<Mailbox>,
+    seq: AtomicU64,
+    aborted: AtomicBool,
+    failures: FailureStatusBoard,
+}
+
+impl Router {
+    /// Creates a router for `num_procs` ranks sharing the given failure
+    /// board.
+    pub fn new(num_procs: usize, failures: FailureStatusBoard) -> Self {
+        Router {
+            mailboxes: (0..num_procs).map(|_| Mailbox::new()).collect(),
+            seq: AtomicU64::new(0),
+            aborted: AtomicBool::new(false),
+            failures,
+        }
+    }
+
+    /// Number of ranks served.
+    pub fn num_procs(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// Allocates the next global sequence number.
+    pub fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The failure board shared with this router.
+    pub fn failures(&self) -> &FailureStatusBoard {
+        &self.failures
+    }
+
+    /// Delivers an envelope to its destination mailbox.
+    ///
+    /// Messages addressed to failed processes are dropped silently (the peer
+    /// will never receive them), mirroring a crashed destination.
+    pub fn deliver(&self, env: Envelope) {
+        let dst = env.dst_world;
+        if dst >= self.mailboxes.len() {
+            return;
+        }
+        if self.failures.is_failed(dst) {
+            return;
+        }
+        let mb = &self.mailboxes[dst];
+        let mut q = mb.queue.lock();
+        q.push_back(env);
+        mb.cv.notify_all();
+    }
+
+    /// Marks the simulation as aborted and wakes every blocked receiver.
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+        self.notify_all();
+    }
+
+    /// True if the simulation has been aborted.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
+    /// Wakes every receiver so it can re-check failure status.  Called by the
+    /// failure injector right after marking a rank as failed.
+    pub fn notify_all(&self) {
+        for mb in &self.mailboxes {
+            let _q = mb.queue.lock();
+            mb.cv.notify_all();
+        }
+    }
+
+    /// Non-blocking probe: removes and returns the first envelope in `dst`'s
+    /// mailbox matching `sel`, if any.
+    pub fn try_match(&self, dst: usize, sel: &MatchSelector) -> Option<Envelope> {
+        let mb = &self.mailboxes[dst];
+        let mut q = mb.queue.lock();
+        let pos = q.iter().position(|e| e.matches(sel))?;
+        q.remove(pos)
+    }
+
+    /// Blocking receive: waits until an envelope matching `sel` is available
+    /// in `dst`'s mailbox and removes it.
+    ///
+    /// Returns
+    /// * `Err(ProcessFailed)` if the selector names a specific source, that
+    ///   source has crashed, and no matching message is queued (messages sent
+    ///   before the crash remain deliverable);
+    /// * `Err(SelfFailed)` if the receiving rank itself has been marked
+    ///   failed;
+    /// * `Err(Aborted)` if the simulation watchdog fired.
+    pub fn recv_blocking(&self, dst: usize, sel: &MatchSelector) -> MpiResult<Envelope> {
+        let mb = &self.mailboxes[dst];
+        let mut q = mb.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|e| e.matches(sel)) {
+                // The position always exists, so the remove cannot fail.
+                return Ok(q.remove(pos).expect("matched envelope vanished"));
+            }
+            if self.is_aborted() {
+                return Err(MpiError::Aborted);
+            }
+            if self.failures.is_failed(dst) {
+                return Err(MpiError::SelfFailed);
+            }
+            if let Some(src) = sel.src_world {
+                if self.failures.is_failed(src) {
+                    return Err(MpiError::ProcessFailed { rank: src });
+                }
+            }
+            mb.cv.wait_for(&mut q, RECHECK_INTERVAL);
+        }
+    }
+
+    /// Number of queued (unmatched) envelopes currently sitting in `dst`'s
+    /// mailbox.  Diagnostic only.
+    pub fn queued(&self, dst: usize) -> usize {
+        self.mailboxes[dst].queue.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use simcluster::SimTime;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn env(src: usize, dst: usize, comm: u64, tag: u32, seq: u64) -> Envelope {
+        Envelope {
+            src_world: src,
+            dst_world: dst,
+            comm,
+            tag,
+            payload: Bytes::from_static(b"x"),
+            modeled_bytes: 1,
+            arrival: SimTime::ZERO,
+            seq,
+        }
+    }
+
+    fn sel(comm: u64, src: Option<usize>, tag: Option<u32>) -> MatchSelector {
+        MatchSelector {
+            comm,
+            src_world: src,
+            tag,
+        }
+    }
+
+    #[test]
+    fn deliver_then_match() {
+        let r = Router::new(2, FailureStatusBoard::new(2));
+        r.deliver(env(0, 1, 9, 3, 0));
+        assert_eq!(r.queued(1), 1);
+        let got = r.try_match(1, &sel(9, Some(0), Some(3))).unwrap();
+        assert_eq!(got.src_world, 0);
+        assert_eq!(r.queued(1), 0);
+        assert!(r.try_match(1, &sel(9, Some(0), Some(3))).is_none());
+    }
+
+    #[test]
+    fn matching_preserves_fifo_per_sender_and_tag() {
+        let r = Router::new(2, FailureStatusBoard::new(2));
+        for seq in 0..3 {
+            let mut e = env(0, 1, 9, 3, seq);
+            e.modeled_bytes = seq as usize;
+            r.deliver(e);
+        }
+        for expected in 0..3 {
+            let got = r.try_match(1, &sel(9, Some(0), Some(3))).unwrap();
+            assert_eq!(got.seq, expected);
+        }
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_delivery() {
+        let board = FailureStatusBoard::new(2);
+        let r = Arc::new(Router::new(2, board));
+        let r2 = Arc::clone(&r);
+        let h = thread::spawn(move || r2.recv_blocking(1, &sel(9, Some(0), Some(3))));
+        thread::sleep(Duration::from_millis(5));
+        r.deliver(env(0, 1, 9, 3, 0));
+        let got = h.join().unwrap().unwrap();
+        assert_eq!(got.tag, 3);
+    }
+
+    #[test]
+    fn recv_from_failed_source_errors_once_queue_is_empty() {
+        let board = FailureStatusBoard::new(2);
+        let r = Router::new(2, board.clone());
+        // A message sent before the crash is still deliverable.
+        r.deliver(env(0, 1, 9, 3, 0));
+        board.mark_failed(0, SimTime::ZERO);
+        assert!(r.recv_blocking(1, &sel(9, Some(0), Some(3))).is_ok());
+        // Nothing queued any more: the failure must surface as an error.
+        let err = r.recv_blocking(1, &sel(9, Some(0), Some(3))).unwrap_err();
+        assert_eq!(err, MpiError::ProcessFailed { rank: 0 });
+    }
+
+    #[test]
+    fn messages_to_failed_destination_are_dropped() {
+        let board = FailureStatusBoard::new(2);
+        let r = Router::new(2, board.clone());
+        board.mark_failed(1, SimTime::ZERO);
+        r.deliver(env(0, 1, 9, 3, 0));
+        assert_eq!(r.queued(1), 0);
+    }
+
+    #[test]
+    fn abort_unblocks_receivers() {
+        let board = FailureStatusBoard::new(2);
+        let r = Arc::new(Router::new(2, board));
+        let r2 = Arc::clone(&r);
+        let h = thread::spawn(move || r2.recv_blocking(1, &sel(9, Some(0), Some(3))));
+        thread::sleep(Duration::from_millis(5));
+        r.abort();
+        assert_eq!(h.join().unwrap().unwrap_err(), MpiError::Aborted);
+    }
+
+    #[test]
+    fn wildcard_source_matching() {
+        let r = Router::new(2, FailureStatusBoard::new(2));
+        r.deliver(env(0, 1, 9, 7, 0));
+        let got = r.recv_blocking(1, &sel(9, None, Some(7))).unwrap();
+        assert_eq!(got.src_world, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Collective operation tests across a range of communicator sizes
+//! (including non-powers of two) and roots.
+
+use simmpi::{run_cluster, ClusterConfig};
+
+fn sizes() -> Vec<usize> {
+    vec![1, 2, 3, 4, 5, 7, 8, 12, 16]
+}
+
+#[test]
+fn barrier_completes_for_all_sizes() {
+    for n in sizes() {
+        let report = run_cluster(&ClusterConfig::ideal(n), |proc| {
+            let world = proc.world();
+            world.barrier().unwrap();
+            world.barrier().unwrap();
+            true
+        });
+        assert!(report.unwrap_results().into_iter().all(|x| x));
+    }
+}
+
+#[test]
+fn bcast_distributes_root_data_for_all_sizes_and_roots() {
+    for n in sizes() {
+        for root in [0, n / 2, n - 1] {
+            let report = run_cluster(&ClusterConfig::ideal(n), |proc| {
+                let world = proc.world();
+                let mut data = if world.rank() == root {
+                    vec![1.5f64, 2.5, 3.5, world.rank() as f64]
+                } else {
+                    vec![0.0; 4]
+                };
+                world.bcast(&mut data, root).unwrap();
+                data
+            });
+            for data in report.unwrap_results() {
+                assert_eq!(data, vec![1.5, 2.5, 3.5, root as f64], "n={n} root={root}");
+            }
+        }
+    }
+}
+
+#[test]
+fn reduce_sums_on_root_only() {
+    for n in sizes() {
+        let root = n - 1;
+        let report = run_cluster(&ClusterConfig::ideal(n), |proc| {
+            let world = proc.world();
+            let contribution = vec![world.rank() as f64, 1.0];
+            world.reduce(&contribution, root, |a, b| a + b).unwrap()
+        });
+        let results = report.unwrap_results();
+        let expected_sum: f64 = (0..n).map(|r| r as f64).sum();
+        for (rank, res) in results.into_iter().enumerate() {
+            if rank == root {
+                let v = res.expect("root must get the reduction");
+                assert_eq!(v, vec![expected_sum, n as f64], "n={n}");
+            } else {
+                assert!(res.is_none(), "non-root rank {rank} must get None");
+            }
+        }
+    }
+}
+
+#[test]
+fn allreduce_sum_and_max() {
+    for n in sizes() {
+        let report = run_cluster(&ClusterConfig::ideal(n), |proc| {
+            let world = proc.world();
+            let sum = world.allreduce_sum_f64(world.rank() as f64 + 1.0).unwrap();
+            let max = world.allreduce_max_f64(world.rank() as f64).unwrap();
+            let counts = world.allreduce_sum_u64(2).unwrap();
+            (sum, max, counts)
+        });
+        let expected_sum: f64 = (1..=n).map(|r| r as f64).sum();
+        for (sum, max, counts) in report.unwrap_results() {
+            assert_eq!(sum, expected_sum, "n={n}");
+            assert_eq!(max, (n - 1) as f64);
+            assert_eq!(counts, 2 * n as u64);
+        }
+    }
+}
+
+#[test]
+fn allreduce_vector_elementwise() {
+    let report = run_cluster(&ClusterConfig::ideal(5), |proc| {
+        let world = proc.world();
+        let mine = vec![world.rank() as i64, 10 * world.rank() as i64];
+        world.allreduce(&mine, |a, b| a + b).unwrap()
+    });
+    for v in report.unwrap_results() {
+        assert_eq!(v, vec![10, 100]);
+    }
+}
+
+#[test]
+fn gather_concatenates_in_rank_order() {
+    for n in sizes() {
+        let report = run_cluster(&ClusterConfig::ideal(n), |proc| {
+            let world = proc.world();
+            let mine = vec![world.rank() as u32; 2];
+            world.gather(&mine, 0).unwrap()
+        });
+        let results = report.unwrap_results();
+        let gathered = results[0].as_ref().expect("root gets data");
+        let expected: Vec<u32> = (0..n as u32).flat_map(|r| [r, r]).collect();
+        assert_eq!(gathered, &expected, "n={n}");
+        for r in results.iter().skip(1) {
+            assert!(r.is_none());
+        }
+    }
+}
+
+#[test]
+fn allgather_gives_everyone_everything() {
+    let report = run_cluster(&ClusterConfig::ideal(6), |proc| {
+        let world = proc.world();
+        world.allgather(&[world.rank() as f32]).unwrap()
+    });
+    for v in report.unwrap_results() {
+        assert_eq!(v, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+}
+
+#[test]
+fn scatter_distributes_chunks() {
+    for n in [2usize, 3, 4, 8] {
+        let report = run_cluster(&ClusterConfig::ideal(n), |proc| {
+            let world = proc.world();
+            let root_data: Option<Vec<i32>> = if world.rank() == 0 {
+                Some((0..(n as i32) * 3).collect())
+            } else {
+                None
+            };
+            world.scatter(root_data.as_deref(), 3, 0).unwrap()
+        });
+        for (rank, chunk) in report.unwrap_results().into_iter().enumerate() {
+            let base = rank as i32 * 3;
+            assert_eq!(chunk, vec![base, base + 1, base + 2], "n={n}");
+        }
+    }
+}
+
+#[test]
+fn split_partitions_communicator() {
+    let report = run_cluster(&ClusterConfig::ideal(8), |proc| {
+        let world = proc.world();
+        // Even/odd split; key preserves world order.
+        let sub = world
+            .split_by(|r| ((r % 2) as u64, r as u64))
+            .unwrap();
+        let sum_in_sub = sub.allreduce_sum_f64(world.rank() as f64).unwrap();
+        (sub.size(), sub.rank(), sum_in_sub)
+    });
+    for (rank, (size, sub_rank, sum)) in report.unwrap_results().into_iter().enumerate() {
+        assert_eq!(size, 4);
+        assert_eq!(sub_rank, rank / 2);
+        let expected: f64 = if rank % 2 == 0 {
+            0.0 + 2.0 + 4.0 + 6.0
+        } else {
+            1.0 + 3.0 + 5.0 + 7.0
+        };
+        assert_eq!(sum, expected);
+    }
+}
+
+#[test]
+fn dup_gives_independent_matching_context() {
+    let report = run_cluster(&ClusterConfig::ideal(2), |proc| {
+        let world = proc.world();
+        let dup = world.dup();
+        if world.rank() == 0 {
+            // Same destination and tag, different communicators.
+            world.send(&[1i32], 1, 5).unwrap();
+            dup.send(&[2i32], 1, 5).unwrap();
+            0
+        } else {
+            // Receive on the duplicate first: the message sent on `world`
+            // must not match.
+            let from_dup = dup.recv::<i32>(0, 5).unwrap()[0];
+            let from_world = world.recv::<i32>(0, 5).unwrap()[0];
+            assert_eq!((from_dup, from_world), (2, 1));
+            from_dup + from_world
+        }
+    });
+    assert_eq!(*report.result_of(1).unwrap(), 3);
+}
+
+#[test]
+fn collectives_on_subcommunicators_do_not_interfere() {
+    let report = run_cluster(&ClusterConfig::ideal(6), |proc| {
+        let world = proc.world();
+        let sub = world.split_by(|r| ((r % 3) as u64, r as u64)).unwrap();
+        // Run a collective on the sub-communicator and on the world
+        // communicator back to back.
+        let s1 = sub.allreduce_sum_f64(1.0).unwrap();
+        let s2 = world.allreduce_sum_f64(1.0).unwrap();
+        (s1, s2)
+    });
+    for (s1, s2) in report.unwrap_results() {
+        assert_eq!(s1, 2.0);
+        assert_eq!(s2, 6.0);
+    }
+}
+
+#[test]
+fn virtual_time_of_allreduce_grows_with_message_size() {
+    // With a realistic network and ideal compute, reducing a large vector
+    // must take longer than reducing a scalar.
+    let config = ClusterConfig::new(4)
+        .with_machine(simcluster::MachineModel::ideal_compute_ib20g())
+        .with_topology(simcluster::Topology::one_per_node(4));
+    let report = run_cluster(&config, |proc| {
+        let world = proc.world();
+        let t0 = proc.now();
+        let _ = world.allreduce_sum_f64(1.0).unwrap();
+        let t1 = proc.now();
+        let big = vec![1.0f64; 1 << 16];
+        let _ = world.allreduce(&big, |a, b| a + b).unwrap();
+        let t2 = proc.now();
+        ((t1 - t0).as_secs(), (t2 - t1).as_secs())
+    });
+    for (small, large) in report.unwrap_results() {
+        assert!(large > small * 5.0, "large={large} small={small}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the simulated MPI runtime: collective results
+//! must match their sequential definitions for arbitrary inputs, sizes and
+//! roots, and the virtual clock must never run backwards.
+
+use proptest::prelude::*;
+use simmpi::{run_cluster, ClusterConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn allreduce_matches_sequential_sum(
+        n in 1usize..9,
+        values in proptest::collection::vec(-1e3f64..1e3, 1..6),
+    ) {
+        let values_per_rank = values.clone();
+        let report = run_cluster(&ClusterConfig::ideal(n), move |proc| {
+            let world = proc.world();
+            // Every rank contributes rank-dependent values.
+            let mine: Vec<f64> = values_per_rank
+                .iter()
+                .map(|v| v * (world.rank() as f64 + 1.0))
+                .collect();
+            world.allreduce(&mine, |a, b| a + b).unwrap()
+        });
+        let results = report.unwrap_results();
+        let factor: f64 = (1..=n).map(|r| r as f64).sum();
+        for got in results {
+            for (g, v) in got.iter().zip(&values) {
+                prop_assert!((g - v * factor).abs() < 1e-6 * (1.0 + v.abs() * factor.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_from_any_root_delivers_identical_data(
+        n in 2usize..9,
+        root_pick in 0usize..8,
+        payload in proptest::collection::vec(-1e6f64..1e6, 1..32),
+    ) {
+        let root = root_pick % n;
+        let payload_for_root = payload.clone();
+        let report = run_cluster(&ClusterConfig::ideal(n), move |proc| {
+            let world = proc.world();
+            let mut data = if world.rank() == root {
+                payload_for_root.clone()
+            } else {
+                vec![0.0; payload_for_root.len()]
+            };
+            world.bcast(&mut data, root).unwrap();
+            data
+        });
+        for got in report.unwrap_results() {
+            prop_assert_eq!(&got, &payload);
+        }
+    }
+
+    #[test]
+    fn gather_scatter_round_trip(
+        n in 2usize..7,
+        chunk in proptest::collection::vec(-1e3f64..1e3, 1..8),
+    ) {
+        let chunk_len = chunk.len();
+        let report = run_cluster(&ClusterConfig::ideal(n), move |proc| {
+            let world = proc.world();
+            // Each rank owns a distinct chunk; gather to root then scatter
+            // back must return the original chunk.
+            let mine: Vec<f64> = chunk.iter().map(|v| v + world.rank() as f64).collect();
+            let gathered = world.gather(&mine, 0).unwrap();
+            let back = world
+                .scatter(gathered.as_deref(), chunk_len, 0)
+                .unwrap();
+            (mine, back)
+        });
+        for (mine, back) in report.unwrap_results() {
+            prop_assert_eq!(mine, back);
+        }
+    }
+
+    #[test]
+    fn point_to_point_preserves_arbitrary_payloads(
+        payload in proptest::collection::vec(any::<f64>().prop_filter("finite", |v| v.is_finite()), 0..64),
+        tag in 0u32..1000,
+    ) {
+        let sent = payload.clone();
+        let report = run_cluster(&ClusterConfig::ideal(2), move |proc| {
+            let world = proc.world();
+            if world.rank() == 0 {
+                world.send(&sent, 1, tag).unwrap();
+                Vec::new()
+            } else {
+                world.recv::<f64>(0, tag).unwrap()
+            }
+        });
+        let results = report.unwrap_results();
+        prop_assert_eq!(&results[1], &payload);
+    }
+
+    #[test]
+    fn virtual_clocks_are_monotone_and_consistent(
+        n in 1usize..6,
+        messages in 1usize..8,
+    ) {
+        let report = run_cluster(&ClusterConfig::new(n), move |proc| {
+            let world = proc.world();
+            let mut last = proc.now();
+            for m in 0..messages {
+                let next = (world.rank() + 1) % world.size();
+                let prev = (world.rank() + world.size() - 1) % world.size();
+                if world.size() > 1 {
+                    world.send(&[m as f64], next, 7).unwrap();
+                    let _ = world.recv::<f64>(prev, 7).unwrap();
+                }
+                proc.charge_compute(1e6, 1e6);
+                let now = proc.now();
+                assert!(now >= last, "virtual clock went backwards");
+                last = now;
+            }
+            let (now, compute, comm, wait) = proc.time_breakdown();
+            (now.as_secs(), compute.as_secs(), comm.as_secs(), wait.as_secs())
+        });
+        for (now, compute, comm, wait) in report.unwrap_results() {
+            prop_assert!(now >= compute);
+            prop_assert!(comm >= wait);
+            prop_assert!(now + 1e-12 >= compute + comm * 0.0); // sanity: all finite, non-negative
+            prop_assert!(now.is_finite() && compute >= 0.0 && comm >= 0.0 && wait >= 0.0);
+        }
+    }
+}

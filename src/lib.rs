@@ -1,0 +1,43 @@
+//! # intra-replication — work sharing between the replicas of MPI processes
+//!
+//! A Rust reproduction of *"Efficient Process Replication for MPI
+//! Applications: Sharing Work Between Replicas"* (Ropars, Lefray, Kim,
+//! Schiper — IPDPS 2015).
+//!
+//! This facade crate re-exports the whole workspace so that examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`simcluster`] — machine model, virtual time, topology, failure board;
+//! * [`simmpi`] — the in-process MPI-like runtime (communicators,
+//!   point-to-point, collectives, cluster launcher);
+//! * [`replication`] — active replication substrate (logical/replica
+//!   communicators, failure injection);
+//! * [`core`] (`ipr-core`) — **the paper's contribution**: intra-parallel
+//!   sections, tasks, schedulers, update transfer, failure recovery;
+//! * [`kernels`] — HPC kernels (waxpby, ddot, sparsemv, stencils, PIC) and
+//!   their cost descriptors;
+//! * [`apps`] — the mini-applications of the evaluation (HPCCG, AMG proxy,
+//!   GTC proxy, MiniGhost proxy).
+//!
+//! See `examples/quickstart.rs` for the shortest end-to-end program, and the
+//! `ipr-bench` crate for the harness that regenerates every figure of the
+//! paper.
+
+#![warn(missing_docs)]
+
+pub use apps;
+pub use ipr_core as core;
+pub use kernels;
+pub use replication;
+pub use simcluster;
+pub use simmpi;
+
+/// Convenience prelude pulling in the most commonly used items from every
+/// layer.
+pub mod prelude {
+    pub use apps::{AppContext, AppRunReport};
+    pub use ipr_core::prelude::*;
+    pub use replication::{ExecutionMode, FailureInjector, ProtocolPoint, ReplicatedEnv};
+    pub use simcluster::{MachineModel, SimTime, Topology};
+    pub use simmpi::{run_cluster, ClusterConfig, Comm, MpiError, ProcHandle};
+}
