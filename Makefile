@@ -1,0 +1,36 @@
+# Tier-1 verify and CI entry points for the intra-replication workspace.
+#
+#   make verify   — exactly the tier-1 gate from ROADMAP.md
+#   make ci       — everything CI runs (verify + benches/examples + fmt)
+
+CARGO ?= cargo
+
+.PHONY: all build test verify bench-build fmt fmt-check ci clean
+
+all: build
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+# Tier-1 verify (ROADMAP.md): must stay green on every PR.
+verify:
+	$(CARGO) build --release && $(CARGO) test -q
+
+# All six Criterion bench targets, the `figures` bin and the four examples
+# must keep compiling even when not run.
+bench-build:
+	$(CARGO) build --benches --examples
+
+fmt:
+	$(CARGO) fmt
+
+fmt-check:
+	$(CARGO) fmt --check
+
+ci: verify bench-build fmt-check
+
+clean:
+	$(CARGO) clean

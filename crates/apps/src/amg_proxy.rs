@@ -198,7 +198,10 @@ impl AmgKernels {
                         matrix.spmv_rows(rows.clone(), x, &mut scratch);
                         c.outputs[0].copy_from_slice(&scratch[rows]);
                     },
-                    vec![ArgSpec::input(xv, 0..ncols), ArgSpec::output(yv, chunk.clone())],
+                    vec![
+                        ArgSpec::input(xv, 0..ncols),
+                        ArgSpec::output(yv, chunk.clone()),
+                    ],
                 )
                 .with_scalars(vec![chunk.start as f64, chunk.end as f64])
                 .with_cost(cost)
@@ -281,7 +284,14 @@ impl AmgKernels {
     }
 
     /// Redundant axpy: y += alpha * x.
-    fn axpy_redundant(&self, ctx: &AppContext, ws: &mut Workspace, alpha: f64, xv: VarId, yv: VarId) {
+    fn axpy_redundant(
+        &self,
+        ctx: &AppContext,
+        ws: &mut Workspace,
+        alpha: f64,
+        xv: VarId,
+        yv: VarId,
+    ) {
         let n = self.dist.n;
         ctx.run_redundant(axpy_cost(self.modeled_n), || ());
         let x = ws.read_range(xv, 0..n);

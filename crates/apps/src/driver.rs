@@ -132,7 +132,10 @@ impl ScaledWorkload {
     /// A workload running on `actual` elements while modeling `modeled`.
     pub fn scaled(actual: usize, modeled: usize) -> Self {
         assert!(actual > 0, "actual size must be positive");
-        assert!(modeled >= actual, "modeled size must be at least the actual size");
+        assert!(
+            modeled >= actual,
+            "modeled size must be at least the actual size"
+        );
         ScaledWorkload { actual, modeled }
     }
 

@@ -242,7 +242,10 @@ pub fn run_gtc(ctx: &mut AppContext, params: &GtcParams) -> IntraResult<GtcOutpu
                             c.outputs[0] = p.x;
                             c.outputs[1] = p.v;
                         },
-                        vec![ArgSpec::inout(x_v, chunk.clone()), ArgSpec::inout(v_v, chunk)],
+                        vec![
+                            ArgSpec::inout(x_v, chunk.clone()),
+                            ArgSpec::inout(v_v, chunk),
+                        ],
                     )
                     .with_cost(push_task_cost),
                 )?;
@@ -268,7 +271,12 @@ pub fn run_gtc(ctx: &mut AppContext, params: &GtcParams) -> IntraResult<GtcOutpu
             let next = (logical + 1) % num_logical;
             let prev = (logical + num_logical - 1) % num_logical;
             let outgoing = ws.read_range(v_v, 0..shift_count.max(1));
-            rcomm.send_logical_with_modeled_size(&outgoing, next, SHIFT_TAG, modeled_shift_bytes)?;
+            rcomm.send_logical_with_modeled_size(
+                &outgoing,
+                next,
+                SHIFT_TAG,
+                modeled_shift_bytes,
+            )?;
             let _incoming: Vec<f64> = rcomm.recv_logical(prev, SHIFT_TAG)?;
         }
     }

@@ -214,11 +214,7 @@ pub fn run_hpccg(ctx: &mut AppContext, params: &HpccgParams) -> IntraResult<Hpcc
         has_above,
     };
     let matrix = Arc::new(CsrMatrix::stencil27(
-        params.nx,
-        params.ny,
-        params.nz,
-        has_below,
-        has_above,
+        params.nx, params.ny, params.nz, has_below, has_above,
     ));
     let ncols = matrix.ncols();
 
@@ -421,7 +417,10 @@ pub fn run_hpccg(ctx: &mut AppContext, params: &HpccgParams) -> IntraResult<Hpcc
     let mut iterations = 0usize;
 
     for iter in 0..params.max_iters {
-        if ctx.env.maybe_fail(ProtocolPoint::IterationStart { iteration: iter }) {
+        if ctx
+            .env
+            .maybe_fail(ProtocolPoint::IterationStart { iteration: iter })
+        {
             return Err(IntraError::Crashed);
         }
         if iter > 0 {

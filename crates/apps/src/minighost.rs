@@ -100,7 +100,10 @@ pub struct MiniGhostOutput {
 }
 
 /// Runs the MiniGhost proxy on this physical process.
-pub fn run_minighost(ctx: &mut AppContext, params: &MiniGhostParams) -> IntraResult<MiniGhostOutput> {
+pub fn run_minighost(
+    ctx: &mut AppContext,
+    params: &MiniGhostParams,
+) -> IntraResult<MiniGhostOutput> {
     let workload = params.workload();
     let rcomm = ctx.env.rcomm().clone();
     let logical = rcomm.logical_rank();
@@ -113,8 +116,7 @@ pub fn run_minighost(ctx: &mut AppContext, params: &MiniGhostParams) -> IntraRes
     let n = params.local_n();
     let modeled_n = params.modeled_n();
     let face_cells = nx * ny;
-    let modeled_face_bytes =
-        params.modeled_nx * params.modeled_ny * std::mem::size_of::<f64>();
+    let modeled_face_bytes = params.modeled_nx * params.modeled_ny * std::mem::size_of::<f64>();
 
     // Two grids (ping-pong) initialized from a smooth deterministic field.
     let mut current = Grid3d::from_fn(nx, ny, nz, |x, y, z| {

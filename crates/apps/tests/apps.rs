@@ -20,8 +20,7 @@ fn modes(logical: usize) -> Vec<(ExecutionMode, usize)> {
 fn hpccg_converges_in_all_modes() {
     for (mode, procs) in modes(4) {
         let report = run_cluster(&ClusterConfig::ideal(procs), move |proc| {
-            let mut ctx =
-                AppContext::without_failures(proc, mode, IntraConfig::paper()).unwrap();
+            let mut ctx = AppContext::without_failures(proc, mode, IntraConfig::paper()).unwrap();
             let params = HpccgParams::small(6, 40);
             run_hpccg(&mut ctx, &params).unwrap()
         });
@@ -31,7 +30,11 @@ fn hpccg_converges_in_all_modes() {
                 "mode {mode:?}: CG did not converge to the all-ones solution (err {})",
                 out.solution_error
             );
-            assert!(out.residual < 1e-5, "mode {mode:?}: residual {}", out.residual);
+            assert!(
+                out.residual < 1e-5,
+                "mode {mode:?}: residual {}",
+                out.residual
+            );
             assert_eq!(out.report.mode, mode.label());
         }
     }
@@ -107,7 +110,11 @@ fn hpccg_survives_a_replica_crash_between_iterations() {
             .unwrap()
             .as_ref()
             .unwrap_or_else(|e| panic!("rank {rank} failed: {e}"));
-        assert!(out.solution_error < 1e-6, "rank {rank}: {}", out.solution_error);
+        assert!(
+            out.solution_error < 1e-6,
+            "rank {rank}: {}",
+            out.solution_error
+        );
     }
 }
 
@@ -138,14 +145,14 @@ fn amg_sections_cover_a_larger_fraction_for_pcg_than_gmres() {
     // runtime inside sections than the 7-point GMRES problem.
     let fraction = |solver: AmgSolver| {
         let report = run_cluster(&ClusterConfig::new(2), move |proc| {
-            let mut ctx = AppContext::without_failures(
-                proc,
-                ExecutionMode::Native,
-                IntraConfig::paper(),
-            )
-            .unwrap();
+            let mut ctx =
+                AppContext::without_failures(proc, ExecutionMode::Native, IntraConfig::paper())
+                    .unwrap();
             let params = AmgParams::paper_scale(solver, 6, 5);
-            run_amg(&mut ctx, &params).unwrap().report.section_fraction()
+            run_amg(&mut ctx, &params)
+                .unwrap()
+                .report
+                .section_fraction()
         });
         report.unwrap_results().into_iter().sum::<f64>() / 2.0
     };
@@ -163,8 +170,7 @@ fn amg_sections_cover_a_larger_fraction_for_pcg_than_gmres() {
 fn gtc_conserves_charge_in_all_modes() {
     for (mode, procs) in modes(2) {
         let report = run_cluster(&ClusterConfig::ideal(procs), move |proc| {
-            let mut ctx =
-                AppContext::without_failures(proc, mode, IntraConfig::paper()).unwrap();
+            let mut ctx = AppContext::without_failures(proc, mode, IntraConfig::paper()).unwrap();
             let params = GtcParams::small(4000, 5);
             run_gtc(&mut ctx, &params).unwrap()
         });
@@ -210,8 +216,7 @@ fn minighost_matches_across_modes_and_reports_small_section_fraction() {
     let mut sums = Vec::new();
     for (mode, procs) in modes(2) {
         let report = run_cluster(&ClusterConfig::ideal(procs), move |proc| {
-            let mut ctx =
-                AppContext::without_failures(proc, mode, IntraConfig::paper()).unwrap();
+            let mut ctx = AppContext::without_failures(proc, mode, IntraConfig::paper()).unwrap();
             let params = MiniGhostParams::small(6, 4);
             run_minighost(&mut ctx, &params).unwrap()
         });
@@ -232,7 +237,10 @@ fn minighost_matches_across_modes_and_reports_small_section_fraction() {
             AppContext::without_failures(proc, ExecutionMode::Native, IntraConfig::paper())
                 .unwrap();
         let params = MiniGhostParams::paper_scale(8, 4);
-        run_minighost(&mut ctx, &params).unwrap().report.section_fraction()
+        run_minighost(&mut ctx, &params)
+            .unwrap()
+            .report
+            .section_fraction()
     });
     for fraction in report.unwrap_results() {
         assert!(

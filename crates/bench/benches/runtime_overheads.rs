@@ -5,7 +5,9 @@
 //! figure.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use ipr_core::{ArgSpec, IntraConfig, IntraRuntime, StaticBlockScheduler, Scheduler, TaskDef, Workspace};
+use ipr_core::{
+    ArgSpec, IntraConfig, IntraRuntime, Scheduler, StaticBlockScheduler, TaskDef, Workspace,
+};
 use replication::{ExecutionMode, ReplicatedEnv};
 use simmpi::{run_cluster, ClusterConfig};
 

@@ -67,7 +67,9 @@ pub fn granularity(scale: ExperimentScale, task_counts: &[usize]) -> Vec<Granula
             let mut ws = Workspace::new();
             let x = ws.add("x", vec![1.0; actual_n]);
             let w = ws.add_zeros("w", actual_n);
-            let matrix = Arc::new(kernels::sparse::CsrMatrix::stencil27(ax, ay, az, false, false));
+            let matrix = Arc::new(kernels::sparse::CsrMatrix::stencil27(
+                ax, ay, az, false, false,
+            ));
             let nnz_ratio = matrix.nnz() as f64 / actual_n as f64;
             let cost = kernels::sparse::spmv_cost(
                 modeled_n / tasks,
@@ -173,11 +175,9 @@ pub fn scheduler(scale: ExperimentScale) -> Vec<SchedulerRow> {
             .with_machine(machine)
             .with_topology(Topology::one_per_node(procs));
         let report = run_cluster(&config, move |proc| {
-            let env = ReplicatedEnv::without_failures(
-                proc,
-                ExecutionMode::IntraParallel { degree: 2 },
-            )
-            .unwrap();
+            let env =
+                ReplicatedEnv::without_failures(proc, ExecutionMode::IntraParallel { degree: 2 })
+                    .unwrap();
             let intra_config = IntraConfig::paper()
                 .with_tasks_per_section(12)
                 .with_scheduler(Arc::clone(&sched));

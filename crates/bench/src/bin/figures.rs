@@ -32,7 +32,14 @@ fn print_fig5a(scale: ExperimentScale) {
         "{}",
         render(
             "Figure 5a — HPCCG kernels, normalized time & efficiency",
-            &["kernel", "config", "time [s]", "normalized", "efficiency", "update share"],
+            &[
+                "kernel",
+                "config",
+                "time [s]",
+                "normalized",
+                "efficiency",
+                "update share"
+            ],
             &table_rows,
         )
     );
@@ -60,7 +67,9 @@ fn print_fig5b(scale: ExperimentScale) {
             &table_rows,
         )
     );
-    println!("Paper reference: SDR-MPI 0.5; intra 0.80 / 0.79 / 0.82 at 128 / 256 / 512 processes\n");
+    println!(
+        "Paper reference: SDR-MPI 0.5; intra 0.80 / 0.79 / 0.82 at 128 / 256 / 512 processes\n"
+    );
 }
 
 fn print_fig6(app: Fig6App, scale: ExperimentScale) {
@@ -82,7 +91,14 @@ fn print_fig6(app: Fig6App, scale: ExperimentScale) {
         "{}",
         render(
             &format!("Figure {} — {}", app.figure(), app.name()),
-            &["config", "procs", "time [s]", "sections [s]", "others [s]", "efficiency"],
+            &[
+                "config",
+                "procs",
+                "time [s]",
+                "sections [s]",
+                "others [s]",
+                "efficiency"
+            ],
             &table_rows,
         )
     );

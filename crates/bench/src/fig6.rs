@@ -115,7 +115,8 @@ fn run_app(app: Fig6App, mode: ExecutionMode, scale: ExperimentScale) -> (f64, f
                 run_amg(&mut ctx, &params).unwrap().report
             }
             Fig6App::AmgGmres7 => {
-                let mut params = AmgParams::paper_scale(AmgSolver::Gmres7, actual_edge, iters.div_ceil(8));
+                let mut params =
+                    AmgParams::paper_scale(AmgSolver::Gmres7, actual_edge, iters.div_ceil(8));
                 params.restart = 10;
                 run_amg(&mut ctx, &params).unwrap().report
             }

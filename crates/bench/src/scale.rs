@@ -92,10 +92,16 @@ mod tests {
     #[test]
     fn parse_and_process_counts() {
         assert_eq!(ExperimentScale::parse("full"), Some(ExperimentScale::Full));
-        assert_eq!(ExperimentScale::parse("SMALL"), Some(ExperimentScale::Small));
+        assert_eq!(
+            ExperimentScale::parse("SMALL"),
+            Some(ExperimentScale::Small)
+        );
         assert_eq!(ExperimentScale::parse("other"), None);
         assert_eq!(ExperimentScale::Full.fig5a_procs(), 512);
         assert_eq!(ExperimentScale::Small.fig5b_procs(), vec![8, 16, 32]);
-        assert!(ExperimentScale::Full.fig6_logical_procs() > ExperimentScale::Small.fig6_logical_procs());
+        assert!(
+            ExperimentScale::Full.fig6_logical_procs()
+                > ExperimentScale::Small.fig6_logical_procs()
+        );
     }
 }

@@ -141,7 +141,8 @@ mod tests {
                 replication::ExecutionMode::Native,
             )
             .unwrap();
-            let mut rt = crate::runtime::IntraRuntime::new(env, crate::runtime::IntraConfig::default());
+            let mut rt =
+                crate::runtime::IntraRuntime::new(env, crate::runtime::IntraConfig::default());
             let mut ws = Workspace::new();
             let x = ws.add("x", vec![0.0; 4]);
             let mut session = IntraSession::begin(rt.section(&mut ws));
@@ -162,13 +163,12 @@ mod tests {
                 replication::ExecutionMode::Native,
             )
             .unwrap();
-            let mut rt = crate::runtime::IntraRuntime::new(env, crate::runtime::IntraConfig::default());
+            let mut rt =
+                crate::runtime::IntraRuntime::new(env, crate::runtime::IntraConfig::default());
             let mut ws = Workspace::new();
             let _x = ws.add("x", vec![0.0; 4]);
             let mut session = IntraSession::begin(rt.section(&mut ws));
-            session
-                .launch_task(TaskTypeId(3), vec![], vec![])
-                .is_err()
+            session.launch_task(TaskTypeId(3), vec![], vec![]).is_err()
         });
         assert!(report.unwrap_results()[0]);
     }

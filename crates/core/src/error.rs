@@ -27,7 +27,9 @@ impl fmt::Display for IntraError {
         match self {
             IntraError::Mpi(e) => write!(f, "MPI error: {e}"),
             IntraError::Crashed => write!(f, "local replica has crashed"),
-            IntraError::NoAliveReplica => write!(f, "no alive replica left for this logical process"),
+            IntraError::NoAliveReplica => {
+                write!(f, "no alive replica left for this logical process")
+            }
             IntraError::InvalidTask(msg) => write!(f, "invalid task: {msg}"),
             IntraError::InvalidVariable(msg) => write!(f, "invalid workspace variable: {msg}"),
         }
@@ -64,7 +66,9 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(IntraError::Crashed.to_string().contains("crashed"));
-        assert!(IntraError::InvalidTask("x".into()).to_string().contains('x'));
+        assert!(IntraError::InvalidTask("x".into())
+            .to_string()
+            .contains('x'));
         assert!(IntraError::NoAliveReplica.to_string().contains("alive"));
     }
 }

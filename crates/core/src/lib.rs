@@ -86,7 +86,9 @@ pub mod prelude {
     pub use crate::error::{IntraError, IntraResult};
     pub use crate::report::{RuntimeReport, SectionReport};
     pub use crate::runtime::{IntraConfig, IntraRuntime};
-    pub use crate::sched::{CostAwareScheduler, RoundRobinScheduler, Scheduler, StaticBlockScheduler};
+    pub use crate::sched::{
+        CostAwareScheduler, RoundRobinScheduler, Scheduler, StaticBlockScheduler,
+    };
     pub use crate::section::{split_ranges, Section};
     pub use crate::task::{ArgSpec, ArgTag, TaskCost, TaskCtx, TaskDef};
     pub use crate::workspace::{VarId, Workspace};

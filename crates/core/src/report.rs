@@ -88,7 +88,10 @@ impl RuntimeReport {
 
     /// Total virtual time spent executing local tasks.
     pub fn total_local_work_time(&self) -> SimTime {
-        self.sections.iter().map(SectionReport::local_work_time).sum()
+        self.sections
+            .iter()
+            .map(SectionReport::local_work_time)
+            .sum()
     }
 
     /// Total virtual time spent draining update transfers.

@@ -158,8 +158,18 @@ mod tests {
         // Weights 8, 1, 1, 1, 1, 1, 1, 1, 1: the heavy task goes alone.
         let weights = [8.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
         let a = s.assign(&weights, &[0, 1]);
-        let load0: f64 = weights.iter().zip(&a).filter(|(_, &r)| r == 0).map(|(w, _)| w).sum();
-        let load1: f64 = weights.iter().zip(&a).filter(|(_, &r)| r == 1).map(|(w, _)| w).sum();
+        let load0: f64 = weights
+            .iter()
+            .zip(&a)
+            .filter(|(_, &r)| r == 0)
+            .map(|(w, _)| w)
+            .sum();
+        let load1: f64 = weights
+            .iter()
+            .zip(&a)
+            .filter(|(_, &r)| r == 1)
+            .map(|(w, _)| w)
+            .sum();
         assert!((load0 - load1).abs() <= 1.0, "loads {load0} vs {load1}");
         assert_eq!(s.name(), "cost-aware");
     }

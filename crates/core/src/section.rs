@@ -143,11 +143,7 @@ impl<'a> Section<'a> {
 
 /// Builds the execution context for a task from the workspace, restoring
 /// `inout` ranges from their snapshots ("loading a' into a" in Figure 2c).
-fn build_ctx(
-    ws: &mut Workspace,
-    task: &TaskDef,
-    snapshots: &[Option<Vec<f64>>],
-) -> TaskCtx {
+fn build_ctx(ws: &mut Workspace, task: &TaskDef, snapshots: &[Option<Vec<f64>>]) -> TaskCtx {
     // First restore inout snapshots into the workspace so that both the
     // workspace and the context see the pre-section values.
     for (arg, snap) in task.args.iter().zip(snapshots) {
@@ -318,7 +314,8 @@ fn execute_section_inner(
 
     let n = tasks.len();
     let mut done = vec![false; n];
-    let mut received_args: Vec<Vec<bool>> = tasks.iter().map(|t| vec![false; t.args.len()]).collect();
+    let mut received_args: Vec<Vec<bool>> =
+        tasks.iter().map(|t| vec![false; t.args.len()]).collect();
     let mut send_reqs: Vec<SendRequest> = Vec::new();
     let mut update_bytes_sent = 0usize;
     let mut update_bytes_received = 0usize;
@@ -340,7 +337,8 @@ fn execute_section_inner(
                 continue;
             }
             let data = ws.read_range(arg.var, arg.range.clone());
-            let modeled = ((data.len() * std::mem::size_of::<f64>()) as f64 * modeled_scale) as usize;
+            let modeled =
+                ((data.len() * std::mem::size_of::<f64>()) as f64 * modeled_scale) as usize;
             for &peer in rcomm.alive_replicas().iter() {
                 if peer == my {
                     continue;
@@ -359,7 +357,10 @@ fn execute_section_inner(
                 return Err(IntraError::Crashed);
             }
         }
-        if rt.env().maybe_fail(ProtocolPoint::AfterUpdateSend { section, task: i }) {
+        if rt
+            .env()
+            .maybe_fail(ProtocolPoint::AfterUpdateSend { section, task: i })
+        {
             return Err(IntraError::Crashed);
         }
         Ok(())
@@ -374,7 +375,10 @@ fn execute_section_inner(
         run_task(rt, ws, &tasks[i], &snapshots[i])?;
         tasks_local += 1;
         done[i] = true;
-        if rt.env().maybe_fail(ProtocolPoint::BeforeUpdateSend { section, task: i }) {
+        if rt
+            .env()
+            .maybe_fail(ProtocolPoint::BeforeUpdateSend { section, task: i })
+        {
             return Err(IntraError::Crashed);
         }
         send_updates(ws, i, rt, &mut send_reqs, &mut update_bytes_sent)?;
@@ -413,8 +417,9 @@ fn execute_section_inner(
                         }
                         ws.write_range(arg.var, arg.range.clone(), &data);
                         received_args[i][ai] = true;
-                        update_bytes_received +=
-                            ((data.len() * std::mem::size_of::<f64>()) as f64 * modeled_scale) as usize;
+                        update_bytes_received += ((data.len() * std::mem::size_of::<f64>()) as f64
+                            * modeled_scale)
+                            as usize;
                     }
                     Err(MpiError::ProcessFailed { .. }) => {
                         // Owner crashed before completing this update: adopt

@@ -109,9 +109,7 @@ impl Workspace {
         if range.start > range.end || range.end > len {
             return Err(IntraError::InvalidVariable(format!(
                 "range {}..{} out of bounds for variable '{}' of length {len}",
-                range.start,
-                range.end,
-                self.vars[id.0].name
+                range.start, range.end, self.vars[id.0].name
             )));
         }
         Ok(())

@@ -8,7 +8,10 @@ use simmpi::{run_cluster, ClusterConfig};
 /// Runs a 2-replica (degree 2, one logical process) cluster where rank 0 is
 /// replica 0 and rank 1 is replica 1, with the given injector plan, and a
 /// body that receives the runtime and workspace.
-fn run_pair<R, F>(injector_setup: impl Fn(&FailureInjector) + Sync, body: F) -> Vec<Result<R, String>>
+fn run_pair<R, F>(
+    injector_setup: impl Fn(&FailureInjector) + Sync,
+    body: F,
+) -> Vec<Result<R, String>>
 where
     R: Send,
     F: Fn(&mut IntraRuntime, &mut Workspace) -> R + Send + Sync,
@@ -16,12 +19,8 @@ where
     let report = run_cluster(&ClusterConfig::ideal(2), |proc| {
         let injector = FailureInjector::none();
         injector_setup(&injector);
-        let env = ReplicatedEnv::new(
-            proc,
-            ExecutionMode::IntraParallel { degree: 2 },
-            injector,
-        )
-        .unwrap();
+        let env =
+            ReplicatedEnv::new(proc, ExecutionMode::IntraParallel { degree: 2 }, injector).unwrap();
         let mut rt = IntraRuntime::new(env, IntraConfig::paper());
         let mut ws = Workspace::new();
         body(&mut rt, &mut ws)
@@ -31,7 +30,12 @@ where
 
 /// Builds the Figure-2 style section: one task with an inout variable `a`
 /// and an out variable `b`, computing `a <- a + 1; b <- a * 2`.
-fn figure2_section(rt: &mut IntraRuntime, ws: &mut Workspace, a: VarId, b: VarId) -> IntraResult<SectionReport> {
+fn figure2_section(
+    rt: &mut IntraRuntime,
+    ws: &mut Workspace,
+    a: VarId,
+    b: VarId,
+) -> IntraResult<SectionReport> {
     let mut section = rt.section(ws);
     section.add_task(TaskDef::new(
         "task1",
@@ -54,7 +58,13 @@ fn failure_before_any_update_send_triggers_local_reexecution() {
     let n = 64;
     let results = run_pair(
         |inj| {
-            inj.arm(0, ProtocolPoint::BeforeUpdateSend { section: 0, task: 0 });
+            inj.arm(
+                0,
+                ProtocolPoint::BeforeUpdateSend {
+                    section: 0,
+                    task: 0,
+                },
+            );
         },
         move |rt, ws| {
             let x = ws.add("x", (0..n).map(|i| i as f64).collect());
@@ -86,8 +96,14 @@ fn failure_before_any_update_send_triggers_local_reexecution() {
     let (w, report) = results[1].as_ref().unwrap().as_ref().unwrap();
     let expected: Vec<f64> = (0..n).map(|i| 2.0 * i as f64).collect();
     assert_eq!(w, &expected);
-    assert_eq!(report.tasks_executed_locally, 8, "survivor executed everything");
-    assert!(report.tasks_reexecuted >= 4, "replica 0's tasks were re-executed");
+    assert_eq!(
+        report.tasks_executed_locally, 8,
+        "survivor executed everything"
+    );
+    assert!(
+        report.tasks_reexecuted >= 4,
+        "replica 0's tasks were re-executed"
+    );
     assert_eq!(report.tasks_received, 0);
 }
 
@@ -122,7 +138,11 @@ fn figure2_partial_update_does_not_corrupt_inout_variables() {
         &IntraError::Crashed
     );
     let (a, b) = results[1].as_ref().unwrap().as_ref().unwrap();
-    assert_eq!((*a, *b), (2.0, 4.0), "re-execution must start from the snapshot");
+    assert_eq!(
+        (*a, *b),
+        (2.0, 4.0),
+        "re-execution must start from the snapshot"
+    );
 }
 
 #[test]
@@ -134,7 +154,13 @@ fn failure_after_full_update_leaves_peer_with_received_result() {
         |inj| {
             // 8 tasks, replica 0 owns tasks 0..4; crash after the update of
             // its last task (index 3) has been fully sent.
-            inj.arm(0, ProtocolPoint::AfterUpdateSend { section: 0, task: 3 });
+            inj.arm(
+                0,
+                ProtocolPoint::AfterUpdateSend {
+                    section: 0,
+                    task: 3,
+                },
+            );
         },
         move |rt, ws| {
             let x = ws.add("x", (0..n).map(|i| i as f64).collect());
@@ -268,13 +294,15 @@ fn degree_three_survives_one_crash_and_keeps_sharing() {
     let n = 90;
     let report = run_cluster(&ClusterConfig::ideal(3), move |proc| {
         let injector = FailureInjector::none();
-        injector.arm(1, ProtocolPoint::BeforeUpdateSend { section: 0, task: 3 });
-        let env = ReplicatedEnv::new(
-            proc,
-            ExecutionMode::IntraParallel { degree: 3 },
-            injector,
-        )
-        .unwrap();
+        injector.arm(
+            1,
+            ProtocolPoint::BeforeUpdateSend {
+                section: 0,
+                task: 3,
+            },
+        );
+        let env =
+            ReplicatedEnv::new(proc, ExecutionMode::IntraParallel { degree: 3 }, injector).unwrap();
         let mut rt = IntraRuntime::new(env, IntraConfig::paper().with_tasks_per_section(9));
         let mut ws = Workspace::new();
         let x = ws.add("x", (0..n).map(|i| i as f64).collect());
@@ -345,7 +373,13 @@ fn consecutive_sections_after_failure_keep_producing_correct_results() {
     let n = 48;
     let results = run_pair(
         |inj| {
-            inj.arm(0, ProtocolPoint::BeforeUpdateSend { section: 1, task: 1 });
+            inj.arm(
+                0,
+                ProtocolPoint::BeforeUpdateSend {
+                    section: 1,
+                    task: 1,
+                },
+            );
         },
         move |rt, ws| {
             let x = ws.add("x", vec![1.0; n]);

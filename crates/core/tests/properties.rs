@@ -31,8 +31,8 @@ fn run_shared(
         if let Some((rank, point)) = failure {
             injector.arm(rank, point);
         }
-        let env = ReplicatedEnv::new(proc, ExecutionMode::IntraParallel { degree }, injector)
-            .unwrap();
+        let env =
+            ReplicatedEnv::new(proc, ExecutionMode::IntraParallel { degree }, injector).unwrap();
         let mut rt = IntraRuntime::new(env, IntraConfig::paper().with_tasks_per_section(tasks));
         let mut ws = Workspace::new();
         let x = ws.add("x", x_data.clone());
@@ -61,11 +61,7 @@ fn run_shared(
             })
             .unwrap();
         match section.end() {
-            Ok(_) => Ok((
-                ws.get(w).to_vec(),
-                ws.get(y).to_vec(),
-                ws.fingerprint(),
-            )),
+            Ok(_) => Ok((ws.get(w).to_vec(), ws.get(y).to_vec(), ws.fingerprint())),
             Err(e) => Err(format!("{e}")),
         }
     });
@@ -164,6 +160,30 @@ proptest! {
             ranges.iter().map(|r| r.len()).min(),
         ) {
             prop_assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn split_ranges_cover_each_index_exactly_once(n in 0usize..3000, parts in 1usize..128) {
+        // Complement of `split_ranges_always_partition`: prove the partition
+        // property (disjoint + covering + ordered) without assuming the
+        // chunks are contiguous — every index of 0..n is hit exactly once.
+        let ranges = split_ranges(n, parts);
+        let mut hits = vec![0u32; n];
+        for r in &ranges {
+            for i in r.clone() {
+                prop_assert!(i < n, "chunk {r:?} escapes 0..{n}");
+                hits[i] += 1;
+            }
+        }
+        prop_assert!(
+            hits.iter().all(|&h| h == 1),
+            "some index covered != once for n={n}, parts={parts}"
+        );
+        // Strictly ordered and pairwise disjoint, no empty chunks.
+        prop_assert!(ranges.iter().all(|r| !r.is_empty()));
+        for pair in ranges.windows(2) {
+            prop_assert!(pair[0].end <= pair[1].start);
         }
     }
 

@@ -52,7 +52,11 @@ fn waxpby_section(
 fn two_replicas_share_work_and_stay_consistent() {
     let n = 1000;
     let report = run_cluster(&ClusterConfig::ideal(2), move |proc| {
-        let mut rt = make_rt(proc, ExecutionMode::IntraParallel { degree: 2 }, IntraConfig::paper());
+        let mut rt = make_rt(
+            proc,
+            ExecutionMode::IntraParallel { degree: 2 },
+            IntraConfig::paper(),
+        );
         let mut ws = Workspace::new();
         let x = ws.add("x", (0..n).map(|i| i as f64).collect());
         let y = ws.add("y", (0..n).map(|i| (i as f64) * 0.5).collect());
@@ -83,7 +87,11 @@ fn ddot_style_reduction_shares_partial_sums() {
     // the section (as in the paper, the MPI reduction stays outside).
     let n = 512;
     let report = run_cluster(&ClusterConfig::ideal(2), move |proc| {
-        let mut rt = make_rt(proc, ExecutionMode::IntraParallel { degree: 2 }, IntraConfig::paper());
+        let mut rt = make_rt(
+            proc,
+            ExecutionMode::IntraParallel { degree: 2 },
+            IntraConfig::paper(),
+        );
         let mut ws = Workspace::new();
         let x = ws.add("x", (0..n).map(|i| (i % 10) as f64).collect());
         let partial = ws.add_zeros("partial", 8);
@@ -91,16 +99,14 @@ fn ddot_style_reduction_shares_partial_sums() {
         let chunks = split_ranges(n, 8);
         for (t, chunk) in chunks.into_iter().enumerate() {
             section
-                .add_task(
-                    TaskDef::new(
-                        "ddot",
-                        |ctx| {
-                            let x = &ctx.inputs[0];
-                            ctx.outputs[0][0] = x.iter().map(|v| v * v).sum();
-                        },
-                        vec![ArgSpec::input(x, chunk), ArgSpec::output(partial, t..t + 1)],
-                    ),
-                )
+                .add_task(TaskDef::new(
+                    "ddot",
+                    |ctx| {
+                        let x = &ctx.inputs[0];
+                        ctx.outputs[0][0] = x.iter().map(|v| v * v).sum();
+                    },
+                    vec![ArgSpec::input(x, chunk), ArgSpec::output(partial, t..t + 1)],
+                ))
                 .unwrap();
         }
         let sec = section.end().unwrap();
@@ -121,7 +127,11 @@ fn inout_arguments_round_trip() {
     // on the incremented vector.
     let n = 64;
     let report = run_cluster(&ClusterConfig::ideal(2), move |proc| {
-        let mut rt = make_rt(proc, ExecutionMode::IntraParallel { degree: 2 }, IntraConfig::paper());
+        let mut rt = make_rt(
+            proc,
+            ExecutionMode::IntraParallel { degree: 2 },
+            IntraConfig::paper(),
+        );
         let mut ws = Workspace::new();
         let v = ws.add("v", (0..n).map(|i| i as f64).collect());
         let mut section = rt.section(&mut ws);
@@ -169,7 +179,10 @@ fn native_and_replicated_modes_execute_everything_locally() {
             assert_eq!(value, 5.0);
             assert_eq!(sec.tasks_executed_locally, sec.num_tasks);
             assert_eq!(sec.tasks_received, 0);
-            assert_eq!(sec.update_bytes_sent, 0, "mode {mode:?} must not ship updates");
+            assert_eq!(
+                sec.update_bytes_sent, 0,
+                "mode {mode:?} must not ship updates"
+            );
         }
     }
 }
@@ -178,7 +191,11 @@ fn native_and_replicated_modes_execute_everything_locally() {
 fn multiple_sections_reuse_the_runtime() {
     let n = 100;
     let report = run_cluster(&ClusterConfig::ideal(2), move |proc| {
-        let mut rt = make_rt(proc, ExecutionMode::IntraParallel { degree: 2 }, IntraConfig::paper());
+        let mut rt = make_rt(
+            proc,
+            ExecutionMode::IntraParallel { degree: 2 },
+            IntraConfig::paper(),
+        );
         let mut ws = Workspace::new();
         let x = ws.add("x", vec![1.0; n]);
         let y = ws.add("y", vec![1.0; n]);
@@ -190,7 +207,11 @@ fn multiple_sections_reuse_the_runtime() {
             let w_now = ws.get(w).to_vec();
             ws.get_mut(x).copy_from_slice(&w_now);
         }
-        (ws.get(x)[0], rt.sections_executed(), rt.report().num_sections())
+        (
+            ws.get(x)[0],
+            rt.sections_executed(),
+            rt.report().num_sections(),
+        )
     });
     for (value, sections, recorded) in report.unwrap_results() {
         // x = 1 * 1 * 2 * 3 * 4 * 5 = 120
@@ -204,7 +225,11 @@ fn multiple_sections_reuse_the_runtime() {
 fn three_replicas_share_work() {
     let n = 90;
     let report = run_cluster(&ClusterConfig::ideal(3), move |proc| {
-        let mut rt = make_rt(proc, ExecutionMode::IntraParallel { degree: 3 }, IntraConfig::paper().with_tasks_per_section(9));
+        let mut rt = make_rt(
+            proc,
+            ExecutionMode::IntraParallel { degree: 3 },
+            IntraConfig::paper().with_tasks_per_section(9),
+        );
         let mut ws = Workspace::new();
         let x = ws.add("x", (0..n).map(|i| i as f64).collect());
         let w = ws.add_zeros("w", n);
@@ -243,7 +268,11 @@ fn schedulers_produce_identical_results() {
     ] {
         let config = IntraConfig::paper().with_scheduler(scheduler);
         let report = run_cluster(&ClusterConfig::ideal(2), move |proc| {
-            let mut rt = make_rt(proc, ExecutionMode::IntraParallel { degree: 2 }, config.clone());
+            let mut rt = make_rt(
+                proc,
+                ExecutionMode::IntraParallel { degree: 2 },
+                config.clone(),
+            );
             let mut ws = Workspace::new();
             let x = ws.add("x", (0..n).map(|i| i as f64).collect());
             let y = ws.add("y", vec![1.0; n]);
@@ -265,7 +294,11 @@ fn paper_api_reproduces_the_figure_4_waxpby() {
     let n = 80;
     let ntasks = 8;
     let report = run_cluster(&ClusterConfig::ideal(2), move |proc| {
-        let mut rt = make_rt(proc, ExecutionMode::IntraParallel { degree: 2 }, IntraConfig::paper());
+        let mut rt = make_rt(
+            proc,
+            ExecutionMode::IntraParallel { degree: 2 },
+            IntraConfig::paper(),
+        );
         let mut ws = Workspace::new();
         let x = ws.add("x", (0..n).map(|i| i as f64).collect());
         let y = ws.add("y", (0..n).map(|i| (n - i) as f64).collect());
@@ -315,13 +348,20 @@ fn update_drain_time_is_visible_with_a_realistic_network() {
         .with_machine(simcluster::MachineModel::ideal_compute_ib20g())
         .with_topology(simcluster::Topology::one_per_node(2));
     let report = run_cluster(&config, move |proc| {
-        let mut rt = make_rt(proc, ExecutionMode::IntraParallel { degree: 2 }, IntraConfig::paper());
+        let mut rt = make_rt(
+            proc,
+            ExecutionMode::IntraParallel { degree: 2 },
+            IntraConfig::paper(),
+        );
         let mut ws = Workspace::new();
         let x = ws.add("x", vec![1.0; n]);
         let y = ws.add("y", vec![1.0; n]);
         let w = ws.add_zeros("w", n);
         let sec = waxpby_section(&mut rt, &mut ws, x, y, w, 1.0, 1.0, n);
-        (sec.update_drain_time().as_secs(), sec.total_time().as_secs())
+        (
+            sec.update_drain_time().as_secs(),
+            sec.total_time().as_secs(),
+        )
     });
     for (drain, total) in report.unwrap_results() {
         assert!(drain > 0.0, "update drain time must be positive");
@@ -332,7 +372,11 @@ fn update_drain_time_is_visible_with_a_realistic_network() {
 #[test]
 fn task_resizing_output_is_rejected() {
     let report = run_cluster(&ClusterConfig::ideal(2), |proc| {
-        let mut rt = make_rt(proc, ExecutionMode::IntraParallel { degree: 2 }, IntraConfig::paper());
+        let mut rt = make_rt(
+            proc,
+            ExecutionMode::IntraParallel { degree: 2 },
+            IntraConfig::paper(),
+        );
         let mut ws = Workspace::new();
         let w = ws.add_zeros("w", 8);
         let mut section = rt.section(&mut ws);
@@ -357,11 +401,7 @@ fn invalid_ranges_are_rejected_at_launch() {
         let mut ws = Workspace::new();
         let x = ws.add("x", vec![0.0; 4]);
         let mut section = rt.section(&mut ws);
-        let err = section.add_task(TaskDef::new(
-            "oob",
-            |_| {},
-            vec![ArgSpec::input(x, 0..5)],
-        ));
+        let err = section.add_task(TaskDef::new("oob", |_| {}, vec![ArgSpec::input(x, 0..5)]));
         err.is_err()
     });
     assert!(report.unwrap_results()[0]);

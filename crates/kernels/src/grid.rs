@@ -63,7 +63,10 @@ impl Face {
 impl Grid3d {
     /// Creates a grid filled with `value` (ghost cells included).
     pub fn filled(nx: usize, ny: usize, nz: usize, value: f64) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "grid dimensions must be positive"
+        );
         Grid3d {
             nx,
             ny,
@@ -74,7 +77,12 @@ impl Grid3d {
 
     /// Creates a grid whose interior is initialized by `f(x, y, z)` (local,
     /// zero-based coordinates); ghost cells are zero.
-    pub fn from_fn<F: Fn(usize, usize, usize) -> f64>(nx: usize, ny: usize, nz: usize, f: F) -> Self {
+    pub fn from_fn<F: Fn(usize, usize, usize) -> f64>(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        f: F,
+    ) -> Self {
         let mut g = Self::filled(nx, ny, nz, 0.0);
         for z in 0..nz {
             for y in 0..ny {
@@ -222,7 +230,11 @@ impl Grid3d {
     /// Panics if the vector has the wrong length.
     pub fn fill_ghost(&mut self, face: Face, values: &[f64]) {
         let (nx, ny, nz) = self.dims();
-        assert_eq!(values.len(), self.face_len(face), "ghost face size mismatch");
+        assert_eq!(
+            values.len(),
+            self.face_len(face),
+            "ghost face size mismatch"
+        );
         let mut it = values.iter();
         match face {
             Face::West | Face::East => {

@@ -117,7 +117,13 @@ impl CsrMatrix {
     /// `ghost_below` / `ghost_above` are true, the neighbouring z-planes of
     /// adjacent logical processes appear as ghost columns appended after the
     /// local columns (first the plane below, then the plane above).
-    pub fn stencil27(nx: usize, ny: usize, nz: usize, ghost_below: bool, ghost_above: bool) -> Self {
+    pub fn stencil27(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        ghost_below: bool,
+        ghost_above: bool,
+    ) -> Self {
         Self::grid_operator(nx, ny, nz, ghost_below, ghost_above, 27.0, |dx, dy, dz| {
             // All 26 neighbours.
             !(dx == 0 && dy == 0 && dz == 0)
@@ -149,9 +155,8 @@ impl CsrMatrix {
         let plane = nx * ny;
         let below_base = nlocal;
         let above_base = nlocal + if ghost_below { plane } else { 0 };
-        let ncols = nlocal
-            + if ghost_below { plane } else { 0 }
-            + if ghost_above { plane } else { 0 };
+        let ncols =
+            nlocal + if ghost_below { plane } else { 0 } + if ghost_above { plane } else { 0 };
         let idx = |x: usize, y: usize, z: usize| -> usize { (z * ny + y) * nx + x };
         let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(nlocal);
         for z in 0..nz as i64 {

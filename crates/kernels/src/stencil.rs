@@ -163,7 +163,10 @@ mod tests {
         stencil7(&input, &mut out);
         assert!((out.get(1, 1, 1) - 1.0).abs() < 1e-12);
         assert!((out.get(0, 1, 1) - 1.0).abs() < 1e-12);
-        assert!((out.get(0, 0, 1) - 0.0).abs() < 1e-12, "corner must be untouched");
+        assert!(
+            (out.get(0, 0, 1) - 0.0).abs() < 1e-12,
+            "corner must be untouched"
+        );
     }
 
     #[test]

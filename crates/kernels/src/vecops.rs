@@ -20,8 +20,16 @@ use crate::cost::{KernelCost, F64};
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn waxpby(alpha: f64, x: &[f64], beta: f64, y: &[f64], w: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "waxpby: x and y must have the same length");
-    assert_eq!(x.len(), w.len(), "waxpby: x and w must have the same length");
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "waxpby: x and y must have the same length"
+    );
+    assert_eq!(
+        x.len(),
+        w.len(),
+        "waxpby: x and w must have the same length"
+    );
     // Match HPCCG's special-casing of alpha/beta == 1.0 (it matters for the
     // flop count, not for the result).
     if alpha == 1.0 {

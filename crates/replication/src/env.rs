@@ -71,7 +71,11 @@ pub struct ReplicatedEnv {
 impl ReplicatedEnv {
     /// Builds the environment for this physical process.  Must be called
     /// collectively by every process of the cluster.
-    pub fn new(proc: ProcHandle, mode: ExecutionMode, injector: FailureInjector) -> MpiResult<Self> {
+    pub fn new(
+        proc: ProcHandle,
+        mode: ExecutionMode,
+        injector: FailureInjector,
+    ) -> MpiResult<Self> {
         let rcomm = ReplicatedComm::new(proc.world(), mode.degree())?;
         Ok(ReplicatedEnv {
             proc,
@@ -169,10 +173,10 @@ mod tests {
         assert!(!ExecutionMode::Replicated { degree: 2 }.shares_work());
         assert!(ExecutionMode::IntraParallel { degree: 2 }.shares_work());
         assert_eq!(ExecutionMode::Native.label(), "native");
-        assert_eq!(ExecutionMode::Replicated { degree: 2 }.label(), "replicated");
         assert_eq!(
-            ExecutionMode::IntraParallel { degree: 2 }.label(),
-            "intra"
+            ExecutionMode::Replicated { degree: 2 }.label(),
+            "replicated"
         );
+        assert_eq!(ExecutionMode::IntraParallel { degree: 2 }.label(), "intra");
     }
 }

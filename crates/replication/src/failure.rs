@@ -133,13 +133,19 @@ mod tests {
     #[test]
     fn armed_injection_fires_exactly_once() {
         let inj = FailureInjector::none();
-        let point = ProtocolPoint::BeforeUpdateSend { section: 1, task: 2 };
+        let point = ProtocolPoint::BeforeUpdateSend {
+            section: 1,
+            task: 2,
+        };
         inj.arm(3, point);
         assert_eq!(inj.pending(), 1);
         assert!(!inj.should_fail(2, point), "wrong rank must not fire");
         assert!(!inj.should_fail(3, ProtocolPoint::SectionEnter { section: 1 }));
         assert!(inj.should_fail(3, point));
-        assert!(!inj.should_fail(3, point), "one-shot: second query is false");
+        assert!(
+            !inj.should_fail(3, point),
+            "one-shot: second query is false"
+        );
         assert_eq!(inj.fired(), vec![(3, point)]);
     }
 

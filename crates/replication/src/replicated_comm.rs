@@ -228,11 +228,7 @@ impl ReplicatedComm {
                 size: self.num_logical(),
             });
         }
-        let expected = *self
-            .recv_seq
-            .lock()
-            .entry((src_logical, tag))
-            .or_insert(0);
+        let expected = *self.recv_seq.lock().entry((src_logical, tag)).or_insert(0);
         loop {
             let src_replica =
                 self.lowest_alive_replica_of(src_logical)
@@ -278,7 +274,8 @@ impl ReplicatedComm {
 
     fn next_coll_tag(&self) -> Tag {
         let seq = self.coll_seq.fetch_add(1, Ordering::Relaxed);
-        REPLICATION_TAG_BASE + (seq % ((RESERVED_TAG_BASE - REPLICATION_TAG_BASE - 1) as u64)) as u32
+        REPLICATION_TAG_BASE
+            + (seq % ((RESERVED_TAG_BASE - REPLICATION_TAG_BASE - 1) as u64)) as u32
     }
 
     /// Barrier over the logical processes (dissemination algorithm on the

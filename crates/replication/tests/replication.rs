@@ -105,8 +105,12 @@ fn replica_channel_carries_updates() {
         let rcomm = ReplicatedComm::new(proc.world(), 2).unwrap();
         let rc = rcomm.replica_comm();
         let peer = 1 - rcomm.replica_id();
-        rc.send(&[rcomm.logical_rank() as i64 * 100 + rcomm.replica_id() as i64], peer, 3)
-            .unwrap();
+        rc.send(
+            &[rcomm.logical_rank() as i64 * 100 + rcomm.replica_id() as i64],
+            peer,
+            3,
+        )
+        .unwrap();
         rc.recv::<i64>(peer, 3).unwrap()[0]
     });
     let results = report.unwrap_results();
@@ -135,7 +139,9 @@ fn failover_covers_orphaned_receiver_after_quiescent_failure() {
         let rcomm = env.rcomm();
         let mut received = Vec::new();
         for iteration in 0..3u64 {
-            if env.maybe_fail(ProtocolPoint::IterationStart { iteration: iteration as usize }) {
+            if env.maybe_fail(ProtocolPoint::IterationStart {
+                iteration: iteration as usize,
+            }) {
                 return received;
             }
             if env.logical_rank() == 0 {

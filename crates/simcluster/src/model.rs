@@ -162,13 +162,12 @@ impl ComputeModel {
         } else {
             0.0
         };
-        let t_mem = if self.mem_bandwidth_bytes_per_s.is_finite()
-            && self.mem_bandwidth_bytes_per_s > 0.0
-        {
-            mem_bytes / self.mem_bandwidth_bytes_per_s
-        } else {
-            0.0
-        };
+        let t_mem =
+            if self.mem_bandwidth_bytes_per_s.is_finite() && self.mem_bandwidth_bytes_per_s > 0.0 {
+                mem_bytes / self.mem_bandwidth_bytes_per_s
+            } else {
+                0.0
+            };
         SimTime::from_secs(self.per_region_overhead_s + t_flop.max(t_mem))
     }
 

@@ -54,7 +54,10 @@ impl Topology {
         cores_per_node: usize,
     ) -> Self {
         assert!(cores_per_node > 0, "cores_per_node must be positive");
-        assert!(replication_degree > 0, "replication degree must be positive");
+        assert!(
+            replication_degree > 0,
+            "replication degree must be positive"
+        );
         let nodes_per_replica_set = num_logical.div_ceil(cores_per_node);
         let mut placement = Vec::with_capacity(num_logical * replication_degree);
         for replica in 0..replication_degree {

@@ -4,7 +4,9 @@
 use crate::proc::{ProcCore, ProcHandle};
 use crate::router::Router;
 use parking_lot::{Condvar, Mutex};
-use simcluster::{FailureEvent, FailureStatusBoard, MachineModel, SimTime, StatsRegistry, Topology};
+use simcluster::{
+    FailureEvent, FailureStatusBoard, MachineModel, SimTime, StatsRegistry, Topology,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;

@@ -270,10 +270,7 @@ impl Comm {
     ) -> MpiResult<(Bytes, RecvStatus)> {
         let sel = self.selector(src, tag)?;
         self.core.check_alive()?;
-        let env = self
-            .core
-            .router
-            .recv_blocking(self.core.world_rank, &sel)?;
+        let env = self.core.router.recv_blocking(self.core.world_rank, &sel)?;
         self.core.complete_recv(env.arrival, env.src_world);
         self.core.stats.incr("mpi.messages_received");
         self.core
@@ -325,10 +322,7 @@ impl Comm {
     pub fn wait_recv<T: Pod>(&self, req: RecvRequest) -> MpiResult<Vec<T>> {
         let sel = req.consume()?;
         self.core.check_alive()?;
-        let env = self
-            .core
-            .router
-            .recv_blocking(self.core.world_rank, &sel)?;
+        let env = self.core.router.recv_blocking(self.core.world_rank, &sel)?;
         self.core.complete_recv(env.arrival, env.src_world);
         self.core.stats.incr("mpi.messages_received");
         self.core
@@ -371,11 +365,7 @@ impl Comm {
     /// via `colors_of_all` (an exchange the real MPI performs internally);
     /// helpers such as [`Comm::split_by`] build the table from a function of
     /// the rank, which is how all the code in this workspace uses it.
-    pub fn split_with_table(
-        &self,
-        colors_of_all: &[(u64, u64)],
-        my_color: u64,
-    ) -> MpiResult<Comm> {
+    pub fn split_with_table(&self, colors_of_all: &[(u64, u64)], my_color: u64) -> MpiResult<Comm> {
         if colors_of_all.len() != self.size() {
             return Err(MpiError::InvalidCommunicator(format!(
                 "color table has {} entries for a communicator of size {}",

@@ -56,13 +56,22 @@ impl fmt::Display for MpiError {
             MpiError::ProcessFailed { rank } => write!(f, "peer process {rank} has failed"),
             MpiError::SelfFailed => write!(f, "local process has been marked as failed"),
             MpiError::InvalidRank { rank, size } => {
-                write!(f, "rank {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
             }
             MpiError::Truncated { got, capacity } => {
-                write!(f, "message of {got} bytes truncated to buffer of {capacity} bytes")
+                write!(
+                    f,
+                    "message of {got} bytes truncated to buffer of {capacity} bytes"
+                )
             }
             MpiError::TypeMismatch { bytes, elem_size } => {
-                write!(f, "payload of {bytes} bytes is not a multiple of element size {elem_size}")
+                write!(
+                    f,
+                    "payload of {bytes} bytes is not a multiple of element size {elem_size}"
+                )
             }
             MpiError::Aborted => write!(f, "simulation aborted"),
             MpiError::InvalidCommunicator(msg) => write!(f, "invalid communicator: {msg}"),
@@ -84,7 +93,10 @@ mod tests {
     fn display_messages_are_informative() {
         let e = MpiError::ProcessFailed { rank: 3 };
         assert!(e.to_string().contains('3'));
-        let e = MpiError::Truncated { got: 16, capacity: 8 };
+        let e = MpiError::Truncated {
+            got: 16,
+            capacity: 8,
+        };
         assert!(e.to_string().contains("16"));
         assert!(e.to_string().contains('8'));
         let e = MpiError::InvalidRank { rank: 9, size: 4 };

@@ -3,7 +3,9 @@
 use crate::error::{MpiError, MpiResult};
 use crate::router::Router;
 use parking_lot::Mutex;
-use simcluster::{FailureStatusBoard, MachineModel, SimTime, StatsRegistry, Topology, VirtualClock};
+use simcluster::{
+    FailureStatusBoard, MachineModel, SimTime, StatsRegistry, Topology, VirtualClock,
+};
 use std::sync::Arc;
 
 /// Internal per-process state shared by every communicator owned by one
@@ -103,9 +105,10 @@ impl ProcCore {
             let occupancy = if same_node {
                 link.sender_occupancy(bytes)
             } else {
-                let serialization = link.wire_time(bytes).saturating_sub(
-                    SimTime::from_secs(link.latency_s),
-                ) * self.nic_sharing;
+                let serialization = link
+                    .wire_time(bytes)
+                    .saturating_sub(SimTime::from_secs(link.latency_s))
+                    * self.nic_sharing;
                 SimTime::from_secs(link.send_overhead_s) + serialization
             };
             let done = start + occupancy;

@@ -147,9 +147,7 @@ fn split_partitions_communicator() {
     let report = run_cluster(&ClusterConfig::ideal(8), |proc| {
         let world = proc.world();
         // Even/odd split; key preserves world order.
-        let sub = world
-            .split_by(|r| ((r % 2) as u64, r as u64))
-            .unwrap();
+        let sub = world.split_by(|r| ((r % 2) as u64, r as u64)).unwrap();
         let sum_in_sub = sub.allreduce_sum_f64(world.rank() as f64).unwrap();
         (sub.size(), sub.rank(), sum_in_sub)
     });

@@ -121,7 +121,10 @@ fn invalid_rank_and_reserved_tag_are_rejected() {
         (bad_rank, bad_tag.is_err())
     });
     let results = report.unwrap_results();
-    assert!(matches!(results[0].0, MpiError::InvalidRank { rank: 5, size: 1 }));
+    assert!(matches!(
+        results[0].0,
+        MpiError::InvalidRank { rank: 5, size: 1 }
+    ));
     assert!(results[0].1);
 }
 

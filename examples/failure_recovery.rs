@@ -65,7 +65,11 @@ fn main() {
                     ws.get(b)[0],
                     rep.tasks_reexecuted
                 );
-                assert_eq!(ws.get(a)[0], 2.0, "re-execution must start from the snapshot");
+                assert_eq!(
+                    ws.get(a)[0],
+                    2.0,
+                    "re-execution must start from the snapshot"
+                );
                 assert_eq!(ws.get(b)[0], 4.0);
             }
             Err(IntraError::Crashed) => {
@@ -88,7 +92,10 @@ fn main() {
                             ctx.outputs[0][i] = ctx.inputs[0][i] * ctx.inputs[0][i];
                         }
                     },
-                    vec![ArgSpec::input(big, chunk.clone()), ArgSpec::output(out, chunk)],
+                    vec![
+                        ArgSpec::input(big, chunk.clone()),
+                        ArgSpec::output(out, chunk),
+                    ],
                 )
             })
             .expect("launch follow-up tasks");
@@ -112,7 +119,10 @@ fn main() {
             }
         }
     }
-    assert_eq!(survivors, 1, "exactly one replica survives in this scenario");
+    assert_eq!(
+        survivors, 1,
+        "exactly one replica survives in this scenario"
+    );
     assert_eq!(report.failures.len(), 1, "exactly one crash was injected");
     println!("failure recovery demo finished successfully");
 }

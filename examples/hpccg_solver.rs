@@ -40,8 +40,8 @@ fn run_mode(mode: ExecutionMode, procs: usize) -> (f64, f64) {
             max_iters: 15,
             kernels: KernelSelection::paper_application(),
         };
-        let mut ctx = AppContext::without_failures(proc, mode, IntraConfig::paper())
-            .expect("context");
+        let mut ctx =
+            AppContext::without_failures(proc, mode, IntraConfig::paper()).expect("context");
         let out = run_hpccg(&mut ctx, &params).expect("hpccg");
         (out.report.total_time.as_secs(), out.residual)
     });
@@ -59,8 +59,14 @@ fn main() {
     let (t_sdr, r_sdr) = run_mode(ExecutionMode::Replicated { degree: 2 }, procs);
     let (t_intra, r_intra) = run_mode(ExecutionMode::IntraParallel { degree: 2 }, procs);
 
-    println!("{:<28} {:>12} {:>12} {:>12}", "configuration", "time [s]", "efficiency", "residual");
-    println!("{:<28} {:>12.4} {:>12.2} {:>12.3e}", "Open MPI (no replication)", t_native, 1.0, r_native);
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "configuration", "time [s]", "efficiency", "residual"
+    );
+    println!(
+        "{:<28} {:>12.4} {:>12.2} {:>12.3e}",
+        "Open MPI (no replication)", t_native, 1.0, r_native
+    );
     println!(
         "{:<28} {:>12.4} {:>12.2} {:>12.3e}",
         "SDR-MPI (full replication)",

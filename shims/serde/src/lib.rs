@@ -1,0 +1,32 @@
+//! In-tree shim for `serde`.
+//!
+//! The build environment has no crates.io access.  Workspace types carry
+//! `#[derive(Serialize, Deserialize)]` to declare serialization intent, but
+//! no code path serializes anything yet, so this shim provides just enough
+//! surface for those derives to compile: blanket marker traits plus no-op
+//! derive macros (from the in-tree `serde_derive` shim).  Swapping in the
+//! real serde later requires no source changes outside `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Stand-in for `serde::de` with the commonly-bounded `DeserializeOwned`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}

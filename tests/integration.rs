@@ -71,8 +71,7 @@ fn efficiency_ordering_matches_the_paper_headline() {
                         TaskDef::new(
                             "ddot",
                             |c| {
-                                c.outputs[0][0] =
-                                    c.inputs[0].iter().map(|v| v * v).sum::<f64>();
+                                c.outputs[0][0] = c.inputs[0].iter().map(|v| v * v).sum::<f64>();
                             },
                             vec![ArgSpec::input(x, chunk), ArgSpec::output(partial, t..t + 1)],
                         )
@@ -116,8 +115,12 @@ fn kernel_costs_drive_task_weights_end_to_end() {
         let mut section = rt.section(&mut ws);
         section
             .add_task(
-                TaskDef::new("noop", |c| c.outputs[0][0] = 1.0, vec![ArgSpec::output(w, 0..8)])
-                    .with_cost(TaskCost::new(cost.flops, cost.mem_bytes())),
+                TaskDef::new(
+                    "noop",
+                    |c| c.outputs[0][0] = 1.0,
+                    vec![ArgSpec::output(w, 0..8)],
+                )
+                .with_cost(TaskCost::new(cost.flops, cost.mem_bytes())),
             )
             .unwrap();
         section.end().unwrap();
