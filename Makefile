@@ -5,7 +5,7 @@
 
 CARGO ?= cargo
 
-.PHONY: all build test verify bench-build fmt fmt-check ci clean
+.PHONY: all build test verify bench-build docs fmt fmt-check ci clean
 
 all: build
 
@@ -19,10 +19,15 @@ test:
 verify:
 	$(CARGO) build --release && $(CARGO) test -q
 
-# All six Criterion bench targets, the `figures` bin and the four examples
+# All seven Criterion bench targets, the `figures` bin and the five examples
 # must keep compiling even when not run.
 bench-build:
 	$(CARGO) build --benches --examples
+
+# API docs for the whole workspace; warnings are errors (ipr-core and
+# kernels additionally deny missing_docs at compile time).
+docs:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --no-deps --workspace
 
 fmt:
 	$(CARGO) fmt
@@ -30,7 +35,7 @@ fmt:
 fmt-check:
 	$(CARGO) fmt --check
 
-ci: verify bench-build fmt-check
+ci: verify bench-build docs fmt-check
 
 clean:
 	$(CARGO) clean

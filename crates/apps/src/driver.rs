@@ -20,6 +20,29 @@ pub fn task_cost(cost: KernelCost) -> TaskCost {
     TaskCost::new(cost.flops, cost.mem_bytes())
 }
 
+/// The scheduler-selection knob of the app drivers: resolves `scheduler`
+/// against the ipr-core registry ("static-block", "round-robin",
+/// "cost-aware", "adaptive", "locality") and applies it to `intra`.
+/// `None` leaves the configured scheduler untouched.
+///
+/// The bench CLI threads its `[scheduler]` argument through here; tests and
+/// examples can call it directly:
+///
+/// ```
+/// use apps::driver::with_scheduler;
+/// use ipr_core::IntraConfig;
+///
+/// let config = with_scheduler(IntraConfig::paper(), Some("adaptive")).unwrap();
+/// assert_eq!(config.scheduler.name(), "adaptive");
+/// assert!(with_scheduler(IntraConfig::paper(), Some("bogus")).is_err());
+/// ```
+pub fn with_scheduler(intra: IntraConfig, scheduler: Option<&str>) -> IntraResult<IntraConfig> {
+    match scheduler {
+        Some(name) => intra.with_scheduler_name(name),
+        None => Ok(intra),
+    }
+}
+
 /// Per-process context shared by all the mini-applications.
 pub struct AppContext {
     /// The replication environment (communicators, failure injection).
@@ -63,6 +86,11 @@ impl AppContext {
         Self::new(proc, mode, intra, FailureInjector::none())
     }
 
+    /// Name of the scheduler the intra runtime is using (for reports).
+    pub fn scheduler_name(&self) -> &'static str {
+        self.rt.config().scheduler.name()
+    }
+
     /// Marks the beginning of the measured region (e.g. after problem setup).
     pub fn start_measurement(&mut self) {
         self.start = self.env.now();
@@ -94,6 +122,7 @@ impl AppContext {
         AppRunReport {
             app: app.to_string(),
             mode: self.env.mode().label().to_string(),
+            scheduler: self.scheduler_name().to_string(),
             logical_rank: self.env.logical_rank(),
             replica_id: self.env.replica_id(),
             iterations,

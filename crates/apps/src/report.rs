@@ -13,6 +13,10 @@ pub struct AppRunReport {
     pub app: String,
     /// Execution mode label ("native", "replicated", "intra").
     pub mode: String,
+    /// Name of the scheduler used inside intra-parallel sections
+    /// ("static-block", "round-robin", "cost-aware", "adaptive",
+    /// "locality").
+    pub scheduler: String,
     /// Logical rank of this process.
     pub logical_rank: usize,
     /// Replica id of this process.
@@ -64,6 +68,7 @@ mod tests {
         let r = AppRunReport {
             app: "hpccg".into(),
             mode: "intra".into(),
+            scheduler: "static-block".into(),
             logical_rank: 0,
             replica_id: 0,
             iterations: 10,
@@ -84,6 +89,7 @@ mod tests {
         let r = AppRunReport {
             app: "x".into(),
             mode: "native".into(),
+            scheduler: "static-block".into(),
             logical_rank: 0,
             replica_id: 0,
             iterations: 0,

@@ -1,0 +1,39 @@
+//! Criterion wrapper around the `ABL-ADAPT` adaptive-scheduling ablation:
+//! all five registered schedulers on a heterogeneous HPCCG/GTC-like section
+//! repeated over iterations, showing the adaptive scheduler's warm-up
+//! convergence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipr_bench::{ablations, ExperimentScale};
+
+fn bench_adaptive(c: &mut Criterion) {
+    let rows = ablations::adaptive(ExperimentScale::Small);
+    for r in &rows {
+        println!(
+            "adaptive[{} iter {}]: makespan={:.4}s",
+            r.scheduler, r.iteration, r.makespan_s
+        );
+    }
+    let last = rows.iter().map(|r| r.iteration).max().unwrap_or(0);
+    let pick = |sched: &str| {
+        rows.iter()
+            .find(|r| r.scheduler == sched && r.iteration == last)
+            .map(|r| r.makespan_s)
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "final makespans: adaptive={:.4}s cost-aware={:.4}s static-block={:.4}s",
+        pick("adaptive"),
+        pick("cost-aware"),
+        pick("static-block")
+    );
+    let mut group = c.benchmark_group("ablation_adaptive");
+    group.sample_size(10);
+    group.bench_function("scheduler_convergence_small", |b| {
+        b.iter(|| ablations::adaptive(ExperimentScale::Small))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive);
+criterion_main!(benches);

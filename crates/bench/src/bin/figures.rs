@@ -1,13 +1,20 @@
 //! Regenerates the paper's evaluation figures as text tables.
 //!
 //! ```text
-//! cargo run --release -p ipr-bench --bin figures -- all          # every figure, paper scale
-//! cargo run --release -p ipr-bench --bin figures -- fig5a small  # one figure, reduced scale
+//! cargo run --release -p ipr-bench --bin figures -- all            # every figure, paper scale
+//! cargo run --release -p ipr-bench --bin figures -- fig5a small    # one figure, reduced scale
 //! cargo run --release -p ipr-bench --bin figures -- granularity
+//! cargo run --release -p ipr-bench --bin figures -- adaptive       # ABL-ADAPT scheduler study
+//! cargo run --release -p ipr-bench --bin figures -- fig5b small adaptive   # scheduler knob
 //! ```
 //!
 //! Available figure ids: `fig5a`, `fig5b`, `fig6a`, `fig6b`, `fig6c`,
-//! `fig6d`, `granularity`, `bandwidth`, `scheduler`, `all`.
+//! `fig6d`, `granularity`, `bandwidth`, `scheduler`, `adaptive`, `all`.
+//! After the figure id, an optional scale (`full` / `small`, default
+//! `full`) and an optional scheduler name can be given in any order; the
+//! scheduler selects who runs the tasks inside intra-parallel sections for
+//! the application figures (fig5b / fig6): `static-block` (paper default),
+//! `round-robin`, `cost-aware`, `adaptive` or `locality`.
 
 use ipr_bench::fig6::Fig6App;
 use ipr_bench::table::{f2, f3, render};
@@ -46,8 +53,8 @@ fn print_fig5a(scale: ExperimentScale) {
     println!("Paper reference: waxpby 0.5/0.34, ddot 0.5/0.99, sparsemv 0.5/0.94 (SDR/intra efficiency)\n");
 }
 
-fn print_fig5b(scale: ExperimentScale) {
-    let rows = fig5b::run(scale);
+fn print_fig5b(scale: ExperimentScale, scheduler: Option<&'static str>) {
+    let rows = fig5b::run_with_scheduler(scale, scheduler);
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -72,8 +79,8 @@ fn print_fig5b(scale: ExperimentScale) {
     );
 }
 
-fn print_fig6(app: Fig6App, scale: ExperimentScale) {
-    let rows = fig6::run(app, scale);
+fn print_fig6(app: Fig6App, scale: ExperimentScale, scheduler: Option<&'static str>) {
+    let rows = fig6::run_with_scheduler(app, scale, scheduler);
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -172,43 +179,108 @@ fn print_scheduler(scale: ExperimentScale) {
     );
 }
 
+fn print_adaptive(scale: ExperimentScale) {
+    let rows = ablations::adaptive(scale);
+    let iters = rows.iter().map(|r| r.iteration + 1).max().unwrap_or(0);
+    // Pivot: one row per scheduler, one column per section instance.
+    let schedulers: Vec<&'static str> = {
+        let mut seen = Vec::new();
+        for r in &rows {
+            if !seen.contains(&r.scheduler) {
+                seen.push(r.scheduler);
+            }
+        }
+        seen
+    };
+    let mut headers: Vec<String> = vec!["scheduler".to_string()];
+    headers.extend((0..iters).map(|i| format!("iter {i} [s]")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let table_rows: Vec<Vec<String>> = schedulers
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.to_string()];
+            for it in 0..iters {
+                let m = rows
+                    .iter()
+                    .find(|r| r.scheduler == *s && r.iteration == it)
+                    .map(|r| r.makespan_s)
+                    .unwrap_or(f64::NAN);
+                row.push(format!("{m:.4}"));
+            }
+            row
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            "ABL-ADAPT — per-iteration makespan, heterogeneous HPCCG/GTC section",
+            &header_refs,
+            &table_rows,
+        )
+    );
+    println!(
+        "Expected: adaptive == cost-aware at iter 0 (no history), then matches or beats it\n\
+         once the measured-cost EMA is warm (<= 3 iterations).\n"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
-    let scale = args
-        .get(1)
-        .and_then(|s| ExperimentScale::parse(s))
-        .unwrap_or(ExperimentScale::Full);
+    // The optional scale and scheduler arguments are recognized by value
+    // (in any order), so `figures fig5b adaptive` works and a typo errors
+    // out instead of silently running the Full scale with the default
+    // scheduler.
+    let mut scale = ExperimentScale::Full;
+    let mut scheduler: Option<&'static str> = None;
+    for arg in args.iter().skip(1) {
+        if let Some(s) = ExperimentScale::parse(arg) {
+            scale = s;
+        } else if let Some(s) = ipr_core::scheduler_by_name(arg) {
+            scheduler = Some(s.name());
+        } else {
+            eprintln!(
+                "unrecognized argument '{arg}': expected a scale (full, small) or a scheduler ({})",
+                ipr_core::SchedulerRegistry::builtin().names().join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
 
-    println!("intra-replication figure harness — target: {what}, scale: {scale:?}\n");
+    println!(
+        "intra-replication figure harness — target: {what}, scale: {scale:?}, scheduler: {}\n",
+        scheduler.unwrap_or("static-block (paper default)")
+    );
     match what {
         "fig5a" => print_fig5a(scale),
-        "fig5b" => print_fig5b(scale),
-        "fig6a" => print_fig6(Fig6App::AmgPcg27, scale),
-        "fig6b" => print_fig6(Fig6App::AmgGmres7, scale),
-        "fig6c" => print_fig6(Fig6App::Gtc, scale),
-        "fig6d" => print_fig6(Fig6App::MiniGhost, scale),
+        "fig5b" => print_fig5b(scale, scheduler),
+        "fig6a" => print_fig6(Fig6App::AmgPcg27, scale, scheduler),
+        "fig6b" => print_fig6(Fig6App::AmgGmres7, scale, scheduler),
+        "fig6c" => print_fig6(Fig6App::Gtc, scale, scheduler),
+        "fig6d" => print_fig6(Fig6App::MiniGhost, scale, scheduler),
         "fig6" => {
             for app in Fig6App::ALL {
-                print_fig6(app, scale);
+                print_fig6(app, scale, scheduler);
             }
         }
         "granularity" => print_granularity(scale),
         "bandwidth" => print_bandwidth(scale),
         "scheduler" => print_scheduler(scale),
+        "adaptive" => print_adaptive(scale),
         "all" => {
             print_fig5a(scale);
-            print_fig5b(scale);
+            print_fig5b(scale, scheduler);
             for app in Fig6App::ALL {
-                print_fig6(app, scale);
+                print_fig6(app, scale, scheduler);
             }
             print_granularity(scale);
             print_bandwidth(scale);
             print_scheduler(scale);
+            print_adaptive(scale);
         }
         other => {
             eprintln!("unknown figure id '{other}'");
-            eprintln!("expected one of: fig5a fig5b fig6a fig6b fig6c fig6d fig6 granularity bandwidth scheduler all");
+            eprintln!("expected one of: fig5a fig5b fig6a fig6b fig6c fig6d fig6 granularity bandwidth scheduler adaptive all");
             std::process::exit(2);
         }
     }

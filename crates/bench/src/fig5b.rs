@@ -28,7 +28,12 @@ pub struct ScalingRow {
     pub efficiency: f64,
 }
 
-fn hpccg_time(mode: ExecutionMode, procs: usize, scale: ExperimentScale) -> f64 {
+fn hpccg_time(
+    mode: ExecutionMode,
+    procs: usize,
+    scale: ExperimentScale,
+    scheduler: Option<&'static str>,
+) -> f64 {
     let degree = mode.degree();
     let num_logical = procs / degree;
     assert!(num_logical > 0);
@@ -58,7 +63,8 @@ fn hpccg_time(mode: ExecutionMode, procs: usize, scale: ExperimentScale) -> f64 
             max_iters: iters,
             kernels: KernelSelection::paper_application(),
         };
-        let mut ctx = AppContext::without_failures(proc, mode, IntraConfig::paper()).unwrap();
+        let intra = apps::driver::with_scheduler(IntraConfig::paper(), scheduler).unwrap();
+        let mut ctx = AppContext::without_failures(proc, mode, intra).unwrap();
         let out = run_hpccg(&mut ctx, &params).unwrap();
         out.report.total_time.as_secs()
     });
@@ -68,11 +74,31 @@ fn hpccg_time(mode: ExecutionMode, procs: usize, scale: ExperimentScale) -> f64 
 
 /// Runs the Figure 5b study: one row per (process count, configuration).
 pub fn run(scale: ExperimentScale) -> Vec<ScalingRow> {
+    run_with_scheduler(scale, None)
+}
+
+/// [`run`] with an explicit scheduler selected from the ipr-core registry
+/// (`None` keeps the paper's static block scheduler).  This is the
+/// scheduler knob of the `figures` CLI: `figures fig5b small adaptive`.
+pub fn run_with_scheduler(
+    scale: ExperimentScale,
+    scheduler: Option<&'static str>,
+) -> Vec<ScalingRow> {
     let mut rows = Vec::new();
     for procs in scale.fig5b_procs() {
-        let t_native = hpccg_time(ExecutionMode::Native, procs, scale);
-        let t_sdr = hpccg_time(ExecutionMode::Replicated { degree: 2 }, procs, scale);
-        let t_intra = hpccg_time(ExecutionMode::IntraParallel { degree: 2 }, procs, scale);
+        let t_native = hpccg_time(ExecutionMode::Native, procs, scale, scheduler);
+        let t_sdr = hpccg_time(
+            ExecutionMode::Replicated { degree: 2 },
+            procs,
+            scale,
+            scheduler,
+        );
+        let t_intra = hpccg_time(
+            ExecutionMode::IntraParallel { degree: 2 },
+            procs,
+            scale,
+            scheduler,
+        );
         for (mode, time) in [
             ("Open MPI", t_native),
             ("SDR-MPI", t_sdr),

@@ -89,7 +89,12 @@ pub struct AppRow {
     pub efficiency: f64,
 }
 
-fn run_app(app: Fig6App, mode: ExecutionMode, scale: ExperimentScale) -> (f64, f64, usize) {
+fn run_app(
+    app: Fig6App,
+    mode: ExecutionMode,
+    scale: ExperimentScale,
+    scheduler: Option<&'static str>,
+) -> (f64, f64, usize) {
     let degree = mode.degree();
     let num_logical = scale.fig6_logical_procs();
     let procs = num_logical * degree;
@@ -108,7 +113,8 @@ fn run_app(app: Fig6App, mode: ExecutionMode, scale: ExperimentScale) -> (f64, f
     let iters = scale.app_iterations();
 
     let report = run_cluster(&config, move |proc| {
-        let mut ctx = AppContext::without_failures(proc, mode, IntraConfig::paper()).unwrap();
+        let intra = apps::driver::with_scheduler(IntraConfig::paper(), scheduler).unwrap();
+        let mut ctx = AppContext::without_failures(proc, mode, intra).unwrap();
         let r: AppRunReport = match app {
             Fig6App::AmgPcg27 => {
                 let params = AmgParams::paper_scale(AmgSolver::Pcg27, actual_edge, iters);
@@ -139,10 +145,31 @@ fn run_app(app: Fig6App, mode: ExecutionMode, scale: ExperimentScale) -> (f64, f
 
 /// Runs one Figure 6 sub-plot: native, replicated and intra bars.
 pub fn run(app: Fig6App, scale: ExperimentScale) -> Vec<AppRow> {
-    let (t_native, sec_native, procs_native) = run_app(app, ExecutionMode::Native, scale);
-    let (t_sdr, sec_sdr, procs_sdr) = run_app(app, ExecutionMode::Replicated { degree: 2 }, scale);
-    let (t_intra, sec_intra, procs_intra) =
-        run_app(app, ExecutionMode::IntraParallel { degree: 2 }, scale);
+    run_with_scheduler(app, scale, None)
+}
+
+/// [`run`] with an explicit scheduler from the ipr-core registry (`None`
+/// keeps the paper's static block scheduler).  The `figures` CLI threads
+/// its `[scheduler]` argument through here: `figures fig6c small locality`.
+pub fn run_with_scheduler(
+    app: Fig6App,
+    scale: ExperimentScale,
+    scheduler: Option<&'static str>,
+) -> Vec<AppRow> {
+    let (t_native, sec_native, procs_native) =
+        run_app(app, ExecutionMode::Native, scale, scheduler);
+    let (t_sdr, sec_sdr, procs_sdr) = run_app(
+        app,
+        ExecutionMode::Replicated { degree: 2 },
+        scale,
+        scheduler,
+    );
+    let (t_intra, sec_intra, procs_intra) = run_app(
+        app,
+        ExecutionMode::IntraParallel { degree: 2 },
+        scale,
+        scheduler,
+    );
     vec![
         AppRow {
             app: app.name(),

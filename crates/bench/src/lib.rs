@@ -10,7 +10,7 @@
 //! | 6b | [`fig6::run`] (`Fig6App::AmgGmres7`) | AMG2013, 7-pt GMRES |
 //! | 6c | [`fig6::run`] (`Fig6App::Gtc`) | GTC charge/push |
 //! | 6d | [`fig6::run`] (`Fig6App::MiniGhost`) | MiniGhost stencil + sum |
-//! | — | [`ablations`] | task granularity, bandwidth, scheduler ablations |
+//! | — | [`ablations`] | task granularity, bandwidth, scheduler, adaptive-scheduling (`ABL-ADAPT`) ablations |
 //!
 //! The `figures` binary prints the rows in the same form as the paper
 //! (normalized time / execution time plus the efficiency above each bar);

@@ -1,0 +1,257 @@
+//! Measured-cost history: the data the adaptive scheduler learns from.
+//!
+//! The paper's prototype schedules tasks from their *declared* weights (or,
+//! with the static split, from nothing at all) and notes that "more elaborate
+//! strategies could be designed".  The elaborate strategy implemented here
+//! closes the loop: every executed section records the virtual-time duration
+//! of each of its tasks ([`crate::report::TaskCostSample`]), the runtime
+//! feeds those durations into an exponential-moving-average history keyed
+//! per task instance (this module; see [`instance_key`]), and schedulers
+//! that opt in (see
+//! [`crate::sched::Scheduler::wants_measured_weights`]) receive the learned
+//! durations instead of the declared weights on the next instance of the
+//! section.
+//!
+//! ## Replica determinism
+//!
+//! Work-sharing correctness requires every replica to compute the *same*
+//! assignment without exchanging messages, so the cost model must evolve
+//! identically on all replicas.  This holds because the runtime feeds it one
+//! observation per task of every executed section, in task order, where the
+//! observation is the task's modeled execution time — a pure function of the
+//! task's declared [`crate::task::TaskCost`] and the cluster-wide machine
+//! model, identical no matter which replica actually ran the task (see
+//! `observed_seconds` in [`crate::report::TaskCostSample`]).  No
+//! wall-clock or per-replica state ever enters the model.
+
+use std::collections::HashMap;
+
+/// Default smoothing factor of the exponential moving average.
+pub const DEFAULT_EMA_ALPHA: f64 = 0.5;
+
+/// Composes the EMA history key of one task instance: the task name
+/// qualified by the task's occurrence index among the same-named tasks of
+/// its section (`"sparsemv#3"` is the fourth `sparsemv` task launched).
+///
+/// Real sections launch many tasks under one name (HPCCG's `sparsemv`
+/// section is eight identically named chunks); qualifying the key by
+/// occurrence lets each chunk learn its own history, so heterogeneous
+/// same-named tasks still schedule correctly.  Occurrence indices follow
+/// launch order, which is identical on every replica.
+pub fn instance_key(name: &str, occurrence: usize) -> String {
+    format!("{name}#{occurrence}")
+}
+
+/// One learned per-key cost estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Exponentially smoothed execution time in virtual seconds.
+    pub seconds: f64,
+    /// Number of observations folded into the estimate.
+    pub samples: u64,
+}
+
+/// Exponential-moving-average history of measured task execution times,
+/// keyed by an arbitrary string (the runtime uses [`instance_key`], the
+/// task name qualified by its occurrence index within the section).
+///
+/// `mean ← α·sample + (1−α)·mean`, with the first observation initializing
+/// the mean directly so a single iteration is enough to start scheduling
+/// from measured costs.
+///
+/// # Examples
+///
+/// ```
+/// use ipr_core::CostModel;
+///
+/// let mut model = CostModel::new(0.5);
+/// model.observe("sparsemv", 0.25);
+/// model.observe("sparsemv", 0.25);
+/// assert_eq!(model.predict("sparsemv"), Some(0.25));
+/// // Unknown names fall back to the declared weight.
+/// assert_eq!(model.effective_weight("ddot", 42.0), 42.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CostModel {
+    alpha: f64,
+    entries: HashMap<String, CostEstimate>,
+}
+
+impl CostModel {
+    /// Creates a model with the given EMA smoothing factor, clamped to
+    /// `(0, 1]` (values outside the range fall back to
+    /// [`DEFAULT_EMA_ALPHA`]).
+    pub fn new(alpha: f64) -> Self {
+        let alpha = if alpha.is_finite() && alpha > 0.0 && alpha <= 1.0 {
+            alpha
+        } else {
+            DEFAULT_EMA_ALPHA
+        };
+        CostModel {
+            alpha,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The smoothing factor in effect.
+    pub fn alpha(&self) -> f64 {
+        if self.alpha > 0.0 {
+            self.alpha
+        } else {
+            // `Default` produces alpha == 0.0; treat it as the default.
+            DEFAULT_EMA_ALPHA
+        }
+    }
+
+    /// Folds one measured duration (virtual seconds) into the history of
+    /// `key`.  Non-finite or negative samples are ignored.
+    pub fn observe(&mut self, key: &str, seconds: f64) {
+        if !seconds.is_finite() || seconds < 0.0 {
+            return;
+        }
+        let alpha = self.alpha();
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                e.seconds = alpha * seconds + (1.0 - alpha) * e.seconds;
+                e.samples += 1;
+            }
+            None => {
+                self.entries.insert(
+                    key.to_string(),
+                    CostEstimate {
+                        seconds,
+                        samples: 1,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The learned execution time of `key`, if any observation exists.
+    pub fn predict(&self, key: &str) -> Option<f64> {
+        self.entries.get(key).map(|e| e.seconds)
+    }
+
+    /// The full estimate (smoothed seconds + sample count) for `key`.
+    pub fn estimate(&self, key: &str) -> Option<CostEstimate> {
+        self.entries.get(key).copied()
+    }
+
+    /// The scheduling weight to use for a task with history key `key` and
+    /// declared weight `declared`: the learned duration when one exists and
+    /// is positive, the declared weight otherwise.
+    ///
+    /// Falling back on non-positive predictions keeps the adaptive scheduler
+    /// well-behaved on idealized machines (where every measured duration is
+    /// zero): an all-zero weight vector would make greedy LPT pile every
+    /// task onto one replica.
+    pub fn effective_weight(&self, key: &str, declared: f64) -> f64 {
+        match self.predict(key) {
+            Some(p) if p > 0.0 && p.is_finite() => p,
+            _ => declared,
+        }
+    }
+
+    /// Number of distinct history keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no observation has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops all history.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_initializes_the_mean() {
+        let mut m = CostModel::new(0.25);
+        m.observe("t", 4.0);
+        assert_eq!(m.predict("t"), Some(4.0));
+        assert_eq!(m.estimate("t").unwrap().samples, 1);
+    }
+
+    #[test]
+    fn ema_smooths_subsequent_observations() {
+        let mut m = CostModel::new(0.5);
+        m.observe("t", 4.0);
+        m.observe("t", 2.0);
+        // 0.5 * 2 + 0.5 * 4 = 3.
+        assert_eq!(m.predict("t"), Some(3.0));
+        assert_eq!(m.estimate("t").unwrap().samples, 2);
+    }
+
+    #[test]
+    fn ema_converges_on_stable_workloads() {
+        // Regression: starting far from the true cost, the estimate must
+        // converge geometrically once the workload stabilizes.
+        let mut m = CostModel::new(0.5);
+        m.observe("t", 100.0);
+        for _ in 0..40 {
+            m.observe("t", 0.25);
+        }
+        let err = (m.predict("t").unwrap() - 0.25).abs();
+        assert!(err < 1e-9, "EMA did not converge: err = {err}");
+    }
+
+    #[test]
+    fn invalid_alpha_falls_back_to_default() {
+        for alpha in [0.0, -1.0, 2.0, f64::NAN] {
+            let m = CostModel::new(alpha);
+            assert_eq!(m.alpha(), DEFAULT_EMA_ALPHA);
+        }
+        assert_eq!(CostModel::default().alpha(), DEFAULT_EMA_ALPHA);
+    }
+
+    #[test]
+    fn invalid_samples_are_ignored() {
+        let mut m = CostModel::new(0.5);
+        m.observe("t", f64::NAN);
+        m.observe("t", -1.0);
+        m.observe("t", f64::INFINITY);
+        assert!(m.is_empty());
+        m.observe("t", 1.0);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn effective_weight_falls_back_when_unknown_or_zero() {
+        let mut m = CostModel::new(0.5);
+        assert_eq!(m.effective_weight("t", 7.0), 7.0);
+        m.observe("t", 0.0);
+        // Zero prediction (idealized machine) must not override the declared
+        // weight.
+        assert_eq!(m.effective_weight("t", 7.0), 7.0);
+        m.observe("u", 3.0);
+        assert_eq!(m.effective_weight("u", 7.0), 3.0);
+    }
+
+    #[test]
+    fn instance_keys_separate_same_named_tasks() {
+        let mut m = CostModel::new(0.5);
+        m.observe(&instance_key("sparsemv", 0), 1.0);
+        m.observe(&instance_key("sparsemv", 1), 4.0);
+        assert_eq!(m.predict(&instance_key("sparsemv", 0)), Some(1.0));
+        assert_eq!(m.predict(&instance_key("sparsemv", 1)), Some(4.0));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn clear_drops_history() {
+        let mut m = CostModel::new(0.5);
+        m.observe("t", 1.0);
+        assert!(!m.is_empty());
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.predict("t"), None);
+    }
+}

@@ -20,6 +20,10 @@ pub enum IntraError {
     InvalidTask(String),
     /// A workspace variable id or range was invalid.
     InvalidVariable(String),
+    /// A runtime configuration value was invalid (e.g. an unknown scheduler
+    /// name passed to
+    /// [`crate::runtime::IntraConfig::with_scheduler_name`]).
+    InvalidConfig(String),
 }
 
 impl fmt::Display for IntraError {
@@ -32,6 +36,7 @@ impl fmt::Display for IntraError {
             }
             IntraError::InvalidTask(msg) => write!(f, "invalid task: {msg}"),
             IntraError::InvalidVariable(msg) => write!(f, "invalid workspace variable: {msg}"),
+            IntraError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -70,5 +75,8 @@ mod tests {
             .to_string()
             .contains('x'));
         assert!(IntraError::NoAliveReplica.to_string().contains("alive"));
+        assert!(IntraError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 }

@@ -59,10 +59,11 @@
 //! }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod api;
+pub mod cost;
 pub mod error;
 pub mod report;
 pub mod runtime;
@@ -72,10 +73,15 @@ pub mod task;
 pub mod workspace;
 
 pub use api::{IntraSession, TaskTypeId};
+pub use cost::{CostEstimate, CostModel, DEFAULT_EMA_ALPHA};
 pub use error::{IntraError, IntraResult};
-pub use report::{RuntimeReport, SectionReport};
+pub use report::{RuntimeReport, SectionReport, TaskCostSample};
 pub use runtime::{IntraConfig, IntraRuntime};
-pub use sched::{CostAwareScheduler, RoundRobinScheduler, Scheduler, StaticBlockScheduler};
+pub use sched::{
+    assignment_makespan, scheduler_by_name, AdaptiveScheduler, CostAwareScheduler,
+    LocalityAwareScheduler, RoundRobinScheduler, Scheduler, SchedulerRegistry,
+    StaticBlockScheduler,
+};
 pub use section::{split_ranges, Section, MAX_ARGS_PER_TASK, MAX_TASKS_PER_SECTION};
 pub use task::{ArgSpec, ArgTag, TaskCost, TaskCtx, TaskDef, TaskFn};
 pub use workspace::{VarId, Workspace};
@@ -83,11 +89,13 @@ pub use workspace::{VarId, Workspace};
 /// Convenience re-exports for application code.
 pub mod prelude {
     pub use crate::api::{IntraSession, TaskTypeId};
+    pub use crate::cost::{CostEstimate, CostModel};
     pub use crate::error::{IntraError, IntraResult};
-    pub use crate::report::{RuntimeReport, SectionReport};
+    pub use crate::report::{RuntimeReport, SectionReport, TaskCostSample};
     pub use crate::runtime::{IntraConfig, IntraRuntime};
     pub use crate::sched::{
-        CostAwareScheduler, RoundRobinScheduler, Scheduler, StaticBlockScheduler,
+        scheduler_by_name, AdaptiveScheduler, CostAwareScheduler, LocalityAwareScheduler,
+        RoundRobinScheduler, Scheduler, SchedulerRegistry, StaticBlockScheduler,
     };
     pub use crate::section::{split_ranges, Section};
     pub use crate::task::{ArgSpec, ArgTag, TaskCost, TaskCtx, TaskDef};

@@ -8,6 +8,39 @@
 
 use simcluster::SimTime;
 
+/// Measured cost of one task instance of an executed section.
+///
+/// `observed_seconds` is the task's execution time in *virtual* seconds: the
+/// time the task charges to the virtual clock when it runs (the roofline
+/// time of its declared cost on the cluster-wide machine model).  It is
+/// recorded for every task of the section — including the ones a peer
+/// replica executed — because the value is a pure function of the task and
+/// the machine model, identical no matter which replica runs the task (a
+/// debug assertion in the section executor checks the actual clock delta of
+/// every locally executed task against it).  Every replica therefore
+/// observes an identical cost stream, which is what lets the
+/// [`crate::cost::CostModel`] — and hence the adaptive scheduler's
+/// assignment — stay replica-deterministic without any coordination
+/// messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskCostSample {
+    /// Task name.
+    pub name: String,
+    /// Cost-model history key: the name qualified by the task's occurrence
+    /// index among same-named tasks of the section (see
+    /// [`crate::cost::instance_key`]), so heterogeneous same-named chunks
+    /// learn independent histories.
+    pub key: String,
+    /// The declared scheduling weight ([`crate::task::TaskDef::weight`]).
+    pub declared_weight: f64,
+    /// Execution time in virtual seconds (see the type-level docs).
+    pub observed_seconds: f64,
+    /// Replica that executed the task (after failure-driven adoption).
+    pub executed_by: usize,
+    /// True if this replica executed the task itself.
+    pub executed_locally: bool,
+}
+
 /// Metrics of one executed intra-parallel section.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SectionReport {
@@ -37,6 +70,11 @@ pub struct SectionReport {
     pub local_work_done: SimTime,
     /// Virtual time at section exit (all updates exchanged).
     pub end_time: SimTime,
+    /// Per-task measured execution costs (one entry per task, in launch
+    /// order).  Fed into the runtime's [`crate::cost::CostModel`] so later
+    /// instances of the section can be scheduled from measured rather than
+    /// declared weights.
+    pub task_costs: Vec<TaskCostSample>,
 }
 
 impl SectionReport {
@@ -55,6 +93,13 @@ impl SectionReport {
     /// done (the dashed "intra updates" part of the Figure 5a bars).
     pub fn update_drain_time(&self) -> SimTime {
         self.end_time.saturating_sub(self.local_work_done)
+    }
+
+    /// Sum of the observed per-task execution times of this section, in
+    /// virtual seconds (the perfectly parallelizable work the scheduler
+    /// distributes).
+    pub fn observed_task_seconds(&self) -> f64 {
+        self.task_costs.iter().map(|t| t.observed_seconds).sum()
     }
 }
 
@@ -141,6 +186,24 @@ mod tests {
             start_time: SimTime::from_secs(start),
             local_work_done: SimTime::from_secs(work_done),
             end_time: SimTime::from_secs(end),
+            task_costs: vec![
+                TaskCostSample {
+                    name: "t".into(),
+                    key: "t#0".into(),
+                    declared_weight: 1.0,
+                    observed_seconds: 0.5,
+                    executed_by: 0,
+                    executed_locally: true,
+                },
+                TaskCostSample {
+                    name: "t".into(),
+                    key: "t#1".into(),
+                    declared_weight: 1.0,
+                    observed_seconds: 0.25,
+                    executed_by: 1,
+                    executed_locally: false,
+                },
+            ],
         }
     }
 
@@ -150,6 +213,7 @@ mod tests {
         assert_eq!(r.total_time().as_secs(), 3.5);
         assert_eq!(r.local_work_time().as_secs(), 2.0);
         assert_eq!(r.update_drain_time().as_secs(), 1.5);
+        assert_eq!(r.observed_task_seconds(), 0.75);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The intra-parallelization runtime owned by one physical process.
 
+use crate::cost::{CostModel, DEFAULT_EMA_ALPHA};
+use crate::error::{IntraError, IntraResult};
 use crate::report::RuntimeReport;
-use crate::sched::{Scheduler, StaticBlockScheduler};
+use crate::sched::{Scheduler, SchedulerRegistry, StaticBlockScheduler};
 use crate::section::Section;
 use crate::workspace::Workspace;
 use replication::ReplicatedEnv;
@@ -24,6 +26,10 @@ pub struct IntraConfig {
     pub charge_costs: bool,
     /// Scheduler deciding which replica executes which task.
     pub scheduler: Arc<dyn Scheduler>,
+    /// Smoothing factor of the measured-cost EMA history fed to schedulers
+    /// that ask for measured weights (see
+    /// [`crate::sched::Scheduler::wants_measured_weights`]).
+    pub cost_ema_alpha: f64,
 }
 
 impl std::fmt::Debug for IntraConfig {
@@ -33,6 +39,7 @@ impl std::fmt::Debug for IntraConfig {
             .field("modeled_scale", &self.modeled_scale)
             .field("charge_costs", &self.charge_costs)
             .field("scheduler", &self.scheduler.name())
+            .field("cost_ema_alpha", &self.cost_ema_alpha)
             .finish()
     }
 }
@@ -44,6 +51,7 @@ impl Default for IntraConfig {
             modeled_scale: 1.0,
             charge_costs: true,
             scheduler: Arc::new(StaticBlockScheduler),
+            cost_ema_alpha: DEFAULT_EMA_ALPHA,
         }
     }
 }
@@ -82,6 +90,38 @@ impl IntraConfig {
         self.scheduler = scheduler;
         self
     }
+
+    /// Sets the scheduler by registry name — the scheduler-selection knob of
+    /// the app drivers and the bench CLI.  Fails with the list of available
+    /// names when `name` is unknown.
+    ///
+    /// ```
+    /// use ipr_core::IntraConfig;
+    ///
+    /// let config = IntraConfig::paper().with_scheduler_name("adaptive").unwrap();
+    /// assert_eq!(config.scheduler.name(), "adaptive");
+    /// assert!(IntraConfig::paper().with_scheduler_name("nope").is_err());
+    /// ```
+    pub fn with_scheduler_name(mut self, name: &str) -> IntraResult<Self> {
+        let registry = SchedulerRegistry::builtin();
+        match registry.get(name) {
+            Some(s) => {
+                self.scheduler = s;
+                Ok(self)
+            }
+            None => Err(IntraError::InvalidConfig(format!(
+                "unknown scheduler '{name}' (available: {})",
+                registry.names().join(", ")
+            ))),
+        }
+    }
+
+    /// Sets the smoothing factor of the measured-cost EMA (clamped to
+    /// `(0, 1]` by the cost model).
+    pub fn with_cost_ema_alpha(mut self, alpha: f64) -> Self {
+        self.cost_ema_alpha = alpha;
+        self
+    }
 }
 
 /// The per-physical-process intra-parallelization runtime.
@@ -94,16 +134,19 @@ pub struct IntraRuntime {
     config: IntraConfig,
     section_count: usize,
     report: RuntimeReport,
+    cost_model: CostModel,
 }
 
 impl IntraRuntime {
     /// Creates the runtime for this physical process.
     pub fn new(env: ReplicatedEnv, config: IntraConfig) -> Self {
+        let cost_model = CostModel::new(config.cost_ema_alpha);
         IntraRuntime {
             env,
             config,
             section_count: 0,
             report: RuntimeReport::default(),
+            cost_model,
         }
     }
 
@@ -133,6 +176,24 @@ impl IntraRuntime {
         &self.report
     }
 
+    /// The measured-cost history learned from the sections executed so far.
+    ///
+    /// Keyed by task instance ([`crate::cost::instance_key`]); fed one
+    /// observation per task of every recorded section (see
+    /// [`crate::report::TaskCostSample`] for why the stream is identical on
+    /// every replica).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// Mutable access to the cost history (e.g. to reset it between
+    /// measured regions).  Mutating it identically on every replica is the
+    /// caller's responsibility — the assignment of tasks to replicas is
+    /// derived from this state.
+    pub fn cost_model_mut(&mut self) -> &mut CostModel {
+        &mut self.cost_model
+    }
+
     pub(crate) fn next_section_index(&mut self) -> usize {
         let idx = self.section_count;
         self.section_count += 1;
@@ -140,6 +201,12 @@ impl IntraRuntime {
     }
 
     pub(crate) fn record(&mut self, report: crate::report::SectionReport) {
+        // Fold the section's per-task costs into the EMA history, in task
+        // order (the order is part of the replica-determinism contract).
+        for sample in &report.task_costs {
+            self.cost_model
+                .observe(&sample.key, sample.observed_seconds);
+        }
         self.report.push(report);
     }
 }
@@ -155,6 +222,19 @@ mod tests {
         assert_eq!(c.modeled_scale, 1.0);
         assert!(c.charge_costs);
         assert_eq!(c.scheduler.name(), "static-block");
+        assert_eq!(c.cost_ema_alpha, DEFAULT_EMA_ALPHA);
+    }
+
+    #[test]
+    fn scheduler_name_builder_resolves_the_registry() {
+        for name in crate::sched::SchedulerRegistry::builtin().names() {
+            let c = IntraConfig::paper().with_scheduler_name(name).unwrap();
+            assert_eq!(c.scheduler.name(), name);
+        }
+        let err = IntraConfig::paper()
+            .with_scheduler_name("no-such")
+            .unwrap_err();
+        assert!(err.to_string().contains("static-block"), "{err}");
     }
 
     #[test]

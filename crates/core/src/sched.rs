@@ -5,12 +5,20 @@
 //! ones are executed by replica 2") and notes that more elaborate strategies
 //! could be designed.  [`StaticBlockScheduler`] is that strategy;
 //! [`RoundRobinScheduler`] and [`CostAwareScheduler`] are the obvious
-//! alternatives, compared in the `ABL-SCHED` ablation.
+//! alternatives, compared in the `ABL-SCHED` ablation; and
+//! [`AdaptiveScheduler`] / [`LocalityAwareScheduler`] are the "more
+//! elaborate" designs: the former schedules from *measured* execution times
+//! learned across section instances (see [`crate::cost::CostModel`]), the
+//! latter keeps assignments contiguous and stable across iterations.
+//! [`SchedulerRegistry`] maps scheduler names to instances so configuration
+//! files, app drivers and the bench CLI can select one by string.
 //!
 //! A scheduler is a pure function of the task weights and the set of alive
 //! replicas, so all replicas of a logical process independently compute the
 //! same assignment — no coordination messages are needed, which is what
 //! makes failure-driven rescheduling (Algorithm 1, line 24) cheap.
+
+use std::sync::Arc;
 
 /// Assigns every task of a section to one alive replica.
 pub trait Scheduler: Send + Sync {
@@ -22,10 +30,62 @@ pub trait Scheduler: Send + Sync {
 
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
+
+    /// True if the runtime should hand this scheduler *measured* task
+    /// weights (the learned execution times of [`crate::cost::CostModel`],
+    /// falling back to the declared weight for tasks without history)
+    /// instead of the declared weights.
+    ///
+    /// The default is `false`, which preserves the paper's behaviour for the
+    /// three classic schedulers.
+    fn wants_measured_weights(&self) -> bool {
+        false
+    }
+}
+
+/// Greedy longest-processing-time list scheduling: sort task indices by
+/// decreasing weight and give each to the currently least-loaded replica.
+/// Ties (both in task weight and in replica load) are broken by index so the
+/// result is deterministic across replicas.
+fn lpt_assign(task_weights: &[f64], alive_replicas: &[usize]) -> Vec<usize> {
+    let k = alive_replicas.len();
+    let mut load = vec![0.0f64; k];
+    let mut order: Vec<usize> = (0..task_weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        task_weights[b]
+            .partial_cmp(&task_weights[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut out = vec![alive_replicas[0]; task_weights.len()];
+    for &t in &order {
+        let (slot, _) = load
+            .iter()
+            .enumerate()
+            .min_by(|(ia, a), (ib, b)| {
+                a.partial_cmp(b)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(ia.cmp(ib))
+            })
+            .expect("at least one replica");
+        load[slot] += task_weights[t];
+        out[t] = alive_replicas[slot];
+    }
+    out
 }
 
 /// The paper's static block scheduler: the first `N/k` tasks go to the first
 /// alive replica, the next block to the second, and so on.
+///
+/// # Examples
+///
+/// ```
+/// use ipr_core::{Scheduler, StaticBlockScheduler};
+///
+/// // The paper's split: 8 tasks, 2 replicas -> N/2 first / N/2 last.
+/// let assignment = StaticBlockScheduler.assign(&[1.0; 8], &[0, 1]);
+/// assert_eq!(assignment, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StaticBlockScheduler;
 
@@ -59,6 +119,15 @@ impl Scheduler for StaticBlockScheduler {
 }
 
 /// Round-robin assignment: task `i` goes to alive replica `i % k`.
+///
+/// # Examples
+///
+/// ```
+/// use ipr_core::{RoundRobinScheduler, Scheduler};
+///
+/// let assignment = RoundRobinScheduler.assign(&[1.0; 5], &[0, 1]);
+/// assert_eq!(assignment, vec![0, 1, 0, 1, 0]);
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RoundRobinScheduler;
 
@@ -75,40 +144,25 @@ impl Scheduler for RoundRobinScheduler {
     }
 }
 
-/// Greedy longest-processing-time assignment balancing the task weights
-/// across replicas (useful when tasks are heterogeneous).
+/// Greedy longest-processing-time assignment balancing the *declared* task
+/// weights across replicas (useful when tasks are heterogeneous).
+///
+/// # Examples
+///
+/// ```
+/// use ipr_core::{CostAwareScheduler, Scheduler};
+///
+/// // One heavy task and four light ones: LPT isolates the heavy task.
+/// let assignment = CostAwareScheduler.assign(&[8.0, 1.0, 1.0, 1.0, 1.0], &[0, 1]);
+/// assert_eq!(assignment[0], 0);
+/// assert!(assignment[1..].iter().all(|&r| r == 1));
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CostAwareScheduler;
 
 impl Scheduler for CostAwareScheduler {
     fn assign(&self, task_weights: &[f64], alive_replicas: &[usize]) -> Vec<usize> {
-        let k = alive_replicas.len();
-        let mut load = vec![0.0f64; k];
-        // Sort task indices by decreasing weight, assign each to the least
-        // loaded replica; ties broken by task index so the assignment is
-        // deterministic across replicas.
-        let mut order: Vec<usize> = (0..task_weights.len()).collect();
-        order.sort_by(|&a, &b| {
-            task_weights[b]
-                .partial_cmp(&task_weights[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
-        let mut out = vec![alive_replicas[0]; task_weights.len()];
-        for &t in &order {
-            let (slot, _) = load
-                .iter()
-                .enumerate()
-                .min_by(|(ia, a), (ib, b)| {
-                    a.partial_cmp(b)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(ia.cmp(ib))
-                })
-                .expect("at least one replica");
-            load[slot] += task_weights[t];
-            out[t] = alive_replicas[slot];
-        }
-        out
+        lpt_assign(task_weights, alive_replicas)
     }
 
     fn name(&self) -> &'static str {
@@ -116,10 +170,230 @@ impl Scheduler for CostAwareScheduler {
     }
 }
 
+/// History-driven longest-processing-time scheduling: identical greedy LPT to
+/// [`CostAwareScheduler`], but [`Scheduler::wants_measured_weights`] returns
+/// `true`, so the runtime substitutes each task's *learned* execution time
+/// (the [`crate::cost::CostModel`] EMA over previous section instances) for
+/// its declared weight.
+///
+/// Declared weights mix units (flops vs bytes) and can mis-rank tasks whose
+/// roofline bottlenecks differ; measured virtual-time durations cannot.  On
+/// the first instance of a section no history exists yet, every task falls
+/// back to its declared weight, and the scheduler behaves exactly like
+/// [`CostAwareScheduler`] — one warm-up iteration later the assignment is
+/// driven by measured costs (see the `ABL-ADAPT` ablation and
+/// `examples/adaptive_sched.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use ipr_core::{AdaptiveScheduler, Scheduler};
+///
+/// let sched = AdaptiveScheduler;
+/// assert!(sched.wants_measured_weights());
+/// // Given (measured) weights, the assignment is plain LPT:
+/// let assignment = sched.assign(&[8.0, 7.0, 2.0, 1.0], &[0, 1]);
+/// assert_eq!(assignment, vec![0, 1, 1, 0]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdaptiveScheduler;
+
+impl Scheduler for AdaptiveScheduler {
+    fn assign(&self, task_weights: &[f64], alive_replicas: &[usize]) -> Vec<usize> {
+        lpt_assign(task_weights, alive_replicas)
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn wants_measured_weights(&self) -> bool {
+        true
+    }
+}
+
+/// Weight-balanced *contiguous* partitioning: replica `j` receives a
+/// contiguous run of tasks whose cumulative weight is as close as possible
+/// to `j/k .. (j+1)/k` of the total.
+///
+/// Two properties distinguish it from greedy LPT:
+///
+/// * **locality** — each replica owns one contiguous task range, so the
+///   `out`/`inout` ranges it ships form as few contiguous runs per variable
+///   as possible (tasks produced by [`crate::section::split_ranges`] write
+///   adjacent ranges), which is what an implementation that coalesces update
+///   messages wants;
+/// * **stickiness** — the split point moves only when the weight *profile*
+///   moves, so across iterations of a section with stable (or slowly
+///   drifting) weights every task keeps its owner, whereas LPT can permute
+///   ownership on the smallest weight perturbation.  Stable ownership means
+///   iteration `i+1` re-reads the ranges replica `j` already produced in
+///   iteration `i` from local memory, not from a differently shaped peer
+///   update.
+///
+/// # Examples
+///
+/// ```
+/// use ipr_core::{LocalityAwareScheduler, Scheduler};
+///
+/// // A weight gradient: the contiguous split is 4 light tasks / 2 heavy.
+/// let weights = [1.0, 1.0, 1.0, 1.0, 2.0, 2.0];
+/// let assignment = LocalityAwareScheduler.assign(&weights, &[0, 1]);
+/// assert_eq!(assignment, vec![0, 0, 0, 0, 1, 1]);
+/// // Contiguity: the replica id never decreases along the task list.
+/// assert!(assignment.windows(2).all(|w| w[0] <= w[1]));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalityAwareScheduler;
+
+impl Scheduler for LocalityAwareScheduler {
+    fn assign(&self, task_weights: &[f64], alive_replicas: &[usize]) -> Vec<usize> {
+        let n = task_weights.len();
+        let k = alive_replicas.len();
+        let total: f64 = task_weights.iter().filter(|w| w.is_finite()).sum();
+        if n == 0 {
+            return Vec::new();
+        }
+        if !(total > 0.0) || k == 1 {
+            // Degenerate weights: fall back to the paper's static block
+            // split, which is contiguous and balanced by task count.
+            return StaticBlockScheduler.assign(task_weights, alive_replicas);
+        }
+        // Place each task by the midpoint of its weight interval within the
+        // cumulative profile: task t covering [prefix, prefix + w) goes to
+        // the replica whose share of the total contains prefix + w/2.  The
+        // midpoint is monotonically increasing, so the assignment is
+        // contiguous by construction.
+        let mut out = Vec::with_capacity(n);
+        let mut prefix = 0.0f64;
+        for &w in task_weights {
+            let w = if w.is_finite() && w > 0.0 { w } else { 0.0 };
+            let mid = prefix + w * 0.5;
+            let slot = ((mid / total) * k as f64).floor() as usize;
+            out.push(alive_replicas[slot.min(k - 1)]);
+            prefix += w;
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "locality"
+    }
+}
+
+/// Name → scheduler registry used by [`crate::runtime::IntraConfig`], the
+/// app drivers and the bench CLI to select a scheduler by string.
+///
+/// # Examples
+///
+/// ```
+/// use ipr_core::SchedulerRegistry;
+///
+/// let registry = SchedulerRegistry::builtin();
+/// assert_eq!(
+///     registry.names(),
+///     vec!["static-block", "round-robin", "cost-aware", "adaptive", "locality"]
+/// );
+/// let sched = registry.get("adaptive").expect("registered");
+/// assert_eq!(sched.name(), "adaptive");
+/// assert!(registry.get("no-such-scheduler").is_none());
+/// ```
+pub struct SchedulerRegistry {
+    entries: Vec<Arc<dyn Scheduler>>,
+}
+
+impl SchedulerRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SchedulerRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The registry of the five built-in schedulers, in documentation order.
+    pub fn builtin() -> Self {
+        let mut r = SchedulerRegistry::new();
+        r.register(Arc::new(StaticBlockScheduler));
+        r.register(Arc::new(RoundRobinScheduler));
+        r.register(Arc::new(CostAwareScheduler));
+        r.register(Arc::new(AdaptiveScheduler));
+        r.register(Arc::new(LocalityAwareScheduler));
+        r
+    }
+
+    /// Registers a scheduler under its [`Scheduler::name`].  A scheduler
+    /// with the same name replaces the previous entry.
+    pub fn register(&mut self, scheduler: Arc<dyn Scheduler>) {
+        if let Some(slot) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.name() == scheduler.name())
+        {
+            *slot = scheduler;
+        } else {
+            self.entries.push(scheduler);
+        }
+    }
+
+    /// Looks a scheduler up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Scheduler>> {
+        self.entries
+            .iter()
+            .find(|e| e.name() == name)
+            .map(Arc::clone)
+    }
+
+    /// The registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name()).collect()
+    }
+}
+
+impl Default for SchedulerRegistry {
+    fn default() -> Self {
+        SchedulerRegistry::builtin()
+    }
+}
+
+/// Resolves a built-in scheduler by name (`"static-block"`, `"round-robin"`,
+/// `"cost-aware"`, `"adaptive"`, `"locality"`).
+///
+/// # Examples
+///
+/// ```
+/// use ipr_core::scheduler_by_name;
+///
+/// assert_eq!(scheduler_by_name("cost-aware").unwrap().name(), "cost-aware");
+/// assert!(scheduler_by_name("nope").is_none());
+/// ```
+pub fn scheduler_by_name(name: &str) -> Option<Arc<dyn Scheduler>> {
+    SchedulerRegistry::builtin().get(name)
+}
+
+/// Makespan of an assignment: the maximum, over the replicas, of the summed
+/// weights of the tasks assigned to that replica.  Used by the scheduler
+/// tests and the `ABL-ADAPT` ablation.
+pub fn assignment_makespan(task_weights: &[f64], assignment: &[usize]) -> f64 {
+    debug_assert_eq!(task_weights.len(), assignment.len());
+    let mut loads = std::collections::HashMap::new();
+    for (w, &r) in task_weights.iter().zip(assignment) {
+        *loads.entry(r).or_insert(0.0f64) += w;
+    }
+    loads.into_values().fold(0.0, f64::max)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    fn all_schedulers() -> Vec<Arc<dyn Scheduler>> {
+        SchedulerRegistry::builtin()
+            .names()
+            .into_iter()
+            .map(|n| scheduler_by_name(n).unwrap())
+            .collect()
+    }
 
     #[test]
     fn static_block_splits_in_halves_for_degree_two() {
@@ -175,13 +449,75 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_is_lpt_and_wants_measured_weights() {
+        let s = AdaptiveScheduler;
+        assert!(s.wants_measured_weights());
+        assert!(!CostAwareScheduler.wants_measured_weights());
+        let weights = [8.0, 7.0, 2.0, 1.0];
+        assert_eq!(s.assign(&weights, &[0, 1]), lpt_assign(&weights, &[0, 1]));
+        assert_eq!(s.name(), "adaptive");
+    }
+
+    #[test]
+    fn locality_is_contiguous_and_weight_balanced() {
+        let s = LocalityAwareScheduler;
+        // A strong gradient: the unweighted block split (3|3) would give
+        // loads 3 vs 12; the weighted contiguous split must do better.
+        let weights = [1.0, 1.0, 1.0, 4.0, 4.0, 4.0];
+        let a = s.assign(&weights, &[0, 1]);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "not contiguous: {a:?}");
+        let makespan = assignment_makespan(&weights, &a);
+        let block = assignment_makespan(&weights, &StaticBlockScheduler.assign(&weights, &[0, 1]));
+        assert!(makespan < block, "locality {makespan} vs block {block}");
+        assert_eq!(s.name(), "locality");
+    }
+
+    #[test]
+    fn locality_falls_back_to_block_on_degenerate_weights() {
+        let s = LocalityAwareScheduler;
+        assert_eq!(s.assign(&[0.0; 4], &[0, 1]), vec![0, 0, 1, 1]);
+        assert_eq!(s.assign(&[], &[0, 1]), Vec::<usize>::new());
+        assert_eq!(s.assign(&[1.0; 3], &[2]), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn locality_is_sticky_under_small_perturbations() {
+        // LPT permutes ownership when weights wiggle; the contiguous split
+        // must not move for a 1 % perturbation of a stable profile.
+        let s = LocalityAwareScheduler;
+        let base = [2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0];
+        let wiggled: Vec<f64> = base
+            .iter()
+            .enumerate()
+            .map(|(i, w)| w * (1.0 + 0.01 * ((i % 3) as f64 - 1.0)))
+            .collect();
+        assert_eq!(s.assign(&base, &[0, 1]), s.assign(&wiggled, &[0, 1]));
+    }
+
+    #[test]
+    fn registry_roundtrips_names() {
+        let r = SchedulerRegistry::builtin();
+        for name in r.names() {
+            assert_eq!(r.get(name).unwrap().name(), name);
+        }
+        assert!(r.get("unknown").is_none());
+        assert!(scheduler_by_name("locality").is_some());
+        assert_eq!(SchedulerRegistry::default().names().len(), 5);
+        assert!(SchedulerRegistry::new().names().is_empty());
+    }
+
+    #[test]
+    fn registry_replaces_same_name_entries() {
+        let mut r = SchedulerRegistry::new();
+        r.register(Arc::new(StaticBlockScheduler));
+        r.register(Arc::new(StaticBlockScheduler));
+        assert_eq!(r.names(), vec!["static-block"]);
+    }
+
+    #[test]
     fn schedulers_are_deterministic() {
         let weights = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
-        for s in [
-            &StaticBlockScheduler as &dyn Scheduler,
-            &RoundRobinScheduler,
-            &CostAwareScheduler,
-        ] {
+        for s in all_schedulers() {
             assert_eq!(s.assign(&weights, &[0, 1]), s.assign(&weights, &[0, 1]));
         }
     }
@@ -193,11 +529,7 @@ mod tests {
             alive_mask in 1u8..7,
         ) {
             let alive: Vec<usize> = (0..3).filter(|i| alive_mask & (1 << i) != 0).collect();
-            for s in [
-                &StaticBlockScheduler as &dyn Scheduler,
-                &RoundRobinScheduler,
-                &CostAwareScheduler,
-            ] {
+            for s in all_schedulers() {
                 let a = s.assign(&weights, &alive);
                 prop_assert_eq!(a.len(), weights.len());
                 for r in &a {
@@ -212,6 +544,23 @@ mod tests {
             // Once the replica id increases it never goes back down.
             for w in a.windows(2) {
                 prop_assert!(w[0] <= w[1]);
+            }
+        }
+
+        #[test]
+        fn locality_is_always_contiguous(
+            weights in proptest::collection::vec(0.0f64..50.0, 0..64),
+            alive_mask in 1u8..15,
+        ) {
+            let alive: Vec<usize> = (0..4).filter(|i| alive_mask & (1 << i) != 0).collect();
+            let a = LocalityAwareScheduler.assign(&weights, &alive);
+            // Map back to positions within `alive` to check monotonicity.
+            let pos: Vec<usize> = a
+                .iter()
+                .map(|r| alive.iter().position(|x| x == r).unwrap())
+                .collect();
+            for w in pos.windows(2) {
+                prop_assert!(w[0] <= w[1], "assignment not contiguous: {:?}", a);
             }
         }
     }

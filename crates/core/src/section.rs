@@ -31,7 +31,7 @@
 //! produces the paper's three configurations (Open MPI / SDR-MPI / intra).
 
 use crate::error::{IntraError, IntraResult};
-use crate::report::SectionReport;
+use crate::report::{SectionReport, TaskCostSample};
 use crate::runtime::IntraRuntime;
 use crate::task::{ArgTag, TaskCtx, TaskDef};
 use crate::workspace::Workspace;
@@ -189,6 +189,48 @@ fn write_back(ws: &mut Workspace, task: &TaskDef, ctx: &TaskCtx) -> IntraResult<
     Ok(())
 }
 
+/// The virtual-time cost of executing `task`, in seconds: exactly what
+/// [`run_task`] charges to the clock (the roofline time of the declared
+/// cost, or zero for cost-less tasks / disabled charging).
+///
+/// This is a pure function of the task and the cluster-wide machine model,
+/// so every replica computes the same value for every task — including the
+/// tasks it did not execute.  The cost model is fed from these values (see
+/// [`TaskCostSample`]) precisely because the stream must be identical on all
+/// replicas: the next section's assignment is derived from it without any
+/// coordination messages.  A debug assertion in the execution loop checks
+/// that the actual clock delta of each locally executed task agrees.
+/// Cost-model history keys for the tasks of one section, in launch order:
+/// `name#occurrence` (see [`crate::cost::instance_key`]).  Launch order is
+/// identical on every replica, so the keys are too.
+fn cost_keys(tasks: &[TaskDef]) -> Vec<String> {
+    let mut occurrence: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    tasks
+        .iter()
+        .map(|t| {
+            let n = occurrence.entry(t.name.as_str()).or_insert(0);
+            let key = crate::cost::instance_key(&t.name, *n);
+            *n += 1;
+            key
+        })
+        .collect()
+}
+
+fn modeled_task_seconds(rt: &IntraRuntime, task: &TaskDef) -> f64 {
+    if rt.config().charge_costs {
+        if let Some(cost) = task.cost {
+            return rt
+                .env()
+                .proc()
+                .machine()
+                .compute
+                .region_time(cost.flops, cost.mem_bytes)
+                .as_secs();
+        }
+    }
+    0.0
+}
+
 /// Executes one task locally: restore snapshots, build the context, charge
 /// the modeled cost, run the body, write the outputs back.
 fn run_task(
@@ -265,8 +307,19 @@ fn execute_section_inner(
 
     // --- non-sharing modes: execute everything locally -----------------
     if !share {
-        for task in &tasks {
+        let my_replica = rt.env().replica_id();
+        let cost_keys = cost_keys(&tasks);
+        let mut task_costs = Vec::with_capacity(tasks.len());
+        for (task, key) in tasks.iter().zip(cost_keys) {
             run_task(rt, ws, task, &vec![None; task.args.len()])?;
+            task_costs.push(TaskCostSample {
+                name: task.name.clone(),
+                key,
+                declared_weight: task.weight(),
+                observed_seconds: modeled_task_seconds(rt, task),
+                executed_by: my_replica,
+                executed_locally: true,
+            });
         }
         let end = rt.env().now();
         if rt.env().maybe_fail(ProtocolPoint::SectionExit { section }) {
@@ -285,6 +338,7 @@ fn execute_section_inner(
             start_time,
             local_work_done: end,
             end_time: end,
+            task_costs,
         };
         rt.record(report.clone());
         return Ok(report);
@@ -307,10 +361,28 @@ fn execute_section_inner(
     // replica set, never of the (racy) alive set: every replica therefore
     // computes the same assignment without exchanging messages.  Work lost
     // to crashed replicas is recovered by adoption in Phase B.
+    //
+    // Schedulers that ask for measured weights receive the cost model's
+    // learned execution times instead of the declared weights; the model is
+    // itself replica-deterministic (see `modeled_task_seconds`), so the
+    // no-coordination property is preserved.
     let all_replicas: Vec<usize> = (0..rcomm.degree()).collect();
-    let weights: Vec<f64> = tasks.iter().map(TaskDef::weight).collect();
+    let cost_keys = cost_keys(&tasks);
+    let declared_weights: Vec<f64> = tasks.iter().map(TaskDef::weight).collect();
+    let weights: Vec<f64> = if rt.config().scheduler.wants_measured_weights() {
+        cost_keys
+            .iter()
+            .zip(&declared_weights)
+            .map(|(key, &d)| rt.cost_model().effective_weight(key, d))
+            .collect()
+    } else {
+        declared_weights.clone()
+    };
     let mut assignment = rt.config().scheduler.assign(&weights, &all_replicas);
     debug_assert_eq!(assignment.len(), tasks.len());
+    // Per-task observed costs: the deterministic modeled time of every task
+    // (identical on each replica, whoever executes it).
+    let observed_seconds: Vec<f64> = tasks.iter().map(|t| modeled_task_seconds(rt, t)).collect();
 
     let n = tasks.len();
     let mut done = vec![false; n];
@@ -372,7 +444,16 @@ fn execute_section_inner(
         if assignment[i] != my {
             continue;
         }
+        let task_started = rt.env().now();
         run_task(rt, ws, &tasks[i], &snapshots[i])?;
+        // The clock delta of a locally executed task must agree with the
+        // modeled time fed to the cost model (the determinism contract).
+        debug_assert!(
+            (rt.env().now().saturating_sub(task_started).as_secs() - observed_seconds[i]).abs()
+                <= 1e-9 * observed_seconds[i].max(1.0),
+            "task '{}' charged a different time than its model",
+            tasks[i].name
+        );
         tasks_local += 1;
         done[i] = true;
         if rt
@@ -458,6 +539,20 @@ fn execute_section_inner(
         return Err(IntraError::Crashed);
     }
 
+    let task_costs: Vec<TaskCostSample> = tasks
+        .iter()
+        .zip(cost_keys)
+        .enumerate()
+        .map(|(i, (t, key))| TaskCostSample {
+            name: t.name.clone(),
+            key,
+            declared_weight: declared_weights[i],
+            observed_seconds: observed_seconds[i],
+            executed_by: assignment[i],
+            executed_locally: assignment[i] == my,
+        })
+        .collect();
+
     let report = SectionReport {
         section_index: section,
         num_tasks: n,
@@ -471,6 +566,7 @@ fn execute_section_inner(
         start_time,
         local_work_done,
         end_time,
+        task_costs,
     };
     rt.record(report.clone());
     Ok(report)

@@ -3,6 +3,7 @@
 //! produce exactly the same workspace contents as a sequential execution,
 //! and all surviving replicas must agree bit for bit.
 
+use ipr_core::assignment_makespan;
 use ipr_core::prelude::*;
 use proptest::prelude::*;
 use replication::{ExecutionMode, FailureInjector, ProtocolPoint, ReplicatedEnv};
@@ -185,6 +186,56 @@ proptest! {
         for pair in ranges.windows(2) {
             prop_assert!(pair[0].end <= pair[1].start);
         }
+    }
+
+    #[test]
+    fn adaptive_is_deterministic_across_alive_replica_subsets(
+        weights in proptest::collection::vec(0.01f64..100.0, 0..48),
+        alive_mask in 1u8..15,
+    ) {
+        // Failure-driven rescheduling recomputes the assignment on every
+        // replica independently, over whatever replica subset it passes in;
+        // the adaptive scheduler must be a pure function of its inputs.
+        let alive: Vec<usize> = (0..4).filter(|i| alive_mask & (1 << i) != 0).collect();
+        let s = AdaptiveScheduler;
+        let first = s.assign(&weights, &alive);
+        prop_assert_eq!(&first, &s.assign(&weights, &alive));
+        prop_assert_eq!(&first, &AdaptiveScheduler.assign(&weights, &alive));
+        prop_assert_eq!(first.len(), weights.len());
+        for r in &first {
+            prop_assert!(alive.contains(r));
+        }
+        // Restricting to a smaller subset must still be deterministic and
+        // valid (the full-set and subset assignments legitimately differ).
+        let sub: Vec<usize> = alive[..1].to_vec();
+        let a = s.assign(&weights, &sub);
+        prop_assert_eq!(&a, &s.assign(&weights, &sub));
+        for r in &a {
+            prop_assert!(sub.contains(r));
+        }
+    }
+
+    #[test]
+    fn adaptive_makespan_not_worse_than_static_block_on_heterogeneous_weights(
+        n in 1usize..48,
+        base in 1.05f64..2.5,
+        scale in 0.1f64..10.0,
+        k in 2usize..5,
+    ) {
+        // Heterogeneous profile: geometrically decaying weights (the shape
+        // of the ABL-SCHED / ABL-ADAPT workloads).  On decreasing-ordered
+        // weights, greedy LPT never loses to the paper's contiguous block
+        // split, which can put all the heavy tasks in the first block.
+        let weights: Vec<f64> = (0..n).map(|i| scale * base.powi(-(i as i32))).collect();
+        let alive: Vec<usize> = (0..k).collect();
+        let lpt = assignment_makespan(&weights, &AdaptiveScheduler.assign(&weights, &alive));
+        let block = assignment_makespan(&weights, &StaticBlockScheduler.assign(&weights, &alive));
+        prop_assert!(
+            lpt <= block * (1.0 + 1e-12),
+            "adaptive makespan {} worse than static block {}",
+            lpt,
+            block
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! inside an intra-parallel section ("It cannot include message-passing
 //! communication").
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod cost;

@@ -12,7 +12,7 @@
 //! the classic state-machine-replication messaging discipline (rMPI-style);
 //! the paper's SDR-MPI optimizes the duplicate sends away using send
 //! determinism, an optimization that is orthogonal to intra-parallelization
-//! (the paper explicitly defers the consistency protocol to its ref. [17]).
+//! (the paper explicitly defers the consistency protocol to its ref. \[17\]).
 //!
 //! The sequence-number discipline relies on replicas emitting identical
 //! message sequences per (destination, tag) channel — exactly the partial

@@ -111,6 +111,25 @@ fn cost_aware_scheduler_section_round_trips() {
 }
 
 #[test]
+fn adaptive_scheduler_section_round_trips() {
+    section_round_trip(Arc::new(AdaptiveScheduler));
+}
+
+#[test]
+fn locality_scheduler_section_round_trips() {
+    section_round_trip(Arc::new(LocalityAwareScheduler));
+}
+
+#[test]
+fn every_registered_scheduler_section_round_trips() {
+    // The registry is the source of truth for name-based selection (the
+    // apps drivers' and bench CLI's scheduler knob); every entry must run.
+    for name in SchedulerRegistry::builtin().names() {
+        section_round_trip(scheduler_by_name(name).expect("registered"));
+    }
+}
+
+#[test]
 fn every_crate_headline_symbol_is_reachable_via_facade() {
     // simcluster
     let _ = MachineModel::grid5000_ib20g();
