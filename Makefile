@@ -4,8 +4,13 @@
 #   make ci       — everything CI runs (verify + benches/examples + fmt)
 
 CARGO ?= cargo
+CAMPAIGN_JOBS ?= 4
+# Relative tolerance for the campaign regression gate; 0 = bit-exact
+# (the simulation is deterministic, so the default gate is exact).
+CAMPAIGN_TOL ?= 0
 
-.PHONY: all build test verify bench-build docs fmt fmt-check ci clean
+.PHONY: all build test verify bench-build docs fmt fmt-check clippy \
+        campaign-smoke golden ci clean
 
 all: build
 
@@ -35,7 +40,27 @@ fmt:
 fmt-check:
 	$(CARGO) fmt --check
 
-ci: verify bench-build docs fmt-check
+# Lints are errors, everywhere (lib/bins/tests/benches/examples).
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+# The CI determinism/regression gate, reproducible locally: run the smoke
+# campaign grid and compare it against the checked-in golden baseline.
+campaign-smoke:
+	$(CARGO) build --release -p campaign
+	./target/release/campaign run --grid smoke --jobs $(CAMPAIGN_JOBS) \
+		--out target/campaign-smoke.json --csv target/campaign-smoke.csv
+	./target/release/campaign diff crates/campaign/golden/smoke.json \
+		target/campaign-smoke.json --tol $(CAMPAIGN_TOL)
+
+# Regenerate the golden baseline after an intentional behaviour change
+# (review the diff before committing!).
+golden:
+	$(CARGO) build --release -p campaign
+	./target/release/campaign run --grid smoke --jobs $(CAMPAIGN_JOBS) \
+		--out crates/campaign/golden/smoke.json
+
+ci: verify bench-build docs fmt-check clippy campaign-smoke
 
 clean:
 	$(CARGO) clean

@@ -264,6 +264,7 @@ impl AmgKernels {
 
     /// Redundant (non-intra) vector update: w = alpha*x + beta*y over the
     /// local range, where `wv` may alias `xv` or `yv`.
+    #[allow(clippy::too_many_arguments)]
     fn waxpby_redundant(
         &self,
         ctx: &AppContext,

@@ -1,0 +1,117 @@
+//! Declarative application catalog.
+//!
+//! The campaign engine (and any other driver that wants to select a workload
+//! by name) dispatches through [`AppId`] instead of hard-wiring one
+//! `run_*` call per figure: every mini-application of the paper's evaluation
+//! is listed here with a uniform entry point, [`run_app`], that takes the
+//! same scale knobs for all of them.
+
+use crate::driver::AppContext;
+use crate::report::AppRunReport;
+use crate::{
+    run_amg, run_gtc, run_hpccg, run_minighost, AmgParams, AmgSolver, GtcParams, HpccgParams,
+    MiniGhostParams,
+};
+use ipr_core::IntraResult;
+
+/// Identifier of one mini-application of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppId {
+    /// HPCCG, the Mantevo conjugate-gradient mini-app (Figures 5a/5b).
+    Hpccg,
+    /// AMG2013 stand-in, 27-point PCG solver (Figure 6a).
+    AmgPcg27,
+    /// AMG2013 stand-in, 7-point GMRES solver (Figure 6b).
+    AmgGmres7,
+    /// GTC particle-in-cell charge/push proxy (Figure 6c).
+    Gtc,
+    /// MiniGhost 27-point stencil + grid summation proxy (Figure 6d).
+    MiniGhost,
+}
+
+impl AppId {
+    /// Every application, in figure order.
+    pub const ALL: [AppId; 5] = [
+        AppId::Hpccg,
+        AppId::AmgPcg27,
+        AppId::AmgGmres7,
+        AppId::Gtc,
+        AppId::MiniGhost,
+    ];
+
+    /// Stable name used in reports and run ids.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppId::Hpccg => "hpccg",
+            AppId::AmgPcg27 => "amg-pcg27",
+            AppId::AmgGmres7 => "amg-gmres7",
+            AppId::Gtc => "gtc",
+            AppId::MiniGhost => "minighost",
+        }
+    }
+
+    /// Parses the output of [`AppId::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        AppId::ALL.into_iter().find(|a| a.name() == s)
+    }
+}
+
+/// The scale knobs shared by every application: catalog dispatch maps them
+/// onto each app's own parameter struct (paper-scale modeled sizes, reduced
+/// actual arrays).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppWorkload {
+    /// Edge of the actual local grid for grid-based workloads.
+    pub grid_edge: usize,
+    /// Actual particles per logical process for the GTC proxy.
+    pub particles: usize,
+    /// Solver iterations / time steps.
+    pub iterations: usize,
+}
+
+/// Runs `app` on this physical process with the catalog's uniform scale
+/// knobs.  Collective: every process of the cluster must call it with the
+/// same application and workload.
+pub fn run_app(ctx: &mut AppContext, app: AppId, w: &AppWorkload) -> IntraResult<AppRunReport> {
+    match app {
+        AppId::Hpccg => {
+            let params = HpccgParams::paper_scale(w.grid_edge, w.iterations);
+            Ok(run_hpccg(ctx, &params)?.report)
+        }
+        AppId::AmgPcg27 => {
+            let params = AmgParams::paper_scale(AmgSolver::Pcg27, w.grid_edge, w.iterations);
+            Ok(run_amg(ctx, &params)?.report)
+        }
+        AppId::AmgGmres7 => {
+            // Same reduced-restart configuration as the Figure 6b harness.
+            let mut params = AmgParams::paper_scale(
+                AmgSolver::Gmres7,
+                w.grid_edge,
+                w.iterations.div_ceil(8).max(1),
+            );
+            params.restart = 10;
+            Ok(run_amg(ctx, &params)?.report)
+        }
+        AppId::Gtc => {
+            let params = GtcParams::paper_scale(w.particles, w.iterations);
+            Ok(run_gtc(ctx, &params)?.report)
+        }
+        AppId::MiniGhost => {
+            let params = MiniGhostParams::paper_scale(w.grid_edge, w.iterations);
+            Ok(run_minighost(ctx, &params)?.report)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for app in AppId::ALL {
+            assert_eq!(AppId::parse(app.name()), Some(app));
+        }
+        assert_eq!(AppId::parse("unknown"), None);
+    }
+}

@@ -118,6 +118,10 @@ impl AppContext {
         let section_time: SimTime = sections.iter().map(|s| s.total_time()).sum();
         let update_drain_time: SimTime = sections.iter().map(|s| s.update_drain_time()).sum();
         let tasks_executed: usize = sections.iter().map(|s| s.tasks_executed_locally).sum();
+        let tasks_received: usize = sections.iter().map(|s| s.tasks_received).sum();
+        let tasks_reexecuted: usize = sections.iter().map(|s| s.tasks_reexecuted).sum();
+        let replica_failures_observed: usize =
+            sections.iter().map(|s| s.replica_failures_observed).sum();
         let update_bytes_sent: usize = sections.iter().map(|s| s.update_bytes_sent).sum();
         AppRunReport {
             app: app.to_string(),
@@ -131,6 +135,9 @@ impl AppContext {
             update_drain_time,
             sections: sections.len(),
             tasks_executed,
+            tasks_received,
+            tasks_reexecuted,
+            replica_failures_observed,
             update_bytes_sent,
             verification,
         }
@@ -180,6 +187,9 @@ impl ScaledWorkload {
     }
 }
 
+/// Re-exported so applications can return `IntraResult` uniformly.
+pub type AppResult<T> = IntraResult<T>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +217,3 @@ mod tests {
         assert_eq!(t.mem_bytes, 150.0);
     }
 }
-
-/// Re-exported so applications can return `IntraResult` uniformly.
-pub type AppResult<T> = IntraResult<T>;

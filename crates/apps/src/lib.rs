@@ -18,6 +18,7 @@
 #![deny(unsafe_code)]
 
 pub mod amg_proxy;
+pub mod catalog;
 pub mod driver;
 pub mod gtc_proxy;
 pub mod hpccg;
@@ -25,6 +26,7 @@ pub mod minighost;
 pub mod report;
 
 pub use amg_proxy::{run_amg, AmgOutput, AmgParams, AmgSolver};
+pub use catalog::{run_app, AppId, AppWorkload};
 pub use driver::{task_cost, AppContext, ScaledWorkload};
 pub use gtc_proxy::{run_gtc, GtcOutput, GtcParams};
 pub use hpccg::{run_hpccg, HpccgOutput, HpccgParams, KernelSelection};

@@ -35,6 +35,12 @@ pub struct AppRunReport {
     pub sections: usize,
     /// Number of tasks executed locally.
     pub tasks_executed: usize,
+    /// Number of tasks whose result was received from a peer replica.
+    pub tasks_received: usize,
+    /// Number of tasks re-executed locally because their owner crashed.
+    pub tasks_reexecuted: usize,
+    /// Replica failures of this logical process observed inside sections.
+    pub replica_failures_observed: usize,
     /// Modeled bytes of replica updates sent.
     pub update_bytes_sent: usize,
     /// Application-specific verification value (residual norm, conserved
@@ -77,6 +83,9 @@ mod tests {
             update_drain_time: SimTime::from_secs(1.0),
             sections: 30,
             tasks_executed: 120,
+            tasks_received: 60,
+            tasks_reexecuted: 0,
+            replica_failures_observed: 0,
             update_bytes_sent: 1000,
             verification: 0.0,
         };
@@ -98,6 +107,9 @@ mod tests {
             update_drain_time: SimTime::ZERO,
             sections: 0,
             tasks_executed: 0,
+            tasks_received: 0,
+            tasks_reexecuted: 0,
+            replica_failures_observed: 0,
             update_bytes_sent: 0,
             verification: 0.0,
         };

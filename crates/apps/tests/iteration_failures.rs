@@ -1,0 +1,68 @@
+//! `ProtocolPoint::IterationStart` crash coverage across the three
+//! execution modes, driven through a real mini-application (HPCCG).
+
+use apps::{run_hpccg, AppContext, HpccgParams};
+use ipr_core::{IntraConfig, IntraError};
+use replication::{ExecutionMode, FailureInjector, ProtocolPoint};
+use simmpi::{run_cluster, ClusterConfig};
+
+fn run_hpccg_cluster(
+    mode: ExecutionMode,
+    num_logical: usize,
+    injector: &FailureInjector,
+) -> Vec<Result<Result<f64, IntraError>, String>> {
+    let injector = injector.clone();
+    let procs = num_logical * mode.degree();
+    let report = run_cluster(&ClusterConfig::new(procs), move |proc| {
+        let mut ctx = AppContext::new(proc, mode, IntraConfig::paper(), injector.clone())?;
+        let params = HpccgParams::small(5, 6);
+        match run_hpccg(&mut ctx, &params) {
+            Ok(out) => Ok(out.residual),
+            Err(e) => Err(e),
+        }
+    });
+    report.results
+}
+
+#[test]
+fn iteration_start_crash_is_survivable_under_replication() {
+    for mode in [
+        ExecutionMode::Replicated { degree: 2 },
+        ExecutionMode::IntraParallel { degree: 2 },
+    ] {
+        // Failure-free reference.
+        let reference = run_hpccg_cluster(mode, 1, &FailureInjector::none());
+        let expected = *reference[0].as_ref().unwrap().as_ref().unwrap();
+
+        let injector = FailureInjector::none();
+        injector.arm(0, ProtocolPoint::IterationStart { iteration: 2 });
+        let results = run_hpccg_cluster(mode, 1, &injector);
+        assert_eq!(
+            results[0].as_ref().unwrap().as_ref().unwrap_err(),
+            &IntraError::Crashed,
+            "{mode:?}: armed replica must crash at iteration 2"
+        );
+        let survivor = *results[1].as_ref().unwrap().as_ref().unwrap();
+        assert_eq!(
+            survivor, expected,
+            "{mode:?}: the surviving replica must finish with the failure-free residual"
+        );
+        assert_eq!(injector.pending(), 0);
+        assert_eq!(
+            injector.fired(),
+            vec![(0, ProtocolPoint::IterationStart { iteration: 2 })]
+        );
+    }
+}
+
+#[test]
+fn iteration_start_crash_kills_an_unreplicated_run() {
+    let injector = FailureInjector::none();
+    injector.arm(0, ProtocolPoint::IterationStart { iteration: 1 });
+    let results = run_hpccg_cluster(ExecutionMode::Native, 1, &injector);
+    assert_eq!(
+        results[0].as_ref().unwrap().as_ref().unwrap_err(),
+        &IntraError::Crashed,
+        "without replication the crash is fatal"
+    );
+}

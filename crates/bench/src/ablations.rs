@@ -43,6 +43,7 @@ pub fn granularity(scale: ExperimentScale, task_counts: &[usize]) -> Vec<Granula
     let procs = match scale {
         ExperimentScale::Full => 64,
         ExperimentScale::Small => 8,
+        ExperimentScale::Tiny => 4,
     };
     let actual_edge = scale.actual_grid_edge();
     let modeled_edge = 128;
@@ -264,6 +265,7 @@ pub fn adaptive(scale: ExperimentScale) -> Vec<AdaptiveRow> {
     let iters = match scale {
         ExperimentScale::Full => 8,
         ExperimentScale::Small => 5,
+        ExperimentScale::Tiny => 3,
     };
     let machine = MachineModel::grid5000_ib20g();
     let mut rows = Vec::new();

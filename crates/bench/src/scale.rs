@@ -14,15 +14,28 @@ pub enum ExperimentScale {
     Full,
     /// Reduced process counts for quick runs (tests, Criterion).
     Small,
+    /// Minimal process counts for the campaign smoke grid and CI gates:
+    /// every run finishes in a fraction of a second.
+    Tiny,
 }
 
 impl ExperimentScale {
-    /// Parses `"full"` / `"small"`.
+    /// Parses `"full"` / `"small"` / `"tiny"`.
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().as_str() {
             "full" => Some(ExperimentScale::Full),
             "small" => Some(ExperimentScale::Small),
+            "tiny" => Some(ExperimentScale::Tiny),
             _ => None,
+        }
+    }
+
+    /// Stable lowercase name (the inverse of [`ExperimentScale::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExperimentScale::Full => "full",
+            ExperimentScale::Small => "small",
+            ExperimentScale::Tiny => "tiny",
         }
     }
 
@@ -31,6 +44,7 @@ impl ExperimentScale {
         match self {
             ExperimentScale::Full => 512,
             ExperimentScale::Small => 16,
+            ExperimentScale::Tiny => 4,
         }
     }
 
@@ -39,6 +53,7 @@ impl ExperimentScale {
         match self {
             ExperimentScale::Full => vec![128, 256, 512],
             ExperimentScale::Small => vec![8, 16, 32],
+            ExperimentScale::Tiny => vec![2, 4],
         }
     }
 
@@ -49,6 +64,7 @@ impl ExperimentScale {
         match self {
             ExperimentScale::Full => 64,
             ExperimentScale::Small => 4,
+            ExperimentScale::Tiny => 2,
         }
     }
 
@@ -57,6 +73,7 @@ impl ExperimentScale {
         match self {
             ExperimentScale::Full => 8,
             ExperimentScale::Small => 6,
+            ExperimentScale::Tiny => 4,
         }
     }
 
@@ -65,6 +82,7 @@ impl ExperimentScale {
         match self {
             ExperimentScale::Full => 20_000,
             ExperimentScale::Small => 4_000,
+            ExperimentScale::Tiny => 500,
         }
     }
 
@@ -73,6 +91,7 @@ impl ExperimentScale {
         match self {
             ExperimentScale::Full => 20,
             ExperimentScale::Small => 8,
+            ExperimentScale::Tiny => 4,
         }
     }
 
@@ -81,6 +100,7 @@ impl ExperimentScale {
         match self {
             ExperimentScale::Full => 5,
             ExperimentScale::Small => 3,
+            ExperimentScale::Tiny => 1,
         }
     }
 }

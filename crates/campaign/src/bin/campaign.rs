@@ -1,0 +1,192 @@
+//! Campaign CLI: run sweep grids, list them, and diff reports.
+//!
+//! ```text
+//! campaign list                        # built-in grids
+//! campaign list smoke                  # the runs a grid expands into
+//! campaign run --grid smoke --jobs 4 --out smoke.json [--csv smoke.csv]
+//! campaign diff golden/smoke.json smoke.json [--tol 1e-9]
+//! ```
+//!
+//! `run` writes a deterministic JSON report (byte-identical for any
+//! `--jobs` value); `diff` exits non-zero if the candidate diverges from
+//! the baseline beyond the tolerance, which is how CI gates on the golden
+//! smoke baseline.
+
+use campaign::{diff_reports, run_campaign, CampaignGrid, Json};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  campaign list [GRID]\n  campaign run --grid NAME [--jobs N] [--out FILE] [--csv FILE]\n  campaign diff BASELINE CANDIDATE [--tol REL]\n\nbuilt-in grids: {}",
+        CampaignGrid::builtin_names().join(", ")
+    );
+    ExitCode::from(2)
+}
+
+fn cmd_list(args: &[String]) -> ExitCode {
+    match args {
+        [] => {
+            println!("built-in campaign grids:");
+            for name in CampaignGrid::builtin_names() {
+                let grid = CampaignGrid::by_name(name).expect("builtin");
+                println!(
+                    "  {name:<12} {} runs at scale {}",
+                    grid.expand().len(),
+                    grid.scale.name()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        [name] => match CampaignGrid::by_name(name) {
+            Some(grid) => {
+                for spec in grid.expand() {
+                    println!("{:>4}  {} ({} procs)", spec.index, spec.id(), spec.procs());
+                }
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "unknown grid '{name}'; expected one of: {}",
+                    CampaignGrid::builtin_names().join(", ")
+                );
+                ExitCode::from(2)
+            }
+        },
+        _ => usage(),
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut grid_name = "smoke".to_string();
+    let mut jobs = 1usize;
+    let mut out: Option<String> = None;
+    let mut csv: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Option<String> {
+            let v = it.next().cloned();
+            if v.is_none() {
+                eprintln!("{flag} needs a value");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--grid" => match value("--grid") {
+                Some(v) => grid_name = v,
+                None => return ExitCode::from(2),
+            },
+            "--jobs" => match value("--jobs").and_then(|v| v.parse().ok()) {
+                Some(v) => jobs = v,
+                None => {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match value("--out") {
+                Some(v) => out = Some(v),
+                None => return ExitCode::from(2),
+            },
+            "--csv" => match value("--csv") {
+                Some(v) => csv = Some(v),
+                None => return ExitCode::from(2),
+            },
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return usage();
+            }
+        }
+    }
+    let Some(grid) = CampaignGrid::by_name(&grid_name) else {
+        eprintln!(
+            "unknown grid '{grid_name}'; expected one of: {}",
+            CampaignGrid::builtin_names().join(", ")
+        );
+        return ExitCode::from(2);
+    };
+    let num_runs = grid.expand().len();
+    eprintln!("campaign '{grid_name}': {num_runs} runs, {jobs} job(s)");
+    let started = std::time::Instant::now();
+    let report = run_campaign(&grid, jobs);
+    eprintln!(
+        "campaign '{grid_name}' finished in {:.2}s wall-clock",
+        started.elapsed().as_secs_f64()
+    );
+    let json = report.to_json().render();
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    if let Some(path) = &csv {
+        if let Err(e) = std::fs::write(path, report.to_csv()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut tol = 0.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tol" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v.is_finite() && v >= 0.0 => tol = v,
+                _ => {
+                    eprintln!("--tol needs a finite non-negative number");
+                    return ExitCode::from(2);
+                }
+            },
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        return usage();
+    };
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, candidate) = match (load(baseline_path), load(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let violations = diff_reports(&baseline, &candidate, tol);
+    if violations.is_empty() {
+        println!("OK: {candidate_path} matches {baseline_path} (relative tolerance {tol})");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "FAIL: {candidate_path} diverges from {baseline_path} ({} violation(s), relative tolerance {tol}):",
+            violations.len()
+        );
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "list" => cmd_list(rest),
+            "run" => cmd_run(rest),
+            "diff" => cmd_diff(rest),
+            _ => usage(),
+        },
+        None => usage(),
+    }
+}

@@ -1,0 +1,205 @@
+//! Tolerance-aware comparison of two campaign reports.
+//!
+//! The diff is what turns a checked-in golden JSON into a regression gate:
+//! it walks baseline and candidate structurally and requires exact
+//! agreement on everything discrete — run ids, labels, seeds, task and
+//! crash counts.  The relative tolerance applies only to *metric* fields,
+//! identified by their key: virtual times (keys ending in `_s`) and
+//! `verification` values.  With the default tolerance of zero the gate is
+//! bit-exact, so it also catches any determinism violation.
+
+use crate::json::Json;
+
+/// One detected divergence, as a human-readable `path: message` line.
+pub type Violation = String;
+
+/// True if the field named `key` is a continuous metric (eligible for the
+/// relative tolerance): a virtual-time field (`*_s`) or a verification
+/// value.  Everything else — counts, seeds, ids — is discrete and compared
+/// exactly.
+fn is_metric_key(key: &str) -> bool {
+    key.ends_with("_s") || key == "verification"
+}
+
+/// Compares two reports; an empty result means the candidate matches the
+/// baseline within `tol` — a relative tolerance applied to metric fields
+/// only (virtual times, keys ending `_s`, and `verification`); everything
+/// discrete is compared exactly.
+pub fn diff_reports(baseline: &Json, candidate: &Json, tol: f64) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    diff_value("$", None, baseline, candidate, tol, &mut violations);
+    violations
+}
+
+fn type_name(v: &Json) -> &'static str {
+    match v {
+        Json::Null => "null",
+        Json::Bool(_) => "bool",
+        Json::Num(_) => "number",
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    }
+}
+
+/// Label used in paths for a run entry, if the element is an object with an
+/// `id` field (makes violations readable: `$.runs[hpccg-...]` instead of
+/// `$.runs[3]`).
+fn element_label(v: &Json, index: usize) -> String {
+    v.get("id")
+        .and_then(Json::as_str)
+        .map_or_else(|| index.to_string(), str::to_string)
+}
+
+fn diff_value(
+    path: &str,
+    key: Option<&str>,
+    a: &Json,
+    b: &Json,
+    tol: f64,
+    out: &mut Vec<Violation>,
+) {
+    match (a, b) {
+        (Json::Num(x), Json::Num(y)) => {
+            if key.is_some_and(is_metric_key) {
+                // Strictly relative: the allowed drift scales with the value
+                // itself, so small metrics (sub-second times, residuals) are
+                // not silently ungated.  A baseline of exactly 0 therefore
+                // requires an exact 0 in the candidate.
+                let scale = x.abs().max(y.abs());
+                if (x - y).abs() > tol * scale {
+                    out.push(format!(
+                        "{path}: expected {x}, got {y} (relative tolerance {tol})"
+                    ));
+                }
+            } else if x != y {
+                out.push(format!("{path}: expected {x}, got {y}"));
+            }
+        }
+        (Json::Str(x), Json::Str(y)) => {
+            if x != y {
+                out.push(format!("{path}: expected \"{x}\", got \"{y}\""));
+            }
+        }
+        (Json::Bool(x), Json::Bool(y)) => {
+            if x != y {
+                out.push(format!("{path}: expected {x}, got {y}"));
+            }
+        }
+        (Json::Null, Json::Null) => {}
+        (Json::Arr(xs), Json::Arr(ys)) => {
+            if xs.len() != ys.len() {
+                out.push(format!(
+                    "{path}: expected {} elements, got {}",
+                    xs.len(),
+                    ys.len()
+                ));
+            }
+            for (i, (x, y)) in xs.iter().zip(ys.iter()).enumerate() {
+                let label = element_label(x, i);
+                // Elements inherit the array's key, so an array of metric
+                // values keeps its tolerance.
+                diff_value(&format!("{path}[{label}]"), key, x, y, tol, out);
+            }
+        }
+        (Json::Obj(xs), Json::Obj(ys)) => {
+            for (k, x) in xs {
+                match ys.iter().find(|(yk, _)| yk == k) {
+                    Some((_, y)) => diff_value(&format!("{path}.{k}"), Some(k), x, y, tol, out),
+                    None => out.push(format!("{path}.{k}: missing from candidate")),
+                }
+            }
+            for (k, _) in ys {
+                if !xs.iter().any(|(xk, _)| xk == k) {
+                    out.push(format!("{path}.{k}: unexpected field in candidate"));
+                }
+            }
+        }
+        _ => out.push(format!(
+            "{path}: expected {}, got {}",
+            type_name(a),
+            type_name(b)
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(text: &str) -> Json {
+        Json::parse(text).unwrap()
+    }
+
+    #[test]
+    fn identical_documents_have_no_violations() {
+        let doc = j(r#"{"a": 1, "b": [1.5, {"id": "x", "section_s": 0.25}]}"#);
+        assert!(diff_reports(&doc, &doc, 0.0).is_empty());
+    }
+
+    #[test]
+    fn discrete_fields_are_compared_exactly_even_with_tolerance() {
+        let a = j(r#"{"tasks_executed": 64}"#);
+        let b = j(r#"{"tasks_executed": 65}"#);
+        let v = diff_reports(&a, &b, 0.5);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("$.tasks_executed"), "{v:?}");
+    }
+
+    #[test]
+    fn metric_fields_respect_the_relative_tolerance() {
+        let a = j(r#"{"makespan_s": 1.0004, "verification": 2.0}"#);
+        let b = j(r#"{"makespan_s": 1.0006, "verification": 2.001}"#);
+        assert!(diff_reports(&a, &b, 1e-3).is_empty());
+        assert_eq!(diff_reports(&a, &b, 1e-7).len(), 2);
+        // Zero tolerance is an exact gate.
+        assert_eq!(diff_reports(&a, &b, 0.0).len(), 2);
+        assert!(diff_reports(&a, &a, 0.0).is_empty());
+    }
+
+    #[test]
+    fn small_metrics_are_not_ungated_by_the_tolerance() {
+        // The tolerance is strictly relative: a residual degrading from 1e-8
+        // to 9e-4 is five orders of magnitude of drift and must fail even a
+        // loose gate, and a zero baseline admits only an exact zero.
+        let a = j(r#"{"verification": 1e-8, "update_drain_s": 0}"#);
+        let b = j(r#"{"verification": 9e-4, "update_drain_s": 1e-9}"#);
+        assert_eq!(diff_reports(&a, &b, 1e-3).len(), 2);
+        assert!(diff_reports(&a, &a, 1e-3).is_empty());
+    }
+
+    #[test]
+    fn metric_fields_get_tolerance_even_on_whole_number_values() {
+        // A virtual time that happens to land on an integer must still be
+        // compared with the tolerance, not exactly.
+        let a = j(r#"{"makespan_s": 10}"#);
+        let b = j(r#"{"makespan_s": 11}"#);
+        assert!(diff_reports(&a, &b, 0.1).is_empty());
+        assert_eq!(diff_reports(&a, &b, 1e-3).len(), 1);
+    }
+
+    #[test]
+    fn structural_divergences_are_reported_with_paths() {
+        let a = j(r#"{"runs": [{"id": "x", "n": 1}, {"id": "y", "n": 2}]}"#);
+        let b = j(r#"{"runs": [{"id": "x", "n": 1}]}"#);
+        let v = diff_reports(&a, &b, 0.0);
+        assert!(v.iter().any(|m| m.contains("$.runs: expected 2 elements")));
+
+        let c = j(r#"{"runs": [{"id": "x", "n": 1}, {"id": "z", "n": 2}]}"#);
+        let v = diff_reports(&a, &c, 0.0);
+        assert!(v.iter().any(|m| m.contains("$.runs[y].id")), "{v:?}");
+
+        let d = j(r#"{"runs": "oops"}"#);
+        let v = diff_reports(&a, &d, 0.0);
+        assert!(v.iter().any(|m| m.contains("expected array, got string")));
+    }
+
+    #[test]
+    fn missing_and_extra_fields_are_reported() {
+        let a = j(r#"{"x": 1, "y": 2}"#);
+        let b = j(r#"{"x": 1, "z": 3}"#);
+        let v = diff_reports(&a, &b, 0.0);
+        assert!(v.iter().any(|m| m.contains("$.y: missing")));
+        assert!(v.iter().any(|m| m.contains("$.z: unexpected")));
+    }
+}

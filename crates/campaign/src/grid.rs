@@ -1,0 +1,250 @@
+//! Declarative sweep grids.
+//!
+//! A [`CampaignGrid`] is the cross product of six axes — application ×
+//! scale × execution mode × scheduler × failure behaviour × seed — that
+//! expands into independent, deterministic [`RunSpec`]s.  Built-in presets
+//! cover the CI smoke gate, a failure-rate sweep, a scheduler comparison and
+//! a broad "full" grid; custom grids are plain struct literals.
+
+use crate::spec::{FailureSpec, RunSpec};
+use apps::AppId;
+use ipr_bench::ExperimentScale;
+use replication::{ExecutionMode, FailureRate};
+
+/// A declarative sweep: the cross product of the six axes below.
+#[derive(Debug, Clone)]
+pub struct CampaignGrid {
+    /// Grid name (used in reports and output file names).
+    pub name: String,
+    /// Experiment scale shared by every run of the grid.
+    pub scale: ExperimentScale,
+    /// Applications to sweep.
+    pub apps: Vec<AppId>,
+    /// Execution modes to sweep.
+    pub modes: Vec<ExecutionMode>,
+    /// Schedulers to sweep (ipr-core registry names).
+    pub schedulers: Vec<&'static str>,
+    /// Failure behaviours to sweep.
+    pub failures: Vec<FailureSpec>,
+    /// Seeds to sweep (each seed is an independent replication of the whole
+    /// grid point).
+    pub seeds: Vec<u64>,
+}
+
+impl CampaignGrid {
+    /// Expands the grid into its runs, in deterministic axis order
+    /// (app-major, seed-minor).
+    pub fn expand(&self) -> Vec<RunSpec> {
+        let mut specs = Vec::new();
+        for &app in &self.apps {
+            for &mode in &self.modes {
+                for &scheduler in &self.schedulers {
+                    for &failure in &self.failures {
+                        for &seed in &self.seeds {
+                            specs.push(RunSpec {
+                                index: specs.len(),
+                                app,
+                                scale: self.scale,
+                                mode,
+                                scheduler,
+                                failure,
+                                seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        specs
+    }
+
+    /// The CI smoke grid: two applications, all three execution modes, with
+    /// and without Poisson failures, at the tiny scale.  Small enough to run
+    /// on every push, wide enough to cover the replication/recovery
+    /// machinery end to end.
+    pub fn smoke() -> Self {
+        CampaignGrid {
+            name: "smoke".to_string(),
+            scale: ExperimentScale::Tiny,
+            apps: vec![AppId::Hpccg, AppId::Gtc],
+            modes: vec![
+                ExecutionMode::Native,
+                ExecutionMode::Replicated { degree: 2 },
+                ExecutionMode::IntraParallel { degree: 2 },
+            ],
+            schedulers: vec!["static-block"],
+            failures: vec![
+                FailureSpec::None,
+                FailureSpec::Poisson {
+                    rate: FailureRate::Constant(SMOKE_FAILURE_RATE),
+                    horizon_s: SMOKE_FAILURE_HORIZON_S,
+                },
+            ],
+            seeds: vec![43],
+        }
+    }
+
+    /// Failure-rate sweep: HPCCG under intra-parallelized replication with
+    /// homogeneous and inhomogeneous (ramp, burst) Poisson arrivals at
+    /// increasing rates.
+    pub fn failures() -> Self {
+        let h = SMOKE_FAILURE_HORIZON_S;
+        CampaignGrid {
+            name: "failures".to_string(),
+            scale: ExperimentScale::Tiny,
+            apps: vec![AppId::Hpccg],
+            modes: vec![ExecutionMode::IntraParallel { degree: 2 }],
+            schedulers: vec!["static-block"],
+            failures: vec![
+                FailureSpec::None,
+                FailureSpec::Poisson {
+                    rate: FailureRate::Constant(0.5),
+                    horizon_s: h,
+                },
+                FailureSpec::Poisson {
+                    rate: FailureRate::Constant(2.0),
+                    horizon_s: h,
+                },
+                FailureSpec::Poisson {
+                    rate: FailureRate::Constant(5.0),
+                    horizon_s: h,
+                },
+                FailureSpec::Poisson {
+                    rate: FailureRate::Ramp {
+                        start: 0.0,
+                        end: 4.0,
+                    },
+                    horizon_s: h,
+                },
+                FailureSpec::Poisson {
+                    rate: FailureRate::Burst {
+                        base: 0.0,
+                        peak: 8.0,
+                        center: 0.5,
+                        width: 0.25,
+                    },
+                    horizon_s: h,
+                },
+            ],
+            seeds: vec![42, 43, 44],
+        }
+    }
+
+    /// Scheduler comparison on every application, intra mode only.
+    pub fn schedulers() -> Self {
+        CampaignGrid {
+            name: "schedulers".to_string(),
+            scale: ExperimentScale::Tiny,
+            apps: AppId::ALL.to_vec(),
+            modes: vec![ExecutionMode::IntraParallel { degree: 2 }],
+            schedulers: vec![
+                "static-block",
+                "round-robin",
+                "cost-aware",
+                "adaptive",
+                "locality",
+            ],
+            failures: vec![FailureSpec::None],
+            seeds: vec![42],
+        }
+    }
+
+    /// The broad grid: every application, all three modes, two schedulers,
+    /// failure-free and failing, at the small scale.  Meant for manual /
+    /// nightly use, not the per-push gate.
+    pub fn full() -> Self {
+        CampaignGrid {
+            name: "full".to_string(),
+            scale: ExperimentScale::Small,
+            apps: AppId::ALL.to_vec(),
+            modes: vec![
+                ExecutionMode::Native,
+                ExecutionMode::Replicated { degree: 2 },
+                ExecutionMode::IntraParallel { degree: 2 },
+            ],
+            schedulers: vec!["static-block", "adaptive"],
+            failures: vec![
+                FailureSpec::None,
+                FailureSpec::Poisson {
+                    rate: FailureRate::Constant(0.2),
+                    horizon_s: 5.0,
+                },
+            ],
+            seeds: vec![42],
+        }
+    }
+
+    /// Looks up a built-in grid by name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "smoke" => Some(Self::smoke()),
+            "failures" => Some(Self::failures()),
+            "schedulers" => Some(Self::schedulers()),
+            "full" => Some(Self::full()),
+            _ => None,
+        }
+    }
+
+    /// Names of the built-in grids.
+    pub fn builtin_names() -> &'static [&'static str] {
+        &["smoke", "failures", "schedulers", "full"]
+    }
+}
+
+/// Failure rate of the smoke grid's Poisson axis (crashes per rank per
+/// virtual second), calibrated so that a tiny run (virtual makespan
+/// 0.2–0.9 s) sees roughly one crash across its ranks.
+pub const SMOKE_FAILURE_RATE: f64 = 0.5;
+
+/// Horizon of the smoke grid's failure traces, in virtual seconds (covers
+/// the whole tiny-scale run).
+pub const SMOKE_FAILURE_HORIZON_S: f64 = 1.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_the_full_cross_product_with_stable_indices() {
+        let grid = CampaignGrid::smoke();
+        let specs = grid.expand();
+        let expected = grid.apps.len()
+            * grid.modes.len()
+            * grid.schedulers.len()
+            * grid.failures.len()
+            * grid.seeds.len();
+        assert_eq!(specs.len(), expected);
+        for (i, spec) in specs.iter().enumerate() {
+            assert_eq!(spec.index, i);
+        }
+        // Expansion is deterministic.
+        assert_eq!(grid.expand(), specs);
+        // Run ids are unique.
+        let mut ids: Vec<String> = specs.iter().map(RunSpec::id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), specs.len());
+    }
+
+    #[test]
+    fn builtin_grids_resolve_by_name() {
+        for name in CampaignGrid::builtin_names() {
+            let grid = CampaignGrid::by_name(name).unwrap();
+            assert_eq!(&grid.name, name);
+            assert!(!grid.expand().is_empty());
+        }
+        assert!(CampaignGrid::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn grid_schedulers_exist_in_the_registry() {
+        for name in CampaignGrid::builtin_names() {
+            for sched in CampaignGrid::by_name(name).unwrap().schedulers {
+                assert!(
+                    ipr_core::scheduler_by_name(sched).is_some(),
+                    "{sched} missing from the ipr-core registry"
+                );
+            }
+        }
+    }
+}

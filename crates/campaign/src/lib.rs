@@ -1,0 +1,42 @@
+//! # campaign — declarative scenario-campaign engine
+//!
+//! The paper's evaluation is a grid of scenarios: proxy application × scale
+//! × execution mode (native / replicated / intra-parallelized) × failure
+//! behaviour.  This crate makes that grid *declarative* and *cheap to
+//! sweep*:
+//!
+//! * [`grid::CampaignGrid`] — the cross product of six axes (app, scale,
+//!   mode, scheduler, failure spec, seed) expands into independent
+//!   [`spec::RunSpec`]s;
+//! * [`runner`] — executes the runs **in parallel across OS threads**; each
+//!   run is a self-contained virtual-time simulation, so wall-clock drops
+//!   near-linearly with `--jobs` while the results stay byte-identical to a
+//!   sequential execution;
+//! * failure traces are first class: a run can draw per-rank crash times
+//!   from homogeneous or inhomogeneous Poisson processes
+//!   ([`replication::sample_failure_trace`]) instead of hand-placed crash
+//!   points;
+//! * [`report::CampaignReport`] — machine-readable JSON/CSV with per-run
+//!   seeds for exact reproduction;
+//! * [`diff`] — a tolerance-aware comparison that turns a checked-in golden
+//!   JSON into a CI determinism/regression gate.
+//!
+//! The `campaign` binary exposes `run` / `list` / `diff` on the command
+//! line; `make campaign-smoke` reproduces the CI gate locally.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod diff;
+pub mod grid;
+pub mod json;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use diff::diff_reports;
+pub use grid::CampaignGrid;
+pub use json::Json;
+pub use report::CampaignReport;
+pub use runner::{run_campaign, run_spec, run_specs, RunResult};
+pub use spec::{FailureSpec, RunSpec};

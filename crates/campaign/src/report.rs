@@ -1,0 +1,146 @@
+//! Machine-readable campaign reports (JSON + CSV).
+
+use crate::json::Json;
+use crate::runner::RunResult;
+
+/// The aggregated result of one campaign execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Grid name.
+    pub campaign: String,
+    /// Scale preset name.
+    pub scale: String,
+    /// Per-run results in grid order.
+    pub runs: Vec<RunResult>,
+}
+
+impl CampaignReport {
+    /// The report as a JSON document.  Rendering [`Json::render`] of this
+    /// value is byte-deterministic, which is what the golden-baseline gate
+    /// compares against.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("campaign", Json::Str(self.campaign.clone())),
+            ("scale", Json::Str(self.scale.clone())),
+            (
+                "runs",
+                Json::Arr(self.runs.iter().map(run_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// The report as CSV (header + one row per run), deterministic.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "id,app,scale,mode,scheduler,failure,seed,procs,completed,crashed,errored,\
+             failure_events,makespan_s,section_s,update_drain_s,tasks_executed,tasks_received,\
+             tasks_reexecuted,update_bytes_sent,verification\n",
+        );
+        for r in &self.runs {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                r.id,
+                r.app,
+                r.scale,
+                r.mode,
+                r.scheduler,
+                r.failure,
+                r.seed,
+                r.procs,
+                r.completed,
+                r.crashed,
+                r.errored,
+                r.failure_events,
+                r.makespan_s,
+                r.section_s,
+                r.update_drain_s,
+                r.tasks_executed,
+                r.tasks_received,
+                r.tasks_reexecuted,
+                r.update_bytes_sent,
+                r.verification,
+            ));
+        }
+        out
+    }
+}
+
+fn run_to_json(r: &RunResult) -> Json {
+    Json::obj(vec![
+        ("id", Json::Str(r.id.clone())),
+        ("app", Json::Str(r.app.clone())),
+        ("scale", Json::Str(r.scale.clone())),
+        ("mode", Json::Str(r.mode.clone())),
+        ("scheduler", Json::Str(r.scheduler.clone())),
+        ("failure", Json::Str(r.failure.clone())),
+        ("seed", Json::Num(r.seed as f64)),
+        ("procs", Json::Num(r.procs as f64)),
+        ("completed", Json::Num(r.completed as f64)),
+        ("crashed", Json::Num(r.crashed as f64)),
+        ("errored", Json::Num(r.errored as f64)),
+        ("failure_events", Json::Num(r.failure_events as f64)),
+        ("makespan_s", Json::Num(r.makespan_s)),
+        ("section_s", Json::Num(r.section_s)),
+        ("update_drain_s", Json::Num(r.update_drain_s)),
+        ("tasks_executed", Json::Num(r.tasks_executed as f64)),
+        ("tasks_received", Json::Num(r.tasks_received as f64)),
+        ("tasks_reexecuted", Json::Num(r.tasks_reexecuted as f64)),
+        ("update_bytes_sent", Json::Num(r.update_bytes_sent as f64)),
+        ("verification", Json::Num(r.verification)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CampaignReport {
+        CampaignReport {
+            campaign: "smoke".into(),
+            scale: "tiny".into(),
+            runs: vec![RunResult {
+                id: "hpccg-tiny-native-static-block-none-s42".into(),
+                app: "hpccg".into(),
+                scale: "tiny".into(),
+                mode: "native".into(),
+                scheduler: "static-block".into(),
+                failure: "none".into(),
+                seed: 42,
+                procs: 2,
+                completed: 2,
+                crashed: 0,
+                errored: 0,
+                failure_events: 0,
+                makespan_s: 1.5,
+                section_s: 0.75,
+                update_drain_s: 0.25,
+                tasks_executed: 64,
+                tasks_received: 0,
+                tasks_reexecuted: 0,
+                update_bytes_sent: 0,
+                verification: 1e-6,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_rendering_is_parsable_and_stable() {
+        let report = sample();
+        let text = report.to_json().render();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("campaign").and_then(Json::as_str), Some("smoke"));
+        let runs = parsed.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].get("procs").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn csv_has_a_row_per_run() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("id,app,scale,"));
+        assert!(lines[1].starts_with("hpccg-tiny-native-static-block-none-s42,hpccg,"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Run specifications: one fully-determined simulation run of a campaign.
+
+use apps::AppId;
+use ipr_bench::ExperimentScale;
+use replication::{ExecutionMode, FailureRate};
+
+/// Failure behaviour of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailureSpec {
+    /// No failures.
+    None,
+    /// Every physical rank draws its crash times from a Poisson process
+    /// with the given intensity over `[0, horizon_s)` virtual seconds
+    /// (deterministic per (run seed, rank); see
+    /// [`replication::sample_failure_trace`]).
+    Poisson {
+        /// Intensity function of the arrival process.
+        rate: FailureRate,
+        /// Observation horizon in virtual seconds.
+        horizon_s: f64,
+    },
+}
+
+impl FailureSpec {
+    /// Compact label used in run ids and reports, e.g. `none` or
+    /// `poisson-const-0.5-h2`.
+    pub fn label(&self) -> String {
+        match self {
+            FailureSpec::None => "none".to_string(),
+            FailureSpec::Poisson { rate, horizon_s } => {
+                format!("poisson-{}-h{horizon_s}", rate.label())
+            }
+        }
+    }
+
+    /// Parses the output of [`FailureSpec::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        if s == "none" {
+            return Some(FailureSpec::None);
+        }
+        let rest = s.strip_prefix("poisson-")?;
+        let h_at = rest.rfind("-h")?;
+        let rate = FailureRate::parse(&rest[..h_at])?;
+        let horizon_s = rest[h_at + 2..].parse::<f64>().ok()?;
+        Some(FailureSpec::Poisson { rate, horizon_s })
+    }
+}
+
+/// Mode label including the replication degree (`native`, `replicated2`,
+/// `intra2`, …).
+pub fn mode_label(mode: ExecutionMode) -> String {
+    match mode {
+        ExecutionMode::Native => "native".to_string(),
+        ExecutionMode::Replicated { degree } => format!("replicated{degree}"),
+        ExecutionMode::IntraParallel { degree } => format!("intra{degree}"),
+    }
+}
+
+/// Parses the output of [`mode_label`].
+pub fn parse_mode(s: &str) -> Option<ExecutionMode> {
+    if s == "native" {
+        return Some(ExecutionMode::Native);
+    }
+    if let Some(d) = s.strip_prefix("replicated") {
+        return d
+            .parse()
+            .ok()
+            .map(|degree| ExecutionMode::Replicated { degree });
+    }
+    if let Some(d) = s.strip_prefix("intra") {
+        return d
+            .parse()
+            .ok()
+            .map(|degree| ExecutionMode::IntraParallel { degree });
+    }
+    None
+}
+
+/// One fully-determined, self-contained simulation run.  Expanding a
+/// [`crate::grid::CampaignGrid`] produces a vector of these; each one can be
+/// executed independently (and therefore in parallel) and reproduced exactly
+/// from its fields alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Position of the run in the expanded grid (stable across executions).
+    pub index: usize,
+    /// Application to run.
+    pub app: AppId,
+    /// Experiment scale preset (process counts and problem sizes).
+    pub scale: ExperimentScale,
+    /// Execution mode (native / replicated / intra) with its degree.
+    pub mode: ExecutionMode,
+    /// Scheduler for intra-parallel sections (ipr-core registry name).
+    pub scheduler: &'static str,
+    /// Failure behaviour.
+    pub failure: FailureSpec,
+    /// Seed for the run's deterministic randomness (cluster + failure
+    /// traces).
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// Unique, human-readable run id, a pure function of the configuration
+    /// (not of the index), e.g. `hpccg-tiny-intra2-static-block-none-s42`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}-{}-{}-{}-{}-s{}",
+            self.app.name(),
+            self.scale.name(),
+            mode_label(self.mode),
+            self.scheduler,
+            self.failure.label(),
+            self.seed
+        )
+    }
+
+    /// Number of physical processes the run simulates.
+    pub fn procs(&self) -> usize {
+        self.scale.fig6_logical_procs() * self.mode.degree()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_labels_round_trip() {
+        let specs = [
+            FailureSpec::None,
+            FailureSpec::Poisson {
+                rate: FailureRate::Constant(0.5),
+                horizon_s: 2.0,
+            },
+            FailureSpec::Poisson {
+                rate: FailureRate::Ramp {
+                    start: 0.0,
+                    end: 1.5,
+                },
+                horizon_s: 10.0,
+            },
+        ];
+        for s in specs {
+            assert_eq!(FailureSpec::parse(&s.label()), Some(s), "{}", s.label());
+        }
+        assert_eq!(FailureSpec::parse("poisson-const-0.5"), None);
+        assert_eq!(FailureSpec::parse("bogus"), None);
+    }
+
+    #[test]
+    fn mode_labels_round_trip() {
+        for mode in [
+            ExecutionMode::Native,
+            ExecutionMode::Replicated { degree: 2 },
+            ExecutionMode::IntraParallel { degree: 3 },
+        ] {
+            assert_eq!(parse_mode(&mode_label(mode)), Some(mode));
+        }
+        assert_eq!(parse_mode("intra"), None);
+        assert_eq!(parse_mode("weird2"), None);
+    }
+
+    #[test]
+    fn run_id_is_a_pure_function_of_the_configuration() {
+        let spec = RunSpec {
+            index: 7,
+            app: AppId::Hpccg,
+            scale: ExperimentScale::Tiny,
+            mode: ExecutionMode::IntraParallel { degree: 2 },
+            scheduler: "static-block",
+            failure: FailureSpec::None,
+            seed: 42,
+        };
+        assert_eq!(spec.id(), "hpccg-tiny-intra2-static-block-none-s42");
+        assert_eq!(spec.procs(), 4);
+        let moved = RunSpec {
+            index: 9,
+            ..spec.clone()
+        };
+        assert_eq!(moved.id(), spec.id());
+    }
+}

@@ -1,0 +1,118 @@
+//! End-to-end campaign-engine tests: parallelism never changes results,
+//! run outcomes are internally consistent, and the diff gate catches
+//! perturbations.
+
+use campaign::spec::{FailureSpec, RunSpec};
+use campaign::{diff_reports, run_specs, CampaignGrid, CampaignReport, Json};
+use ipr_bench::ExperimentScale;
+use replication::{ExecutionMode, FailureRate};
+
+/// A minimal grid (subset of smoke) used by the tests: one app, all three
+/// modes, with and without failures.
+fn mini_grid() -> CampaignGrid {
+    CampaignGrid {
+        name: "mini".to_string(),
+        scale: ExperimentScale::Tiny,
+        apps: vec![apps::AppId::Hpccg],
+        modes: vec![
+            ExecutionMode::Native,
+            ExecutionMode::Replicated { degree: 2 },
+            ExecutionMode::IntraParallel { degree: 2 },
+        ],
+        schedulers: vec!["static-block"],
+        failures: vec![
+            FailureSpec::None,
+            FailureSpec::Poisson {
+                rate: FailureRate::Constant(0.5),
+                horizon_s: 1.0,
+            },
+        ],
+        seeds: vec![43],
+    }
+}
+
+fn render(runs: Vec<campaign::RunResult>) -> String {
+    CampaignReport {
+        campaign: "mini".into(),
+        scale: "tiny".into(),
+        runs,
+    }
+    .to_json()
+    .render()
+}
+
+#[test]
+fn parallel_execution_is_byte_identical_to_sequential() {
+    let specs: Vec<RunSpec> = mini_grid().expand();
+    let sequential = render(run_specs(&specs, 1));
+    let parallel = render(run_specs(&specs, 8));
+    assert_eq!(
+        sequential, parallel,
+        "--jobs must never change campaign results"
+    );
+    // And the whole thing is reproducible.
+    let again = render(run_specs(&specs, 3));
+    assert_eq!(sequential, again);
+}
+
+#[test]
+fn run_outcomes_are_internally_consistent() {
+    let specs = mini_grid().expand();
+    let runs = run_specs(&specs, 2);
+    assert_eq!(runs.len(), specs.len());
+    for (spec, run) in specs.iter().zip(&runs) {
+        assert_eq!(run.id, spec.id());
+        assert_eq!(run.procs, spec.procs());
+        assert_eq!(
+            run.completed + run.crashed + run.errored,
+            run.procs,
+            "{}: every rank must be classified exactly once",
+            run.id
+        );
+        if matches!(spec.failure, FailureSpec::None) {
+            assert_eq!(run.crashed, 0, "{}: no injected failures", run.id);
+            assert_eq!(run.failure_events, 0, "{}", run.id);
+            assert_eq!(run.completed, run.procs, "{}", run.id);
+            assert!(run.makespan_s > 0.0, "{}", run.id);
+        }
+    }
+    // The failing intra run of this grid loses one replica and recovers by
+    // re-execution (this is the scenario the smoke gate pins down).
+    let intra_fail = runs
+        .iter()
+        .find(|r| r.mode == "intra2" && r.failure != "none")
+        .expect("grid contains a failing intra run");
+    assert_eq!(intra_fail.crashed, 1);
+    assert_eq!(intra_fail.completed, 3);
+    assert!(intra_fail.tasks_reexecuted > 0);
+}
+
+#[test]
+fn diff_gate_accepts_identity_and_rejects_perturbations() {
+    let specs: Vec<RunSpec> = mini_grid()
+        .expand()
+        .into_iter()
+        .filter(|s| matches!(s.failure, FailureSpec::None))
+        .collect();
+    let runs = run_specs(&specs, 2);
+    let text = render(runs);
+    let baseline = Json::parse(&text).unwrap();
+    assert!(diff_reports(&baseline, &baseline, 0.0).is_empty());
+
+    // A perturbed makespan passes a loose gate and fails a strict one.
+    let perturbed = Json::parse(&text.replace("\"makespan_s\": 0.", "\"makespan_s\": 1.")).unwrap();
+    assert_ne!(
+        baseline, perturbed,
+        "the perturbation must change something"
+    );
+    assert!(!diff_reports(&baseline, &perturbed, 1e-9).is_empty());
+
+    // A dropped run is always a violation.
+    let report = CampaignReport {
+        campaign: "mini".into(),
+        scale: "tiny".into(),
+        runs: run_specs(&specs[..1], 1),
+    };
+    let shorter = Json::parse(&report.to_json().render()).unwrap();
+    assert!(!diff_reports(&baseline, &shorter, 1.0).is_empty());
+}

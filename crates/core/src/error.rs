@@ -10,11 +10,10 @@ pub enum IntraError {
     /// crash the protocol can recover from.
     Mpi(MpiError),
     /// The local process crashed (through failure injection); the caller
-    /// must stop doing any work.
+    /// must stop doing any work.  The death of *every peer* replica, by
+    /// contrast, surfaces as `Mpi(ProcessFailed)` from the logical channel's
+    /// stream failover.
     Crashed,
-    /// Every replica of this logical process has crashed, so the section can
-    /// never complete.
-    NoAliveReplica,
     /// A task definition is inconsistent (bad variable id, range out of
     /// bounds, argument/tag mismatch, …).
     InvalidTask(String),
@@ -31,9 +30,6 @@ impl fmt::Display for IntraError {
         match self {
             IntraError::Mpi(e) => write!(f, "MPI error: {e}"),
             IntraError::Crashed => write!(f, "local replica has crashed"),
-            IntraError::NoAliveReplica => {
-                write!(f, "no alive replica left for this logical process")
-            }
             IntraError::InvalidTask(msg) => write!(f, "invalid task: {msg}"),
             IntraError::InvalidVariable(msg) => write!(f, "invalid workspace variable: {msg}"),
             IntraError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
@@ -74,7 +70,6 @@ mod tests {
         assert!(IntraError::InvalidTask("x".into())
             .to_string()
             .contains('x'));
-        assert!(IntraError::NoAliveReplica.to_string().contains("alive"));
         assert!(IntraError::InvalidConfig("bad".into())
             .to_string()
             .contains("bad"));

@@ -60,8 +60,9 @@ pub struct SectionReport {
     pub update_bytes_received: usize,
     /// Modeled bytes snapshotted for `inout` arguments.
     pub inout_snapshot_bytes: usize,
-    /// Number of replica failures of this logical process observed while the
-    /// section executed.
+    /// Number of peer replicas of this logical process whose crash this
+    /// section observed through a failed update receive (the deterministic,
+    /// protocol-level notion of an observed failure).
     pub replica_failures_observed: usize,
     /// Virtual time at section entry.
     pub start_time: SimTime,
@@ -166,6 +167,21 @@ impl RuntimeReport {
     pub fn total_tasks_reexecuted(&self) -> usize {
         self.sections.iter().map(|s| s.tasks_reexecuted).sum()
     }
+
+    /// Total tasks whose result was received from a peer replica.
+    pub fn total_tasks_received(&self) -> usize {
+        self.sections.iter().map(|s| s.tasks_received).sum()
+    }
+
+    /// Total replica failures of this logical process observed inside
+    /// sections (a crash spanning several sections counts once per section
+    /// that observed it).
+    pub fn total_replica_failures_observed(&self) -> usize {
+        self.sections
+            .iter()
+            .map(|s| s.replica_failures_observed)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +245,8 @@ mod tests {
         assert_eq!(rr.total_update_bytes_received(), 400);
         assert_eq!(rr.total_tasks_executed(), 8);
         assert_eq!(rr.total_tasks_reexecuted(), 0);
+        assert_eq!(rr.total_tasks_received(), 8);
+        assert_eq!(rr.total_replica_failures_observed(), 0);
         assert_eq!(rr.sections().len(), 2);
     }
 }

@@ -254,7 +254,7 @@ impl Scheduler for LocalityAwareScheduler {
         if n == 0 {
             return Vec::new();
         }
-        if !(total > 0.0) || k == 1 {
+        if total <= 0.0 || total.is_nan() || k == 1 {
             // Degenerate weights: fall back to the paper's static block
             // split, which is contiguous and balanced by task count.
             return StaticBlockScheduler.assign(task_weights, alive_replicas);

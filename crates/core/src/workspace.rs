@@ -174,6 +174,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::reversed_empty_ranges)] // a reversed range must be rejected
     fn check_range_validates_bounds() {
         let mut ws = Workspace::new();
         let x = ws.add("x", vec![0.0; 4]);

@@ -33,6 +33,10 @@ fn hetero_tasks() -> Vec<(&'static str, f64, f64)> {
     ]
 }
 
+/// Per-process outcome of [`run_hetero`]: the per-iteration section times
+/// plus the learned (cost-model key, predicted seconds) pairs.
+type HeteroOutcome = Result<(Vec<f64>, Vec<(String, f64)>), String>;
+
 /// Runs `reps` instances of the heterogeneous section on a 2-replica
 /// logical process and returns, per physical process, the per-iteration
 /// section times plus the learned cost-model predictions.
@@ -40,7 +44,7 @@ fn run_hetero(
     scheduler: &'static str,
     reps: usize,
     failure: Option<(usize, ProtocolPoint)>,
-) -> Vec<Result<(Vec<f64>, Vec<(String, f64)>), String>> {
+) -> Vec<HeteroOutcome> {
     let config = ClusterConfig::new(2);
     let report = run_cluster(&config, move |proc| {
         let injector = FailureInjector::none();
@@ -100,7 +104,7 @@ fn run_hetero(
 }
 
 /// Per-iteration makespan: max over the replicas of the section time.
-fn makespans(results: &[Result<(Vec<f64>, Vec<(String, f64)>), String>]) -> Vec<f64> {
+fn makespans(results: &[HeteroOutcome]) -> Vec<f64> {
     let ok: Vec<&Vec<f64>> = results
         .iter()
         .map(|r| &r.as_ref().expect("replica failed").0)

@@ -399,13 +399,11 @@ fn consecutive_sections_after_failure_keep_producing_correct_results() {
                         )
                     })
                     .unwrap();
-                if let Err(e) = section.end() {
-                    return Err(e);
-                }
+                section.end()?;
                 let w_now = ws.get(w).to_vec();
                 ws.get_mut(x).copy_from_slice(&w_now);
             }
-            Ok(ws.get(x)[0])
+            Ok::<_, IntraError>(ws.get(x)[0])
         },
     );
     assert!(results[0].as_ref().unwrap().is_err());

@@ -17,6 +17,10 @@ fn reference(alpha: f64, beta: f64, x: &[f64], y: &[f64]) -> (Vec<f64>, Vec<f64>
     (w, y2)
 }
 
+/// Per-process outcome: the `w` and `y` vectors plus the workspace
+/// fingerprint, or the error message of a crashed replica.
+type SharedOutcome = Result<(Vec<f64>, Vec<f64>, u64), String>;
+
 fn run_shared(
     alpha: f64,
     beta: f64,
@@ -25,7 +29,7 @@ fn run_shared(
     tasks: usize,
     degree: usize,
     failure: Option<(usize, ProtocolPoint)>,
-) -> Vec<Result<(Vec<f64>, Vec<f64>, u64), String>> {
+) -> Vec<SharedOutcome> {
     let n = x_data.len();
     let report = run_cluster(&ClusterConfig::ideal(degree), move |proc| {
         let injector = FailureInjector::none();
@@ -48,8 +52,8 @@ fn run_shared(
                         // inputs[0] = x chunk; outputs[0] = w chunk (out),
                         // outputs[1] = y chunk (inout).
                         let x = &c.inputs[0];
-                        for i in 0..x.len() {
-                            c.outputs[0][i] = alpha * x[i] + beta * c.outputs[1][i];
+                        for (i, &xi) in x.iter().enumerate() {
+                            c.outputs[0][i] = alpha * xi + beta * c.outputs[1][i];
                             c.outputs[1][i] *= 0.5;
                         }
                     },
@@ -131,13 +135,11 @@ proptest! {
         // owns `crash_task`; in every case, all replicas that complete the
         // section must hold the reference result.
         let mut survivors = 0;
-        for r in results {
-            if let Ok((w, y, _)) = r {
-                survivors += 1;
-                for i in 0..w.len() {
-                    prop_assert!((w[i] - w_ref[i]).abs() < 1e-9);
-                    prop_assert!((y[i] - y_ref[i]).abs() < 1e-9);
-                }
+        for (w, y, _) in results.into_iter().flatten() {
+            survivors += 1;
+            for i in 0..w.len() {
+                prop_assert!((w[i] - w_ref[i]).abs() < 1e-9);
+                prop_assert!((y[i] - y_ref[i]).abs() < 1e-9);
             }
         }
         prop_assert!(survivors >= 1, "at least one replica must survive");
@@ -264,8 +266,8 @@ proptest! {
                         "waxpby_then_scale",
                         |c| {
                             let x = &c.inputs[0];
-                            for i in 0..x.len() {
-                                c.outputs[0][i] = 1.5 * x[i] + 0.5 * c.outputs[1][i];
+                            for (i, &xi) in x.iter().enumerate() {
+                                c.outputs[0][i] = 1.5 * xi + 0.5 * c.outputs[1][i];
                                 c.outputs[1][i] *= 0.5;
                             }
                         },

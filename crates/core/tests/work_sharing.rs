@@ -11,6 +11,7 @@ fn make_rt(proc: simmpi::ProcHandle, mode: ExecutionMode, config: IntraConfig) -
 }
 
 /// A waxpby-style section: w = alpha*x + beta*y, split into tasks.
+#[allow(clippy::too_many_arguments)]
 fn waxpby_section(
     rt: &mut IntraRuntime,
     ws: &mut Workspace,

@@ -278,7 +278,7 @@ mod tests {
     #[test]
     fn stencil7_interior_row_has_7_entries() {
         let a = CsrMatrix::stencil7(4, 4, 4, false, false);
-        let center = (1 * 4 + 1) * 4 + 1;
+        let center = (4 + 1) * 4 + 1; // grid point (1, 1, 1)
         assert_eq!(a.nnz_in_rows(center..center + 1), 7);
         assert_eq!(a.nnz_in_rows(0..1), 4);
         assert_eq!(a.diagonal(), vec![6.0; 64]);
@@ -291,7 +291,7 @@ mod tests {
         assert_eq!(a.nrows(), nx * ny * nz);
         assert_eq!(a.ncols(), nx * ny * nz + 2 * nx * ny);
         // Bottom-plane center point reaches into the ghost plane below.
-        let bottom_center = 1 * nx + 1;
+        let bottom_center = nx + 1; // grid point (1, 1, 0)
         let has_ghost_col = (a.row_ptr[bottom_center]..a.row_ptr[bottom_center + 1])
             .any(|k| (a.col_idx[k] as usize) >= nx * ny * nz);
         assert!(has_ghost_col);

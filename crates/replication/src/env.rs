@@ -148,11 +148,15 @@ impl ReplicatedEnv {
     }
 
     /// Consults the failure injector at a protocol point; if an injection is
-    /// armed for this physical rank at this point, the process crashes
-    /// (crash-stop) and `true` is returned — the caller must stop doing any
-    /// further work.
+    /// armed for this physical rank at this point — or a timed failure from
+    /// a failure trace is due at the current virtual time — the process
+    /// crashes (crash-stop) and `true` is returned — the caller must stop
+    /// doing any further work.
     pub fn maybe_fail(&self, point: ProtocolPoint) -> bool {
-        if self.injector.should_fail(self.physical_rank(), point) {
+        if self
+            .injector
+            .consult(self.physical_rank(), point, self.now())
+        {
             self.proc.fail_here();
             true
         } else {

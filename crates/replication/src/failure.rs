@@ -1,4 +1,4 @@
-//! Failure injection hooks.
+//! Failure injection hooks and Poisson failure-trace generation.
 //!
 //! The paper's Section III-B2 distinguishes three crash scenarios relative to
 //! a task update: before any update bytes were sent, after the full update
@@ -8,8 +8,22 @@
 //! points ([`ProtocolPoint`]); a test arms the injector with (physical rank,
 //! point) pairs and the matching process crashes itself (crash-stop) exactly
 //! there.
+//!
+//! On top of the point-armed one-shots, the injector supports *timed*
+//! failures: a crash scheduled at a virtual time instead of a protocol
+//! point.  A timed failure fires at the first protocol point the process
+//! reaches at or after the scheduled time, which is exactly how a crash of
+//! the underlying node would be observed by the protocol.  Timed failures
+//! are what failure *traces* arm: [`sample_failure_trace`] draws crash times
+//! from a homogeneous or inhomogeneous Poisson process (via thinning, in the
+//! spirit of IPPP-style simulation packages) using the deterministic
+//! per-rank streams of [`simcluster::rng`], so a campaign can sweep failure
+//! rates instead of hand-placing crashes while every run stays exactly
+//! reproducible from its seed.
 
 use parking_lot::Mutex;
+use rand::Rng;
+use simcluster::SimTime;
 use std::sync::Arc;
 
 /// A point in the intra-parallelization / replication protocol at which a
@@ -61,12 +75,222 @@ pub enum ProtocolPoint {
     },
 }
 
+/// Intensity function λ(t) of a Poisson failure-arrival process, in crashes
+/// per virtual second.  `Constant` gives a homogeneous process; the other
+/// variants are inhomogeneous and are sampled by thinning a homogeneous
+/// process running at the peak rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailureRate {
+    /// λ(t) = `rate` for all t.
+    Constant(f64),
+    /// λ(t) ramps linearly from `start` at t = 0 to `end` at t = horizon.
+    Ramp {
+        /// Rate at the beginning of the horizon.
+        start: f64,
+        /// Rate at the end of the horizon.
+        end: f64,
+    },
+    /// λ(t) = `base` outside the burst window, `peak` inside
+    /// [`center` − `width`/2, `center` + `width`/2] (times are fractions of
+    /// the horizon in [0, 1]).
+    Burst {
+        /// Background rate outside the burst.
+        base: f64,
+        /// Rate inside the burst window.
+        peak: f64,
+        /// Center of the burst as a fraction of the horizon.
+        center: f64,
+        /// Width of the burst as a fraction of the horizon.
+        width: f64,
+    },
+}
+
+impl FailureRate {
+    /// The intensity at time `t` of a process observed over `horizon`
+    /// virtual seconds.
+    pub fn at(&self, t: f64, horizon: f64) -> f64 {
+        let rate = match *self {
+            FailureRate::Constant(rate) => rate,
+            FailureRate::Ramp { start, end } => {
+                if horizon <= 0.0 {
+                    start
+                } else {
+                    start + (end - start) * (t / horizon).clamp(0.0, 1.0)
+                }
+            }
+            FailureRate::Burst {
+                base,
+                peak,
+                center,
+                width,
+            } => {
+                if horizon <= 0.0 {
+                    base
+                } else {
+                    let frac = (t / horizon).clamp(0.0, 1.0);
+                    if (frac - center).abs() <= width / 2.0 {
+                        peak
+                    } else {
+                        base
+                    }
+                }
+            }
+        };
+        rate.max(0.0)
+    }
+
+    /// An upper bound on λ(t) over the horizon (the thinning majorant).
+    pub fn max_rate(&self, _horizon: f64) -> f64 {
+        match *self {
+            FailureRate::Constant(rate) => rate.max(0.0),
+            FailureRate::Ramp { start, end } => start.max(end).max(0.0),
+            FailureRate::Burst { base, peak, .. } => base.max(peak).max(0.0),
+        }
+    }
+
+    /// Compact label used in campaign run ids and reports, e.g.
+    /// `const-0.5`, `ramp-0.1-2`, `burst-0.1-4-0.5-0.2`.
+    pub fn label(&self) -> String {
+        match *self {
+            FailureRate::Constant(rate) => format!("const-{rate}"),
+            FailureRate::Ramp { start, end } => format!("ramp-{start}-{end}"),
+            FailureRate::Burst {
+                base,
+                peak,
+                center,
+                width,
+            } => format!("burst-{base}-{peak}-{center}-{width}"),
+        }
+    }
+
+    /// Parses the output of [`FailureRate::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        let nums = |rest: &str| -> Option<Vec<f64>> {
+            rest.split('-').map(|p| p.parse::<f64>().ok()).collect()
+        };
+        if let Some(rest) = s.strip_prefix("const-") {
+            let v = nums(rest)?;
+            (v.len() == 1).then(|| FailureRate::Constant(v[0]))
+        } else if let Some(rest) = s.strip_prefix("ramp-") {
+            let v = nums(rest)?;
+            (v.len() == 2).then(|| FailureRate::Ramp {
+                start: v[0],
+                end: v[1],
+            })
+        } else if let Some(rest) = s.strip_prefix("burst-") {
+            let v = nums(rest)?;
+            (v.len() == 4).then(|| FailureRate::Burst {
+                base: v[0],
+                peak: v[1],
+                center: v[2],
+                width: v[3],
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// RNG stream id reserved for failure traces (keeps trace sampling
+/// independent of any other per-rank randomness derived from the same seed).
+const FAILURE_TRACE_STREAM: usize = 0xFA11;
+
+/// Samples the crash times of one physical rank over `[0, horizon)` virtual
+/// seconds from the Poisson process described by `rate`.
+///
+/// Sampling uses Lewis–Shedler thinning: candidate arrivals are drawn from a
+/// homogeneous process at the majorant rate λ\* = [`FailureRate::max_rate`]
+/// and each candidate at time t is kept with probability λ(t)/λ\*.  The
+/// generator is a deterministic [`simcluster::rng`] substream of
+/// `(seed, rank)`, so the trace is a pure function of its arguments: every
+/// replica (and every re-run) derives the identical trace without
+/// coordination.
+pub fn sample_failure_trace(
+    rate: FailureRate,
+    horizon: SimTime,
+    seed: u64,
+    rank: usize,
+) -> Vec<SimTime> {
+    thinned_candidates(rate, horizon, seed, rank)
+        .into_iter()
+        .filter_map(|(t, accepted)| accepted.then_some(t))
+        .collect()
+}
+
+/// Candidate arrival times of the homogeneous majorant process that thinning
+/// filters (exposed for tests: an inhomogeneous trace must be a subset of
+/// its majorant candidates).
+pub fn majorant_candidates(
+    rate: FailureRate,
+    horizon: SimTime,
+    seed: u64,
+    rank: usize,
+) -> Vec<SimTime> {
+    thinned_candidates(rate, horizon, seed, rank)
+        .into_iter()
+        .map(|(t, _)| t)
+        .collect()
+}
+
+/// The single thinning loop behind [`sample_failure_trace`] and
+/// [`majorant_candidates`]: every candidate of the homogeneous majorant
+/// process, paired with its acceptance verdict.  Sharing the loop (and its
+/// RNG draw order) is what makes "an inhomogeneous trace is a subset of its
+/// majorant candidates" structural rather than conventional.
+fn thinned_candidates(
+    rate: FailureRate,
+    horizon: SimTime,
+    seed: u64,
+    rank: usize,
+) -> Vec<(SimTime, bool)> {
+    let horizon_s = horizon.as_secs();
+    let max_rate = rate.max_rate(horizon_s);
+    let mut candidates = Vec::new();
+    if max_rate <= 0.0 || horizon_s <= 0.0 {
+        return candidates;
+    }
+    let mut rng = simcluster::rng::substream(seed, rank, FAILURE_TRACE_STREAM);
+    let mut t = 0.0f64;
+    loop {
+        // Exponential inter-arrival at the majorant rate; 1 - u is in (0, 1]
+        // so the logarithm is finite.
+        let u: f64 = rng.gen();
+        t += -(1.0 - u).ln() / max_rate;
+        if t >= horizon_s {
+            return candidates;
+        }
+        let accept: f64 = rng.gen();
+        let accepted = accept * max_rate < rate.at(t, horizon_s);
+        candidates.push((SimTime::from_secs(t), accepted));
+    }
+}
+
+/// One timed failure that fired: the rank, the virtual time it was scheduled
+/// for, and the protocol point / virtual time at which the process actually
+/// observed it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedFiring {
+    /// Physical rank that crashed.
+    pub rank: usize,
+    /// Crash time sampled from the failure trace.
+    pub scheduled: SimTime,
+    /// Virtual time at which the crash was observed (first protocol point at
+    /// or after `scheduled`).
+    pub fired_at: SimTime,
+    /// Protocol point at which the crash was observed.
+    pub point: ProtocolPoint,
+}
+
 #[derive(Debug, Default)]
 struct Plan {
     /// Armed one-shot injections: (physical rank, point).
     armed: Vec<(usize, ProtocolPoint)>,
+    /// Armed timed injections: (physical rank, virtual crash time).
+    timed: Vec<(usize, SimTime)>,
     /// History of fired injections.
     fired: Vec<(usize, ProtocolPoint)>,
+    /// History of fired timed injections.
+    fired_timed: Vec<TimedFiring>,
 }
 
 /// A shared, thread-safe failure-injection plan.
@@ -107,14 +331,90 @@ impl FailureInjector {
         }
     }
 
-    /// Number of armed injections that have not fired yet.
+    /// Arms a timed failure: `physical_rank` crashes at the first protocol
+    /// point it reaches at or after virtual time `at`.
+    pub fn arm_at(&self, physical_rank: usize, at: SimTime) -> &Self {
+        self.plan.lock().timed.push((physical_rank, at));
+        self
+    }
+
+    /// Arms one timed failure per entry of `trace` for `physical_rank`
+    /// (typically the output of [`sample_failure_trace`]).  Since failures
+    /// are crash-stop, only the earliest reachable entry can ever fire.
+    pub fn arm_trace(&self, physical_rank: usize, trace: &[SimTime]) -> &Self {
+        let mut plan = self.plan.lock();
+        for &at in trace {
+            plan.timed.push((physical_rank, at));
+        }
+        self
+    }
+
+    /// Returns true exactly once if a timed failure for this rank is due at
+    /// virtual time `now` (consuming every timed entry of the rank: the
+    /// process is crash-stop, so later entries can never fire).  `point` is
+    /// recorded as the protocol point at which the crash was observed.
+    pub fn should_fail_at(&self, physical_rank: usize, point: ProtocolPoint, now: SimTime) -> bool {
+        Self::check_timed(&mut self.plan.lock(), physical_rank, point, now)
+    }
+
+    fn check_timed(
+        plan: &mut Plan,
+        physical_rank: usize,
+        point: ProtocolPoint,
+        now: SimTime,
+    ) -> bool {
+        let due = plan
+            .timed
+            .iter()
+            .filter(|&&(r, at)| r == physical_rank && at <= now)
+            .map(|&(_, at)| at)
+            .min();
+        if let Some(scheduled) = due {
+            plan.timed.retain(|&(r, _)| r != physical_rank);
+            plan.fired_timed.push(TimedFiring {
+                rank: physical_rank,
+                scheduled,
+                fired_at: now,
+                point,
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Combined protocol-point consultation (what [`crate::ReplicatedEnv`]'s
+    /// `maybe_fail` calls): fires a point-armed one-shot or a due timed
+    /// failure, whichever matches, under a single lock acquisition.
+    pub fn consult(&self, physical_rank: usize, point: ProtocolPoint, now: SimTime) -> bool {
+        let mut plan = self.plan.lock();
+        if let Some(pos) = plan
+            .armed
+            .iter()
+            .position(|&(r, p)| r == physical_rank && p == point)
+        {
+            plan.armed.remove(pos);
+            plan.fired.push((physical_rank, point));
+            return true;
+        }
+        Self::check_timed(&mut plan, physical_rank, point, now)
+    }
+
+    /// Number of armed injections (point-armed and timed) that have not
+    /// fired yet.
     pub fn pending(&self) -> usize {
-        self.plan.lock().armed.len()
+        let plan = self.plan.lock();
+        plan.armed.len() + plan.timed.len()
     }
 
     /// Injections that fired, in firing order.
     pub fn fired(&self) -> Vec<(usize, ProtocolPoint)> {
         self.plan.lock().fired.clone()
+    }
+
+    /// Timed injections that fired, in firing order.
+    pub fn fired_timed(&self) -> Vec<TimedFiring> {
+        self.plan.lock().fired_timed.clone()
     }
 }
 

@@ -31,6 +31,6 @@ pub mod mapping;
 pub mod replicated_comm;
 
 pub use env::{ExecutionMode, ReplicatedEnv};
-pub use failure::{FailureInjector, ProtocolPoint};
+pub use failure::{sample_failure_trace, FailureInjector, FailureRate, ProtocolPoint, TimedFiring};
 pub use mapping::ReplicaMapping;
 pub use replicated_comm::ReplicatedComm;

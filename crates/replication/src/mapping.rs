@@ -40,7 +40,7 @@ impl ReplicaMapping {
     pub fn from_physical(num_physical: usize, degree: usize) -> Self {
         assert!(degree > 0, "replication degree must be at least 1");
         assert!(
-            num_physical % degree == 0,
+            num_physical.is_multiple_of(degree),
             "{num_physical} physical processes cannot be split into replicas of degree {degree}"
         );
         Self::new(num_physical / degree, degree)

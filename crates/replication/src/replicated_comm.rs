@@ -55,6 +55,11 @@ pub struct ReplicatedComm {
     /// Next expected sequence number per incoming (source logical rank, tag)
     /// channel.
     recv_seq: Arc<Mutex<HashMap<(usize, Tag), u64>>>,
+    /// Replica id whose stream is currently consumed, per source logical
+    /// rank.  Advanced only when a receive from that replica reports
+    /// `ProcessFailed` (its stream ran dry), never from a racy liveness
+    /// query, so failover is deterministic in virtual time.
+    src_replica: Arc<Mutex<HashMap<usize, usize>>>,
 }
 
 impl ReplicatedComm {
@@ -67,7 +72,7 @@ impl ReplicatedComm {
                 "replication degree must be at least 1".into(),
             ));
         }
-        if world.size() % degree != 0 {
+        if !world.size().is_multiple_of(degree) {
             return Err(MpiError::InvalidCommunicator(format!(
                 "{} physical processes cannot host replicas of degree {}",
                 world.size(),
@@ -92,6 +97,7 @@ impl ReplicatedComm {
             coll_seq: Arc::new(AtomicU64::new(0)),
             send_seq: Arc::new(Mutex::new(HashMap::new())),
             recv_seq: Arc::new(Mutex::new(HashMap::new())),
+            src_replica: Arc::new(Mutex::new(HashMap::new())),
         })
     }
 
@@ -138,6 +144,10 @@ impl ReplicatedComm {
     }
 
     /// Replica ids of this logical process that are still alive.
+    ///
+    /// The answer is based on the failure board, which is updated at
+    /// real-time (not virtual-time) order; use it for diagnostics and
+    /// post-run assertions only, never to steer protocol decisions.
     pub fn alive_replicas(&self) -> Vec<usize> {
         (0..self.degree())
             .filter(|&r| !self.is_replica_failed(r))
@@ -151,15 +161,13 @@ impl ReplicatedComm {
 
     /// True if this process is the lowest-id alive replica of its logical
     /// process (the replica that covers for failed siblings).
+    ///
+    /// The answer is based on the racy failure board, so it must only be
+    /// used for diagnostics — never to steer protocol decisions (those use
+    /// the deterministic stream-failover discipline of
+    /// [`ReplicatedComm::recv_logical`]).
     pub fn is_covering_replica(&self) -> bool {
         self.alive_replicas().first() == Some(&self.my_replica)
-    }
-
-    fn lowest_alive_replica_of(&self, logical: usize) -> Option<usize> {
-        (0..self.degree()).find(|&r| {
-            let phys = self.mapping.physical_of(logical, r);
-            !self.world.is_failed(phys)
-        })
     }
 
     // ------------------------------------------------------------------
@@ -205,11 +213,13 @@ impl ReplicatedComm {
         let mut framed = Vec::with_capacity(8 + data.len());
         framed.extend_from_slice(&seq.to_le_bytes());
         framed.extend_from_slice(&data);
+        // One copy goes to *every* replica of the destination, alive or not:
+        // the sender has no failure detector, so it must not consult the
+        // (real-time-racy) failure board — doing so would make the charged
+        // send time depend on thread scheduling.  Copies addressed to
+        // crashed replicas are dropped by the network.
         for r in 0..self.degree() {
             let dst = self.mapping.physical_of(dest_logical, r);
-            if self.world.is_failed(dst) {
-                continue;
-            }
             self.world
                 .send_with_modeled_size(&framed, dst, tag, modeled_bytes + 8)?;
         }
@@ -218,9 +228,14 @@ impl ReplicatedComm {
 
     /// Receives the next message on the (source logical rank, tag) channel.
     ///
-    /// The stream of the lowest-id alive replica of the source is consumed;
-    /// stale duplicates (already delivered through another replica's stream
-    /// before a failure) are discarded by sequence number.
+    /// The stream of one replica of the source is consumed, starting from
+    /// replica 0; when a receive on that stream reports `ProcessFailed` (the
+    /// replica crashed before sending the next expected message), the
+    /// receiver fails over permanently to the next replica id.  Stale
+    /// duplicates (already delivered through the previous replica's stream)
+    /// are discarded by sequence number.  Failover is driven purely by the
+    /// message streams — never by a real-time liveness query — so the
+    /// virtual-time behaviour is deterministic.
     pub fn recv_logical<T: Pod>(&self, src_logical: usize, tag: Tag) -> MpiResult<Vec<T>> {
         if src_logical >= self.num_logical() {
             return Err(MpiError::InvalidRank {
@@ -230,17 +245,26 @@ impl ReplicatedComm {
         }
         let expected = *self.recv_seq.lock().entry((src_logical, tag)).or_insert(0);
         loop {
-            let src_replica =
-                self.lowest_alive_replica_of(src_logical)
-                    .ok_or(MpiError::ProcessFailed {
-                        rank: self.mapping.physical_of(src_logical, 0),
-                    })?;
+            let src_replica = *self.src_replica.lock().entry(src_logical).or_insert(0);
+            if src_replica >= self.degree() {
+                // Every replica's stream ran dry: the logical process is gone.
+                return Err(MpiError::ProcessFailed {
+                    rank: self.mapping.physical_of(src_logical, self.degree() - 1),
+                });
+            }
             let phys = self.mapping.physical_of(src_logical, src_replica);
             let framed = match self.world.recv::<u8>(phys, tag) {
                 Ok(f) => f,
-                // The chosen source died while we were waiting: retry with
-                // the next lowest alive replica (or fail if none is left).
-                Err(MpiError::ProcessFailed { .. }) => continue,
+                // The consumed stream ran dry mid-wait: fail over to the
+                // next replica id (or error out once none is left).
+                Err(MpiError::ProcessFailed { .. }) => {
+                    let mut preferred = self.src_replica.lock();
+                    let entry = preferred.entry(src_logical).or_insert(0);
+                    if *entry == src_replica {
+                        *entry += 1;
+                    }
+                    continue;
+                }
                 Err(e) => return Err(e),
             };
             if framed.len() < 8 {

@@ -1,0 +1,218 @@
+//! Tests for Poisson failure-trace generation: determinism, rate
+//! monotonicity, and the bounds guaranteed by inhomogeneous thinning.
+
+use replication::failure::{majorant_candidates, sample_failure_trace};
+use replication::{FailureInjector, FailureRate, ProtocolPoint};
+use simcluster::SimTime;
+
+const HORIZON: f64 = 100.0;
+
+fn trace(rate: FailureRate, seed: u64, rank: usize) -> Vec<SimTime> {
+    sample_failure_trace(rate, SimTime::from_secs(HORIZON), seed, rank)
+}
+
+#[test]
+fn trace_is_replica_identical_for_a_given_seed() {
+    // Every replica derives the trace independently; the result must be a
+    // pure function of (rate, horizon, seed, rank).
+    for rank in 0..8 {
+        let a = trace(FailureRate::Constant(0.2), 42, rank);
+        let b = trace(FailureRate::Constant(0.2), 42, rank);
+        assert_eq!(a, b, "rank {rank}: trace must be deterministic");
+    }
+}
+
+#[test]
+fn different_seeds_and_ranks_give_different_traces() {
+    let base = trace(FailureRate::Constant(1.0), 1, 0);
+    assert_ne!(base, trace(FailureRate::Constant(1.0), 2, 0));
+    assert_ne!(base, trace(FailureRate::Constant(1.0), 1, 1));
+}
+
+#[test]
+fn times_are_sorted_strictly_increasing_and_inside_the_horizon() {
+    for seed in 0..20 {
+        let t = trace(FailureRate::Constant(0.5), seed, 3);
+        for w in t.windows(2) {
+            assert!(w[0] < w[1], "times must be strictly increasing");
+        }
+        for x in &t {
+            assert!(x.as_secs() < HORIZON, "times must lie inside the horizon");
+            assert!(x.as_secs() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn rate_monotonicity_higher_rate_means_more_crashes() {
+    // Averaged over many independent streams, a 5x rate must produce
+    // (roughly 5x) more arrivals.  The comparison is deterministic because
+    // the seeds are fixed.
+    let count = |rate: f64| -> usize {
+        (0..200)
+            .map(|seed| trace(FailureRate::Constant(rate), seed, 0).len())
+            .sum()
+    };
+    let slow = count(0.05);
+    let fast = count(0.25);
+    assert!(
+        fast > 3 * slow,
+        "rate 0.25 must produce far more crashes than 0.05 (got {fast} vs {slow})"
+    );
+    // Sanity-check the absolute scale: E[count] = rate * horizon * streams.
+    let expected_fast = 0.25 * HORIZON * 200.0;
+    assert!(
+        (fast as f64) > 0.7 * expected_fast && (fast as f64) < 1.3 * expected_fast,
+        "homogeneous arrival count {fast} far from expectation {expected_fast}"
+    );
+}
+
+#[test]
+fn zero_rate_and_zero_horizon_yield_empty_traces() {
+    assert!(trace(FailureRate::Constant(0.0), 7, 0).is_empty());
+    assert!(sample_failure_trace(FailureRate::Constant(10.0), SimTime::ZERO, 7, 0).is_empty());
+    assert!(trace(
+        FailureRate::Ramp {
+            start: 0.0,
+            end: 0.0
+        },
+        7,
+        0
+    )
+    .is_empty());
+}
+
+#[test]
+fn thinning_keeps_a_subset_of_the_majorant_candidates() {
+    // An inhomogeneous trace is produced by thinning a homogeneous process
+    // at the majorant rate; every accepted time must be one of the
+    // candidates, in order.
+    let rate = FailureRate::Ramp {
+        start: 0.0,
+        end: 1.0,
+    };
+    for seed in 0..10 {
+        let accepted = trace(rate, seed, 2);
+        let candidates = majorant_candidates(rate, SimTime::from_secs(HORIZON), seed, 2);
+        assert!(accepted.len() <= candidates.len());
+        let mut it = candidates.iter();
+        for a in &accepted {
+            assert!(
+                it.any(|c| c == a),
+                "accepted time {a} is not a majorant candidate (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn thinning_respects_the_intensity_profile() {
+    // A burst process concentrates arrivals inside its window: with base 0
+    // every arrival must fall inside the burst.
+    let rate = FailureRate::Burst {
+        base: 0.0,
+        peak: 2.0,
+        center: 0.5,
+        width: 0.2,
+    };
+    let mut total = 0usize;
+    for seed in 0..50 {
+        for x in trace(rate, seed, 0) {
+            let frac = x.as_secs() / HORIZON;
+            assert!(
+                (0.4..=0.6).contains(&frac),
+                "arrival at fraction {frac} outside the burst window"
+            );
+            total += 1;
+        }
+    }
+    assert!(total > 0, "the burst window must produce arrivals");
+    // Expected arrivals per stream: peak * width * horizon = 2*0.2*100 = 40.
+    let expected = 2.0 * 0.2 * HORIZON * 50.0;
+    assert!(
+        (total as f64) > 0.7 * expected && (total as f64) < 1.3 * expected,
+        "burst arrival count {total} far from expectation {expected}"
+    );
+}
+
+#[test]
+fn ramp_rate_evaluates_linearly_and_majorant_bounds_it() {
+    let r = FailureRate::Ramp {
+        start: 1.0,
+        end: 3.0,
+    };
+    assert_eq!(r.at(0.0, 10.0), 1.0);
+    assert_eq!(r.at(5.0, 10.0), 2.0);
+    assert_eq!(r.at(10.0, 10.0), 3.0);
+    for i in 0..=10 {
+        let t = i as f64;
+        assert!(r.at(t, 10.0) <= r.max_rate(10.0) + 1e-12);
+    }
+    // Negative rates clamp to zero.
+    assert_eq!(FailureRate::Constant(-1.0).at(0.0, 1.0), 0.0);
+    assert_eq!(FailureRate::Constant(-1.0).max_rate(1.0), 0.0);
+}
+
+#[test]
+fn rate_labels_round_trip() {
+    let rates = [
+        FailureRate::Constant(0.5),
+        FailureRate::Ramp {
+            start: 0.1,
+            end: 2.0,
+        },
+        FailureRate::Burst {
+            base: 0.1,
+            peak: 4.0,
+            center: 0.5,
+            width: 0.2,
+        },
+    ];
+    for r in rates {
+        assert_eq!(FailureRate::parse(&r.label()), Some(r), "{}", r.label());
+    }
+    assert_eq!(FailureRate::parse("nonsense"), None);
+    assert_eq!(FailureRate::parse("const-x"), None);
+    assert_eq!(FailureRate::parse("ramp-1"), None);
+}
+
+#[test]
+fn timed_injection_fires_at_the_first_point_past_the_scheduled_time() {
+    let inj = FailureInjector::none();
+    inj.arm_at(3, SimTime::from_secs(5.0));
+    let point = ProtocolPoint::SectionEnter { section: 0 };
+    // Not due yet.
+    assert!(!inj.should_fail_at(3, point, SimTime::from_secs(4.9)));
+    // Wrong rank never fires.
+    assert!(!inj.should_fail_at(2, point, SimTime::from_secs(100.0)));
+    // Due: fires exactly once and records the firing.
+    assert!(inj.should_fail_at(3, point, SimTime::from_secs(6.0)));
+    assert!(!inj.should_fail_at(3, point, SimTime::from_secs(7.0)));
+    let fired = inj.fired_timed();
+    assert_eq!(fired.len(), 1);
+    assert_eq!(fired[0].rank, 3);
+    assert_eq!(fired[0].scheduled, SimTime::from_secs(5.0));
+    assert_eq!(fired[0].fired_at, SimTime::from_secs(6.0));
+    assert_eq!(fired[0].point, point);
+    assert_eq!(inj.pending(), 0);
+}
+
+#[test]
+fn arming_a_trace_consumes_all_entries_of_the_rank_on_the_first_fire() {
+    let inj = FailureInjector::none();
+    let times = [
+        SimTime::from_secs(1.0),
+        SimTime::from_secs(2.0),
+        SimTime::from_secs(3.0),
+    ];
+    inj.arm_trace(0, &times);
+    inj.arm_at(1, SimTime::from_secs(9.0));
+    assert_eq!(inj.pending(), 4);
+    // Crash-stop: a fire consumes every timed entry of the rank; the
+    // earliest due entry is the one recorded.
+    let point = ProtocolPoint::SectionExit { section: 1 };
+    assert!(inj.should_fail_at(0, point, SimTime::from_secs(2.5)));
+    assert_eq!(inj.fired_timed()[0].scheduled, SimTime::from_secs(1.0));
+    assert_eq!(inj.pending(), 1, "only rank 1's entry remains");
+    assert!(!inj.should_fail_at(0, point, SimTime::from_secs(100.0)));
+}

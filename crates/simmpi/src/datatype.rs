@@ -94,7 +94,7 @@ pub fn to_bytes<T: Pod>(data: &[T]) -> Vec<u8> {
 /// Returns [`MpiError::TypeMismatch`] if the byte length is not a multiple of
 /// the element size.
 pub fn from_bytes<T: Pod>(bytes: &[u8]) -> MpiResult<Vec<T>> {
-    if bytes.len() % T::SIZE != 0 {
+    if !bytes.len().is_multiple_of(T::SIZE) {
         return Err(MpiError::TypeMismatch {
             bytes: bytes.len(),
             elem_size: T::SIZE,
@@ -115,7 +115,7 @@ pub fn from_bytes<T: Pod>(bytes: &[u8]) -> MpiResult<Vec<T>> {
 /// [`MpiError::TypeMismatch`] (the protocols in this workspace always size
 /// buffers exactly).
 pub fn copy_into<T: Pod>(bytes: &[u8], dst: &mut [T]) -> MpiResult<()> {
-    if bytes.len() % T::SIZE != 0 {
+    if !bytes.len().is_multiple_of(T::SIZE) {
         return Err(MpiError::TypeMismatch {
             bytes: bytes.len(),
             elem_size: T::SIZE,

@@ -1,0 +1,83 @@
+//! Campaign-engine demo: a declarative failure-rate sweep.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example campaign_sweep
+//! ```
+//!
+//! The example builds a custom campaign grid — HPCCG under
+//! intra-parallelized replication, swept over Poisson failure rates from
+//! fault-free to aggressive — expands it into deterministic runs, executes
+//! them in parallel across OS threads, and prints the resulting
+//! crash/recovery behaviour.  Every run is exactly reproducible from the
+//! (configuration, seed) pair shown in its id: higher rates kill more
+//! replicas, and as long as one replica of each logical process survives,
+//! the intra runtime re-executes the lost tasks and the application
+//! finishes with the correct result.
+
+use campaign::spec::FailureSpec;
+use campaign::{run_specs, CampaignGrid};
+use ipr_bench::ExperimentScale;
+use replication::{ExecutionMode, FailureRate};
+
+fn main() {
+    let grid = CampaignGrid {
+        name: "failure-sweep-demo".to_string(),
+        scale: ExperimentScale::Tiny,
+        apps: vec![apps::AppId::Hpccg],
+        modes: vec![ExecutionMode::IntraParallel { degree: 2 }],
+        schedulers: vec!["static-block"],
+        failures: vec![
+            FailureSpec::None,
+            FailureSpec::Poisson {
+                rate: FailureRate::Constant(0.5),
+                horizon_s: 1.0,
+            },
+            FailureSpec::Poisson {
+                rate: FailureRate::Constant(2.0),
+                horizon_s: 1.0,
+            },
+            FailureSpec::Poisson {
+                rate: FailureRate::Ramp {
+                    start: 0.0,
+                    end: 4.0,
+                },
+                horizon_s: 1.0,
+            },
+        ],
+        seeds: vec![43, 44],
+    };
+
+    let specs = grid.expand();
+    println!("expanded {} runs; executing on 4 threads\n", specs.len());
+    let runs = run_specs(&specs, 4);
+
+    println!(
+        "{:<55} {:>5} {:>7} {:>7} {:>6} {:>10}",
+        "run id", "procs", "crashed", "reexec", "alive", "makespan"
+    );
+    for r in &runs {
+        println!(
+            "{:<55} {:>5} {:>7} {:>7} {:>6} {:>9.4}s",
+            r.id, r.procs, r.crashed, r.tasks_reexecuted, r.completed, r.makespan_s
+        );
+    }
+
+    // The sweep is deterministic: re-running it (even with a different
+    // thread count) reproduces the same report, byte for byte.
+    let again = run_specs(&specs, 1);
+    assert_eq!(runs, again, "campaign runs are deterministic");
+
+    // Fault-free runs complete everywhere; and within this sweep at least
+    // one failing run recovers through task re-execution.
+    assert!(runs
+        .iter()
+        .filter(|r| r.failure == "none")
+        .all(|r| r.completed == r.procs && r.crashed == 0));
+    assert!(
+        runs.iter()
+            .any(|r| r.tasks_reexecuted > 0 && r.completed > 0),
+        "the sweep exercises crash recovery"
+    );
+    println!("\ncampaign sweep demo finished successfully");
+}

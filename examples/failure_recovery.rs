@@ -111,12 +111,10 @@ fn main() {
     });
 
     let mut survivors = 0;
-    for result in &report.results {
-        if let Ok((rank, survived)) = result {
-            if *survived {
-                survivors += 1;
-                println!("physical rank {rank} survived and holds a consistent state");
-            }
+    for (rank, survived) in report.results.iter().flatten() {
+        if *survived {
+            survivors += 1;
+            println!("physical rank {rank} survived and holds a consistent state");
         }
     }
     assert_eq!(

@@ -68,7 +68,7 @@ impl Criterion {
     }
 
     fn matches(&self, id: &str) -> bool {
-        self.filter.as_deref().map_or(true, |f| id.contains(f))
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
     }
 }
 

@@ -11,7 +11,7 @@
 //! * [`simmpi`] — the in-process MPI-like runtime (communicators,
 //!   point-to-point, collectives, cluster launcher);
 //! * [`replication`] — active replication substrate (logical/replica
-//!   communicators, failure injection);
+//!   communicators, failure injection, Poisson failure traces);
 //! * [`core`] (`ipr-core`) — **the paper's contribution**: intra-parallel
 //!   sections, tasks, schedulers, update transfer, failure recovery;
 //! * [`kernels`] — HPC kernels (waxpby, ddot, sparsemv, stencils, PIC) and
@@ -19,9 +19,10 @@
 //! * [`apps`] — the mini-applications of the evaluation (HPCCG, AMG proxy,
 //!   GTC proxy, MiniGhost proxy).
 //!
-//! See `examples/quickstart.rs` for the shortest end-to-end program, and the
+//! See `examples/quickstart.rs` for the shortest end-to-end program, the
 //! `ipr-bench` crate for the harness that regenerates every figure of the
-//! paper.
+//! paper, and the `campaign` crate for declarative scenario sweeps with a
+//! CI-grade regression gate (`examples/campaign_sweep.rs`).
 
 #![warn(missing_docs)]
 
@@ -37,7 +38,10 @@ pub use simmpi;
 pub mod prelude {
     pub use apps::{AppContext, AppRunReport};
     pub use ipr_core::prelude::*;
-    pub use replication::{ExecutionMode, FailureInjector, ProtocolPoint, ReplicatedEnv};
+    pub use replication::{
+        sample_failure_trace, ExecutionMode, FailureInjector, FailureRate, ProtocolPoint,
+        ReplicatedEnv,
+    };
     pub use simcluster::{MachineModel, SimTime, Topology};
     pub use simmpi::{run_cluster, ClusterConfig, Comm, MpiError, ProcHandle};
 }
