@@ -10,7 +10,10 @@ CAMPAIGN_JOBS ?= 4
 CAMPAIGN_TOL ?= 0
 
 .PHONY: all build test verify bench-build docs fmt fmt-check clippy \
-        campaign-smoke golden ci clean
+        campaign-smoke golden bench-json ci clean
+
+# Label recorded with the BENCH.json entry (CI passes its own).
+BENCH_LABEL ?= local
 
 all: build
 
@@ -53,12 +56,21 @@ campaign-smoke:
 	./target/release/campaign diff crates/campaign/golden/smoke.json \
 		target/campaign-smoke.json --tol $(CAMPAIGN_TOL)
 
+# Wall-clock benchmark harness: runs the fabric microbenchmarks and a timed
+# smoke campaign, appending one entry to the checked-in BENCH.json trajectory
+# (see the README for the schema).  Commit the new entry when a PR changes
+# host performance; discard it otherwise.
+bench-json:
+	$(CARGO) build --release -p campaign
+	./target/release/bench-json --append BENCH.json --label $(BENCH_LABEL) \
+		--jobs $(CAMPAIGN_JOBS)
+
 # Regenerate the golden baseline after an intentional behaviour change
 # (review the diff before committing!).
 golden:
 	$(CARGO) build --release -p campaign
 	./target/release/campaign run --grid smoke --jobs $(CAMPAIGN_JOBS) \
-		--out crates/campaign/golden/smoke.json
+		--strip-informational --out crates/campaign/golden/smoke.json
 
 ci: verify bench-build docs fmt-check clippy campaign-smoke
 

@@ -1,0 +1,26 @@
+//! Criterion wrapper around the fabric microbenchmarks (reduced scale).
+//!
+//! The authoritative wall-clock numbers come from the `bench-json` binary
+//! (which writes `BENCH.json`); this wrapper exists so `cargo bench fabric`
+//! can watch the same patterns interactively.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipr_bench::fabric;
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric");
+    group.sample_size(10);
+    group.bench_function("p2p_throughput", |b| {
+        b.iter(|| fabric::p2p_throughput(2_000, 64))
+    });
+    group.bench_function("mailbox_depth", |b| {
+        b.iter(|| fabric::mailbox_depth(256, 2, 16))
+    });
+    group.bench_function("replica_fanout_x2", |b| {
+        b.iter(|| fabric::replica_fanout(2, 200, 64))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fabric);
+criterion_main!(benches);

@@ -11,6 +11,7 @@
 //! | 6c | [`fig6::run`] (`Fig6App::Gtc`) | GTC charge/push |
 //! | 6d | [`fig6::run`] (`Fig6App::MiniGhost`) | MiniGhost stencil + sum |
 //! | — | [`ablations`] | task granularity, bandwidth, scheduler, adaptive-scheduling (`ABL-ADAPT`) ablations |
+//! | — | [`fabric`] | wall-clock microbenchmarks of the simulator host's message fabric (feeds `BENCH.json`) |
 //!
 //! The `figures` binary prints the rows in the same form as the paper
 //! (normalized time / execution time plus the efficiency above each bar);
@@ -20,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod fabric;
 pub mod fig5a;
 pub mod fig5b;
 pub mod fig6;

@@ -1,0 +1,183 @@
+//! `bench-json` — wall-clock benchmark harness emitting the `BENCH.json`
+//! trajectory entry for this build.
+//!
+//! ```text
+//! bench-json [--label NAME] [--jobs N] [--out FILE] [--append FILE] [--quick]
+//! ```
+//!
+//! Runs the fabric microbenchmarks (`ipr_bench::fabric`) and a wall-clock
+//! timed smoke campaign, then writes one schema'd entry:
+//!
+//! * `--out FILE` writes a fresh single-entry document;
+//! * `--append FILE` reads an existing trajectory document (creating it when
+//!   absent), appends the entry, and writes it back — this is how the
+//!   checked-in `BENCH.json` accumulates one entry per PR;
+//! * with neither flag the entry is printed to stdout.
+//!
+//! All numbers are host wall-clock measurements; nothing here affects the
+//! virtual-time results the golden campaign baseline gates on.
+
+use campaign::{run_campaign, CampaignGrid, Json};
+use ipr_bench::fabric::{self, FabricBench};
+use std::process::ExitCode;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Version tag of the `BENCH.json` document layout (see README).
+const SCHEMA: &str = "ipr-bench/1";
+
+fn fabric_to_json(b: &FabricBench) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(b.name.to_string())),
+        ("kind", Json::Str("fabric".to_string())),
+        ("messages", Json::Num(b.messages as f64)),
+        ("payload_bytes", Json::Num(b.payload_bytes as f64)),
+        ("wall_s", Json::Num(round6(b.wall_s))),
+        ("msgs_per_sec", Json::Num(b.msgs_per_sec.round())),
+        ("bytes_copied", Json::Num(b.bytes_copied as f64)),
+    ])
+}
+
+fn round6(v: f64) -> f64 {
+    (v * 1e6).round() / 1e6
+}
+
+fn main() -> ExitCode {
+    let mut label = "local".to_string();
+    let mut jobs = 4usize;
+    let mut out: Option<String> = None;
+    let mut append: Option<String> = None;
+    let mut quick = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--label" => match it.next() {
+                Some(v) => label = v.clone(),
+                None => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => jobs = v,
+                _ => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => return usage(),
+            },
+            "--append" => match it.next() {
+                Some(v) => append = Some(v.clone()),
+                None => return usage(),
+            },
+            "--quick" => quick = true,
+            _ => return usage(),
+        }
+    }
+    if out.is_some() && append.is_some() {
+        eprintln!("--out and --append are mutually exclusive");
+        return usage();
+    }
+
+    // --- fabric microbenchmarks ---------------------------------------
+    let suite = if quick {
+        fabric::smoke_suite()
+    } else {
+        fabric::default_suite()
+    };
+    let mut results: Vec<Json> = Vec::new();
+    for b in &suite {
+        eprintln!(
+            "fabric {:<18} {:>9.0} msgs/s  ({} msgs in {:.3}s, {} bytes copied)",
+            b.name, b.msgs_per_sec, b.messages, b.wall_s, b.bytes_copied
+        );
+        results.push(fabric_to_json(b));
+    }
+
+    // --- wall-clock timed smoke campaign ------------------------------
+    // One smoke sweep takes ~10 ms, far too short to time reliably, so the
+    // sweep is repeated and the mean per-sweep wall time reported.
+    let grid = CampaignGrid::by_name("smoke").expect("smoke grid is built in");
+    let num_runs = grid.expand().len();
+    let sweeps = if quick { 3 } else { 40 };
+    let t0 = Instant::now();
+    for _ in 0..sweeps {
+        let report = run_campaign(&grid, jobs);
+        assert_eq!(report.runs.len(), num_runs);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let sweep_ms = 1e3 * wall_s / sweeps as f64;
+    eprintln!(
+        "campaign_smoke     {sweep_ms:>9.2} ms/sweep  ({sweeps} sweeps x {num_runs} runs, {jobs} jobs)"
+    );
+    results.push(Json::obj(vec![
+        ("name", Json::Str("campaign_smoke".to_string())),
+        ("kind", Json::Str("campaign".to_string())),
+        ("runs", Json::Num(num_runs as f64)),
+        ("sweeps", Json::Num(sweeps as f64)),
+        ("jobs", Json::Num(jobs as f64)),
+        ("wall_s", Json::Num(round6(wall_s))),
+        ("sweep_ms", Json::Num(round6(sweep_ms))),
+    ]));
+
+    let date_unix_s = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let entry = Json::obj(vec![
+        ("label", Json::Str(label)),
+        ("date_unix_s", Json::Num(date_unix_s as f64)),
+        ("results", Json::Arr(results)),
+    ]);
+
+    let doc = match &append {
+        Some(path) => {
+            let mut entries = match std::fs::read_to_string(path) {
+                Ok(text) => match Json::parse(&text) {
+                    Ok(doc) => match doc.get("entries") {
+                        Some(Json::Arr(entries)) => entries.clone(),
+                        _ => {
+                            eprintln!("{path}: no 'entries' array; refusing to clobber");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    Err(e) => {
+                        eprintln!("{path}: {e}; refusing to clobber");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                // Only a genuinely absent file starts a fresh trajectory;
+                // any other read failure must not clobber existing history.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}; refusing to clobber");
+                    return ExitCode::FAILURE;
+                }
+            };
+            entries.push(entry);
+            Json::obj(vec![
+                ("schema", Json::Str(SCHEMA.to_string())),
+                ("entries", Json::Arr(entries)),
+            ])
+        }
+        None => Json::obj(vec![
+            ("schema", Json::Str(SCHEMA.to_string())),
+            ("entries", Json::Arr(vec![entry])),
+        ]),
+    };
+
+    let text = doc.render();
+    match append.as_deref().or(out.as_deref()) {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench-json [--label NAME] [--jobs N] [--out FILE] [--append FILE] [--quick]");
+    ExitCode::from(2)
+}

@@ -12,12 +12,12 @@
 //! the baseline beyond the tolerance, which is how CI gates on the golden
 //! smoke baseline.
 
-use campaign::{diff_reports, run_campaign, CampaignGrid, Json};
+use campaign::{diff_reports, run_campaign, strip_informational, CampaignGrid, Json};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  campaign list [GRID]\n  campaign run --grid NAME [--jobs N] [--out FILE] [--csv FILE]\n  campaign diff BASELINE CANDIDATE [--tol REL]\n\nbuilt-in grids: {}",
+        "usage:\n  campaign list [GRID]\n  campaign run --grid NAME [--jobs N] [--out FILE] [--csv FILE] [--strip-informational]\n  campaign diff BASELINE CANDIDATE [--tol REL]\n\n--strip-informational drops the non-deterministic wall-clock fields from\nthe JSON report (used when regenerating golden baselines).\n\nbuilt-in grids: {}",
         CampaignGrid::builtin_names().join(", ")
     );
     ExitCode::from(2)
@@ -61,6 +61,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut jobs = 1usize;
     let mut out: Option<String> = None;
     let mut csv: Option<String> = None;
+    let mut strip = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| -> Option<String> {
@@ -90,6 +91,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 Some(v) => csv = Some(v),
                 None => return ExitCode::from(2),
             },
+            "--strip-informational" => strip = true,
             other => {
                 eprintln!("unknown argument '{other}'");
                 return usage();
@@ -111,7 +113,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
         "campaign '{grid_name}' finished in {:.2}s wall-clock",
         started.elapsed().as_secs_f64()
     );
-    let json = report.to_json().render();
+    let mut doc = report.to_json();
+    if strip {
+        // Golden baselines must not bake in host wall-clock noise.
+        strip_informational(&mut doc);
+    }
+    let json = doc.render();
     match &out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &json) {

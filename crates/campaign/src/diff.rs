@@ -13,6 +13,38 @@ use crate::json::Json;
 /// One detected divergence, as a human-readable `path: message` line.
 pub type Violation = String;
 
+/// Fields that carry *informational* host-side measurements (wall-clock
+/// times) rather than simulation results.  They are non-deterministic by
+/// nature, so the diff ignores them entirely: their values are never
+/// compared and their presence or absence on either side is not a
+/// violation.  This is what lets a golden baseline recorded without
+/// `wall_time_ms` keep gating reports that now include it.
+pub const INFORMATIONAL_KEYS: &[&str] = &["wall_time_ms"];
+
+fn is_informational_key(key: &str) -> bool {
+    INFORMATIONAL_KEYS.contains(&key)
+}
+
+/// Removes every informational field (recursively) from a JSON document.
+/// Used by determinism checks that want byte-identical renderings of two
+/// reports modulo the host wall clock.
+pub fn strip_informational(json: &mut Json) {
+    match json {
+        Json::Obj(fields) => {
+            fields.retain(|(k, _)| !is_informational_key(k));
+            for (_, v) in fields {
+                strip_informational(v);
+            }
+        }
+        Json::Arr(items) => {
+            for v in items {
+                strip_informational(v);
+            }
+        }
+        _ => {}
+    }
+}
+
 /// True if the field named `key` is a continuous metric (eligible for the
 /// relative tolerance): a virtual-time field (`*_s`) or a verification
 /// value.  Everything else — counts, seeds, ids — is discrete and compared
@@ -104,12 +136,18 @@ fn diff_value(
         }
         (Json::Obj(xs), Json::Obj(ys)) => {
             for (k, x) in xs {
+                if is_informational_key(k) {
+                    continue;
+                }
                 match ys.iter().find(|(yk, _)| yk == k) {
                     Some((_, y)) => diff_value(&format!("{path}.{k}"), Some(k), x, y, tol, out),
                     None => out.push(format!("{path}.{k}: missing from candidate")),
                 }
             }
             for (k, _) in ys {
+                if is_informational_key(k) {
+                    continue;
+                }
                 if !xs.iter().any(|(xk, _)| xk == k) {
                     out.push(format!("{path}.{k}: unexpected field in candidate"));
                 }
@@ -192,6 +230,30 @@ mod tests {
         let d = j(r#"{"runs": "oops"}"#);
         let v = diff_reports(&a, &d, 0.0);
         assert!(v.iter().any(|m| m.contains("expected array, got string")));
+    }
+
+    #[test]
+    fn informational_fields_are_ignored_entirely() {
+        // Different values: ignored.
+        let a = j(r#"{"makespan_s": 1.0, "wall_time_ms": 12.0}"#);
+        let b = j(r#"{"makespan_s": 1.0, "wall_time_ms": 99.0}"#);
+        assert!(diff_reports(&a, &b, 0.0).is_empty());
+        // Present on one side only (golden predates the field): ignored in
+        // both directions.
+        let without = j(r#"{"makespan_s": 1.0}"#);
+        assert!(diff_reports(&without, &a, 0.0).is_empty());
+        assert!(diff_reports(&a, &without, 0.0).is_empty());
+        // Nested inside runs too.
+        let ra = j(r#"{"runs": [{"id": "x", "n": 1, "wall_time_ms": 3.5}]}"#);
+        let rb = j(r#"{"runs": [{"id": "x", "n": 1}]}"#);
+        assert!(diff_reports(&ra, &rb, 0.0).is_empty());
+        // And stripping produces byte-identical renderings.
+        let mut stripped = ra.clone();
+        strip_informational(&mut stripped);
+        assert_eq!(stripped.render(), rb.render());
+        // The non-informational fields are still gated.
+        let rc = j(r#"{"runs": [{"id": "x", "n": 2}]}"#);
+        assert!(!diff_reports(&ra, &rc, 0.0).is_empty());
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod report;
 pub mod runner;
 pub mod spec;
 
-pub use diff::diff_reports;
+pub use diff::{diff_reports, strip_informational, INFORMATIONAL_KEYS};
 pub use grid::CampaignGrid;
 pub use json::Json;
 pub use report::CampaignReport;

@@ -34,11 +34,11 @@ impl CampaignReport {
         let mut out = String::from(
             "id,app,scale,mode,scheduler,failure,seed,procs,completed,crashed,errored,\
              failure_events,makespan_s,section_s,update_drain_s,tasks_executed,tasks_received,\
-             tasks_reexecuted,update_bytes_sent,verification\n",
+             tasks_reexecuted,update_bytes_sent,verification,wall_time_ms\n",
         );
         for r in &self.runs {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 r.id,
                 r.app,
                 r.scale,
@@ -59,6 +59,7 @@ impl CampaignReport {
                 r.tasks_reexecuted,
                 r.update_bytes_sent,
                 r.verification,
+                r.wall_time_ms,
             ));
         }
         out
@@ -87,6 +88,9 @@ fn run_to_json(r: &RunResult) -> Json {
         ("tasks_reexecuted", Json::Num(r.tasks_reexecuted as f64)),
         ("update_bytes_sent", Json::Num(r.update_bytes_sent as f64)),
         ("verification", Json::Num(r.verification)),
+        // Informational (host wall clock, non-deterministic): excluded from
+        // the tolerance diff, see `crate::diff::INFORMATIONAL_KEYS`.
+        ("wall_time_ms", Json::Num(r.wall_time_ms)),
     ])
 }
 
@@ -119,6 +123,7 @@ mod tests {
                 tasks_reexecuted: 0,
                 update_bytes_sent: 0,
                 verification: 1e-6,
+                wall_time_ms: 12.5,
             }],
         }
     }

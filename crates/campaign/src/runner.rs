@@ -64,10 +64,16 @@ pub struct RunResult {
     /// Application verification value (max over completed ranks; 0 when no
     /// rank completed).
     pub verification: f64,
+    /// Host wall-clock time this run took to simulate, in milliseconds.
+    /// *Informational only*: the single non-deterministic field of a run
+    /// result, excluded from the tolerance diff (see `crate::diff`) and
+    /// present so campaign reports double as a host-performance trace.
+    pub wall_time_ms: f64,
 }
 
 /// Executes one run specification to completion.
 pub fn run_spec(spec: &RunSpec) -> RunResult {
+    let started = std::time::Instant::now();
     let degree = spec.mode.degree();
     let num_logical = spec.scale.fig6_logical_procs();
     let procs = num_logical * degree;
@@ -151,6 +157,8 @@ pub fn run_spec(spec: &RunSpec) -> RunResult {
         tasks_reexecuted,
         update_bytes_sent,
         verification,
+        // Rounded to whole microseconds so the rendering stays compact.
+        wall_time_ms: (started.elapsed().as_secs_f64() * 1e6).round() / 1e3,
     }
 }
 

@@ -3,7 +3,7 @@
 //! perturbations.
 
 use campaign::spec::{FailureSpec, RunSpec};
-use campaign::{diff_reports, run_specs, CampaignGrid, CampaignReport, Json};
+use campaign::{diff_reports, run_specs, strip_informational, CampaignGrid, CampaignReport, Json};
 use ipr_bench::ExperimentScale;
 use replication::{ExecutionMode, FailureRate};
 
@@ -31,14 +31,17 @@ fn mini_grid() -> CampaignGrid {
     }
 }
 
+/// Renders a report with the informational wall-clock fields stripped: what
+/// remains is exactly the deterministic content, byte-comparable.
 fn render(runs: Vec<campaign::RunResult>) -> String {
-    CampaignReport {
+    let mut json = CampaignReport {
         campaign: "mini".into(),
         scale: "tiny".into(),
         runs,
     }
-    .to_json()
-    .render()
+    .to_json();
+    strip_informational(&mut json);
+    json.render()
 }
 
 #[test]
@@ -53,6 +56,31 @@ fn parallel_execution_is_byte_identical_to_sequential() {
     // And the whole thing is reproducible.
     let again = render(run_specs(&specs, 3));
     assert_eq!(sequential, again);
+}
+
+#[test]
+fn wall_time_is_recorded_but_never_gated() {
+    let specs: Vec<RunSpec> = mini_grid().expand();
+    let runs = run_specs(&specs[..1], 1);
+    assert!(
+        runs[0].wall_time_ms > 0.0,
+        "every run records its host wall-clock time"
+    );
+    // Two executions of the same spec differ (if at all) only in wall time:
+    // the diff must accept them at zero tolerance.
+    let a = Json::parse(&report_json(run_specs(&specs[..1], 1))).unwrap();
+    let b = Json::parse(&report_json(run_specs(&specs[..1], 1))).unwrap();
+    assert!(diff_reports(&a, &b, 0.0).is_empty());
+}
+
+fn report_json(runs: Vec<campaign::RunResult>) -> String {
+    CampaignReport {
+        campaign: "mini".into(),
+        scale: "tiny".into(),
+        runs,
+    }
+    .to_json()
+    .render()
 }
 
 #[test]

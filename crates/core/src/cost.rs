@@ -6,11 +6,23 @@
 //! closes the loop: every executed section records the virtual-time duration
 //! of each of its tasks ([`crate::report::TaskCostSample`]), the runtime
 //! feeds those durations into an exponential-moving-average history keyed
-//! per task instance (this module; see [`instance_key`]), and schedulers
-//! that opt in (see
+//! per task instance (this module), and schedulers that opt in (see
 //! [`crate::sched::Scheduler::wants_measured_weights`]) receive the learned
 //! durations instead of the declared weights on the next instance of the
 //! section.
+//!
+//! ## Key interning
+//!
+//! A task instance is identified by its name plus its occurrence index among
+//! the same-named tasks of its section (HPCCG's `sparsemv` section is eight
+//! identically named chunks; qualifying by occurrence lets each chunk learn
+//! its own history).  The history is keyed by the interned form
+//! [`TaskKey`] — `(u32 name id, u32 occurrence)` — so the per-section hot
+//! path performs no string formatting or string hashing: names are interned
+//! once, and every later section turns `(name, occurrence)` into a copyable
+//! 8-byte key.  The human-readable `"name#occurrence"` spelling
+//! ([`instance_key`]) remains as the display form, and the string-keyed
+//! methods accept it for convenience (tests, diagnostics).
 //!
 //! ## Replica determinism
 //!
@@ -22,24 +34,49 @@
 //! task's declared [`crate::task::TaskCost`] and the cluster-wide machine
 //! model, identical no matter which replica actually ran the task (see
 //! `observed_seconds` in [`crate::report::TaskCostSample`]).  No
-//! wall-clock or per-replica state ever enters the model.
+//! wall-clock or per-replica state ever enters the model.  Name interning
+//! preserves this: ids are assigned in first-sighting order, which is the
+//! (replica-identical) task launch order.
 
 use std::collections::HashMap;
 
 /// Default smoothing factor of the exponential moving average.
 pub const DEFAULT_EMA_ALPHA: f64 = 0.5;
 
-/// Composes the EMA history key of one task instance: the task name
-/// qualified by the task's occurrence index among the same-named tasks of
-/// its section (`"sparsemv#3"` is the fourth `sparsemv` task launched).
+/// Composes the human-readable history key of one task instance: the task
+/// name qualified by the task's occurrence index among the same-named tasks
+/// of its section (`"sparsemv#3"` is the fourth `sparsemv` task launched).
 ///
-/// Real sections launch many tasks under one name (HPCCG's `sparsemv`
-/// section is eight identically named chunks); qualifying the key by
-/// occurrence lets each chunk learn its own history, so heterogeneous
-/// same-named tasks still schedule correctly.  Occurrence indices follow
-/// launch order, which is identical on every replica.
+/// This is the display form; the model itself is keyed by the interned
+/// [`TaskKey`].  The string-keyed [`CostModel`] methods parse this spelling
+/// back into `(name, occurrence)`.
 pub fn instance_key(name: &str, occurrence: usize) -> String {
     format!("{name}#{occurrence}")
+}
+
+/// Splits a `"name#occurrence"` display key back into its parts.  A key
+/// without a parseable `#<digits>` suffix is treated as occurrence 0 of the
+/// whole string.
+fn split_display_key(key: &str) -> (&str, usize) {
+    if let Some((name, occ)) = key.rsplit_once('#') {
+        if let Ok(occurrence) = occ.parse::<usize>() {
+            return (name, occurrence);
+        }
+    }
+    (key, 0)
+}
+
+/// Interned identity of one task instance: `(name id, occurrence index)`.
+///
+/// Copyable and 8 bytes, so the scheduling hot path carries keys by value
+/// instead of formatting and hashing strings.  Name ids are only meaningful
+/// relative to the [`CostModel`] that interned them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskKey {
+    /// Interned task-name id (see [`CostModel::intern_name`]).
+    pub name_id: u32,
+    /// Occurrence index of the name within its section (launch order).
+    pub occurrence: u32,
 }
 
 /// One learned per-key cost estimate.
@@ -52,8 +89,7 @@ pub struct CostEstimate {
 }
 
 /// Exponential-moving-average history of measured task execution times,
-/// keyed by an arbitrary string (the runtime uses [`instance_key`], the
-/// task name qualified by its occurrence index within the section).
+/// keyed by interned task instance ([`TaskKey`]).
 ///
 /// `mean ← α·sample + (1−α)·mean`, with the first observation initializing
 /// the mean directly so a single iteration is enough to start scheduling
@@ -74,7 +110,9 @@ pub struct CostEstimate {
 #[derive(Debug, Clone, Default)]
 pub struct CostModel {
     alpha: f64,
-    entries: HashMap<String, CostEstimate>,
+    /// Task-name interner; ids are assigned in first-sighting order.
+    names: HashMap<String, u32>,
+    entries: HashMap<TaskKey, CostEstimate>,
 }
 
 impl CostModel {
@@ -89,6 +127,7 @@ impl CostModel {
         };
         CostModel {
             alpha,
+            names: HashMap::new(),
             entries: HashMap::new(),
         }
     }
@@ -103,21 +142,54 @@ impl CostModel {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Interned (hot-path) API
+    // ------------------------------------------------------------------
+
+    /// Interns `name`, returning its stable id.  Ids are assigned in
+    /// first-sighting order, so replicas interning the same (launch-ordered)
+    /// name stream derive identical ids.
+    pub fn intern_name(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.names.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("more than u32::MAX task names");
+        self.names.insert(name.to_string(), id);
+        id
+    }
+
+    /// The interned key of `(name, occurrence)`, interning the name if new.
+    pub fn key_for(&mut self, name: &str, occurrence: usize) -> TaskKey {
+        TaskKey {
+            name_id: self.intern_name(name),
+            occurrence: occurrence as u32,
+        }
+    }
+
+    /// The interned key of `(name, occurrence)` if the name has been seen
+    /// before; read-only (never interns).
+    pub fn lookup_key(&self, name: &str, occurrence: usize) -> Option<TaskKey> {
+        self.names.get(name).map(|&name_id| TaskKey {
+            name_id,
+            occurrence: occurrence as u32,
+        })
+    }
+
     /// Folds one measured duration (virtual seconds) into the history of
     /// `key`.  Non-finite or negative samples are ignored.
-    pub fn observe(&mut self, key: &str, seconds: f64) {
+    pub fn observe_key(&mut self, key: TaskKey, seconds: f64) {
         if !seconds.is_finite() || seconds < 0.0 {
             return;
         }
         let alpha = self.alpha();
-        match self.entries.get_mut(key) {
+        match self.entries.get_mut(&key) {
             Some(e) => {
                 e.seconds = alpha * seconds + (1.0 - alpha) * e.seconds;
                 e.samples += 1;
             }
             None => {
                 self.entries.insert(
-                    key.to_string(),
+                    key,
                     CostEstimate {
                         seconds,
                         samples: 1,
@@ -128,13 +200,13 @@ impl CostModel {
     }
 
     /// The learned execution time of `key`, if any observation exists.
-    pub fn predict(&self, key: &str) -> Option<f64> {
-        self.entries.get(key).map(|e| e.seconds)
+    pub fn predict_key(&self, key: TaskKey) -> Option<f64> {
+        self.entries.get(&key).map(|e| e.seconds)
     }
 
     /// The full estimate (smoothed seconds + sample count) for `key`.
-    pub fn estimate(&self, key: &str) -> Option<CostEstimate> {
-        self.entries.get(key).copied()
+    pub fn estimate_key(&self, key: TaskKey) -> Option<CostEstimate> {
+        self.entries.get(&key).copied()
     }
 
     /// The scheduling weight to use for a task with history key `key` and
@@ -145,10 +217,43 @@ impl CostModel {
     /// well-behaved on idealized machines (where every measured duration is
     /// zero): an all-zero weight vector would make greedy LPT pile every
     /// task onto one replica.
-    pub fn effective_weight(&self, key: &str, declared: f64) -> f64 {
-        match self.predict(key) {
+    pub fn effective_weight_key(&self, key: TaskKey, declared: f64) -> f64 {
+        match self.predict_key(key) {
             Some(p) if p > 0.0 && p.is_finite() => p,
             _ => declared,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // String-keyed (display-form) API
+    // ------------------------------------------------------------------
+
+    /// [`CostModel::observe_key`] addressed by the `"name#occurrence"`
+    /// display form (a bare name means occurrence 0).
+    pub fn observe(&mut self, key: &str, seconds: f64) {
+        let (name, occurrence) = split_display_key(key);
+        let key = self.key_for(name, occurrence);
+        self.observe_key(key, seconds);
+    }
+
+    /// [`CostModel::predict_key`] addressed by the display form.
+    pub fn predict(&self, key: &str) -> Option<f64> {
+        let (name, occurrence) = split_display_key(key);
+        self.predict_key(self.lookup_key(name, occurrence)?)
+    }
+
+    /// [`CostModel::estimate_key`] addressed by the display form.
+    pub fn estimate(&self, key: &str) -> Option<CostEstimate> {
+        let (name, occurrence) = split_display_key(key);
+        self.estimate_key(self.lookup_key(name, occurrence)?)
+    }
+
+    /// [`CostModel::effective_weight_key`] addressed by the display form.
+    pub fn effective_weight(&self, key: &str, declared: f64) -> f64 {
+        let (name, occurrence) = split_display_key(key);
+        match self.lookup_key(name, occurrence) {
+            Some(k) => self.effective_weight_key(k, declared),
+            None => declared,
         }
     }
 
@@ -162,7 +267,8 @@ impl CostModel {
         self.entries.is_empty()
     }
 
-    /// Drops all history.
+    /// Drops all history (the name interner is kept, so previously issued
+    /// [`TaskKey`]s remain valid and simply have no estimate).
     pub fn clear(&mut self) {
         self.entries.clear();
     }
@@ -246,12 +352,43 @@ mod tests {
     }
 
     #[test]
+    fn interned_and_display_keys_address_the_same_history() {
+        let mut m = CostModel::new(1.0);
+        let key = m.key_for("sparsemv", 3);
+        m.observe_key(key, 2.5);
+        // The display form reaches the same entry...
+        assert_eq!(m.predict("sparsemv#3"), Some(2.5));
+        // ...and vice versa.
+        m.observe("sparsemv#3", 7.5);
+        assert_eq!(m.predict_key(key), Some(7.5));
+        assert_eq!(m.effective_weight_key(key, 1.0), 7.5);
+        assert_eq!(m.len(), 1, "one history entry, two spellings");
+    }
+
+    #[test]
+    fn interning_is_stable_and_lookup_is_read_only() {
+        let mut m = CostModel::new(0.5);
+        let a = m.intern_name("waxpby");
+        let b = m.intern_name("ddot");
+        assert_ne!(a, b);
+        assert_eq!(m.intern_name("waxpby"), a, "re-interning returns the id");
+        assert_eq!(m.lookup_key("waxpby", 2).unwrap().name_id, a);
+        assert!(m.lookup_key("never-seen", 0).is_none());
+        assert!(m.is_empty(), "interning alone records no history");
+    }
+
+    #[test]
     fn clear_drops_history() {
         let mut m = CostModel::new(0.5);
+        let key = m.key_for("t", 0);
         m.observe("t", 1.0);
         assert!(!m.is_empty());
         m.clear();
         assert!(m.is_empty());
         assert_eq!(m.predict("t"), None);
+        // Keys issued before the clear stay valid (empty history).
+        assert_eq!(m.predict_key(key), None);
+        m.observe_key(key, 2.0);
+        assert_eq!(m.predict("t#0"), Some(2.0));
     }
 }

@@ -73,7 +73,7 @@ pub mod task;
 pub mod workspace;
 
 pub use api::{IntraSession, TaskTypeId};
-pub use cost::{CostEstimate, CostModel, DEFAULT_EMA_ALPHA};
+pub use cost::{CostEstimate, CostModel, TaskKey, DEFAULT_EMA_ALPHA};
 pub use error::{IntraError, IntraResult};
 pub use report::{RuntimeReport, SectionReport, TaskCostSample};
 pub use runtime::{IntraConfig, IntraRuntime};

@@ -26,11 +26,13 @@ use simcluster::SimTime;
 pub struct TaskCostSample {
     /// Task name.
     pub name: String,
-    /// Cost-model history key: the name qualified by the task's occurrence
-    /// index among same-named tasks of the section (see
-    /// [`crate::cost::instance_key`]), so heterogeneous same-named chunks
-    /// learn independent histories.
-    pub key: String,
+    /// Occurrence index of the name among same-named tasks of the section
+    /// (launch order), so heterogeneous same-named chunks learn independent
+    /// histories.  `(name, occurrence)` is the cost-model identity of the
+    /// instance; the runtime stores it interned as a
+    /// [`crate::cost::TaskKey`], and [`TaskCostSample::key`] renders the
+    /// human-readable `"name#occurrence"` spelling.
+    pub occurrence: u32,
     /// The declared scheduling weight ([`crate::task::TaskDef::weight`]).
     pub declared_weight: f64,
     /// Execution time in virtual seconds (see the type-level docs).
@@ -39,6 +41,14 @@ pub struct TaskCostSample {
     pub executed_by: usize,
     /// True if this replica executed the task itself.
     pub executed_locally: bool,
+}
+
+impl TaskCostSample {
+    /// The human-readable cost-model key of this sample
+    /// (`"name#occurrence"`, see [`crate::cost::instance_key`]).
+    pub fn key(&self) -> String {
+        crate::cost::instance_key(&self.name, self.occurrence as usize)
+    }
 }
 
 /// Metrics of one executed intra-parallel section.
@@ -205,7 +215,7 @@ mod tests {
             task_costs: vec![
                 TaskCostSample {
                     name: "t".into(),
-                    key: "t#0".into(),
+                    occurrence: 0,
                     declared_weight: 1.0,
                     observed_seconds: 0.5,
                     executed_by: 0,
@@ -213,7 +223,7 @@ mod tests {
                 },
                 TaskCostSample {
                     name: "t".into(),
-                    key: "t#1".into(),
+                    occurrence: 1,
                     declared_weight: 1.0,
                     observed_seconds: 0.25,
                     executed_by: 1,
@@ -230,6 +240,7 @@ mod tests {
         assert_eq!(r.local_work_time().as_secs(), 2.0);
         assert_eq!(r.update_drain_time().as_secs(), 1.5);
         assert_eq!(r.observed_task_seconds(), 0.75);
+        assert_eq!(r.task_costs[1].key(), "t#1");
     }
 
     #[test]

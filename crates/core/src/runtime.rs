@@ -178,7 +178,7 @@ impl IntraRuntime {
 
     /// The measured-cost history learned from the sections executed so far.
     ///
-    /// Keyed by task instance ([`crate::cost::instance_key`]); fed one
+    /// Keyed by interned task instance ([`crate::cost::TaskKey`]); fed one
     /// observation per task of every recorded section (see
     /// [`crate::report::TaskCostSample`] for why the stream is identical on
     /// every replica).
@@ -202,10 +202,13 @@ impl IntraRuntime {
 
     pub(crate) fn record(&mut self, report: crate::report::SectionReport) {
         // Fold the section's per-task costs into the EMA history, in task
-        // order (the order is part of the replica-determinism contract).
+        // order (the order is part of the replica-determinism contract —
+        // including the first-sighting order of interned names).
         for sample in &report.task_costs {
-            self.cost_model
-                .observe(&sample.key, sample.observed_seconds);
+            let key = self
+                .cost_model
+                .key_for(&sample.name, sample.occurrence as usize);
+            self.cost_model.observe_key(key, sample.observed_seconds);
         }
         self.report.push(report);
     }

@@ -189,6 +189,24 @@ fn write_back(ws: &mut Workspace, task: &TaskDef, ctx: &TaskCtx) -> IntraResult<
     Ok(())
 }
 
+/// Occurrence indices for the tasks of one section, in launch order: the
+/// i-th task named `n` gets occurrence `i`.  Launch order is identical on
+/// every replica, so the indices are too.  Together with the task name this
+/// is the cost-model identity of each instance (interned as
+/// [`crate::cost::TaskKey`]); no strings are formatted on this path.
+fn occurrence_indices(tasks: &[TaskDef]) -> Vec<u32> {
+    let mut occurrence: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+    tasks
+        .iter()
+        .map(|t| {
+            let n = occurrence.entry(t.name.as_str()).or_insert(0);
+            let o = *n;
+            *n += 1;
+            o
+        })
+        .collect()
+}
+
 /// The virtual-time cost of executing `task`, in seconds: exactly what
 /// [`run_task`] charges to the clock (the roofline time of the declared
 /// cost, or zero for cost-less tasks / disabled charging).
@@ -200,22 +218,6 @@ fn write_back(ws: &mut Workspace, task: &TaskDef, ctx: &TaskCtx) -> IntraResult<
 /// replicas: the next section's assignment is derived from it without any
 /// coordination messages.  A debug assertion in the execution loop checks
 /// that the actual clock delta of each locally executed task agrees.
-/// Cost-model history keys for the tasks of one section, in launch order:
-/// `name#occurrence` (see [`crate::cost::instance_key`]).  Launch order is
-/// identical on every replica, so the keys are too.
-fn cost_keys(tasks: &[TaskDef]) -> Vec<String> {
-    let mut occurrence: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
-    tasks
-        .iter()
-        .map(|t| {
-            let n = occurrence.entry(t.name.as_str()).or_insert(0);
-            let key = crate::cost::instance_key(&t.name, *n);
-            *n += 1;
-            key
-        })
-        .collect()
-}
-
 fn modeled_task_seconds(rt: &IntraRuntime, task: &TaskDef) -> f64 {
     if rt.config().charge_costs {
         if let Some(cost) = task.cost {
@@ -308,13 +310,13 @@ fn execute_section_inner(
     // --- non-sharing modes: execute everything locally -----------------
     if !share {
         let my_replica = rt.env().replica_id();
-        let cost_keys = cost_keys(&tasks);
+        let occurrences = occurrence_indices(&tasks);
         let mut task_costs = Vec::with_capacity(tasks.len());
-        for (task, key) in tasks.iter().zip(cost_keys) {
+        for (task, occurrence) in tasks.iter().zip(occurrences) {
             run_task(rt, ws, task, &vec![None; task.args.len()])?;
             task_costs.push(TaskCostSample {
                 name: task.name.clone(),
-                key,
+                occurrence,
                 declared_weight: task.weight(),
                 observed_seconds: modeled_task_seconds(rt, task),
                 executed_by: my_replica,
@@ -359,13 +361,22 @@ fn execute_section_inner(
     // itself replica-deterministic (see `modeled_task_seconds`), so the
     // no-coordination property is preserved.
     let all_replicas: Vec<usize> = (0..rcomm.degree()).collect();
-    let cost_keys = cost_keys(&tasks);
+    let occurrences = occurrence_indices(&tasks);
     let declared_weights: Vec<f64> = tasks.iter().map(TaskDef::weight).collect();
     let weights: Vec<f64> = if rt.config().scheduler.wants_measured_weights() {
-        cost_keys
+        // Read-only key lookup: a name with no history has no interned id
+        // either, and falls back to the declared weight.
+        let model = rt.cost_model();
+        tasks
             .iter()
+            .zip(&occurrences)
             .zip(&declared_weights)
-            .map(|(key, &d)| rt.cost_model().effective_weight(key, d))
+            .map(
+                |((t, &occ), &d)| match model.lookup_key(&t.name, occ as usize) {
+                    Some(key) => model.effective_weight_key(key, d),
+                    None => d,
+                },
+            )
             .collect()
     } else {
         declared_weights.clone()
@@ -542,11 +553,11 @@ fn execute_section_inner(
 
     let task_costs: Vec<TaskCostSample> = tasks
         .iter()
-        .zip(cost_keys)
+        .zip(occurrences)
         .enumerate()
-        .map(|(i, (t, key))| TaskCostSample {
+        .map(|(i, (t, occurrence))| TaskCostSample {
             name: t.name.clone(),
-            key,
+            occurrence,
             declared_weight: declared_weights[i],
             observed_seconds: observed_seconds[i],
             executed_by: assignment[i],

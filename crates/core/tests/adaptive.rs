@@ -212,7 +212,7 @@ fn task_cost_samples_are_recorded_and_replica_identical() {
         // locality flag differs.
         for (a, b) in sr.task_costs.iter().zip(&sr0.task_costs) {
             assert_eq!(a.name, b.name);
-            assert_eq!(a.key, b.key);
+            assert_eq!(a.occurrence, b.occurrence);
             assert_eq!(a.declared_weight, b.declared_weight);
             assert_eq!(a.observed_seconds, b.observed_seconds);
             assert_eq!(a.executed_by, b.executed_by);

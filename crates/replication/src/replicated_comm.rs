@@ -24,6 +24,7 @@
 //! failover behaviour of the channel.
 
 use crate::mapping::ReplicaMapping;
+use bytes::Bytes;
 use parking_lot::Mutex;
 use simmpi::{Comm, MpiError, MpiResult, Pod, Tag, RESERVED_TAG_BASE};
 use std::collections::HashMap;
@@ -208,20 +209,23 @@ impl ReplicatedComm {
             *entry += 1;
             s
         };
-        // Frame: 8-byte little-endian sequence number followed by the data.
-        let data = simmpi::to_bytes(buf);
-        let mut framed = Vec::with_capacity(8 + data.len());
+        // Frame: 8-byte little-endian sequence number followed by the data,
+        // serialized directly into one buffer (no intermediate vector).
+        let mut framed = Vec::with_capacity(8 + std::mem::size_of_val(buf));
         framed.extend_from_slice(&seq.to_le_bytes());
-        framed.extend_from_slice(&data);
+        simmpi::to_bytes_into(buf, &mut framed);
+        let payload = Bytes::from(framed);
         // One copy goes to *every* replica of the destination, alive or not:
         // the sender has no failure detector, so it must not consult the
         // (real-time-racy) failure board — doing so would make the charged
         // send time depend on thread scheduling.  Copies addressed to
-        // crashed replicas are dropped by the network.
+        // crashed replicas are dropped by the network.  The copies share the
+        // single framed buffer by reference count: the replica fan-out
+        // performs O(1) payload allocations, not O(degree).
         for r in 0..self.degree() {
             let dst = self.mapping.physical_of(dest_logical, r);
             self.world
-                .send_with_modeled_size(&framed, dst, tag, modeled_bytes + 8)?;
+                .send_payload(payload.clone(), dst, tag, modeled_bytes + 8)?;
         }
         Ok(())
     }
@@ -253,8 +257,8 @@ impl ReplicatedComm {
                 });
             }
             let phys = self.mapping.physical_of(src_logical, src_replica);
-            let framed = match self.world.recv::<u8>(phys, tag) {
-                Ok(f) => f,
+            let framed = match self.world.recv_payload(Some(phys), Some(tag)) {
+                Ok((payload, _)) => payload,
                 // The consumed stream ran dry mid-wait: fail over to the
                 // next replica id (or error out once none is left).
                 Err(MpiError::ProcessFailed { .. }) => {

@@ -1,0 +1,89 @@
+//! Allocation-budget regression tests for the zero-copy payload path.
+//!
+//! The replicated channel sends one copy of every logical message to each of
+//! the `degree` replicas of the destination, and (under send-determinism)
+//! every replica of the *sender* emits the stream too.  Before the
+//! zero-copy rewrite each copy re-serialized the payload, so one logical
+//! send cost O(degree) payload-sized allocations per sender; now the frame
+//! is built once and fanned out by reference count, so the cost is O(1) per
+//! sender regardless of the replication degree.
+//!
+//! The test installs a counting global allocator and counts *payload-sized*
+//! allocations (at least half the payload) across whole replicated runs at
+//! degree 2 and degree 4.  The budget would be blown by a factor of ~4 by
+//! the old copy-per-destination path.
+
+use replication::ReplicatedComm;
+use simmpi::{run_cluster, ClusterConfig};
+
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+
+/// Elements per message; 128 KiB of f64 — large enough that payload-sized
+/// allocations stand out from all runtime bookkeeping.
+const PAYLOAD_ELEMS: usize = 16 * 1024;
+const PAYLOAD_BYTES: usize = PAYLOAD_ELEMS * std::mem::size_of::<f64>();
+/// Logical messages sent per sender replica.
+const SENDS: u64 = 4;
+
+/// Runs one replicated cluster (2 logical ranks x `degree` replicas) where
+/// logical rank 0 streams `SENDS` messages to logical rank 1, and returns
+/// the number of payload-sized allocations the whole run performed.
+fn large_allocs_for_degree(degree: usize) -> u64 {
+    let data: Vec<f64> = (0..PAYLOAD_ELEMS).map(|i| i as f64).collect();
+    let config = ClusterConfig::ideal(2 * degree);
+    alloc_counter::set_large_threshold(PAYLOAD_BYTES / 2);
+    let before = alloc_counter::snapshot();
+    let report = run_cluster(&config, move |proc| {
+        let world = proc.world();
+        let rcomm = ReplicatedComm::new(world, degree).unwrap();
+        if rcomm.logical_rank() == 0 {
+            for _ in 0..SENDS {
+                rcomm.send_logical(&data, 1, 5).unwrap();
+            }
+        } else {
+            for _ in 0..SENDS {
+                let v: Vec<f64> = rcomm.recv_logical(0, 5).unwrap();
+                assert_eq!(v.len(), PAYLOAD_ELEMS);
+            }
+        }
+    });
+    assert!(!report.any_panicked());
+    alloc_counter::since(&before).large_allocs
+}
+
+#[test]
+fn logical_send_fan_out_performs_o1_payload_allocations() {
+    // Per logical send, the zero-copy path allocates: 1 framed buffer on the
+    // sender (serialized once, shared by reference count across the fan-out)
+    // and 1 deserialized vector on each receiver that consumes the stream.
+    // Every replica of the sender emits the stream and every replica of the
+    // destination consumes one stream, so the whole run budget is
+    //   degree * SENDS * (sender allocs + receiver allocs).
+    // The old path added `degree` serialization copies per send, i.e.
+    // roughly `degree * SENDS * degree` extra large allocations.
+    let counts: Vec<(usize, u64)> = [2usize, 4]
+        .into_iter()
+        .map(|d| (d, large_allocs_for_degree(d)))
+        .collect();
+    for &(degree, large) in &counts {
+        let per_send_per_replica = large as f64 / (degree as u64 * SENDS) as f64;
+        assert!(
+            per_send_per_replica <= 3.5,
+            "degree {degree}: {per_send_per_replica:.1} payload-sized allocations per logical \
+             send per replica ({large} total) — the fan-out is copying per destination again"
+        );
+    }
+    // O(1), not O(r): doubling the degree must not grow the per-replica
+    // allocation count.  (With copy-per-destination the degree-4 run would
+    // roughly double the per-replica count of the degree-2 run.)
+    let (_, at2) = counts[0];
+    let (_, at4) = counts[1];
+    let per2 = at2 as f64 / (2.0 * SENDS as f64);
+    let per4 = at4 as f64 / (4.0 * SENDS as f64);
+    assert!(
+        per4 <= per2 * 1.5 + 0.5,
+        "per-replica payload allocations grew with the degree: {per2:.2} at degree 2 vs \
+         {per4:.2} at degree 4"
+    );
+}

@@ -45,13 +45,28 @@ struct Board {
     epoch: u64,
 }
 
+/// A callback invoked (outside the board lock) every time the failure state
+/// changes.  Registered by blocking subsystems — the message router wires one
+/// up so that a crash signaled on the board immediately wakes every blocked
+/// receiver, with no polling.
+pub type FailureWaker = Arc<dyn Fn() + Send + Sync>;
+
 /// Shared, thread-safe view of which physical processes have crashed.
 ///
 /// Cloning the board is cheap (it is an `Arc`); all clones observe the same
 /// state.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct FailureStatusBoard {
     inner: Arc<(Mutex<Board>, Condvar)>,
+    wakers: Arc<Mutex<Vec<FailureWaker>>>,
+}
+
+impl std::fmt::Debug for FailureStatusBoard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailureStatusBoard")
+            .field("board", &*self.inner.0.lock())
+            .finish_non_exhaustive()
+    }
 }
 
 impl FailureStatusBoard {
@@ -66,6 +81,23 @@ impl FailureStatusBoard {
                 }),
                 Condvar::new(),
             )),
+            wakers: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Registers a waker called after every state change (failure or
+    /// recovery), outside the board lock.  Wakers must be cheap and must not
+    /// block on the board themselves.
+    pub fn register_waker(&self, waker: FailureWaker) {
+        self.wakers.lock().push(waker);
+    }
+
+    fn wake_all(&self) {
+        // Snapshot under the lock, invoke outside it: a waker typically
+        // grabs other locks (mailboxes) and must not nest inside ours.
+        let wakers: Vec<FailureWaker> = self.wakers.lock().clone();
+        for w in &wakers {
+            w();
         }
     }
 
@@ -77,28 +109,34 @@ impl FailureStatusBoard {
     /// Marks `rank` as failed at virtual time `time`.  Idempotent: marking an
     /// already-failed process again is a no-op and does not bump the epoch.
     pub fn mark_failed(&self, rank: usize, time: SimTime) {
-        let (lock, cvar) = &*self.inner;
-        let mut board = lock.lock();
-        if board.states[rank] == ProcessState::Failed {
-            return;
+        {
+            let (lock, cvar) = &*self.inner;
+            let mut board = lock.lock();
+            if board.states[rank] == ProcessState::Failed {
+                return;
+            }
+            board.states[rank] = ProcessState::Failed;
+            board.events.push(FailureEvent { rank, time });
+            board.epoch += 1;
+            cvar.notify_all();
         }
-        board.states[rank] = ProcessState::Failed;
-        board.events.push(FailureEvent { rank, time });
-        board.epoch += 1;
-        cvar.notify_all();
+        self.wake_all();
     }
 
     /// Marks `rank` as alive again (replica restart — the paper's discussion
     /// section points out that restarting failed replicas quickly matters).
     pub fn mark_recovered(&self, rank: usize) {
-        let (lock, cvar) = &*self.inner;
-        let mut board = lock.lock();
-        if board.states[rank] == ProcessState::Alive {
-            return;
+        {
+            let (lock, cvar) = &*self.inner;
+            let mut board = lock.lock();
+            if board.states[rank] == ProcessState::Alive {
+                return;
+            }
+            board.states[rank] = ProcessState::Alive;
+            board.epoch += 1;
+            cvar.notify_all();
         }
-        board.states[rank] = ProcessState::Alive;
-        board.epoch += 1;
-        cvar.notify_all();
+        self.wake_all();
     }
 
     /// Liveness of `rank`.

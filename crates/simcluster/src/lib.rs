@@ -34,7 +34,7 @@ pub mod time;
 pub mod topology;
 
 pub use clock::VirtualClock;
-pub use failure::{FailureEvent, FailureStatusBoard, ProcessState};
+pub use failure::{FailureEvent, FailureStatusBoard, FailureWaker, ProcessState};
 pub use model::{ComputeModel, MachineModel, NetworkModel};
 pub use rng::seeded_rng;
 pub use stats::{Counter, StatsRegistry};

@@ -10,6 +10,23 @@
 //! collective sequence; since collectives are called in the same order by
 //! every member (an MPI requirement), consecutive collectives can never
 //! interfere even when some ranks run ahead of others.
+//!
+//! ## Host-side copy discipline
+//!
+//! Payloads move through the fabric as reference-counted [`Bytes`], so the
+//! collectives serialize each distinct buffer exactly once per rank:
+//! * `bcast` forwards the *received* payload handle to its children instead
+//!   of re-serializing the deserialized buffer at every hop;
+//! * `reduce` keeps one accumulation buffer and combines incoming payloads
+//!   through a borrowed typed view ([`crate::datatype::typed_view`]) when
+//!   alignment allows, falling back to one deserialization copy otherwise;
+//! * `gather` decodes each received part directly into the assembly buffer;
+//! * `scatter` serializes the root's buffer once and sends zero-copy
+//!   sub-slices of that single allocation.
+//!
+//! None of this changes what is sent or when — payload sizes, message
+//! counts and modeled bytes are identical to a copy-per-hop implementation,
+//! so virtual-time results are unaffected.
 
 use crate::comm::Comm;
 use crate::datatype::{self, Pod};
@@ -25,9 +42,20 @@ impl Comm {
         Ok(())
     }
 
+    fn coll_send_payload(&self, payload: Bytes, dest: usize, tag: Tag) -> MpiResult<()> {
+        let modeled = payload.len();
+        self.send_bytes(payload, modeled, dest, tag)?;
+        Ok(())
+    }
+
     fn coll_recv<T: Pod>(&self, src: usize, tag: Tag) -> MpiResult<Vec<T>> {
         let (payload, _) = self.recv_bytes(Some(src), Some(tag))?;
         datatype::from_bytes(&payload)
+    }
+
+    fn coll_recv_payload(&self, src: usize, tag: Tag) -> MpiResult<Bytes> {
+        let (payload, _) = self.recv_bytes(Some(src), Some(tag))?;
+        Ok(payload)
     }
 
     /// Synchronizes all members (dissemination algorithm, `ceil(log2 p)`
@@ -53,6 +81,11 @@ impl Comm {
     /// Broadcasts `buf` from `root` to every member (binomial tree).  On
     /// non-root ranks the buffer is overwritten with the root's data; it must
     /// already have the correct length.
+    ///
+    /// The payload is serialized exactly once (by the root); every
+    /// intermediate rank forwards the received `Bytes` handle to its
+    /// children, so an `O(log p)`-deep tree performs `O(1)` serializations
+    /// total instead of one per hop.
     pub fn bcast<T: Pod>(&self, buf: &mut Vec<T>, root: usize) -> MpiResult<()> {
         let size = self.size();
         let rank = self.rank();
@@ -65,12 +98,16 @@ impl Comm {
         let tag = self.next_collective_tag();
         let vrank = (rank + size - root) % size;
 
-        // Receive phase: find the bit where a parent sends to us.
+        // Receive phase: find the bit where a parent sends to us.  Non-root
+        // ranks keep the received payload handle for zero-copy forwarding.
+        let mut payload: Option<Bytes> = None;
         let mut mask = 1usize;
         while mask < size {
             if vrank & mask != 0 {
                 let src = (vrank - mask + root) % size;
-                *buf = self.coll_recv::<T>(src, tag)?;
+                let incoming = self.coll_recv_payload(src, tag)?;
+                *buf = datatype::from_bytes(&incoming)?;
+                payload = Some(incoming);
                 break;
             }
             mask <<= 1;
@@ -78,10 +115,15 @@ impl Comm {
         // Send phase: forward to children on every bit below the one where
         // we received (for the root, below the highest bit reached).
         mask >>= 1;
+        if mask > 0 && payload.is_none() {
+            // Root with at least one child: serialize once.
+            payload = Some(Bytes::from(datatype::to_bytes(buf)));
+        }
         while mask > 0 {
             if vrank + mask < size {
                 let dst = (vrank + mask + root) % size;
-                self.coll_send::<T>(buf, dst, tag)?;
+                let p = payload.clone().expect("payload exists when children do");
+                self.coll_send_payload(p, dst, tag)?;
             }
             mask >>= 1;
         }
@@ -90,6 +132,11 @@ impl Comm {
 
     /// Element-wise reduction of `data` onto `root` using `op` (binomial
     /// tree).  Returns `Some(result)` on the root and `None` elsewhere.
+    ///
+    /// One accumulation buffer is reused across all combine steps; incoming
+    /// contributions are combined through a borrowed typed view of the
+    /// received payload when alignment allows, so a combine step allocates
+    /// nothing.
     pub fn reduce<T: Pod, F>(&self, data: &[T], root: usize, op: F) -> MpiResult<Option<Vec<T>>>
     where
         F: Fn(T, T) -> T,
@@ -109,15 +156,25 @@ impl Comm {
                 let src_v = vrank | mask;
                 if src_v < size {
                     let src = (src_v + root) % size;
-                    let incoming = self.coll_recv::<T>(src, tag)?;
-                    if incoming.len() != acc.len() {
+                    let incoming = self.coll_recv_payload(src, tag)?;
+                    if incoming.len() != acc.len() * T::SIZE {
                         return Err(MpiError::TypeMismatch {
-                            bytes: incoming.len() * T::SIZE,
+                            bytes: incoming.len(),
                             elem_size: T::SIZE,
                         });
                     }
-                    for (a, b) in acc.iter_mut().zip(incoming) {
-                        *a = op(*a, b);
+                    match datatype::typed_view::<T>(&incoming) {
+                        Some(view) => {
+                            for (a, &b) in acc.iter_mut().zip(view) {
+                                *a = op(*a, b);
+                            }
+                        }
+                        None => {
+                            let values = datatype::from_bytes::<T>(&incoming)?;
+                            for (a, b) in acc.iter_mut().zip(values) {
+                                *a = op(*a, b);
+                            }
+                        }
                     }
                     // Charge the combine loop: one flop-equivalent per
                     // element, reading both operands and writing one.
@@ -168,6 +225,9 @@ impl Comm {
 
     /// Gathers equally sized contributions onto `root` in rank order.
     /// Returns `Some(concatenated)` on the root and `None` elsewhere.
+    ///
+    /// Received parts are decoded straight into the assembly buffer — no
+    /// temporary per-part vector.
     pub fn gather<T: Pod>(&self, data: &[T], root: usize) -> MpiResult<Option<Vec<T>>> {
         let size = self.size();
         let rank = self.rank();
@@ -181,8 +241,8 @@ impl Comm {
                 if r == rank {
                     out.extend_from_slice(data);
                 } else {
-                    let part = self.coll_recv::<T>(r, tag)?;
-                    out.extend_from_slice(&part);
+                    let part = self.coll_recv_payload(r, tag)?;
+                    datatype::extend_from_bytes(&part, &mut out)?;
                 }
             }
             Ok(Some(out))
@@ -206,6 +266,10 @@ impl Comm {
 
     /// Scatters `size()` equally sized chunks from `root`.  `chunks` is only
     /// read on the root and must contain `size() * chunk_len` elements.
+    ///
+    /// The root serializes the whole buffer once and every child receives a
+    /// zero-copy sub-slice of that single allocation (this removes the
+    /// chunk-copy-then-serialize double copy of the flat implementation).
     pub fn scatter<T: Pod>(
         &self,
         chunks: Option<&[T]>,
@@ -229,9 +293,12 @@ impl Comm {
                     size * chunk_len
                 )));
             }
+            let payload = Bytes::from(datatype::to_bytes(all));
+            let chunk_bytes = chunk_len * T::SIZE;
             for r in 0..size {
                 if r != rank {
-                    self.coll_send(&all[r * chunk_len..(r + 1) * chunk_len], r, tag)?;
+                    let slice = payload.slice(r * chunk_bytes..(r + 1) * chunk_bytes);
+                    self.coll_send_payload(slice, r, tag)?;
                 }
             }
             Ok(all[rank * chunk_len..(rank + 1) * chunk_len].to_vec())

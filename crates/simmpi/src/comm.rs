@@ -213,6 +213,56 @@ impl Comm {
         Ok(())
     }
 
+    /// Blocking send of a pre-serialized payload.
+    ///
+    /// The payload is shared by reference count, never copied: a caller
+    /// fanning one payload out to several destinations (the replication
+    /// layer sends one copy of each logical message to every replica of the
+    /// destination) clones the `Bytes` handle per destination and the
+    /// serialized buffer is allocated exactly once.  `modeled_bytes` is the
+    /// size charged to the network model, usually `payload.len()`.
+    pub fn send_payload(
+        &self,
+        payload: Bytes,
+        dest: usize,
+        tag: Tag,
+        modeled_bytes: usize,
+    ) -> MpiResult<()> {
+        Self::validate_tag(tag)?;
+        self.send_bytes(payload, modeled_bytes, dest, tag)?;
+        Ok(())
+    }
+
+    /// Non-blocking variant of [`Comm::send_payload`].
+    pub fn isend_payload(
+        &self,
+        payload: Bytes,
+        dest: usize,
+        tag: Tag,
+        modeled_bytes: usize,
+    ) -> MpiResult<SendRequest> {
+        Self::validate_tag(tag)?;
+        self.send_bytes(payload, modeled_bytes, dest, tag)
+    }
+
+    /// Blocking receive of a raw payload (optionally wildcarded source /
+    /// tag, the `None` cases being `MPI_ANY_SOURCE` / `MPI_ANY_TAG`).
+    ///
+    /// Returns the payload as reference-counted [`Bytes`] — the receiver
+    /// borrows the very buffer the sender serialized, so deserialization can
+    /// be deferred, partial (frame headers), or skipped entirely via
+    /// [`crate::datatype::typed_view`].
+    pub fn recv_payload(
+        &self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> MpiResult<(Bytes, RecvStatus)> {
+        if let Some(t) = tag {
+            Self::validate_tag(t)?;
+        }
+        self.recv_bytes(src, tag)
+    }
+
     /// Non-blocking send.  The returned request completes when the NIC has
     /// finished injecting the message (`Comm::wait_send`).
     pub fn isend<T: Pod>(&self, buf: &[T], dest: usize, tag: Tag) -> MpiResult<SendRequest> {

@@ -5,18 +5,48 @@
 //! (de)serialize by direct memory reinterpretation: fixed-size numeric types
 //! with no padding and no invalid bit patterns.
 //!
-//! The two `unsafe` blocks in this module are the only unsafe code in the
-//! whole workspace.  They are sound because:
+//! The `unsafe` blocks in this module are the only unsafe code in the whole
+//! workspace.  They are sound because:
 //! * `Pod` is a sealed-by-convention marker implemented only for numeric
 //!   primitives (`f64`, `f32`, `i64`, `i32`, `u64`, `u32`, `u8`, `usize`),
-//!   all of which are valid for every bit pattern and have alignment equal
-//!   to their size;
-//! * byte views never outlive the borrowed slice;
-//! * deserialization copies into a properly typed, properly aligned `Vec`
-//!   element by element (`from_le_bytes`), so no alignment assumption is made
-//!   about the incoming byte buffer.
+//!   all of which are valid for every bit pattern and have no padding;
+//! * byte views never outlive the borrowed slice, and typed views
+//!   ([`typed_view`]) are only produced when the byte buffer is aligned for
+//!   `T` (checked at runtime) on little-endian targets;
+//! * bulk deserialization copies raw bytes into a freshly allocated,
+//!   properly aligned `Vec<T>` (or an existing `&mut [T]`), which is defined
+//!   for any `Pod` type on little-endian targets regardless of the *source*
+//!   buffer's alignment; the element-wise `from_le_bytes` path remains the
+//!   portable fallback.
 
 use crate::error::{MpiError, MpiResult};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of payload bytes materialized (actually copied) by the
+/// conversion functions of this module.  This is the host-side copy traffic
+/// of the simulator itself — *not* a virtual-time quantity — and exists purely
+/// for observability: the fabric microbenchmarks (`ipr-bench::fabric`) read it
+/// to report how many bytes each messaging pattern really copies, which is
+/// how the zero-copy invariants of the payload path are kept honest.
+static COPIED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Total payload bytes copied by this module since process start (or the last
+/// [`reset_copied_bytes`]).  Monotonic, process-wide, updated with relaxed
+/// atomics — use only for benchmarking/diagnostics, never for protocol
+/// decisions.
+pub fn copied_bytes() -> u64 {
+    COPIED_BYTES.load(Ordering::Relaxed)
+}
+
+/// Resets the [`copied_bytes`] counter to zero.  Benchmark harness use only.
+pub fn reset_copied_bytes() {
+    COPIED_BYTES.store(0, Ordering::Relaxed)
+}
+
+#[inline]
+fn note_copied(bytes: usize) {
+    COPIED_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+}
 
 /// Marker trait for element types that can be shipped by reinterpreting their
 /// memory.  See the module documentation for the safety argument.
@@ -69,30 +99,76 @@ impl Pod for usize {
 /// On little-endian targets with native-endian layout this is a straight
 /// `memcpy`; the element-wise path is kept as the portable fallback.
 pub fn to_bytes<T: Pod>(data: &[T]) -> Vec<u8> {
-    #[cfg(target_endian = "little")]
-    {
+    // Wire size, not in-memory size: they differ for `usize` on 32-bit.
+    let mut out = Vec::with_capacity(data.len() * T::SIZE);
+    to_bytes_into(data, &mut out);
+    out
+}
+
+/// Appends the little-endian serialization of `data` to an existing byte
+/// vector.  This is the allocation-free building block behind [`to_bytes`];
+/// callers that assemble framed messages (header + payload) use it to
+/// serialize directly into the frame instead of through a temporary vector.
+pub fn to_bytes_into<T: Pod>(data: &[T], out: &mut Vec<u8>) {
+    note_copied(data.len() * T::SIZE);
+    if wire_layout_matches::<T>() {
         // SAFETY: `T: Pod` guarantees `T` is a plain numeric type valid for
         // any bit pattern with no padding; viewing its memory as bytes is
         // therefore always defined.  The view does not outlive `data`.
         let bytes: &[u8] = unsafe {
             std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), std::mem::size_of_val(data))
         };
-        bytes.to_vec()
-    }
-    #[cfg(not(target_endian = "little"))]
-    {
-        let mut out = Vec::with_capacity(data.len() * T::SIZE);
+        out.extend_from_slice(bytes);
+    } else {
+        out.reserve(data.len() * T::SIZE);
         for x in data {
-            x.write_le(&mut out);
+            x.write_le(out);
         }
-        out
     }
+}
+
+/// True when `T`'s in-memory layout equals its little-endian wire format —
+/// the precondition of every bulk-`memcpy` / reinterpretation fast path in
+/// this module.  False on big-endian targets, and false whenever the
+/// declared wire size differs from the in-memory size (`usize` is always 8
+/// bytes on the wire, so on a 32-bit target it must take the element-wise
+/// path).
+fn wire_layout_matches<T: Pod>() -> bool {
+    cfg!(target_endian = "little") && T::SIZE == std::mem::size_of::<T>()
+}
+
+/// Zero-copy reinterpretation of a byte buffer as a typed slice.
+///
+/// Returns `Some(view)` when no copy is needed to read the buffer as `[T]`:
+/// the target is little-endian, the length is an exact multiple of the
+/// element size, and the buffer happens to be aligned for `T`.  Returns
+/// `None` otherwise — callers fall back to [`from_bytes`].  Receive paths
+/// use this to *borrow* typed data straight out of a shared payload (e.g.
+/// the reduction combine loop), skipping the deserialization copy entirely.
+pub fn typed_view<T: Pod>(bytes: &[u8]) -> Option<&[T]> {
+    if !wire_layout_matches::<T>() {
+        return None;
+    }
+    if !bytes.len().is_multiple_of(T::SIZE) {
+        return None;
+    }
+    if !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>()) {
+        return None;
+    }
+    // SAFETY: the wire layout equals the in-memory layout
+    // (`wire_layout_matches`), the buffer is aligned for `T` (checked
+    // above), its length is an exact multiple of `T::SIZE ==
+    // size_of::<T>()`, and `T: Pod` is valid for every bit pattern.  The
+    // view borrows `bytes` and cannot outlive it.
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<T>(), bytes.len() / T::SIZE) })
 }
 
 /// Deserializes a byte buffer into a typed vector.
 ///
 /// Returns [`MpiError::TypeMismatch`] if the byte length is not a multiple of
-/// the element size.
+/// the element size.  On little-endian targets the copy is a single bulk
+/// `memcpy` into the (correctly aligned) fresh vector; no alignment
+/// assumption is made about the incoming bytes.
 pub fn from_bytes<T: Pod>(bytes: &[u8]) -> MpiResult<Vec<T>> {
     if !bytes.len().is_multiple_of(T::SIZE) {
         return Err(MpiError::TypeMismatch {
@@ -100,12 +176,69 @@ pub fn from_bytes<T: Pod>(bytes: &[u8]) -> MpiResult<Vec<T>> {
             elem_size: T::SIZE,
         });
     }
+    note_copied(bytes.len());
     let n = bytes.len() / T::SIZE;
-    let mut out = Vec::with_capacity(n);
-    for i in 0..n {
-        out.push(T::read_le(&bytes[i * T::SIZE..(i + 1) * T::SIZE]));
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    if wire_layout_matches::<T>() {
+        // SAFETY: the destination was allocated with capacity for `n`
+        // elements and is properly aligned for `T`; `n * T::SIZE ==
+        // bytes.len()` bytes are copied, which is exactly `n` elements
+        // because `T::SIZE == size_of::<T>()` (`wire_layout_matches`), and
+        // every bit pattern is a valid `T` (`Pod`), so `set_len(n)` exposes
+        // only initialized values.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                out.as_mut_ptr().cast::<u8>(),
+                n * T::SIZE,
+            );
+            out.set_len(n);
+        }
+    } else {
+        for i in 0..n {
+            out.push(T::read_le(&bytes[i * T::SIZE..(i + 1) * T::SIZE]));
+        }
     }
     Ok(out)
+}
+
+/// Deserializes a byte buffer by appending to an existing typed vector.
+///
+/// The gather assembly loop uses this to decode each received part straight
+/// into the result buffer instead of materializing a temporary vector per
+/// part.  Returns [`MpiError::TypeMismatch`] on a length that is not a
+/// multiple of the element size.
+pub fn extend_from_bytes<T: Pod>(bytes: &[u8], out: &mut Vec<T>) -> MpiResult<()> {
+    if !bytes.len().is_multiple_of(T::SIZE) {
+        return Err(MpiError::TypeMismatch {
+            bytes: bytes.len(),
+            elem_size: T::SIZE,
+        });
+    }
+    note_copied(bytes.len());
+    let n = bytes.len() / T::SIZE;
+    out.reserve(n);
+    if wire_layout_matches::<T>() {
+        let old_len = out.len();
+        // SAFETY: `reserve(n)` guarantees capacity for `old_len + n`
+        // elements; exactly `n * T::SIZE == bytes.len()` bytes are copied
+        // into the spare capacity — `n` elements, because `T::SIZE ==
+        // size_of::<T>()` (`wire_layout_matches`) — and every bit pattern
+        // is a valid `T`.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                out.as_mut_ptr().add(old_len).cast::<u8>(),
+                n * T::SIZE,
+            );
+            out.set_len(old_len + n);
+        }
+    } else {
+        for i in 0..n {
+            out.push(T::read_le(&bytes[i * T::SIZE..(i + 1) * T::SIZE]));
+        }
+    }
+    Ok(())
 }
 
 /// Deserializes a byte buffer into an existing typed slice.
@@ -134,8 +267,23 @@ pub fn copy_into<T: Pod>(bytes: &[u8], dst: &mut [T]) -> MpiResult<()> {
             elem_size: T::SIZE,
         });
     }
-    for (i, slot) in dst.iter_mut().enumerate() {
-        *slot = T::read_le(&bytes[i * T::SIZE..(i + 1) * T::SIZE]);
+    note_copied(bytes.len());
+    if wire_layout_matches::<T>() {
+        // SAFETY: `dst` has exactly `n` elements (checked above) of size
+        // `size_of::<T>() == T::SIZE` (`wire_layout_matches`), so copying
+        // `n * T::SIZE == bytes.len()` bytes over it stays in bounds, and
+        // every bit pattern is a valid `T` (`Pod`).
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                dst.as_mut_ptr().cast::<u8>(),
+                bytes.len(),
+            );
+        }
+    } else {
+        for (i, slot) in dst.iter_mut().enumerate() {
+            *slot = T::read_le(&bytes[i * T::SIZE..(i + 1) * T::SIZE]);
+        }
     }
     Ok(())
 }
@@ -201,6 +349,70 @@ mod tests {
             copy_into(&bytes, &mut long),
             Err(MpiError::TypeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn to_bytes_into_appends_after_existing_content() {
+        let mut framed = vec![0xAAu8; 8];
+        to_bytes_into(&[1.0f64, 2.0], &mut framed);
+        assert_eq!(framed.len(), 8 + 16);
+        assert_eq!(&framed[..8], &[0xAA; 8]);
+        let back: Vec<f64> = from_bytes(&framed[8..]).unwrap();
+        assert_eq!(back, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn typed_view_borrows_aligned_buffers_and_rejects_misaligned_ones() {
+        let data = vec![1.5f64, -2.25, 8.0];
+        let bytes = to_bytes(&data);
+        // A Vec<u8> from to_bytes is at least 8-aligned on every mainstream
+        // allocator, but don't rely on it: check whichever way it lands.
+        match typed_view::<f64>(&bytes) {
+            Some(view) => assert_eq!(view, &data[..]),
+            None => assert_ne!((bytes.as_ptr() as usize) % std::mem::align_of::<f64>(), 0),
+        }
+        // u8 views are always aligned (on little-endian targets).
+        if cfg!(target_endian = "little") {
+            assert_eq!(typed_view::<u8>(&bytes).unwrap().len(), bytes.len());
+            // An odd offset into an f64 buffer can never be an f64 view.
+            assert!(typed_view::<f64>(&bytes[1..9]).is_none() || bytes.as_ptr() as usize % 8 == 7);
+        }
+        // Length mismatch is always rejected.
+        assert!(typed_view::<f64>(&bytes[..10]).is_none());
+    }
+
+    #[test]
+    fn extend_from_bytes_decodes_in_place() {
+        let mut out = vec![7i32];
+        extend_from_bytes(&to_bytes(&[1i32, 2, 3]), &mut out).unwrap();
+        assert_eq!(out, vec![7, 1, 2, 3]);
+        assert!(matches!(
+            extend_from_bytes::<i32>(&[0u8; 5], &mut out),
+            Err(MpiError::TypeMismatch { .. })
+        ));
+        assert_eq!(out.len(), 4, "failed extend must not change the buffer");
+    }
+
+    #[test]
+    fn copied_bytes_counter_tracks_conversions() {
+        // The counter is process-global and sibling unit tests run in
+        // parallel in this binary, so assert only deltas large enough that
+        // their small conversions cannot account for them.
+        const BIG: usize = 1 << 20;
+        let data = vec![0u8; BIG];
+        let before = copied_bytes();
+        let bytes = to_bytes(&data);
+        let back: Vec<u8> = from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), BIG);
+        assert!(copied_bytes() - before >= 2 * BIG as u64);
+        // Borrowing a view copies nothing payload-sized.
+        let mid = copied_bytes();
+        let view = typed_view::<u8>(&bytes).unwrap();
+        assert_eq!(view.len(), BIG);
+        assert!(
+            copied_bytes() - mid < BIG as u64 / 2,
+            "typed_view must not copy the buffer"
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub mod router;
 
 pub use cluster::{run_cluster, ClusterConfig, ClusterReport, ProcReport};
 pub use comm::{Comm, RecvStatus, WORLD_COMM_ID};
-pub use datatype::{copy_into, from_bytes, to_bytes, Pod};
+pub use datatype::{
+    copied_bytes, copy_into, extend_from_bytes, from_bytes, reset_copied_bytes, to_bytes,
+    to_bytes_into, typed_view, Pod,
+};
 pub use error::{MpiError, MpiResult};
 pub use message::{CommId, Envelope, MatchSelector, Tag, RESERVED_TAG_BASE};
 pub use proc::ProcHandle;

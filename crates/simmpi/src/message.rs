@@ -40,6 +40,14 @@ pub struct Envelope {
 }
 
 impl Envelope {
+    /// The `(communicator, source, tag)` mailbox lane this envelope queues
+    /// in.  Envelopes of one lane are delivered and consumed strictly FIFO
+    /// (MPI's non-overtaking guarantee); the router keeps one indexed queue
+    /// per lane.
+    pub fn lane_key(&self) -> LaneKey {
+        (self.comm, self.src_world, self.tag)
+    }
+
     /// True if this envelope matches the given selector.
     pub fn matches(&self, sel: &MatchSelector) -> bool {
         if self.comm != sel.comm {
@@ -59,6 +67,10 @@ impl Envelope {
     }
 }
 
+/// A mailbox lane identifier: `(communicator, source world rank, tag)`.
+/// Every envelope belongs to exactly one lane (see [`Envelope::lane_key`]).
+pub type LaneKey = (CommId, usize, Tag);
+
 /// Receiver-side matching criteria: communicator plus optional source and
 /// tag wildcards (the equivalents of `MPI_ANY_SOURCE` / `MPI_ANY_TAG`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +81,26 @@ pub struct MatchSelector {
     pub src_world: Option<usize>,
     /// Expected tag, or `None` for any tag.
     pub tag: Option<Tag>,
+}
+
+impl MatchSelector {
+    /// True if this selector is fully determined (no wildcard), i.e. it
+    /// names exactly one mailbox lane.
+    pub fn exact_lane(&self) -> Option<LaneKey> {
+        match (self.src_world, self.tag) {
+            (Some(src), Some(tag)) => Some((self.comm, src, tag)),
+            _ => None,
+        }
+    }
+
+    /// True if every envelope of lane `key` matches this selector (lane
+    /// membership fully determines matching — the selector never inspects
+    /// the payload).
+    pub fn matches_lane(&self, key: &LaneKey) -> bool {
+        self.comm == key.0
+            && self.src_world.is_none_or(|s| s == key.1)
+            && self.tag.is_none_or(|t| t == key.2)
+    }
 }
 
 #[cfg(test)]

@@ -1,45 +1,171 @@
 //! Message routing between simulated processes.
 //!
-//! The router owns one mailbox per physical rank.  A send pushes a fully
-//! formed [`Envelope`] (payload + precomputed arrival time) into the
-//! destination mailbox; a receive scans the mailbox for the first envelope
-//! matching its [`MatchSelector`] and blocks until one appears, the expected
-//! sender is declared failed, or the simulation is aborted.
+//! The router owns one mailbox per physical rank.  A mailbox is *indexed*:
+//! envelopes queue in per-`(communicator, source, tag)` FIFO lanes, and a
+//! separate arrival-order index remembers the order in which lanes received
+//! envelopes.  An exact receive (`MPI_Recv` with explicit source and tag) is
+//! a single lane lookup plus a pop — O(1) amortized regardless of how many
+//! unrelated messages are queued — while a wildcard receive (`MPI_ANY_SOURCE`
+//! / `MPI_ANY_TAG`) walks the arrival-order index, which yields exactly the
+//! envelope a scan of one flat queue would have found.  Matching is purely
+//! receiver-side and per-lane FIFO, which preserves MPI's non-overtaking
+//! guarantee.
 //!
-//! Matching is purely receiver-side, which preserves MPI's non-overtaking
-//! guarantee: envelopes from a given sender are pushed in program order and
-//! the scan always takes the earliest match.
+//! Blocked receivers never sleep-poll.  Each mailbox pairs a generation
+//! counter with a condvar: delivery, abort and failure notification bump the
+//! generation and signal the condvar, and a receiver waits until the
+//! generation moves.  The router registers a waker on the shared
+//! [`FailureStatusBoard`] at construction time, so a crash signaled on the
+//! board — by the failure injector, a panicking process, or a test harness —
+//! wakes every blocked receiver immediately; there is no re-check interval
+//! to wait out.
+//!
+//! ## Staleness and compaction
+//!
+//! The arrival-order index is maintained lazily: when an exact receive pops
+//! an envelope from its lane, the corresponding index entry stays behind and
+//! is discarded the next time a wildcard scan walks past it (an entry is
+//! stale exactly when its arrival id is older than the lane's current
+//! front).  To keep memory bounded on wildcard-free workloads, delivery
+//! compacts the index whenever it grows past twice the number of queued
+//! envelopes.
 
 use crate::error::{MpiError, MpiResult};
-use crate::message::{Envelope, MatchSelector};
+use crate::message::{Envelope, LaneKey, MatchSelector};
 use parking_lot::{Condvar, Mutex};
 use simcluster::FailureStatusBoard;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::{Arc, Weak};
 
-/// How long a blocked receive sleeps before re-checking the failure board
-/// and the abort flag.  Purely a liveness bound for the simulation host; it
-/// has no effect on virtual time.
-const RECHECK_INTERVAL: Duration = Duration::from_millis(20);
+/// Index-compaction slack: the arrival-order index is rebuilt when it holds
+/// more than `2 * queued + COMPACT_SLACK` entries.  The constant keeps tiny
+/// mailboxes from compacting on every push.
+const COMPACT_SLACK: usize = 64;
+
+#[derive(Default)]
+struct MailboxState {
+    /// Per-`(comm, src, tag)` FIFO lanes.  Values are `(arrival id,
+    /// envelope)`; arrival ids are monotone within the mailbox, so a lane's
+    /// ids are strictly increasing front to back.
+    lanes: HashMap<LaneKey, VecDeque<(u64, Envelope)>>,
+    /// Arrival-order index over all lanes (may contain stale entries, see
+    /// the module docs).
+    order: VecDeque<(u64, LaneKey)>,
+    /// Next arrival id.
+    next_arrival: u64,
+    /// Number of envelopes currently queued (live, not stale).
+    queued: usize,
+    /// Wakeup generation: bumped by delivery, abort and failure
+    /// notification.  Receivers sleep on the condvar until it moves.
+    generation: u64,
+}
+
+impl MailboxState {
+    fn push(&mut self, env: Envelope) {
+        let key = env.lane_key();
+        let id = self.next_arrival;
+        self.next_arrival += 1;
+        self.lanes.entry(key).or_default().push_back((id, env));
+        self.order.push_back((id, key));
+        self.queued += 1;
+        if self.order.len() > 2 * self.queued + COMPACT_SLACK {
+            self.compact();
+        }
+    }
+
+    /// Drops every stale index entry (lazy-deletion debt left behind by
+    /// exact receives).
+    fn compact(&mut self) {
+        let lanes = &self.lanes;
+        self.order.retain(|(id, key)| {
+            lanes
+                .get(key)
+                .and_then(|lane| lane.front())
+                .is_some_and(|&(front, _)| front <= *id)
+        });
+    }
+
+    /// Pops the front envelope of one lane, dropping the lane once empty so
+    /// the map does not accumulate dead `(comm, src, tag)` combinations.
+    fn pop_lane(&mut self, key: &LaneKey) -> Option<Envelope> {
+        let lane = self.lanes.get_mut(key)?;
+        let (_, env) = lane.pop_front()?;
+        if lane.is_empty() {
+            self.lanes.remove(key);
+        }
+        self.queued -= 1;
+        Some(env)
+    }
+
+    /// Removes and returns the earliest-delivered envelope matching `sel`,
+    /// if any — the same envelope a front-to-back scan of a flat mailbox
+    /// queue would select.
+    fn take_match(&mut self, sel: &MatchSelector) -> Option<Envelope> {
+        if let Some(key) = sel.exact_lane() {
+            // Fully determined selector: the match, if any, is the lane
+            // front (lanes are FIFO in delivery order).
+            return self.pop_lane(&key);
+        }
+        // Wildcard: walk the arrival-order index from the front, purging
+        // stale entries as they are encountered.
+        let mut i = 0;
+        while i < self.order.len() {
+            let (id, key) = self.order[i];
+            let front = self
+                .lanes
+                .get(&key)
+                .and_then(|lane| lane.front())
+                .map(|&(front, _)| front);
+            match front {
+                // Lane gone or already consumed past this entry: stale.
+                None => {
+                    self.order.remove(i);
+                }
+                Some(front) if front > id => {
+                    self.order.remove(i);
+                }
+                Some(front) => {
+                    if front == id && sel.matches_lane(&key) {
+                        self.order.remove(i);
+                        return self.pop_lane(&key);
+                    }
+                    // Either the lane does not match the selector, or an
+                    // older envelope of the same lane is still queued
+                    // (`front < id`) — in which case that envelope's own
+                    // index entry sits earlier and takes precedence.
+                    i += 1;
+                }
+            }
+        }
+        None
+    }
+}
 
 struct Mailbox {
-    queue: Mutex<VecDeque<Envelope>>,
+    state: Mutex<MailboxState>,
     cv: Condvar,
 }
 
 impl Mailbox {
     fn new() -> Self {
         Mailbox {
-            queue: Mutex::new(VecDeque::new()),
+            state: Mutex::new(MailboxState::default()),
             cv: Condvar::new(),
         }
+    }
+
+    /// Bumps the wakeup generation and signals every waiting receiver.
+    fn wake(&self) {
+        let mut state = self.state.lock();
+        state.generation += 1;
+        self.cv.notify_all();
     }
 }
 
 /// The shared message router of a simulated cluster.
 pub struct Router {
-    mailboxes: Vec<Mailbox>,
+    mailboxes: Arc<Vec<Mailbox>>,
     seq: AtomicU64,
     aborted: AtomicBool,
     failures: FailureStatusBoard,
@@ -47,10 +173,21 @@ pub struct Router {
 
 impl Router {
     /// Creates a router for `num_procs` ranks sharing the given failure
-    /// board.
+    /// board.  The router registers a waker on the board so that failures
+    /// signaled on it (by whatever path) immediately wake blocked receivers.
     pub fn new(num_procs: usize, failures: FailureStatusBoard) -> Self {
+        let mailboxes: Arc<Vec<Mailbox>> =
+            Arc::new((0..num_procs).map(|_| Mailbox::new()).collect());
+        let weak: Weak<Vec<Mailbox>> = Arc::downgrade(&mailboxes);
+        failures.register_waker(Arc::new(move || {
+            if let Some(mailboxes) = weak.upgrade() {
+                for mb in mailboxes.iter() {
+                    mb.wake();
+                }
+            }
+        }));
         Router {
-            mailboxes: (0..num_procs).map(|_| Mailbox::new()).collect(),
+            mailboxes,
             seq: AtomicU64::new(0),
             aborted: AtomicBool::new(false),
             failures,
@@ -85,8 +222,9 @@ impl Router {
             return;
         }
         let mb = &self.mailboxes[dst];
-        let mut q = mb.queue.lock();
-        q.push_back(env);
+        let mut state = mb.state.lock();
+        state.push(env);
+        state.generation += 1;
         mb.cv.notify_all();
     }
 
@@ -101,22 +239,20 @@ impl Router {
         self.aborted.load(Ordering::SeqCst)
     }
 
-    /// Wakes every receiver so it can re-check failure status.  Called by the
-    /// failure injector right after marking a rank as failed.
+    /// Wakes every receiver so it can re-check failure status.  Failures
+    /// signaled through the shared [`FailureStatusBoard`] trigger this
+    /// automatically via the registered waker; the method stays public for
+    /// callers that change other observable state.
     pub fn notify_all(&self) {
-        for mb in &self.mailboxes {
-            let _q = mb.queue.lock();
-            mb.cv.notify_all();
+        for mb in self.mailboxes.iter() {
+            mb.wake();
         }
     }
 
-    /// Non-blocking probe: removes and returns the first envelope in `dst`'s
-    /// mailbox matching `sel`, if any.
+    /// Non-blocking probe: removes and returns the earliest envelope in
+    /// `dst`'s mailbox matching `sel`, if any.
     pub fn try_match(&self, dst: usize, sel: &MatchSelector) -> Option<Envelope> {
-        let mb = &self.mailboxes[dst];
-        let mut q = mb.queue.lock();
-        let pos = q.iter().position(|e| e.matches(sel))?;
-        q.remove(pos)
+        self.mailboxes[dst].state.lock().take_match(sel)
     }
 
     /// Blocking receive: waits until an envelope matching `sel` is available
@@ -129,13 +265,18 @@ impl Router {
     /// * `Err(SelfFailed)` if the receiving rank itself has been marked
     ///   failed;
     /// * `Err(Aborted)` if the simulation watchdog fired.
+    ///
+    /// The wait is event-driven: the receiver sleeps on the mailbox condvar
+    /// until the wakeup generation moves (delivery, abort, or any failure
+    /// signaled on the shared board) and re-checks the conditions above in
+    /// that order.  The failure checks run *before* every wait, so a crash
+    /// signaled between two waits is observed immediately.
     pub fn recv_blocking(&self, dst: usize, sel: &MatchSelector) -> MpiResult<Envelope> {
         let mb = &self.mailboxes[dst];
-        let mut q = mb.queue.lock();
+        let mut state = mb.state.lock();
         loop {
-            if let Some(pos) = q.iter().position(|e| e.matches(sel)) {
-                // The position always exists, so the remove cannot fail.
-                return Ok(q.remove(pos).expect("matched envelope vanished"));
+            if let Some(env) = state.take_match(sel) {
+                return Ok(env);
             }
             if self.is_aborted() {
                 return Err(MpiError::Aborted);
@@ -148,14 +289,20 @@ impl Router {
                     return Err(MpiError::ProcessFailed { rank: src });
                 }
             }
-            mb.cv.wait_for(&mut q, RECHECK_INTERVAL);
+            // Wait for the generation to move.  The generation is only ever
+            // bumped under the mailbox lock, so checking it under the same
+            // lock cannot miss a wakeup.
+            let waited_on = state.generation;
+            while state.generation == waited_on {
+                mb.cv.wait(&mut state);
+            }
         }
     }
 
     /// Number of queued (unmatched) envelopes currently sitting in `dst`'s
     /// mailbox.  Diagnostic only.
     pub fn queued(&self, dst: usize) -> usize {
-        self.mailboxes[dst].queue.lock().len()
+        self.mailboxes[dst].state.lock().queued
     }
 }
 
@@ -166,6 +313,7 @@ mod tests {
     use simcluster::SimTime;
     use std::sync::Arc;
     use std::thread;
+    use std::time::Duration;
 
     fn env(src: usize, dst: usize, comm: u64, tag: u32, seq: u64) -> Envelope {
         Envelope {
@@ -238,6 +386,26 @@ mod tests {
         assert_eq!(err, MpiError::ProcessFailed { rank: 0 });
     }
 
+    /// Regression (PR 4): a crash signaled on the shared failure board while
+    /// a receiver is blocked mid-wait must wake it immediately through the
+    /// registered board waker.  Before the indexed-mailbox rewrite the
+    /// receiver only noticed on its next 20 ms re-check tick; now there is no
+    /// re-check interval at all, so a missed wakeup would hang this test
+    /// forever rather than pass slowly.
+    #[test]
+    fn failure_signaled_mid_wait_wakes_blocked_receiver() {
+        let board = FailureStatusBoard::new(2);
+        let r = Arc::new(Router::new(2, board.clone()));
+        let r2 = Arc::clone(&r);
+        let h = thread::spawn(move || r2.recv_blocking(1, &sel(9, Some(0), Some(3))));
+        thread::sleep(Duration::from_millis(30));
+        // Signal the crash on the board only — deliberately not calling
+        // Router::notify_all, as a failure injector outside the router would.
+        board.mark_failed(0, SimTime::ZERO);
+        let err = h.join().unwrap().unwrap_err();
+        assert_eq!(err, MpiError::ProcessFailed { rank: 0 });
+    }
+
     #[test]
     fn messages_to_failed_destination_are_dropped() {
         let board = FailureStatusBoard::new(2);
@@ -264,5 +432,56 @@ mod tests {
         r.deliver(env(0, 1, 9, 7, 0));
         let got = r.recv_blocking(1, &sel(9, None, Some(7))).unwrap();
         assert_eq!(got.src_world, 0);
+    }
+
+    #[test]
+    fn wildcard_takes_earliest_delivery_across_lanes() {
+        let r = Router::new(3, FailureStatusBoard::new(3));
+        // Three lanes, delivered in interleaved order.
+        r.deliver(env(1, 2, 9, 5, 10));
+        r.deliver(env(0, 2, 9, 7, 11));
+        r.deliver(env(1, 2, 9, 5, 12));
+        r.deliver(env(0, 2, 9, 5, 13));
+        // Full wildcard drains in exact delivery order.
+        let seqs: Vec<u64> = (0..4)
+            .map(|_| r.try_match(2, &sel(9, None, None)).unwrap().seq)
+            .collect();
+        assert_eq!(seqs, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn wildcard_skips_entries_consumed_by_exact_receives() {
+        let r = Router::new(2, FailureStatusBoard::new(2));
+        r.deliver(env(0, 1, 9, 1, 0));
+        r.deliver(env(0, 1, 9, 2, 1));
+        r.deliver(env(0, 1, 9, 1, 2));
+        // Exact receive consumes the earliest tag-1 envelope; its index
+        // entry becomes stale.
+        let got = r.try_match(1, &sel(9, Some(0), Some(1))).unwrap();
+        assert_eq!(got.seq, 0);
+        // Wildcard must now find the tag-2 envelope (earliest live), then
+        // the remaining tag-1 one.
+        assert_eq!(r.try_match(1, &sel(9, None, None)).unwrap().seq, 1);
+        assert_eq!(r.try_match(1, &sel(9, None, None)).unwrap().seq, 2);
+        assert_eq!(r.queued(1), 0);
+    }
+
+    #[test]
+    fn index_compaction_keeps_memory_bounded_without_wildcards() {
+        let r = Router::new(2, FailureStatusBoard::new(2));
+        // Many deliver/exact-receive cycles never run a wildcard scan, so
+        // stale index entries are only dropped by compaction.
+        for round in 0..2_000u64 {
+            r.deliver(env(0, 1, 9, 3, round));
+            let got = r.try_match(1, &sel(9, Some(0), Some(3))).unwrap();
+            assert_eq!(got.seq, round);
+        }
+        let state = r.mailboxes[1].state.lock();
+        assert_eq!(state.queued, 0);
+        assert!(
+            state.order.len() <= COMPACT_SLACK + 2,
+            "stale index entries must be compacted away, found {}",
+            state.order.len()
+        );
     }
 }

@@ -127,3 +127,120 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Mailbox-lane properties of the indexed router (PR 4).
+// ---------------------------------------------------------------------------
+
+mod mailbox_lanes {
+    use bytes::Bytes;
+    use proptest::prelude::*;
+    use simcluster::{FailureStatusBoard, SimTime};
+    use simmpi::{Envelope, MatchSelector, Router};
+
+    fn env(src: usize, tag: u32, seq: u64) -> Envelope {
+        Envelope {
+            src_world: src,
+            dst_world: 0,
+            comm: 1,
+            tag,
+            payload: Bytes::new(),
+            modeled_bytes: 0,
+            arrival: SimTime::ZERO,
+            seq,
+        }
+    }
+
+    fn sel(src: Option<usize>, tag: Option<u32>) -> MatchSelector {
+        MatchSelector {
+            comm: 1,
+            src_world: src,
+            tag,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Per-(source, tag) FIFO is preserved no matter how exact and
+        /// wildcard receives interleave: for every lane, the envelopes a
+        /// receiver extracts (through any mix of selectors) appear in
+        /// delivery order, and wildcard receives always return the earliest
+        /// delivered live envelope that their selector admits.
+        #[test]
+        fn lane_fifo_survives_interleaved_wildcard_receives(
+            // Delivery schedule: each element encodes (src in 0..3, tag in
+            // 0..3) as src * 3 + tag (the shim proptest has no tuple strategy).
+            delivery_codes in proptest::collection::vec(0u8..9, 1..40),
+            // Receive schedule: 0 = exact on a lane picked round-robin,
+            // 1 = wildcard-any, 2 = tag-only wildcard, 3 = src-only wildcard.
+            recv_kinds in proptest::collection::vec(0u8..4, 0..60),
+        ) {
+            let deliveries: Vec<(usize, u32)> = delivery_codes
+                .iter()
+                .map(|&c| ((c / 3) as usize, (c % 3) as u32))
+                .collect();
+            let board = FailureStatusBoard::new(4);
+            let router = Router::new(4, board);
+            for (i, &(src, tag)) in deliveries.iter().enumerate() {
+                // The global seq doubles as the delivery index.
+                router.deliver(env(1 + src, tag, i as u64));
+            }
+
+            // Shadow model: one FIFO per lane plus the global delivery order.
+            let mut last_seq_per_lane = std::collections::HashMap::new();
+            let mut received = 0usize;
+            let mut exact_cursor = 0usize;
+            for &kind in &recv_kinds {
+                let selector = match kind {
+                    0 => {
+                        let (src, tag) = deliveries[exact_cursor % deliveries.len()];
+                        exact_cursor += 1;
+                        sel(Some(1 + src), Some(tag))
+                    }
+                    1 => sel(None, None),
+                    2 => sel(None, Some(deliveries[0].1)),
+                    _ => sel(Some(1 + deliveries[0].0), None),
+                };
+                let before = router.queued(0);
+                match router.try_match(0, &selector) {
+                    Some(got) => {
+                        received += 1;
+                        prop_assert_eq!(router.queued(0), before - 1);
+                        // The envelope matches what was asked for.
+                        prop_assert!(got.matches(&selector));
+                        // Per-lane FIFO: seq strictly increases within the lane.
+                        let lane = (got.src_world, got.tag);
+                        if let Some(&prev) = last_seq_per_lane.get(&lane) {
+                            prop_assert!(
+                                got.seq > prev,
+                                "lane {:?} delivered seq {} after {}",
+                                lane, got.seq, prev
+                            );
+                        }
+                        last_seq_per_lane.insert(lane, got.seq);
+                    }
+                    None => prop_assert_eq!(router.queued(0), before),
+                }
+            }
+
+            // Drain with a full wildcard: the remainder comes out in global
+            // delivery order restricted to the live envelopes.
+            let mut last_global = None;
+            while let Some(got) = router.try_match(0, &sel(None, None)) {
+                received += 1;
+                if let Some(prev) = last_global {
+                    prop_assert!(got.seq > prev, "wildcard drain out of delivery order");
+                }
+                last_global = Some(got.seq);
+                let lane = (got.src_world, got.tag);
+                if let Some(&prev) = last_seq_per_lane.get(&lane) {
+                    prop_assert!(got.seq > prev);
+                }
+                last_seq_per_lane.insert(lane, got.seq);
+            }
+            prop_assert_eq!(received, deliveries.len());
+            prop_assert_eq!(router.queued(0), 0);
+        }
+    }
+}

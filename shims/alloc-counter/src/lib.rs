@@ -1,0 +1,126 @@
+//! Counting global allocator for allocation-budget tests.
+//!
+//! Unlike the other directories under `shims/`, this crate does not stand in
+//! for a crates.io dependency — it is a tiny test utility: a
+//! [`CountingAllocator`] that wraps the system allocator and counts every
+//! allocation, so a test can assert an allocation *budget* (e.g. "a logical
+//! send to `r` replicas performs O(1) payload-sized allocations, not
+//! O(r)").
+//!
+//! Usage in a test binary:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+//!
+//! alloc_counter::set_large_threshold(512 * 1024);
+//! let before = alloc_counter::snapshot();
+//! // ... code under budget ...
+//! let stats = alloc_counter::since(&before);
+//! assert!(stats.large_allocs <= 4);
+//! ```
+//!
+//! Counters are process-wide and updated with relaxed atomics; tests that
+//! measure a window spanning several threads should make the window cover
+//! the whole multi-threaded region (as the replication fan-out test does)
+//! rather than expect per-thread attribution.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static LARGE_ALLOCS: AtomicU64 = AtomicU64::new(0);
+/// Allocations of at least this size count as "large" (payload-sized).
+static LARGE_THRESHOLD: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// A `GlobalAlloc` wrapper around [`System`] that counts allocations.
+pub struct CountingAllocator;
+
+fn note(size: usize) {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    ALLOC_BYTES.fetch_add(size as u64, Ordering::Relaxed);
+    if size >= LARGE_THRESHOLD.load(Ordering::Relaxed) {
+        LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// SAFETY: defers every allocation verbatim to `System`; the only added
+// behaviour is relaxed atomic counting, which allocates nothing.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A growing realloc materializes `new_size` fresh bytes; count it
+        // like an allocation of the new size.
+        note(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Counter values at one instant (see [`snapshot`] / [`since`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Number of allocations.
+    pub allocs: u64,
+    /// Total bytes requested.
+    pub bytes: u64,
+    /// Allocations at least as large as the configured threshold.
+    pub large_allocs: u64,
+}
+
+/// Sets the size (in bytes) from which an allocation counts as "large".
+pub fn set_large_threshold(bytes: usize) {
+    LARGE_THRESHOLD.store(bytes, Ordering::Relaxed);
+}
+
+/// Current counter values.
+pub fn snapshot() -> Stats {
+    Stats {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+        large_allocs: LARGE_ALLOCS.load(Ordering::Relaxed),
+    }
+}
+
+/// Counter deltas since an earlier [`snapshot`].
+pub fn since(before: &Stats) -> Stats {
+    let now = snapshot();
+    Stats {
+        allocs: now.allocs - before.allocs,
+        bytes: now.bytes - before.bytes,
+        large_allocs: now.large_allocs - before.large_allocs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Note: the allocator is only *installed* in binaries that declare it as
+    // their `#[global_allocator]`; these unit tests exercise the counting
+    // logic directly.
+    #[test]
+    fn counting_and_thresholds() {
+        set_large_threshold(1024);
+        let before = snapshot();
+        note(8);
+        note(2048);
+        let s = since(&before);
+        assert_eq!(s.allocs, 2);
+        assert_eq!(s.bytes, 2056);
+        assert_eq!(s.large_allocs, 1);
+    }
+}

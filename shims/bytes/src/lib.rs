@@ -2,9 +2,12 @@
 //!
 //! The build environment has no crates.io access, so this crate provides the
 //! one type the workspace uses: [`Bytes`], a cheaply-clonable immutable byte
-//! buffer.  It is backed by `Arc<[u8]>`, so `clone()` is a reference-count
+//! buffer.  It is backed by `Arc<Vec<u8>>`, so `clone()` is a reference-count
 //! bump exactly like the real crate — which matters for the simulator, where
-//! a broadcast payload is cloned once per destination rank.
+//! a message payload is cloned once per destination replica — and
+//! `From<Vec<u8>>` *moves* the vector in without copying its bytes, exactly
+//! like the real crate's `Bytes::from(Vec<u8>)` (an `Arc<[u8]>` backing
+//! would re-copy the buffer on conversion).
 
 use std::borrow::Borrow;
 use std::fmt;
@@ -14,7 +17,7 @@ use std::sync::Arc;
 /// A cheaply-clonable immutable contiguous slice of memory.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -38,7 +41,7 @@ impl Bytes {
     fn from_vec(v: Vec<u8>) -> Self {
         let end = v.len();
         Self {
-            data: Arc::from(v),
+            data: Arc::new(v),
             start: 0,
             end,
         }
