@@ -10,7 +10,8 @@ CAMPAIGN_JOBS ?= 4
 CAMPAIGN_TOL ?= 0
 
 .PHONY: all build test verify bench-build docs fmt fmt-check clippy \
-        campaign-smoke golden bench-json ci clean
+        campaign-smoke golden bench-json api-surface api-surface-check \
+        ci clean
 
 # Label recorded with the BENCH.json entry (CI passes its own).
 BENCH_LABEL ?= local
@@ -65,6 +66,19 @@ bench-json:
 	./target/release/bench-json --append BENCH.json --label $(BENCH_LABEL) \
 		--jobs $(CAMPAIGN_JOBS)
 
+# Regenerate the checked-in dump of the workspace's `pub` API surface
+# (grep-based, no network; see scripts/api-surface.sh).  Run it whenever a
+# PR changes the public API and commit the diff.
+api-surface:
+	./scripts/api-surface.sh > docs/api-surface.txt
+
+# The CI drift gate: the dumped surface must match the checked-in file.
+api-surface-check:
+	@mkdir -p target
+	./scripts/api-surface.sh > target/api-surface.txt
+	@diff -u docs/api-surface.txt target/api-surface.txt || \
+		(echo "error: public API surface drifted — run 'make api-surface' and commit docs/api-surface.txt" && exit 1)
+
 # Regenerate the golden baseline after an intentional behaviour change
 # (review the diff before committing!).
 golden:
@@ -72,7 +86,7 @@ golden:
 	./target/release/campaign run --grid smoke --jobs $(CAMPAIGN_JOBS) \
 		--strip-informational --out crates/campaign/golden/smoke.json
 
-ci: verify bench-build docs fmt-check clippy campaign-smoke
+ci: verify bench-build docs fmt-check clippy api-surface-check campaign-smoke
 
 clean:
 	$(CARGO) clean

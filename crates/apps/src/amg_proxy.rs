@@ -206,7 +206,7 @@ impl AmgKernels {
                 .with_scalars(vec![chunk.start as f64, chunk.end as f64])
                 .with_cost(cost)
             })?;
-            section.end()?;
+            let _ = section.end()?;
         } else {
             ctx.run_redundant(spmv_cost(self.modeled_n, self.modeled_nnz), || ());
             let x = ws.read_range(xv, 0..ncols);
@@ -251,7 +251,7 @@ impl AmgKernels {
                     .with_cost(cost),
                 )?;
             }
-            section.end()?;
+            let _ = section.end()?;
             ws.get(partial).iter().sum::<f64>()
         } else {
             ctx.run_redundant(ddot_cost(self.modeled_n), || ());

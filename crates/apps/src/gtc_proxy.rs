@@ -172,7 +172,7 @@ pub fn run_gtc(ctx: &mut AppContext, params: &GtcParams) -> IntraResult<GtcOutpu
                     .with_cost(charge_task_cost),
                 )?;
             }
-            section.end()?;
+            let _ = section.end()?;
             // Reduce the per-task partial densities (outside the section,
             // identical on every replica).
             ctx.run_redundant(
@@ -250,7 +250,7 @@ pub fn run_gtc(ctx: &mut AppContext, params: &GtcParams) -> IntraResult<GtcOutpu
                     .with_cost(push_task_cost),
                 )?;
             }
-            section.end()?;
+            let _ = section.end()?;
         } else {
             ctx.run_redundant(push_cost(modeled_np), || ());
             let mut p = ParticleSet {

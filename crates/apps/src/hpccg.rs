@@ -315,7 +315,7 @@ pub fn run_hpccg(ctx: &mut AppContext, params: &HpccgParams) -> IntraResult<Hpcc
                 .with_scalars(vec![alpha, beta, mode])
                 .with_cost(waxpby_task_cost)
             })?;
-            section.end()?;
+            let _ = section.end()?;
         } else {
             ctx.run_redundant(waxpby_cost(modeled_n), || ());
             let x = ws.read_range(xv, 0..n);
@@ -358,7 +358,7 @@ pub fn run_hpccg(ctx: &mut AppContext, params: &HpccgParams) -> IntraResult<Hpcc
                     .with_cost(ddot_task_cost),
                 )?;
             }
-            section.end()?;
+            let _ = section.end()?;
             ws.get(partial_v).iter().sum::<f64>()
         } else {
             ctx.run_redundant(ddot_cost(modeled_n), || ());
@@ -396,7 +396,7 @@ pub fn run_hpccg(ctx: &mut AppContext, params: &HpccgParams) -> IntraResult<Hpcc
                 .with_scalars(vec![chunk.start as f64, chunk.end as f64])
                 .with_cost(spmv_task_cost)
             })?;
-            section.end()?;
+            let _ = section.end()?;
         } else {
             ctx.run_redundant(spmv_cost(modeled_n, modeled_nnz), || ());
             let p = ws.read_range(p_v, 0..ncols);

@@ -24,6 +24,7 @@ pub mod gtc_proxy;
 pub mod hpccg;
 pub mod minighost;
 pub mod report;
+pub mod scale;
 
 pub use amg_proxy::{run_amg, AmgOutput, AmgParams, AmgSolver};
 pub use catalog::{run_app, AppId, AppWorkload};
@@ -32,3 +33,4 @@ pub use gtc_proxy::{run_gtc, GtcOutput, GtcParams};
 pub use hpccg::{run_hpccg, HpccgOutput, HpccgParams, KernelSelection};
 pub use minighost::{run_minighost, MiniGhostOutput, MiniGhostParams};
 pub use report::AppRunReport;
+pub use scale::ExperimentScale;

@@ -203,7 +203,7 @@ pub fn run_minighost(
                         .with_cost(sum_task_cost),
                     )?;
                 }
-                section.end()?;
+                let _ = section.end()?;
                 ws.get(partial_v).iter().sum::<f64>()
             } else {
                 ctx.run_redundant(grid_sum_cost(modeled_n), || ());

@@ -8,6 +8,7 @@ use simcluster::SimTime;
 /// makespan) and across execution modes to compute the paper's efficiency
 /// numbers.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use = "an AppRunReport carries the run's metrics; dropping it silently loses them"]
 pub struct AppRunReport {
     /// Application name ("hpccg", "amg-pcg", "amg-gmres", "gtc", "minighost").
     pub app: String,

@@ -43,7 +43,7 @@ fn bench_section_overhead(c: &mut Criterion) {
                         )
                     })
                     .unwrap();
-                section.end().unwrap();
+                let _ = section.end().unwrap();
             })
             .unwrap_results()
         })

@@ -9,21 +9,24 @@
 //!   bandwidth-bound, ddot is not).
 //! * **Scheduler** (`ABL-SCHED`) — static block vs round-robin vs cost-aware
 //!   scheduling on a section with heterogeneous task costs.
-//! * **Adaptive scheduling** (`ABL-ADAPT`) — all five registered schedulers
+//! * **Adaptive scheduling** (`ABL-ADAPT`) — all five built-in schedulers
 //!   on a heterogeneous HPCCG/GTC-like section repeated over iterations,
 //!   showing the warm-up convergence of the history-driven
 //!   `AdaptiveScheduler` (it must match `CostAwareScheduler` on the first
 //!   instance and match-or-beat it afterwards).
+//!
+//! The studies that run intra-parallel sections are driven through the
+//! facade's [`Experiment`] builder (custom bodies via
+//! [`Experiment::run_with`], typed [`SchedulerKind`] axes); only the
+//! bandwidth sweep stays on the kernel-level Figure 5a harness because it
+//! perturbs the machine model itself.
 
 use crate::fig5a;
 use crate::scale::ExperimentScale;
-use ipr_core::{
-    ArgSpec, CostAwareScheduler, IntraConfig, IntraRuntime, RoundRobinScheduler, Scheduler,
-    SchedulerRegistry, StaticBlockScheduler, TaskCost, TaskDef, Workspace,
-};
-use replication::{ExecutionMode, ReplicatedEnv};
-use simcluster::{MachineModel, Topology};
-use simmpi::{run_cluster, ClusterConfig};
+use apps::AppId;
+use intra_replication::Experiment;
+use ipr_core::{ArgSpec, SchedulerKind, TaskCost, TaskDef, Workspace};
+use replication::ExecutionMode;
 use std::sync::Arc;
 
 /// One row of the task-granularity sweep.
@@ -39,7 +42,6 @@ pub struct GranularityRow {
 
 /// Sweeps the number of tasks per section for the sparsemv kernel.
 pub fn granularity(scale: ExperimentScale, task_counts: &[usize]) -> Vec<GranularityRow> {
-    let machine = MachineModel::grid5000_ib20g();
     let procs = match scale {
         ExperimentScale::Full => 64,
         ExperimentScale::Small => 8,
@@ -56,37 +58,32 @@ pub fn granularity(scale: ExperimentScale, task_counts: &[usize]) -> Vec<Granula
         let (mx, my, mz) = (modeled_edge, modeled_edge, modeled_edge * degree);
         let actual_n = ax * ay * az;
         let modeled_n = mx * my * mz;
-        let topology = if degree > 1 {
-            Topology::replica_disjoint(num_logical, degree, machine.cores_per_node)
-        } else {
-            Topology::block(procs, machine.cores_per_node)
-        };
-        let config = ClusterConfig::new(procs)
-            .with_machine(machine)
-            .with_topology(topology);
-        let report = run_cluster(&config, move |proc| {
-            let env = ReplicatedEnv::without_failures(proc, mode).unwrap();
-            let intra_config = IntraConfig::paper()
-                .with_tasks_per_section(tasks)
-                .with_modeled_scale(modeled_n as f64 / actual_n as f64);
-            let mut rt = IntraRuntime::new(env, intra_config);
-            let mut ws = Workspace::new();
-            let x = ws.add("x", vec![1.0; actual_n]);
-            let w = ws.add_zeros("w", actual_n);
-            let matrix = Arc::new(kernels::sparse::CsrMatrix::stencil27(
-                ax, ay, az, false, false,
-            ));
-            let nnz_ratio = matrix.nnz() as f64 / actual_n as f64;
-            let cost = kernels::sparse::spmv_cost(
-                modeled_n / tasks,
-                ((modeled_n as f64 * nnz_ratio) as usize) / tasks,
-            );
-            let cost = TaskCost::new(cost.flops, cost.mem_bytes());
-            for _ in 0..reps {
-                let matrix = Arc::clone(&matrix);
-                let mut section = rt.section(&mut ws);
-                section
-                    .add_split(actual_n, |chunk| {
+        let run = Experiment::builder()
+            .app(AppId::Hpccg) // sparsemv is HPCCG's dominant kernel
+            .scale(scale)
+            .execution_mode(mode)
+            .logical_procs(num_logical)
+            .tasks_per_section(tasks)
+            .modeled_scale(modeled_n as f64 / actual_n as f64)
+            .build()
+            .expect("ablation experiments are valid")
+            .run_with(move |ctx| {
+                let mut ws = Workspace::new();
+                let x = ws.add("x", vec![1.0; actual_n]);
+                let w = ws.add_zeros("w", actual_n);
+                let matrix = Arc::new(kernels::sparse::CsrMatrix::stencil27(
+                    ax, ay, az, false, false,
+                ));
+                let nnz_ratio = matrix.nnz() as f64 / actual_n as f64;
+                let cost = kernels::sparse::spmv_cost(
+                    modeled_n / tasks,
+                    ((modeled_n as f64 * nnz_ratio) as usize) / tasks,
+                );
+                let cost = TaskCost::new(cost.flops, cost.mem_bytes());
+                for _ in 0..reps {
+                    let matrix = Arc::clone(&matrix);
+                    let mut section = ctx.rt.section(&mut ws);
+                    section.add_split(actual_n, |chunk| {
                         let matrix = Arc::clone(&matrix);
                         let (start, end) = (chunk.start, chunk.end);
                         TaskDef::new(
@@ -101,13 +98,13 @@ pub fn granularity(scale: ExperimentScale, task_counts: &[usize]) -> Vec<Granula
                         )
                         .with_scalars(vec![start as f64, end as f64])
                         .with_cost(cost)
-                    })
-                    .unwrap();
-                section.end().unwrap();
-            }
-            rt.report().total_section_time().as_secs() / reps as f64
-        });
-        let results = report.unwrap_results();
+                    })?;
+                    let _ = section.end()?;
+                }
+                Ok(ctx.rt.report().total_section_time().as_secs() / reps as f64)
+            })
+            .expect("ablation experiments execute");
+        let results = run.unwrap_results();
         results.iter().sum::<f64>() / results.len() as f64
     };
 
@@ -141,7 +138,7 @@ pub struct BandwidthRow {
 pub fn bandwidth(scale: ExperimentScale, bandwidths_gbs: &[f64]) -> Vec<BandwidthRow> {
     let mut rows = Vec::new();
     for &bw in bandwidths_gbs {
-        let mut machine = MachineModel::grid5000_ib20g();
+        let mut machine = simcluster::MachineModel::grid5000_ib20g();
         machine.inter_node = machine.inter_node.with_bandwidth(bw * 1e9);
         let kernel_rows = fig5a::run_with_machine(scale, machine);
         for kr in kernel_rows.into_iter().filter(|r| r.mode == "intra") {
@@ -164,39 +161,34 @@ pub struct SchedulerRow {
     pub time_s: f64,
 }
 
-/// Compares the schedulers on a section whose tasks have strongly
+/// Compares the classic schedulers on a section whose tasks have strongly
 /// heterogeneous costs (a geometric distribution of work).
 pub fn scheduler(scale: ExperimentScale) -> Vec<SchedulerRow> {
-    let machine = MachineModel::grid5000_ib20g();
-    let procs = 2;
     let reps = scale.kernel_reps();
-    let schedulers: Vec<(&'static str, Arc<dyn Scheduler>)> = vec![
-        ("static-block", Arc::new(StaticBlockScheduler)),
-        ("round-robin", Arc::new(RoundRobinScheduler)),
-        ("cost-aware", Arc::new(CostAwareScheduler)),
-    ];
     let mut rows = Vec::new();
-    for (name, sched) in schedulers {
-        let config = ClusterConfig::new(procs)
-            .with_machine(machine)
-            .with_topology(Topology::one_per_node(procs));
-        let report = run_cluster(&config, move |proc| {
-            let env =
-                ReplicatedEnv::without_failures(proc, ExecutionMode::IntraParallel { degree: 2 })
-                    .unwrap();
-            let intra_config = IntraConfig::paper()
-                .with_tasks_per_section(12)
-                .with_scheduler(Arc::clone(&sched));
-            let mut rt = IntraRuntime::new(env, intra_config);
-            let mut ws = Workspace::new();
-            let out = ws.add_zeros("out", 12);
-            for _ in 0..reps {
-                let mut section = rt.section(&mut ws);
-                for t in 0..12usize {
-                    // Task t models 2^(t/3) units of work: heterogeneous.
-                    let weight = (1 << (t / 3)) as f64;
-                    section
-                        .add_task(
+    for kind in [
+        SchedulerKind::StaticBlock,
+        SchedulerKind::RoundRobin,
+        SchedulerKind::CostAware,
+    ] {
+        let run = Experiment::builder()
+            .app(AppId::Hpccg) // nominal: the section is synthetic
+            .scale(scale)
+            .execution_mode(ExecutionMode::IntraParallel { degree: 2 })
+            .logical_procs(1)
+            .scheduler(kind)
+            .tasks_per_section(12)
+            .build()
+            .expect("ablation experiments are valid")
+            .run_with(move |ctx| {
+                let mut ws = Workspace::new();
+                let out = ws.add_zeros("out", 12);
+                for _ in 0..reps {
+                    let mut section = ctx.rt.section(&mut ws);
+                    for t in 0..12usize {
+                        // Task t models 2^(t/3) units of work: heterogeneous.
+                        let weight = (1 << (t / 3)) as f64;
+                        section.add_task(
                             TaskDef::new(
                                 "hetero",
                                 |c| {
@@ -205,16 +197,16 @@ pub fn scheduler(scale: ExperimentScale) -> Vec<SchedulerRow> {
                                 vec![ArgSpec::output(out, t..t + 1)],
                             )
                             .with_cost(TaskCost::new(weight * 1e8, weight * 1e8)),
-                        )
-                        .unwrap();
+                        )?;
+                    }
+                    let _ = section.end()?;
                 }
-                section.end().unwrap();
-            }
-            rt.report().total_section_time().as_secs() / reps as f64
-        });
-        let results = report.unwrap_results();
+                Ok(ctx.rt.report().total_section_time().as_secs() / reps as f64)
+            })
+            .expect("ablation experiments execute");
+        let results = run.unwrap_results();
         rows.push(SchedulerRow {
-            scheduler: name,
+            scheduler: kind.name(),
             time_s: results.iter().sum::<f64>() / results.len() as f64,
         });
     }
@@ -224,7 +216,7 @@ pub fn scheduler(scale: ExperimentScale) -> Vec<SchedulerRow> {
 /// One row of the `ABL-ADAPT` adaptive-scheduling ablation.
 #[derive(Debug, Clone)]
 pub struct AdaptiveRow {
-    /// Scheduler name (one per registry entry).
+    /// Scheduler name (one per built-in scheduler).
     pub scheduler: &'static str,
     /// Section instance index (iteration of the same section).
     pub iteration: usize,
@@ -254,7 +246,7 @@ pub fn adaptive_task_set() -> Vec<(&'static str, f64, f64)> {
     ]
 }
 
-/// Runs the `ABL-ADAPT` ablation: every registered scheduler on `iters`
+/// Runs the `ABL-ADAPT` ablation: every built-in scheduler on `iters`
 /// instances of the heterogeneous section, one row per (scheduler,
 /// iteration).
 ///
@@ -267,48 +259,48 @@ pub fn adaptive(scale: ExperimentScale) -> Vec<AdaptiveRow> {
         ExperimentScale::Small => 5,
         ExperimentScale::Tiny => 3,
     };
-    let machine = MachineModel::grid5000_ib20g();
     let mut rows = Vec::new();
-    for name in SchedulerRegistry::builtin().names() {
-        let config = ClusterConfig::new(2)
-            .with_machine(machine)
-            .with_topology(Topology::one_per_node(2));
-        let report = run_cluster(&config, move |proc| {
-            let env =
-                ReplicatedEnv::without_failures(proc, ExecutionMode::IntraParallel { degree: 2 })
-                    .unwrap();
-            let intra = IntraConfig::paper().with_scheduler_name(name).unwrap();
-            let mut rt = IntraRuntime::new(env, intra);
-            let mut ws = Workspace::new();
-            let tasks = adaptive_task_set();
-            let out = ws.add_zeros("out", tasks.len());
-            for _ in 0..iters {
-                let mut section = rt.section(&mut ws);
-                for (t, (task_name, flops, mem)) in tasks.iter().enumerate() {
-                    section
-                        .add_task(
+    for kind in SchedulerKind::ALL {
+        let run = Experiment::builder()
+            .app(AppId::Hpccg) // nominal: the section is synthetic
+            .scale(scale)
+            .execution_mode(ExecutionMode::IntraParallel { degree: 2 })
+            .logical_procs(1)
+            .scheduler(kind)
+            .build()
+            .expect("ablation experiments are valid")
+            .run_with(move |ctx| {
+                let mut ws = Workspace::new();
+                let tasks = adaptive_task_set();
+                let out = ws.add_zeros("out", tasks.len());
+                for _ in 0..iters {
+                    let mut section = ctx.rt.section(&mut ws);
+                    for (t, (task_name, flops, mem)) in tasks.iter().enumerate() {
+                        section.add_task(
                             TaskDef::new(
                                 task_name,
                                 |c| c.outputs[0][0] += 1.0,
                                 vec![ArgSpec::inout(out, t..t + 1)],
                             )
                             .with_cost(TaskCost::new(*flops, *mem)),
-                        )
-                        .unwrap();
+                        )?;
+                    }
+                    let _ = section.end()?;
                 }
-                section.end().unwrap();
-            }
-            rt.report()
-                .sections()
-                .iter()
-                .map(|s| s.total_time().as_secs())
-                .collect::<Vec<f64>>()
-        });
-        let per_proc = report.unwrap_results();
+                Ok(ctx
+                    .rt
+                    .report()
+                    .sections()
+                    .iter()
+                    .map(|s| s.total_time().as_secs())
+                    .collect::<Vec<f64>>())
+            })
+            .expect("ablation experiments execute");
+        let per_proc = run.unwrap_results();
         for it in 0..iters {
             let makespan = per_proc.iter().map(|t| t[it]).fold(0.0f64, f64::max);
             rows.push(AdaptiveRow {
-                scheduler: name,
+                scheduler: kind.name(),
                 iteration: it,
                 makespan_s: makespan,
             });

@@ -19,6 +19,7 @@
 use ipr_bench::fig6::Fig6App;
 use ipr_bench::table::{f2, f3, render};
 use ipr_bench::{ablations, fig5a, fig5b, fig6, ExperimentScale};
+use ipr_core::SchedulerKind;
 
 fn print_fig5a(scale: ExperimentScale) {
     let rows = fig5a::run(scale);
@@ -53,7 +54,7 @@ fn print_fig5a(scale: ExperimentScale) {
     println!("Paper reference: waxpby 0.5/0.34, ddot 0.5/0.99, sparsemv 0.5/0.94 (SDR/intra efficiency)\n");
 }
 
-fn print_fig5b(scale: ExperimentScale, scheduler: Option<&'static str>) {
+fn print_fig5b(scale: ExperimentScale, scheduler: Option<SchedulerKind>) {
     let rows = fig5b::run_with_scheduler(scale, scheduler);
     let table_rows: Vec<Vec<String>> = rows
         .iter()
@@ -79,7 +80,7 @@ fn print_fig5b(scale: ExperimentScale, scheduler: Option<&'static str>) {
     );
 }
 
-fn print_fig6(app: Fig6App, scale: ExperimentScale, scheduler: Option<&'static str>) {
+fn print_fig6(app: Fig6App, scale: ExperimentScale, scheduler: Option<SchedulerKind>) {
     let rows = fig6::run_with_scheduler(app, scale, scheduler);
     let table_rows: Vec<Vec<String>> = rows
         .iter()
@@ -232,16 +233,16 @@ fn main() {
     // out instead of silently running the Full scale with the default
     // scheduler.
     let mut scale = ExperimentScale::Full;
-    let mut scheduler: Option<&'static str> = None;
+    let mut scheduler: Option<SchedulerKind> = None;
     for arg in args.iter().skip(1) {
         if let Some(s) = ExperimentScale::parse(arg) {
             scale = s;
-        } else if let Some(s) = ipr_core::scheduler_by_name(arg) {
-            scheduler = Some(s.name());
+        } else if let Ok(kind) = arg.parse::<SchedulerKind>() {
+            scheduler = Some(kind);
         } else {
             eprintln!(
                 "unrecognized argument '{arg}': expected a scale (full, small) or a scheduler ({})",
-                ipr_core::SchedulerRegistry::builtin().names().join(", ")
+                SchedulerKind::names().join(", ")
             );
             std::process::exit(2);
         }
@@ -249,7 +250,9 @@ fn main() {
 
     println!(
         "intra-replication figure harness — target: {what}, scale: {scale:?}, scheduler: {}\n",
-        scheduler.unwrap_or("static-block (paper default)")
+        scheduler
+            .map(|k| k.name())
+            .unwrap_or("static-block (paper default)")
     );
     match what {
         "fig5a" => print_fig5a(scale),

@@ -136,7 +136,7 @@ fn kernel_time(
                             .with_cost(cost)
                         })
                         .unwrap();
-                    section.end().unwrap();
+                    let _ = section.end().unwrap();
                 }
                 Kernel::Ddot => {
                     let cost = crate::fig6::to_task_cost(ddot_cost(modeled_n / tasks));
@@ -164,7 +164,7 @@ fn kernel_time(
                             )
                             .unwrap();
                     }
-                    section.end().unwrap();
+                    let _ = section.end().unwrap();
                 }
                 Kernel::Sparsemv => {
                     let cost = crate::fig6::to_task_cost(spmv_cost(
@@ -191,7 +191,7 @@ fn kernel_time(
                             .with_cost(cost)
                         })
                         .unwrap();
-                    section.end().unwrap();
+                    let _ = section.end().unwrap();
                 }
             }
         }

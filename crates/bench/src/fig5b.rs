@@ -7,13 +7,17 @@
 //! above each point.  Intra-parallelization is applied only to ddot and
 //! sparsemv (waxpby performs poorly, see Figure 5a), yielding ≈ 0.8
 //! efficiency against 0.5 for plain replication.
+//!
+//! The cluster setup (machine model, replica-disjoint topology, seed) comes
+//! from the facade's [`Experiment`] builder; only the per-process body is
+//! custom, because the weak-scaling study overrides the per-rank problem
+//! size instead of using the catalog workload.
 
 use crate::scale::ExperimentScale;
-use apps::{run_hpccg, AppContext, HpccgParams, KernelSelection};
-use ipr_core::IntraConfig;
+use apps::{run_hpccg, AppId, HpccgParams, KernelSelection};
+use intra_replication::Experiment;
+use ipr_core::SchedulerKind;
 use replication::ExecutionMode;
-use simcluster::{MachineModel, Topology};
-use simmpi::{run_cluster, ClusterConfig};
 
 /// One point of Figure 5b.
 #[derive(Debug, Clone)]
@@ -32,44 +36,40 @@ fn hpccg_time(
     mode: ExecutionMode,
     procs: usize,
     scale: ExperimentScale,
-    scheduler: Option<&'static str>,
+    scheduler: Option<SchedulerKind>,
 ) -> f64 {
     let degree = mode.degree();
     let num_logical = procs / degree;
     assert!(num_logical > 0);
-    let machine = MachineModel::grid5000_ib20g();
-    let topology = if degree > 1 {
-        Topology::replica_disjoint(num_logical, degree, machine.cores_per_node)
-    } else {
-        Topology::block(procs, machine.cores_per_node)
-    };
-    let config = ClusterConfig::new(procs)
-        .with_machine(machine)
-        .with_topology(topology);
-
     let actual_edge = scale.actual_grid_edge();
     let iters = scale.app_iterations();
-    let report = run_cluster(&config, move |proc| {
-        // Per-logical-process problem size: 128^3 for native, doubled along z
-        // for the replicated configurations (half as many logical processes
-        // on the same physical resources).
-        let params = HpccgParams {
-            nx: actual_edge,
-            ny: actual_edge,
-            nz: actual_edge * degree,
-            modeled_nx: 128,
-            modeled_ny: 128,
-            modeled_nz: 128 * degree,
-            max_iters: iters,
-            kernels: KernelSelection::paper_application(),
-        };
-        let intra = apps::driver::with_scheduler(IntraConfig::paper(), scheduler).unwrap();
-        let mut ctx = AppContext::without_failures(proc, mode, intra).unwrap();
-        let out = run_hpccg(&mut ctx, &params).unwrap();
-        out.report.total_time.as_secs()
-    });
-    let results = report.unwrap_results();
-    results.iter().cloned().fold(0.0f64, f64::max)
+    let run = Experiment::builder()
+        .app(AppId::Hpccg)
+        .scale(scale)
+        .execution_mode(mode)
+        .scheduler(scheduler.unwrap_or(SchedulerKind::StaticBlock))
+        .logical_procs(num_logical)
+        .build()
+        .expect("figure experiments are valid")
+        .run_with(move |ctx| {
+            // Per-logical-process problem size: 128^3 for native, doubled
+            // along z for the replicated configurations (half as many
+            // logical processes on the same physical resources).
+            let params = HpccgParams {
+                nx: actual_edge,
+                ny: actual_edge,
+                nz: actual_edge * degree,
+                modeled_nx: 128,
+                modeled_ny: 128,
+                modeled_nz: 128 * degree,
+                max_iters: iters,
+                kernels: KernelSelection::paper_application(),
+            };
+            let out = run_hpccg(ctx, &params)?;
+            Ok(out.report.total_time.as_secs())
+        })
+        .expect("figure experiments execute");
+    run.unwrap_results().into_iter().fold(0.0f64, f64::max)
 }
 
 /// Runs the Figure 5b study: one row per (process count, configuration).
@@ -77,12 +77,12 @@ pub fn run(scale: ExperimentScale) -> Vec<ScalingRow> {
     run_with_scheduler(scale, None)
 }
 
-/// [`run`] with an explicit scheduler selected from the ipr-core registry
-/// (`None` keeps the paper's static block scheduler).  This is the
-/// scheduler knob of the `figures` CLI: `figures fig5b small adaptive`.
+/// [`run`] with an explicit scheduler (`None` keeps the paper's static
+/// block scheduler).  This is the scheduler knob of the `figures` CLI:
+/// `figures fig5b small adaptive`.
 pub fn run_with_scheduler(
     scale: ExperimentScale,
-    scheduler: Option<&'static str>,
+    scheduler: Option<SchedulerKind>,
 ) -> Vec<ScalingRow> {
     let mut rows = Vec::new();
     for procs in scale.fig5b_procs() {

@@ -6,19 +6,19 @@
 //! split into the time spent in intra-parallelized sections and the rest
 //! ("others"); the efficiency is printed above the bar.
 //!
+//! Every bar is one run of the facade's typed [`Experiment`] builder — this
+//! module only maps sub-plots to catalog [`AppId`]s and folds the
+//! [`intra_replication::RunReport`] aggregates into figure rows.
+//!
 //! Published outcomes: AMG2013/PCG-27pt ≈ 0.61, AMG2013/GMRES-7pt ≈ 0.59,
 //! GTC ≈ 0.71, MiniGhost ≈ 0.51 (plain replication ≈ 0.48–0.49 everywhere).
 
 use crate::scale::ExperimentScale;
-use apps::{
-    run_amg, run_gtc, run_minighost, AmgParams, AmgSolver, AppContext, AppRunReport, GtcParams,
-    MiniGhostParams,
-};
-use ipr_core::{IntraConfig, TaskCost};
+use apps::AppId;
+use intra_replication::Experiment;
+use ipr_core::{SchedulerKind, TaskCost};
 use kernels::KernelCost;
 use replication::ExecutionMode;
-use simcluster::{MachineModel, Topology};
-use simmpi::{run_cluster, ClusterConfig};
 
 /// Converts a kernel cost into a task cost (re-exported for the kernel-level
 /// figure module).
@@ -67,6 +67,16 @@ impl Fig6App {
             Fig6App::MiniGhost => "6d",
         }
     }
+
+    /// The catalog application this sub-plot runs.
+    pub fn app_id(&self) -> AppId {
+        match self {
+            Fig6App::AmgPcg27 => AppId::AmgPcg27,
+            Fig6App::AmgGmres7 => AppId::AmgGmres7,
+            Fig6App::Gtc => AppId::Gtc,
+            Fig6App::MiniGhost => AppId::MiniGhost,
+        }
+    }
 }
 
 /// One bar of a Figure 6 sub-plot.
@@ -93,54 +103,23 @@ fn run_app(
     app: Fig6App,
     mode: ExecutionMode,
     scale: ExperimentScale,
-    scheduler: Option<&'static str>,
+    scheduler: Option<SchedulerKind>,
 ) -> (f64, f64, usize) {
-    let degree = mode.degree();
-    let num_logical = scale.fig6_logical_procs();
-    let procs = num_logical * degree;
-    let machine = MachineModel::grid5000_ib20g();
-    let topology = if degree > 1 {
-        Topology::replica_disjoint(num_logical, degree, machine.cores_per_node)
-    } else {
-        Topology::block(procs, machine.cores_per_node)
-    };
-    let config = ClusterConfig::new(procs)
-        .with_machine(machine)
-        .with_topology(topology);
-
-    let actual_edge = scale.actual_grid_edge();
-    let particles = scale.actual_particles();
-    let iters = scale.app_iterations();
-
-    let report = run_cluster(&config, move |proc| {
-        let intra = apps::driver::with_scheduler(IntraConfig::paper(), scheduler).unwrap();
-        let mut ctx = AppContext::without_failures(proc, mode, intra).unwrap();
-        let r: AppRunReport = match app {
-            Fig6App::AmgPcg27 => {
-                let params = AmgParams::paper_scale(AmgSolver::Pcg27, actual_edge, iters);
-                run_amg(&mut ctx, &params).unwrap().report
-            }
-            Fig6App::AmgGmres7 => {
-                let mut params =
-                    AmgParams::paper_scale(AmgSolver::Gmres7, actual_edge, iters.div_ceil(8));
-                params.restart = 10;
-                run_amg(&mut ctx, &params).unwrap().report
-            }
-            Fig6App::Gtc => {
-                let params = GtcParams::paper_scale(particles, iters);
-                run_gtc(&mut ctx, &params).unwrap().report
-            }
-            Fig6App::MiniGhost => {
-                let params = MiniGhostParams::paper_scale(actual_edge, iters);
-                run_minighost(&mut ctx, &params).unwrap().report
-            }
-        };
-        (r.total_time.as_secs(), r.section_time.as_secs())
-    });
-    let results = report.unwrap_results();
-    let makespan = results.iter().map(|(t, _)| *t).fold(0.0f64, f64::max);
-    let avg_sections = results.iter().map(|(_, s)| *s).sum::<f64>() / results.len() as f64;
-    (makespan, avg_sections, procs)
+    let report = Experiment::builder()
+        .app(app.app_id())
+        .scale(scale)
+        .execution_mode(mode)
+        .scheduler(scheduler.unwrap_or(SchedulerKind::StaticBlock))
+        .build()
+        .expect("figure experiments are valid")
+        .run()
+        .expect("figure experiments execute");
+    assert_eq!(
+        report.completed(),
+        report.procs,
+        "failure-free figure runs complete on every rank"
+    );
+    (report.app_time_s(), report.mean_section_s(), report.procs)
 }
 
 /// Runs one Figure 6 sub-plot: native, replicated and intra bars.
@@ -148,13 +127,14 @@ pub fn run(app: Fig6App, scale: ExperimentScale) -> Vec<AppRow> {
     run_with_scheduler(app, scale, None)
 }
 
-/// [`run`] with an explicit scheduler from the ipr-core registry (`None`
-/// keeps the paper's static block scheduler).  The `figures` CLI threads
-/// its `[scheduler]` argument through here: `figures fig6c small locality`.
+/// [`run`] with an explicit scheduler (`None` keeps the paper's static block
+/// scheduler).  The `figures` CLI parses its `[scheduler]` argument into a
+/// [`SchedulerKind`] at the edge and threads it through here:
+/// `figures fig6c small locality`.
 pub fn run_with_scheduler(
     app: Fig6App,
     scale: ExperimentScale,
-    scheduler: Option<&'static str>,
+    scheduler: Option<SchedulerKind>,
 ) -> Vec<AppRow> {
     let (t_native, sec_native, procs_native) =
         run_app(app, ExecutionMode::Native, scale, scheduler);

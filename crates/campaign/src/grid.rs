@@ -7,8 +7,8 @@
 //! a broad "full" grid; custom grids are plain struct literals.
 
 use crate::spec::{FailureSpec, RunSpec};
-use apps::AppId;
-use ipr_bench::ExperimentScale;
+use apps::{AppId, ExperimentScale};
+use ipr_core::SchedulerKind;
 use replication::{ExecutionMode, FailureRate};
 
 /// A declarative sweep: the cross product of the six axes below.
@@ -22,8 +22,8 @@ pub struct CampaignGrid {
     pub apps: Vec<AppId>,
     /// Execution modes to sweep.
     pub modes: Vec<ExecutionMode>,
-    /// Schedulers to sweep (ipr-core registry names).
-    pub schedulers: Vec<&'static str>,
+    /// Schedulers to sweep.
+    pub schedulers: Vec<SchedulerKind>,
     /// Failure behaviours to sweep.
     pub failures: Vec<FailureSpec>,
     /// Seeds to sweep (each seed is an independent replication of the whole
@@ -72,7 +72,7 @@ impl CampaignGrid {
                 ExecutionMode::Replicated { degree: 2 },
                 ExecutionMode::IntraParallel { degree: 2 },
             ],
-            schedulers: vec!["static-block"],
+            schedulers: vec![SchedulerKind::StaticBlock],
             failures: vec![
                 FailureSpec::None,
                 FailureSpec::Poisson {
@@ -94,7 +94,7 @@ impl CampaignGrid {
             scale: ExperimentScale::Tiny,
             apps: vec![AppId::Hpccg],
             modes: vec![ExecutionMode::IntraParallel { degree: 2 }],
-            schedulers: vec!["static-block"],
+            schedulers: vec![SchedulerKind::StaticBlock],
             failures: vec![
                 FailureSpec::None,
                 FailureSpec::Poisson {
@@ -137,13 +137,7 @@ impl CampaignGrid {
             scale: ExperimentScale::Tiny,
             apps: AppId::ALL.to_vec(),
             modes: vec![ExecutionMode::IntraParallel { degree: 2 }],
-            schedulers: vec![
-                "static-block",
-                "round-robin",
-                "cost-aware",
-                "adaptive",
-                "locality",
-            ],
+            schedulers: SchedulerKind::ALL.to_vec(),
             failures: vec![FailureSpec::None],
             seeds: vec![42],
         }
@@ -162,7 +156,7 @@ impl CampaignGrid {
                 ExecutionMode::Replicated { degree: 2 },
                 ExecutionMode::IntraParallel { degree: 2 },
             ],
-            schedulers: vec!["static-block", "adaptive"],
+            schedulers: vec![SchedulerKind::StaticBlock, SchedulerKind::Adaptive],
             failures: vec![
                 FailureSpec::None,
                 FailureSpec::Poisson {
@@ -237,13 +231,15 @@ mod tests {
     }
 
     #[test]
-    fn grid_schedulers_exist_in_the_registry() {
+    fn every_builtin_grid_point_is_a_valid_experiment() {
+        // The grids are typed, so the only way a spec could fail to convert
+        // is an invalid axis combination; none of the built-ins has one.
         for name in CampaignGrid::builtin_names() {
-            for sched in CampaignGrid::by_name(name).unwrap().schedulers {
-                assert!(
-                    ipr_core::scheduler_by_name(sched).is_some(),
-                    "{sched} missing from the ipr-core registry"
-                );
+            for spec in CampaignGrid::by_name(name).unwrap().expand() {
+                let experiment = spec.experiment().unwrap_or_else(|e| {
+                    panic!("{}: {e}", spec.id());
+                });
+                assert_eq!(RunSpec::from_experiment(spec.index, &experiment), spec);
             }
         }
     }

@@ -8,13 +8,8 @@
 //! by grid index, never by completion order).
 
 use crate::grid::CampaignGrid;
-use crate::spec::{mode_label, FailureSpec, RunSpec};
-use apps::{run_app, AppContext, AppWorkload};
-use ipr_core::{IntraConfig, IntraError};
+use crate::spec::{mode_label, RunSpec};
 use parking_lot::Mutex;
-use replication::{sample_failure_trace, FailureInjector};
-use simcluster::{MachineModel, SimTime, Topology};
-use simmpi::{run_cluster, ClusterConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Aggregated result of one campaign run (all fields are deterministic
@@ -71,71 +66,14 @@ pub struct RunResult {
     pub wall_time_ms: f64,
 }
 
-/// Executes one run specification to completion.
+/// Executes one run specification to completion by handing it to the
+/// facade's [`intra_replication::Experiment`] engine and folding the
+/// [`intra_replication::RunReport`] into the campaign's flat row.
 pub fn run_spec(spec: &RunSpec) -> RunResult {
-    let started = std::time::Instant::now();
-    let degree = spec.mode.degree();
-    let num_logical = spec.scale.fig6_logical_procs();
-    let procs = num_logical * degree;
-    let machine = MachineModel::grid5000_ib20g();
-    let topology = if degree > 1 {
-        Topology::replica_disjoint(num_logical, degree, machine.cores_per_node)
-    } else {
-        Topology::block(procs, machine.cores_per_node)
-    };
-    let config = ClusterConfig::new(procs)
-        .with_machine(machine)
-        .with_topology(topology)
-        .with_seed(spec.seed);
-
-    let workload = AppWorkload {
-        grid_edge: spec.scale.actual_grid_edge(),
-        particles: spec.scale.actual_particles(),
-        iterations: spec.scale.app_iterations(),
-    };
-    let (app, mode, scheduler, failure, seed) =
-        (spec.app, spec.mode, spec.scheduler, spec.failure, spec.seed);
-
-    let report = run_cluster(&config, move |proc| {
-        let injector = FailureInjector::none();
-        if let FailureSpec::Poisson { rate, horizon_s } = failure {
-            let trace =
-                sample_failure_trace(rate, SimTime::from_secs(horizon_s), seed, proc.rank());
-            injector.arm_trace(proc.rank(), &trace);
-        }
-        let intra = apps::driver::with_scheduler(IntraConfig::paper(), Some(scheduler))
-            .expect("grid schedulers are validated against the registry");
-        let mut ctx = AppContext::new(proc, mode, intra, injector)?;
-        run_app(&mut ctx, app, &workload)
-    });
-
-    let mut completed = 0usize;
-    let mut crashed = 0usize;
-    let mut errored = 0usize;
-    let mut section_s_sum = 0.0f64;
-    let mut drain_s_sum = 0.0f64;
-    let mut tasks_executed = 0usize;
-    let mut tasks_received = 0usize;
-    let mut tasks_reexecuted = 0usize;
-    let mut update_bytes_sent = 0usize;
-    let mut verification = 0.0f64;
-    for result in &report.results {
-        match result {
-            Ok(Ok(r)) => {
-                completed += 1;
-                section_s_sum += r.section_time.as_secs();
-                drain_s_sum += r.update_drain_time.as_secs();
-                tasks_executed += r.tasks_executed;
-                tasks_received += r.tasks_received;
-                tasks_reexecuted += r.tasks_reexecuted;
-                update_bytes_sent += r.update_bytes_sent;
-                verification = verification.max(r.verification.abs());
-            }
-            Ok(Err(IntraError::Crashed)) => crashed += 1,
-            Ok(Err(_)) | Err(_) => errored += 1,
-        }
-    }
-    let denom = completed.max(1) as f64;
+    let experiment = spec
+        .experiment()
+        .expect("expanded grid points are valid experiments");
+    let report = experiment.run().expect("experiment execution");
     RunResult {
         id: spec.id(),
         app: spec.app.name().to_string(),
@@ -144,21 +82,20 @@ pub fn run_spec(spec: &RunSpec) -> RunResult {
         scheduler: spec.scheduler.to_string(),
         failure: spec.failure.label(),
         seed: spec.seed,
-        procs,
-        completed,
-        crashed,
-        errored,
-        failure_events: report.failures.len(),
-        makespan_s: report.makespan().as_secs(),
-        section_s: section_s_sum / denom,
-        update_drain_s: drain_s_sum / denom,
-        tasks_executed,
-        tasks_received,
-        tasks_reexecuted,
-        update_bytes_sent,
-        verification,
-        // Rounded to whole microseconds so the rendering stays compact.
-        wall_time_ms: (started.elapsed().as_secs_f64() * 1e6).round() / 1e3,
+        procs: report.procs,
+        completed: report.completed(),
+        crashed: report.crashed(),
+        errored: report.errored(),
+        failure_events: report.failure_events,
+        makespan_s: report.makespan_s,
+        section_s: report.mean_section_s(),
+        update_drain_s: report.mean_update_drain_s(),
+        tasks_executed: report.tasks_executed(),
+        tasks_received: report.tasks_received(),
+        tasks_reexecuted: report.tasks_reexecuted(),
+        update_bytes_sent: report.update_bytes_sent(),
+        verification: report.verification(),
+        wall_time_ms: report.wall_time_ms,
     }
 }
 

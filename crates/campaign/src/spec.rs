@@ -1,50 +1,24 @@
 //! Run specifications: one fully-determined simulation run of a campaign.
+//!
+//! A [`RunSpec`] is the grid-expansion form of the facade's typed
+//! [`Experiment`]: the six grid axes (app × scale × mode × scheduler ×
+//! failure × seed) plus a stable grid index.  Those six axes convert
+//! losslessly in both directions ([`RunSpec::experiment`] /
+//! [`RunSpec::from_experiment`]), which is what keeps the campaign engine
+//! a thin layer over the unified experiment surface.  The builder-only
+//! overrides (`logical_procs`, `tasks_per_section`, `inject_failure`, …)
+//! are deliberately *not* part of a campaign grid and are therefore not
+//! carried by a `RunSpec`.
 
 use apps::AppId;
-use ipr_bench::ExperimentScale;
-use replication::{ExecutionMode, FailureRate};
+use apps::ExperimentScale;
+use intra_replication::Experiment;
+use ipr_core::SchedulerKind;
+use replication::ExecutionMode;
 
-/// Failure behaviour of one run.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum FailureSpec {
-    /// No failures.
-    None,
-    /// Every physical rank draws its crash times from a Poisson process
-    /// with the given intensity over `[0, horizon_s)` virtual seconds
-    /// (deterministic per (run seed, rank); see
-    /// [`replication::sample_failure_trace`]).
-    Poisson {
-        /// Intensity function of the arrival process.
-        rate: FailureRate,
-        /// Observation horizon in virtual seconds.
-        horizon_s: f64,
-    },
-}
-
-impl FailureSpec {
-    /// Compact label used in run ids and reports, e.g. `none` or
-    /// `poisson-const-0.5-h2`.
-    pub fn label(&self) -> String {
-        match self {
-            FailureSpec::None => "none".to_string(),
-            FailureSpec::Poisson { rate, horizon_s } => {
-                format!("poisson-{}-h{horizon_s}", rate.label())
-            }
-        }
-    }
-
-    /// Parses the output of [`FailureSpec::label`].
-    pub fn parse(s: &str) -> Option<Self> {
-        if s == "none" {
-            return Some(FailureSpec::None);
-        }
-        let rest = s.strip_prefix("poisson-")?;
-        let h_at = rest.rfind("-h")?;
-        let rate = FailureRate::parse(&rest[..h_at])?;
-        let horizon_s = rest[h_at + 2..].parse::<f64>().ok()?;
-        Some(FailureSpec::Poisson { rate, horizon_s })
-    }
-}
+/// Failure behaviour of one run — the facade's failure-plan axis, re-used
+/// verbatim (`FailureSpec` is the campaign-historical name).
+pub use intra_replication::FailurePlan as FailureSpec;
 
 /// Mode label including the replication degree (`native`, `replicated2`,
 /// `intra2`, …).
@@ -90,8 +64,8 @@ pub struct RunSpec {
     pub scale: ExperimentScale,
     /// Execution mode (native / replicated / intra) with its degree.
     pub mode: ExecutionMode,
-    /// Scheduler for intra-parallel sections (ipr-core registry name).
-    pub scheduler: &'static str,
+    /// Scheduler for intra-parallel sections.
+    pub scheduler: SchedulerKind,
     /// Failure behaviour.
     pub failure: FailureSpec,
     /// Seed for the run's deterministic randomness (cluster + failure
@@ -118,11 +92,55 @@ impl RunSpec {
     pub fn procs(&self) -> usize {
         self.scale.fig6_logical_procs() * self.mode.degree()
     }
+
+    /// Converts the spec into the facade's validated [`Experiment`].
+    ///
+    /// Native runs with a failure plan are a deliberate campaign axis (they
+    /// measure how an *unprotected* run dies), so the conversion sets the
+    /// builder's explicit
+    /// [`allow_unrecoverable_failures`](intra_replication::ExperimentBuilder::allow_unrecoverable_failures)
+    /// opt-in for them.
+    pub fn experiment(&self) -> intra_replication::Result<Experiment> {
+        let mut builder = Experiment::builder()
+            .app(self.app)
+            .scale(self.scale)
+            .execution_mode(self.mode)
+            .scheduler(self.scheduler)
+            .failures(self.failure)
+            .seed(self.seed);
+        if self.mode == ExecutionMode::Native && !self.failure.is_none() {
+            builder = builder.allow_unrecoverable_failures();
+        }
+        builder.build()
+    }
+
+    /// The inverse of [`RunSpec::experiment`] on the six grid axes:
+    /// re-derives the grid form of an experiment (`index` is campaign
+    /// bookkeeping, not an experiment axis).
+    ///
+    /// Builder-only overrides (`logical_procs`, `tasks_per_section`,
+    /// `modeled_scale`, a custom machine model, hand-placed
+    /// `inject_failure` points) have no grid representation and are
+    /// dropped: for an experiment carrying any of them,
+    /// `RunSpec::from_experiment(i, &e).experiment()` reconstructs the
+    /// grid-default experiment with the same six axes, not `e` itself.
+    pub fn from_experiment(index: usize, experiment: &Experiment) -> Self {
+        RunSpec {
+            index,
+            app: experiment.app(),
+            scale: experiment.scale(),
+            mode: experiment.execution_mode(),
+            scheduler: experiment.scheduler(),
+            failure: experiment.failures(),
+            seed: experiment.seed(),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use replication::FailureRate;
 
     #[test]
     fn failure_labels_round_trip() {
@@ -167,7 +185,7 @@ mod tests {
             app: AppId::Hpccg,
             scale: ExperimentScale::Tiny,
             mode: ExecutionMode::IntraParallel { degree: 2 },
-            scheduler: "static-block",
+            scheduler: SchedulerKind::StaticBlock,
             failure: FailureSpec::None,
             seed: 42,
         };
@@ -178,5 +196,36 @@ mod tests {
             ..spec.clone()
         };
         assert_eq!(moved.id(), spec.id());
+    }
+
+    #[test]
+    fn specs_convert_to_experiments_and_back() {
+        let spec = RunSpec {
+            index: 3,
+            app: AppId::Gtc,
+            scale: ExperimentScale::Tiny,
+            mode: ExecutionMode::IntraParallel { degree: 2 },
+            scheduler: SchedulerKind::Adaptive,
+            failure: FailureSpec::Poisson {
+                rate: FailureRate::Constant(0.5),
+                horizon_s: 1.0,
+            },
+            seed: 44,
+        };
+        let experiment = spec.experiment().unwrap();
+        assert_eq!(RunSpec::from_experiment(3, &experiment), spec);
+        // Native + failure plan converts through the explicit opt-in.
+        let native = RunSpec {
+            mode: ExecutionMode::Native,
+            ..spec.clone()
+        };
+        let experiment = native.experiment().unwrap();
+        assert_eq!(RunSpec::from_experiment(3, &experiment), native);
+        // An inexpressible degree surfaces as a typed error.
+        let bad = RunSpec {
+            mode: ExecutionMode::Replicated { degree: 1 },
+            ..spec
+        };
+        assert!(bad.experiment().is_err());
     }
 }

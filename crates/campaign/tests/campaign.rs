@@ -2,9 +2,10 @@
 //! run outcomes are internally consistent, and the diff gate catches
 //! perturbations.
 
+use apps::ExperimentScale;
 use campaign::spec::{FailureSpec, RunSpec};
 use campaign::{diff_reports, run_specs, strip_informational, CampaignGrid, CampaignReport, Json};
-use ipr_bench::ExperimentScale;
+use ipr_core::SchedulerKind;
 use replication::{ExecutionMode, FailureRate};
 
 /// A minimal grid (subset of smoke) used by the tests: one app, all three
@@ -19,7 +20,7 @@ fn mini_grid() -> CampaignGrid {
             ExecutionMode::Replicated { degree: 2 },
             ExecutionMode::IntraParallel { degree: 2 },
         ],
-        schedulers: vec!["static-block"],
+        schedulers: vec![SchedulerKind::StaticBlock],
         failures: vec![
             FailureSpec::None,
             FailureSpec::Poisson {

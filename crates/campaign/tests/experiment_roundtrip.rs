@@ -1,0 +1,72 @@
+//! Property test: the facade's typed `Experiment` and the campaign's grid
+//! form `RunSpec` are two lossless views of the same axes.
+
+use apps::{AppId, ExperimentScale};
+use campaign::spec::RunSpec;
+use intra_replication::FailurePlan;
+use ipr_core::SchedulerKind;
+use proptest::prelude::*;
+use replication::{ExecutionMode, FailureRate};
+
+const SCALES: [ExperimentScale; 3] = [
+    ExperimentScale::Full,
+    ExperimentScale::Small,
+    ExperimentScale::Tiny,
+];
+
+proptest! {
+    #[test]
+    fn experiment_round_trips_through_run_spec(
+        app_i in 0usize..AppId::ALL.len(),
+        scale_i in 0usize..SCALES.len(),
+        mode_i in 0usize..3,
+        degree in 2usize..5,
+        sched_i in 0usize..SchedulerKind::ALL.len(),
+        fail_i in 0usize..4,
+        seed in 0u64..10_000,
+        index in 0usize..64,
+    ) {
+        let mode = match mode_i {
+            0 => ExecutionMode::Native,
+            1 => ExecutionMode::Replicated { degree },
+            _ => ExecutionMode::IntraParallel { degree },
+        };
+        let failure = match fail_i {
+            0 => FailurePlan::None,
+            1 => FailurePlan::poisson(0.5),
+            2 => FailurePlan::poisson_process(
+                FailureRate::Ramp { start: 0.0, end: 2.0 },
+                2.0,
+            ),
+            _ => FailurePlan::poisson_process(
+                FailureRate::Burst { base: 0.1, peak: 4.0, center: 0.5, width: 0.25 },
+                1.5,
+            ),
+        };
+        let spec = RunSpec {
+            index,
+            app: AppId::ALL[app_i],
+            scale: SCALES[scale_i],
+            mode,
+            scheduler: SchedulerKind::ALL[sched_i],
+            failure,
+            seed,
+        };
+
+        // Grid form -> typed experiment -> grid form is the identity.
+        let experiment = spec.experiment().unwrap();
+        prop_assert_eq!(RunSpec::from_experiment(index, &experiment), spec.clone());
+
+        // Typed experiment -> grid form -> typed experiment is too (the
+        // index is campaign bookkeeping, not an experiment axis).
+        let regrid = RunSpec::from_experiment(0, &experiment);
+        prop_assert_eq!(regrid.experiment().unwrap(), experiment.clone());
+
+        // The run id is a pure function of the axes, not of the index.
+        prop_assert_eq!(spec.id(), RunSpec::from_experiment(7, &experiment).id());
+
+        // The experiment agrees with the spec on the derived quantities the
+        // runner reports.
+        prop_assert_eq!(experiment.procs(), spec.procs());
+    }
+}

@@ -1,4 +1,4 @@
-//! Paper-style API shim.
+//! Paper-style API shim with typed task handles.
 //!
 //! The paper's Open MPI extension exposes four C functions:
 //!
@@ -12,20 +12,40 @@
 //! [`IntraSession`] mirrors that flow on top of the richer [`Section`] API:
 //! task *types* are registered once with their function and argument tags,
 //! then instantiated any number of times with concrete variable ranges and
-//! scalar parameters.  The quickstart example and the waxpby test of
-//! Section IV use this shim so the code reads like Figure 4 of the paper.
+//! scalar parameters.
+//!
+//! Registration returns a [`TaskHandle<N>`] carrying the argument count `N`
+//! in its type, so a launch with the wrong number of bindings is a compile
+//! error rather than a runtime [`IntraError::InvalidTask`]; the single
+//! [`IntraSession::launch`] entry point takes `impl Into<CostHint>` in place
+//! of the old `launch_task` / `launch_task_with_cost` pair.  The quickstart
+//! example and the waxpby test of Section IV use this shim so the code reads
+//! like Figure 4 of the paper.
 
 use crate::error::{IntraError, IntraResult};
 use crate::report::SectionReport;
 use crate::section::Section;
-use crate::task::{ArgSpec, ArgTag, TaskCost, TaskDef, TaskFn};
+use crate::task::{ArgSpec, ArgTag, CostHint, TaskCost, TaskDef, TaskFn};
 use crate::workspace::VarId;
 use std::ops::Range;
 use std::sync::Arc;
 
-/// Identifier returned by [`IntraSession::register_task`].
+/// Identifier returned by the deprecated [`IntraSession::register_task`];
+/// superseded by the typed [`TaskHandle`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TaskTypeId(usize);
+pub struct TaskTypeId(pub(crate) usize);
+
+/// Typed handle to a registered task type.
+///
+/// The const parameter `N` is the number of array arguments the task type
+/// declared at registration, so [`IntraSession::launch`] can demand exactly
+/// `N` bindings at compile time — the binding-count mismatch that the
+/// stringly API could only detect at launch cannot be expressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a task handle is only useful for launching task instances"]
+pub struct TaskHandle<const N: usize> {
+    id: usize,
+}
 
 struct TaskType {
     name: String,
@@ -49,7 +69,85 @@ impl<'a> IntraSession<'a> {
     }
 
     /// `Intra_Task_register`: declares a task type from a function and the
-    /// `in`/`out`/`inout` tags of its array arguments.
+    /// `in`/`out`/`inout` tags of its array arguments, checking the argument
+    /// arity at registration — the returned [`TaskHandle`] carries it in its
+    /// type.
+    pub fn register<const N: usize, F>(
+        &mut self,
+        name: &str,
+        tags: [ArgTag; N],
+        func: F,
+    ) -> TaskHandle<N>
+    where
+        F: Fn(&mut crate::task::TaskCtx) + Send + Sync + 'static,
+    {
+        self.types.push(TaskType {
+            name: name.to_string(),
+            func: Arc::new(func),
+            tags: tags.to_vec(),
+        });
+        TaskHandle {
+            id: self.types.len() - 1,
+        }
+    }
+
+    /// `Intra_Task_launch`: instantiates a registered task type on exactly
+    /// `N` concrete variable ranges (one per registered tag, in order), plus
+    /// scalar parameters and an optional modeled cost.
+    ///
+    /// The cost argument accepts anything [`CostHint`] converts from: `()`
+    /// for no modeled cost, a [`TaskCost`], or an `Option<TaskCost>`.
+    pub fn launch<const N: usize>(
+        &mut self,
+        handle: TaskHandle<N>,
+        bindings: [(VarId, Range<usize>); N],
+        scalars: Vec<f64>,
+        cost: impl Into<CostHint>,
+    ) -> IntraResult<()> {
+        self.launch_impl(
+            handle.id,
+            bindings.into_iter().collect(),
+            scalars,
+            cost.into(),
+        )
+    }
+
+    /// `Intra_Task_launch` (untyped): instantiates a registered task type on
+    /// concrete variable ranges plus scalar parameters.
+    #[deprecated(
+        since = "0.1.0",
+        note = "register with `register` and use the typed `launch(handle, bindings, scalars, ())`"
+    )]
+    pub fn launch_task(
+        &mut self,
+        id: TaskTypeId,
+        bindings: Vec<(VarId, Range<usize>)>,
+        scalars: Vec<f64>,
+    ) -> IntraResult<()> {
+        self.launch_impl(id.0, bindings, scalars, CostHint::NONE)
+    }
+
+    /// Untyped launch with an explicit modeled compute cost.
+    #[deprecated(
+        since = "0.1.0",
+        note = "register with `register` and use the typed `launch(handle, bindings, scalars, cost)`"
+    )]
+    pub fn launch_task_with_cost(
+        &mut self,
+        id: TaskTypeId,
+        bindings: Vec<(VarId, Range<usize>)>,
+        scalars: Vec<f64>,
+        cost: Option<TaskCost>,
+    ) -> IntraResult<()> {
+        self.launch_impl(id.0, bindings, scalars, CostHint::from(cost))
+    }
+
+    /// `Intra_Task_register` (untyped): declares a task type with a runtime
+    /// tag list; the arity is only checked when an instance is launched.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `register`, whose `TaskHandle<N>` checks the argument arity at registration"
+    )]
     pub fn register_task<F>(&mut self, name: &str, tags: Vec<ArgTag>, func: F) -> TaskTypeId
     where
         F: Fn(&mut crate::task::TaskCtx) + Send + Sync + 'static,
@@ -62,30 +160,17 @@ impl<'a> IntraSession<'a> {
         TaskTypeId(self.types.len() - 1)
     }
 
-    /// `Intra_Task_launch`: instantiates a registered task type on concrete
-    /// variable ranges (one per registered tag, in order) plus scalar
-    /// parameters.
-    pub fn launch_task(
+    fn launch_impl(
         &mut self,
-        id: TaskTypeId,
+        id: usize,
         bindings: Vec<(VarId, Range<usize>)>,
         scalars: Vec<f64>,
-    ) -> IntraResult<()> {
-        self.launch_task_with_cost(id, bindings, scalars, None)
-    }
-
-    /// [`IntraSession::launch_task`] with an explicit modeled compute cost.
-    pub fn launch_task_with_cost(
-        &mut self,
-        id: TaskTypeId,
-        bindings: Vec<(VarId, Range<usize>)>,
-        scalars: Vec<f64>,
-        cost: Option<TaskCost>,
+        cost: CostHint,
     ) -> IntraResult<()> {
         let ty = self
             .types
-            .get(id.0)
-            .ok_or_else(|| IntraError::InvalidTask(format!("unknown task type id {}", id.0)))?;
+            .get(id)
+            .ok_or_else(|| IntraError::InvalidTask(format!("unknown task type id {id}")))?;
         if bindings.len() != ty.tags.len() {
             return Err(IntraError::InvalidTask(format!(
                 "task type '{}' declares {} array arguments but {} were bound",
@@ -99,16 +184,13 @@ impl<'a> IntraSession<'a> {
             .zip(ty.tags.iter())
             .map(|((var, range), &tag)| ArgSpec { var, range, tag })
             .collect();
-        let mut task = TaskDef {
+        let task = TaskDef {
             name: ty.name.clone(),
             func: Arc::clone(&ty.func),
             args,
             scalars,
-            cost,
+            cost: cost.into_cost(),
         };
-        if cost.is_none() {
-            task.cost = None;
-        }
         self.section.add_task(task)
     }
 
@@ -131,10 +213,7 @@ mod tests {
 
     // The session cannot execute without a cluster (that is covered by the
     // integration tests); here we only test the registration plumbing.
-    #[test]
-    fn launch_rejects_wrong_binding_count() {
-        // Build a throwaway runtime on a single-process cluster to get a
-        // Section; protocol execution is not triggered.
+    fn with_session<R: Send>(f: impl Fn(&mut IntraSession<'_>, VarId) -> R + Send + Sync) -> R {
         let report = simmpi::run_cluster(&simmpi::ClusterConfig::ideal(1), |proc| {
             let env = replication::ReplicatedEnv::without_failures(
                 proc,
@@ -146,30 +225,53 @@ mod tests {
             let mut ws = Workspace::new();
             let x = ws.add("x", vec![0.0; 4]);
             let mut session = IntraSession::begin(rt.section(&mut ws));
+            f(&mut session, x)
+        });
+        report.unwrap_results().pop().unwrap()
+    }
+
+    #[test]
+    fn typed_launch_accepts_matching_bindings_and_cost_hints() {
+        let ok = with_session(|session, x| {
+            let copy = session.register("copy", [ArgTag::In, ArgTag::Out], |_| {});
+            session
+                .launch(copy, [(x, 0..2), (x, 2..4)], vec![], ())
+                .unwrap();
+            session
+                .launch(
+                    copy,
+                    [(x, 0..2), (x, 2..4)],
+                    vec![1.0],
+                    TaskCost::new(1.0, 2.0),
+                )
+                .unwrap();
+            session.num_tasks() == 2
+        });
+        assert!(ok);
+    }
+
+    /// Shim-compat: the deprecated untyped launch still checks the binding
+    /// count at launch time.
+    #[test]
+    #[allow(deprecated)]
+    fn launch_rejects_wrong_binding_count() {
+        let ok = with_session(|session, x| {
             let ty = session.register_task("t", vec![ArgTag::In, ArgTag::Out], |_| {});
             let err = session
                 .launch_task(ty, vec![(x, 0..4)], vec![])
                 .unwrap_err();
             matches!(err, IntraError::InvalidTask(_))
         });
-        assert!(report.unwrap_results()[0]);
+        assert!(ok);
     }
 
+    /// Shim-compat: unknown `TaskTypeId`s (only constructible through the
+    /// deprecated path) still fail cleanly.
     #[test]
+    #[allow(deprecated)]
     fn launch_rejects_unknown_type() {
-        let report = simmpi::run_cluster(&simmpi::ClusterConfig::ideal(1), |proc| {
-            let env = replication::ReplicatedEnv::without_failures(
-                proc,
-                replication::ExecutionMode::Native,
-            )
-            .unwrap();
-            let mut rt =
-                crate::runtime::IntraRuntime::new(env, crate::runtime::IntraConfig::default());
-            let mut ws = Workspace::new();
-            let _x = ws.add("x", vec![0.0; 4]);
-            let mut session = IntraSession::begin(rt.section(&mut ws));
-            session.launch_task(TaskTypeId(3), vec![], vec![]).is_err()
-        });
-        assert!(report.unwrap_results()[0]);
+        let ok =
+            with_session(|session, _x| session.launch_task(TaskTypeId(3), vec![], vec![]).is_err());
+        assert!(ok);
     }
 }

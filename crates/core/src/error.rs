@@ -19,9 +19,8 @@ pub enum IntraError {
     InvalidTask(String),
     /// A workspace variable id or range was invalid.
     InvalidVariable(String),
-    /// A runtime configuration value was invalid (e.g. an unknown scheduler
-    /// name passed to
-    /// [`crate::runtime::IntraConfig::with_scheduler_name`]).
+    /// A runtime configuration value was invalid (e.g. an unknown or empty
+    /// scheduler name parsed into a [`crate::sched::SchedulerKind`]).
     InvalidConfig(String),
 }
 

@@ -72,32 +72,33 @@ pub mod section;
 pub mod task;
 pub mod workspace;
 
-pub use api::{IntraSession, TaskTypeId};
+pub use api::{IntraSession, TaskHandle, TaskTypeId};
 pub use cost::{CostEstimate, CostModel, TaskKey, DEFAULT_EMA_ALPHA};
 pub use error::{IntraError, IntraResult};
 pub use report::{RuntimeReport, SectionReport, TaskCostSample};
 pub use runtime::{IntraConfig, IntraRuntime};
+#[allow(deprecated)]
+pub use sched::scheduler_by_name;
 pub use sched::{
-    assignment_makespan, scheduler_by_name, AdaptiveScheduler, CostAwareScheduler,
-    LocalityAwareScheduler, RoundRobinScheduler, Scheduler, SchedulerRegistry,
-    StaticBlockScheduler,
+    assignment_makespan, AdaptiveScheduler, CostAwareScheduler, LocalityAwareScheduler,
+    RoundRobinScheduler, Scheduler, SchedulerKind, SchedulerRegistry, StaticBlockScheduler,
 };
 pub use section::{split_ranges, Section, MAX_ARGS_PER_TASK, MAX_TASKS_PER_SECTION};
-pub use task::{ArgSpec, ArgTag, TaskCost, TaskCtx, TaskDef, TaskFn};
+pub use task::{ArgSpec, ArgTag, CostHint, TaskCost, TaskCtx, TaskDef, TaskFn};
 pub use workspace::{VarId, Workspace};
 
 /// Convenience re-exports for application code.
 pub mod prelude {
-    pub use crate::api::{IntraSession, TaskTypeId};
+    pub use crate::api::{IntraSession, TaskHandle, TaskTypeId};
     pub use crate::cost::{CostEstimate, CostModel};
     pub use crate::error::{IntraError, IntraResult};
     pub use crate::report::{RuntimeReport, SectionReport, TaskCostSample};
     pub use crate::runtime::{IntraConfig, IntraRuntime};
     pub use crate::sched::{
-        scheduler_by_name, AdaptiveScheduler, CostAwareScheduler, LocalityAwareScheduler,
-        RoundRobinScheduler, Scheduler, SchedulerRegistry, StaticBlockScheduler,
+        AdaptiveScheduler, CostAwareScheduler, LocalityAwareScheduler, RoundRobinScheduler,
+        Scheduler, SchedulerKind, SchedulerRegistry, StaticBlockScheduler,
     };
     pub use crate::section::{split_ranges, Section};
-    pub use crate::task::{ArgSpec, ArgTag, TaskCost, TaskCtx, TaskDef};
+    pub use crate::task::{ArgSpec, ArgTag, CostHint, TaskCost, TaskCtx, TaskDef};
     pub use crate::workspace::{VarId, Workspace};
 }

@@ -53,6 +53,7 @@ impl TaskCostSample {
 
 /// Metrics of one executed intra-parallel section.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use = "a SectionReport carries the section's metrics; dropping it silently loses them"]
 pub struct SectionReport {
     /// Index of the section (0-based, per logical process).
     pub section_index: usize,

@@ -1,9 +1,9 @@
 //! The intra-parallelization runtime owned by one physical process.
 
 use crate::cost::{CostModel, DEFAULT_EMA_ALPHA};
-use crate::error::{IntraError, IntraResult};
+use crate::error::IntraResult;
 use crate::report::RuntimeReport;
-use crate::sched::{Scheduler, SchedulerRegistry, StaticBlockScheduler};
+use crate::sched::{Scheduler, SchedulerKind, StaticBlockScheduler};
 use crate::section::Section;
 use crate::workspace::Workspace;
 use replication::ReplicatedEnv;
@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 /// Configuration of the intra-parallelization runtime.
 #[derive(Clone)]
+#[must_use = "IntraConfig is a builder: apply it to an IntraRuntime (or pass it on) to take effect"]
 pub struct IntraConfig {
     /// Default number of tasks per section used by the convenience helpers
     /// that split a kernel automatically (`Section::add_split_task`, the
@@ -91,29 +92,41 @@ impl IntraConfig {
         self
     }
 
-    /// Sets the scheduler by registry name — the scheduler-selection knob of
-    /// the app drivers and the bench CLI.  Fails with the list of available
-    /// names when `name` is unknown.
+    /// Sets the scheduler from its typed [`SchedulerKind`] — the
+    /// scheduler-selection knob of the `Experiment` builder, the app drivers
+    /// and the bench harness.  Infallible: an invalid scheduler cannot be
+    /// expressed.
+    ///
+    /// ```
+    /// use ipr_core::{IntraConfig, SchedulerKind};
+    ///
+    /// let config = IntraConfig::paper().with_scheduler_kind(SchedulerKind::Adaptive);
+    /// assert_eq!(config.scheduler.name(), "adaptive");
+    /// ```
+    pub fn with_scheduler_kind(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind.scheduler();
+        self
+    }
+
+    /// Sets the scheduler by name.  Fails with the list of available names
+    /// when `name` is unknown; surrounding whitespace is trimmed and empty
+    /// names are rejected.
     ///
     /// ```
     /// use ipr_core::IntraConfig;
     ///
+    /// # #[allow(deprecated)] {
     /// let config = IntraConfig::paper().with_scheduler_name("adaptive").unwrap();
     /// assert_eq!(config.scheduler.name(), "adaptive");
     /// assert!(IntraConfig::paper().with_scheduler_name("nope").is_err());
+    /// # }
     /// ```
-    pub fn with_scheduler_name(mut self, name: &str) -> IntraResult<Self> {
-        let registry = SchedulerRegistry::builtin();
-        match registry.get(name) {
-            Some(s) => {
-                self.scheduler = s;
-                Ok(self)
-            }
-            None => Err(IntraError::InvalidConfig(format!(
-                "unknown scheduler '{name}' (available: {})",
-                registry.names().join(", ")
-            ))),
-        }
+    #[deprecated(
+        since = "0.1.0",
+        note = "parse a `SchedulerKind` at the string edge and use `with_scheduler_kind`"
+    )]
+    pub fn with_scheduler_name(self, name: &str) -> IntraResult<Self> {
+        Ok(self.with_scheduler_kind(name.parse::<SchedulerKind>()?))
     }
 
     /// Sets the smoothing factor of the measured-cost EMA (clamped to
@@ -229,6 +242,18 @@ mod tests {
     }
 
     #[test]
+    fn scheduler_kind_builder_sets_every_builtin() {
+        for kind in SchedulerKind::ALL {
+            let c = IntraConfig::paper().with_scheduler_kind(kind);
+            assert_eq!(c.scheduler.name(), kind.name());
+        }
+    }
+
+    /// Shim-compat: the deprecated name-based builder resolves through
+    /// `SchedulerKind` and keeps its error shape (the message lists the
+    /// available names).
+    #[test]
+    #[allow(deprecated)]
     fn scheduler_name_builder_resolves_the_registry() {
         for name in crate::sched::SchedulerRegistry::builtin().names() {
             let c = IntraConfig::paper().with_scheduler_name(name).unwrap();
@@ -238,6 +263,13 @@ mod tests {
             .with_scheduler_name("no-such")
             .unwrap_err();
         assert!(err.to_string().contains("static-block"), "{err}");
+        // The whitespace fix applies here too: trimmed names resolve, empty
+        // names are rejected instead of silently failing the lookup.
+        let c = IntraConfig::paper()
+            .with_scheduler_name(" adaptive ")
+            .unwrap();
+        assert_eq!(c.scheduler.name(), "adaptive");
+        assert!(IntraConfig::paper().with_scheduler_name("  ").is_err());
     }
 
     #[test]

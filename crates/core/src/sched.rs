@@ -10,14 +10,19 @@
 //! elaborate" designs: the former schedules from *measured* execution times
 //! learned across section instances (see [`crate::cost::CostModel`]), the
 //! latter keeps assignments contiguous and stable across iterations.
-//! [`SchedulerRegistry`] maps scheduler names to instances so configuration
-//! files, app drivers and the bench CLI can select one by string.
+//! [`SchedulerKind`] is the typed selection knob for the five built-ins
+//! (CLIs parse it from strings at the edge with `FromStr`), and
+//! [`SchedulerRegistry`] remains the extension point for custom scheduler
+//! implementations that need name-based lookup.
 //!
 //! A scheduler is a pure function of the task weights and the set of alive
 //! replicas, so all replicas of a logical process independently compute the
 //! same assignment — no coordination messages are needed, which is what
 //! makes failure-driven rescheduling (Algorithm 1, line 24) cheap.
 
+use crate::error::{IntraError, IntraResult};
+use std::fmt;
+use std::str::FromStr;
 use std::sync::Arc;
 
 /// Assigns every task of a section to one alive replica.
@@ -281,8 +286,119 @@ impl Scheduler for LocalityAwareScheduler {
     }
 }
 
-/// Name → scheduler registry used by [`crate::runtime::IntraConfig`], the
-/// app drivers and the bench CLI to select a scheduler by string.
+/// Typed identifier of one built-in scheduler: the scheduler-selection knob
+/// of [`crate::runtime::IntraConfig`], the `Experiment` builder of the root
+/// facade and the campaign grids.
+///
+/// Strings exist only at the edges: CLIs parse their arguments with
+/// [`FromStr`] and reports render the kind with [`fmt::Display`]; everything
+/// in between carries the enum, so an unknown or misspelled scheduler can
+/// only be constructed where user input enters the program.
+///
+/// # Examples
+///
+/// ```
+/// use ipr_core::SchedulerKind;
+///
+/// let kind: SchedulerKind = "adaptive".parse().unwrap();
+/// assert_eq!(kind, SchedulerKind::Adaptive);
+/// assert_eq!(kind.to_string(), "adaptive");
+/// assert_eq!(kind.scheduler().name(), "adaptive");
+/// // Surrounding whitespace is trimmed; empty names are rejected.
+/// assert_eq!("  locality ".parse(), Ok(SchedulerKind::Locality));
+/// assert!("".parse::<SchedulerKind>().is_err());
+/// assert!("bogus".parse::<SchedulerKind>().is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// The paper's static block split ([`StaticBlockScheduler`]).
+    StaticBlock,
+    /// Round-robin assignment ([`RoundRobinScheduler`]).
+    RoundRobin,
+    /// Declared-weight LPT ([`CostAwareScheduler`]).
+    CostAware,
+    /// Measured-weight LPT ([`AdaptiveScheduler`]).
+    Adaptive,
+    /// Sticky weight-balanced contiguous split ([`LocalityAwareScheduler`]).
+    Locality,
+}
+
+impl SchedulerKind {
+    /// Every built-in scheduler, in documentation order.
+    pub const ALL: [SchedulerKind; 5] = [
+        SchedulerKind::StaticBlock,
+        SchedulerKind::RoundRobin,
+        SchedulerKind::CostAware,
+        SchedulerKind::Adaptive,
+        SchedulerKind::Locality,
+    ];
+
+    /// Stable name, identical to [`Scheduler::name`] of the instance.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::StaticBlock => "static-block",
+            SchedulerKind::RoundRobin => "round-robin",
+            SchedulerKind::CostAware => "cost-aware",
+            SchedulerKind::Adaptive => "adaptive",
+            SchedulerKind::Locality => "locality",
+        }
+    }
+
+    /// Instantiates the scheduler this kind names.
+    pub fn scheduler(self) -> Arc<dyn Scheduler> {
+        match self {
+            SchedulerKind::StaticBlock => Arc::new(StaticBlockScheduler),
+            SchedulerKind::RoundRobin => Arc::new(RoundRobinScheduler),
+            SchedulerKind::CostAware => Arc::new(CostAwareScheduler),
+            SchedulerKind::Adaptive => Arc::new(AdaptiveScheduler),
+            SchedulerKind::Locality => Arc::new(LocalityAwareScheduler),
+        }
+    }
+
+    /// The names of every built-in scheduler, for error messages and CLI
+    /// usage strings.
+    pub fn names() -> Vec<&'static str> {
+        SchedulerKind::ALL.iter().map(|k| k.name()).collect()
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for SchedulerKind {
+    type Err = IntraError;
+
+    /// Parses a scheduler name, trimming surrounding whitespace.  Empty or
+    /// unknown names yield [`IntraError::InvalidConfig`].
+    fn from_str(s: &str) -> IntraResult<Self> {
+        let name = s.trim();
+        if name.is_empty() {
+            return Err(IntraError::InvalidConfig(format!(
+                "scheduler name is empty (available: {})",
+                SchedulerKind::names().join(", ")
+            )));
+        }
+        SchedulerKind::ALL
+            .into_iter()
+            .find(|k| k.name() == name)
+            .ok_or_else(|| {
+                IntraError::InvalidConfig(format!(
+                    "unknown scheduler '{name}' (available: {})",
+                    SchedulerKind::names().join(", ")
+                ))
+            })
+    }
+}
+
+/// Name → scheduler registry: the extension point for *custom*
+/// [`Scheduler`] implementations.
+///
+/// The built-in schedulers are selected with the typed [`SchedulerKind`]
+/// enum; the registry remains for embedders that register their own
+/// schedulers and need name-based lookup for them.
 ///
 /// # Examples
 ///
@@ -363,11 +479,19 @@ impl Default for SchedulerRegistry {
 /// ```
 /// use ipr_core::scheduler_by_name;
 ///
+/// # #[allow(deprecated)] {
 /// assert_eq!(scheduler_by_name("cost-aware").unwrap().name(), "cost-aware");
 /// assert!(scheduler_by_name("nope").is_none());
+/// # }
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "parse a typed `SchedulerKind` instead and call `SchedulerKind::scheduler()`"
+)]
 pub fn scheduler_by_name(name: &str) -> Option<Arc<dyn Scheduler>> {
-    SchedulerRegistry::builtin().get(name)
+    name.parse::<SchedulerKind>()
+        .ok()
+        .map(SchedulerKind::scheduler)
 }
 
 /// Makespan of an assignment: the maximum, over the replicas, of the summed
@@ -388,11 +512,53 @@ mod tests {
     use proptest::prelude::*;
 
     fn all_schedulers() -> Vec<Arc<dyn Scheduler>> {
-        SchedulerRegistry::builtin()
-            .names()
+        SchedulerKind::ALL
             .into_iter()
-            .map(|n| scheduler_by_name(n).unwrap())
+            .map(SchedulerKind::scheduler)
             .collect()
+    }
+
+    #[test]
+    fn scheduler_kind_round_trips_names_and_instances() {
+        for kind in SchedulerKind::ALL {
+            assert_eq!(kind.name().parse::<SchedulerKind>(), Ok(kind));
+            assert_eq!(kind.to_string(), kind.name());
+            assert_eq!(kind.scheduler().name(), kind.name());
+        }
+        assert_eq!(SchedulerKind::names(), SchedulerRegistry::builtin().names());
+    }
+
+    #[test]
+    fn scheduler_kind_parse_trims_and_rejects_empty_names() {
+        assert_eq!(
+            " static-block\t".parse::<SchedulerKind>(),
+            Ok(SchedulerKind::StaticBlock)
+        );
+        for bad in ["", "   ", "\t"] {
+            let err = bad.parse::<SchedulerKind>().unwrap_err();
+            assert!(
+                matches!(err, IntraError::InvalidConfig(_)),
+                "{bad:?}: {err:?}"
+            );
+            assert!(err.to_string().contains("empty"), "{err}");
+        }
+        let err = "no-such".parse::<SchedulerKind>().unwrap_err();
+        assert!(err.to_string().contains("no-such"), "{err}");
+        assert!(err.to_string().contains("static-block"), "{err}");
+    }
+
+    /// Shim-compat: the deprecated string lookup still resolves (now through
+    /// `SchedulerKind`, so it additionally trims whitespace).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_scheduler_by_name_still_resolves() {
+        assert_eq!(
+            scheduler_by_name("cost-aware").unwrap().name(),
+            "cost-aware"
+        );
+        assert_eq!(scheduler_by_name(" adaptive ").unwrap().name(), "adaptive");
+        assert!(scheduler_by_name("").is_none());
+        assert!(scheduler_by_name("unknown").is_none());
     }
 
     #[test]
@@ -501,7 +667,7 @@ mod tests {
             assert_eq!(r.get(name).unwrap().name(), name);
         }
         assert!(r.get("unknown").is_none());
-        assert!(scheduler_by_name("locality").is_some());
+        assert!(SchedulerKind::Locality.scheduler().name() == "locality");
         assert_eq!(SchedulerRegistry::default().names().len(), 5);
         assert!(SchedulerRegistry::new().names().is_empty());
     }

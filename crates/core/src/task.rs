@@ -115,6 +115,63 @@ impl TaskCost {
     }
 }
 
+/// What a task launch declares about its modeled compute cost.
+///
+/// The unified `launch` entry point of [`crate::api::IntraSession`] takes
+/// `impl Into<CostHint>`, so call sites stay terse:
+///
+/// * `()` — no modeled cost: the task only pays for its real execution
+///   semantics (protocol-correctness tests, toy examples);
+/// * a [`TaskCost`] — charge the roofline time of the descriptor;
+/// * an `Option<TaskCost>` — for code that threads an optional cost through.
+///
+/// # Examples
+///
+/// ```
+/// use ipr_core::{CostHint, TaskCost};
+///
+/// assert_eq!(CostHint::from(()).into_cost(), None);
+/// let cost = TaskCost::new(10.0, 80.0);
+/// assert_eq!(CostHint::from(cost).into_cost(), Some(cost));
+/// assert_eq!(CostHint::from(Some(cost)).into_cost(), Some(cost));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[must_use = "a CostHint does nothing until passed to a launch call"]
+pub struct CostHint(Option<TaskCost>);
+
+impl CostHint {
+    /// No modeled cost: charge nothing to the virtual clock.
+    pub const NONE: CostHint = CostHint(None);
+
+    /// A modeled cost descriptor.
+    pub fn modeled(cost: TaskCost) -> Self {
+        CostHint(Some(cost))
+    }
+
+    /// The cost carried by the hint, if any.
+    pub fn into_cost(self) -> Option<TaskCost> {
+        self.0
+    }
+}
+
+impl From<()> for CostHint {
+    fn from((): ()) -> Self {
+        CostHint::NONE
+    }
+}
+
+impl From<TaskCost> for CostHint {
+    fn from(cost: TaskCost) -> Self {
+        CostHint::modeled(cost)
+    }
+}
+
+impl From<Option<TaskCost>> for CostHint {
+    fn from(cost: Option<TaskCost>) -> Self {
+        CostHint(cost)
+    }
+}
+
 /// The execution context handed to a task body.
 ///
 /// Inputs and outputs are exposed as owned buffers so that a task can borrow

@@ -53,7 +53,7 @@ fn run_hetero(
         }
         let env =
             ReplicatedEnv::new(proc, ExecutionMode::IntraParallel { degree: 2 }, injector).unwrap();
-        let intra = IntraConfig::paper().with_scheduler_name(scheduler).unwrap();
+        let intra = IntraConfig::paper().with_scheduler_kind(scheduler.parse().unwrap());
         let mut rt = IntraRuntime::new(env, intra);
         let mut ws = Workspace::new();
         let tasks = hetero_tasks();
@@ -262,9 +262,7 @@ fn same_named_chunks_learn_independent_histories() {
     let report = run_cluster(&ClusterConfig::new(2), move |proc| {
         let env = ReplicatedEnv::without_failures(proc, ExecutionMode::IntraParallel { degree: 2 })
             .unwrap();
-        let intra = IntraConfig::paper()
-            .with_scheduler_name("adaptive")
-            .unwrap();
+        let intra = IntraConfig::paper().with_scheduler_kind(SchedulerKind::Adaptive);
         let mut rt = IntraRuntime::new(env, intra);
         let mut ws = Workspace::new();
         let out = ws.add_zeros("out", chunks2.len());
@@ -282,7 +280,7 @@ fn same_named_chunks_learn_independent_histories() {
                     )
                     .unwrap();
             }
-            section.end().unwrap();
+            let _ = section.end().unwrap();
         }
         let times: Vec<f64> = rt
             .report()

@@ -399,7 +399,7 @@ fn consecutive_sections_after_failure_keep_producing_correct_results() {
                         )
                     })
                     .unwrap();
-                section.end()?;
+                let _ = section.end()?;
                 let w_now = ws.get(w).to_vec();
                 ws.get_mut(x).copy_from_slice(&w_now);
             }

@@ -279,7 +279,7 @@ proptest! {
                     )
                 })
                 .unwrap();
-            section.end().unwrap();
+            let _ = section.end().unwrap();
             (ws.get(w).to_vec(), ws.get(y).to_vec())
         });
         let (w_native, y_native) = report.unwrap_results().remove(0);

@@ -58,7 +58,7 @@ fn run_workload(
                     args,
                 )
             })?;
-            section.end()?;
+            let _ = section.end()?;
         }
         Ok(ws.get(w)[0])
     });

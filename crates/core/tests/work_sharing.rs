@@ -203,7 +203,7 @@ fn multiple_sections_reuse_the_runtime() {
         let w = ws.add_zeros("w", n);
         for iteration in 0..5 {
             let alpha = iteration as f64 + 1.0;
-            waxpby_section(&mut rt, &mut ws, x, y, w, alpha, 0.0, n);
+            let _ = waxpby_section(&mut rt, &mut ws, x, y, w, alpha, 0.0, n);
             // Feed the output back into x for the next iteration.
             let w_now = ws.get(w).to_vec();
             ws.get_mut(x).copy_from_slice(&w_now);
@@ -278,7 +278,7 @@ fn schedulers_produce_identical_results() {
             let x = ws.add("x", (0..n).map(|i| i as f64).collect());
             let y = ws.add("y", vec![1.0; n]);
             let w = ws.add_zeros("w", n);
-            waxpby_section(&mut rt, &mut ws, x, y, w, 1.0, 2.0, n);
+            let _ = waxpby_section(&mut rt, &mut ws, x, y, w, 1.0, 2.0, n);
             ws.get(w).to_vec()
         });
         let results = report.unwrap_results();
@@ -305,11 +305,12 @@ fn paper_api_reproduces_the_figure_4_waxpby() {
         let y = ws.add("y", (0..n).map(|i| (n - i) as f64).collect());
         let w = ws.add_zeros("w", n);
 
-        // WAXPBY(n, alpha, x, beta, y, w) from Figure 4:
+        // WAXPBY(n, alpha, x, beta, y, w) from Figure 4, through the typed
+        // handle API: the three-argument arity is part of the handle's type.
         let mut session = IntraSession::begin(rt.section(&mut ws));
-        let task_id = session.register_task(
+        let task = session.register(
             "task_function",
-            vec![ArgTag::In, ArgTag::In, ArgTag::Out],
+            [ArgTag::In, ArgTag::In, ArgTag::Out],
             |ctx| {
                 let tsize = ctx.scalar_usize(0);
                 let alpha = ctx.scalars[1];
@@ -324,20 +325,62 @@ fn paper_api_reproduces_the_figure_4_waxpby() {
             let lo = i * tsize;
             let hi = lo + tsize;
             session
-                .launch_task(
-                    task_id,
-                    vec![(x, lo..hi), (y, lo..hi), (w, lo..hi)],
+                .launch(
+                    task,
+                    [(x, lo..hi), (y, lo..hi), (w, lo..hi)],
                     vec![tsize as f64, 2.0, 1.0],
+                    (),
                 )
                 .unwrap();
         }
-        session.end().unwrap();
+        let _ = session.end().unwrap();
         ws.get(w).to_vec()
     });
     let results = report.unwrap_results();
     let expected: Vec<f64> = (0..n).map(|i| 2.0 * i as f64 + (n - i) as f64).collect();
     assert_eq!(results[0], expected);
     assert_eq!(results[1], expected);
+}
+
+/// Shim-compat: the deprecated register/launch pair (runtime-checked tag
+/// lists, separate cost entry point) still executes the Figure 4 section
+/// end to end and produces the same result as the typed path.
+#[test]
+#[allow(deprecated)]
+fn deprecated_register_launch_shim_still_runs_figure_4() {
+    let n = 40;
+    let report = run_cluster(&ClusterConfig::ideal(2), move |proc| {
+        let mut rt = make_rt(
+            proc,
+            ExecutionMode::IntraParallel { degree: 2 },
+            IntraConfig::paper(),
+        );
+        let mut ws = Workspace::new();
+        let x = ws.add("x", (0..n).map(|i| i as f64).collect());
+        let w = ws.add_zeros("w", n);
+        let mut session = IntraSession::begin(rt.section(&mut ws));
+        let task_id = session.register_task("scale", vec![ArgTag::In, ArgTag::Out], |ctx| {
+            for i in 0..ctx.outputs[0].len() {
+                ctx.outputs[0][i] = 3.0 * ctx.inputs[0][i];
+            }
+        });
+        for chunk in split_ranges(n, 4) {
+            session
+                .launch_task_with_cost(
+                    task_id,
+                    vec![(x, chunk.clone()), (w, chunk)],
+                    vec![],
+                    Some(TaskCost::new(1.0, 1.0)),
+                )
+                .unwrap();
+        }
+        let _ = session.end().unwrap();
+        ws.get(w).to_vec()
+    });
+    for result in report.unwrap_results() {
+        let expected: Vec<f64> = (0..n).map(|i| 3.0 * i as f64).collect();
+        assert_eq!(result, expected);
+    }
 }
 
 #[test]

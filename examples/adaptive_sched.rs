@@ -10,11 +10,14 @@
 //! push) with memory-bound "sparsemv-like" tasks (HPCCG's dominant kernel).
 //! The declared scheduling weight, `max(flops, mem_bytes)`, mixes units and
 //! mis-ranks tasks across the two roofline regimes, so the declared-weight
-//! LPT scheduler (`cost-aware`) settles on a suboptimal split.  The
-//! `adaptive` scheduler records the virtual-time duration of every task
-//! (see `SectionReport::task_costs`), folds it into a per-task-name EMA
-//! (`CostModel`), and from the second instance on schedules from *measured*
-//! durations — the makespan drops and stays down.
+//! LPT scheduler (`SchedulerKind::CostAware`) settles on a suboptimal
+//! split.  The `SchedulerKind::Adaptive` scheduler records the virtual-time
+//! duration of every task (see `SectionReport::task_costs`), folds it into
+//! a per-task-name EMA (`CostModel`), and from the second instance on
+//! schedules from *measured* durations — the makespan drops and stays down.
+//!
+//! The scheduler is one typed axis of the `Experiment` builder; everything
+//! else (cluster, replication environment, runtime) comes with it.
 
 use intra_replication::prelude::*;
 // The heterogeneous (name, flops, mem_bytes) task set shared with the
@@ -22,58 +25,59 @@ use intra_replication::prelude::*;
 // stay on the same workload.
 use ipr_bench::ablations::adaptive_task_set as tasks;
 
-fn run(scheduler: &'static str, iterations: usize) -> Vec<f64> {
-    let report = run_cluster(&ClusterConfig::new(2), move |proc| {
-        let env = ReplicatedEnv::without_failures(proc, ExecutionMode::IntraParallel { degree: 2 })
-            .expect("environment");
-        let intra = IntraConfig::paper()
-            .with_scheduler_name(scheduler)
-            .expect("registered scheduler");
-        let mut rt = IntraRuntime::new(env, intra);
-        let mut ws = Workspace::new();
-        let set = tasks();
-        let out = ws.add_zeros("out", set.len());
-        for _ in 0..iterations {
-            let mut section = rt.section(&mut ws);
-            for (t, (name, flops, mem)) in set.iter().enumerate() {
-                section
-                    .add_task(
+fn run(scheduler: SchedulerKind, iterations: usize) -> Vec<f64> {
+    let run = Experiment::builder()
+        .app(AppId::Hpccg) // nominal: the body drives its own sections
+        .mode(Mode::IntraReplication)
+        .logical_procs(1)
+        .scheduler(scheduler)
+        .build()
+        .expect("valid experiment")
+        .run_with(move |ctx| {
+            let mut ws = Workspace::new();
+            let set = tasks();
+            let out = ws.add_zeros("out", set.len());
+            for _ in 0..iterations {
+                let mut section = ctx.rt.section(&mut ws);
+                for (t, (name, flops, mem)) in set.iter().enumerate() {
+                    section.add_task(
                         TaskDef::new(
                             name,
                             |c| c.outputs[0][0] += 1.0,
                             vec![ArgSpec::inout(out, t..t + 1)],
                         )
                         .with_cost(TaskCost::new(*flops, *mem)),
-                    )
-                    .expect("launch task");
+                    )?;
+                }
+                let _ = section.end()?;
             }
-            section.end().expect("section");
-        }
-        // Per-iteration section times plus what the cost model learned.
-        let times: Vec<f64> = rt
-            .report()
-            .sections()
-            .iter()
-            .map(|s| s.total_time().as_secs())
-            .collect();
-        if rt.env().replica_id() == 0 {
-            println!("  learned costs (replica 0 of '{scheduler}'):");
-            for (name, _, _) in &set {
-                // Each name occurs once per section, so its history key is
-                // the name's first instance.
-                let key = intra_replication::core::cost::instance_key(name, 0);
-                if let Some(est) = rt.cost_model().estimate(&key) {
-                    println!(
-                        "    {name}: {:.4} s after {} observation(s)",
-                        est.seconds, est.samples
-                    );
+            // Per-iteration section times plus what the cost model learned.
+            let times: Vec<f64> = ctx
+                .rt
+                .report()
+                .sections()
+                .iter()
+                .map(|s| s.total_time().as_secs())
+                .collect();
+            if ctx.env.replica_id() == 0 {
+                println!("  learned costs (replica 0 of '{scheduler}'):");
+                for (name, _, _) in &set {
+                    // Each name occurs once per section, so its history key
+                    // is the name's first instance.
+                    let key = intra_replication::core::cost::instance_key(name, 0);
+                    if let Some(est) = ctx.rt.cost_model().estimate(&key) {
+                        println!(
+                            "    {name}: {:.4} s after {} observation(s)",
+                            est.seconds, est.samples
+                        );
+                    }
                 }
             }
-        }
-        times
-    });
+            Ok(times)
+        })
+        .expect("adaptive-scheduling experiment");
     // Makespan per iteration: max over the two replicas.
-    let per_proc = report.unwrap_results();
+    let per_proc = run.unwrap_results();
     (0..iterations)
         .map(|i| per_proc.iter().map(|t| t[i]).fold(0.0f64, f64::max))
         .collect()
@@ -82,8 +86,8 @@ fn run(scheduler: &'static str, iterations: usize) -> Vec<f64> {
 fn main() {
     let iterations = 6;
     println!("adaptive scheduling convergence, {iterations} instances of one section\n");
-    let adaptive = run("adaptive", iterations);
-    let cost_aware = run("cost-aware", iterations);
+    let adaptive = run(SchedulerKind::Adaptive, iterations);
+    let cost_aware = run(SchedulerKind::CostAware, iterations);
 
     println!("\n  iter   cost-aware [s]   adaptive [s]");
     for i in 0..iterations {

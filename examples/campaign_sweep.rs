@@ -9,15 +9,17 @@
 //! intra-parallelized replication, swept over Poisson failure rates from
 //! fault-free to aggressive — expands it into deterministic runs, executes
 //! them in parallel across OS threads, and prints the resulting
-//! crash/recovery behaviour.  Every run is exactly reproducible from the
-//! (configuration, seed) pair shown in its id: higher rates kill more
+//! crash/recovery behaviour.  Each run is one `intra_replication::Experiment`
+//! under the hood (see `RunSpec::experiment`), and every run is exactly
+//! reproducible from the (configuration, seed) pair shown in its id: higher rates kill more
 //! replicas, and as long as one replica of each logical process survives,
 //! the intra runtime re-executes the lost tasks and the application
 //! finishes with the correct result.
 
+use apps::ExperimentScale;
 use campaign::spec::FailureSpec;
 use campaign::{run_specs, CampaignGrid};
-use ipr_bench::ExperimentScale;
+use ipr_core::SchedulerKind;
 use replication::{ExecutionMode, FailureRate};
 
 fn main() {
@@ -26,7 +28,7 @@ fn main() {
         scale: ExperimentScale::Tiny,
         apps: vec![apps::AppId::Hpccg],
         modes: vec![ExecutionMode::IntraParallel { degree: 2 }],
-        schedulers: vec!["static-block"],
+        schedulers: vec![SchedulerKind::StaticBlock],
         failures: vec![
             FailureSpec::None,
             FailureSpec::Poisson {

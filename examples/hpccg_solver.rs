@@ -12,40 +12,38 @@
 //! per-rank data, following the fixed-resource methodology of the paper's
 //! Figure 5).  The example prints virtual execution times and the resulting
 //! replication efficiency.
+//!
+//! All three configurations are the same `Experiment` with a different
+//! mode axis; only the per-process problem size is custom, so the body
+//! goes through `Experiment::run_with`.
 
-use apps::{run_hpccg, AppContext, HpccgParams, KernelSelection};
+use apps::{run_hpccg, HpccgParams, KernelSelection};
 use intra_replication::prelude::*;
-use simcluster::Topology;
 
 fn run_mode(mode: ExecutionMode, procs: usize) -> (f64, f64) {
     let degree = mode.degree();
-    let machine = MachineModel::grid5000_ib20g();
-    let topology = if degree > 1 {
-        Topology::replica_disjoint(procs / degree, degree, machine.cores_per_node)
-    } else {
-        Topology::block(procs, machine.cores_per_node)
-    };
-    let config = ClusterConfig::new(procs)
-        .with_machine(machine)
-        .with_topology(topology);
-
-    let report = run_cluster(&config, move |proc| {
-        let params = HpccgParams {
-            nx: 8,
-            ny: 8,
-            nz: 8 * degree,
-            modeled_nx: 128,
-            modeled_ny: 128,
-            modeled_nz: 128 * degree,
-            max_iters: 15,
-            kernels: KernelSelection::paper_application(),
-        };
-        let mut ctx =
-            AppContext::without_failures(proc, mode, IntraConfig::paper()).expect("context");
-        let out = run_hpccg(&mut ctx, &params).expect("hpccg");
-        (out.report.total_time.as_secs(), out.residual)
-    });
-    let results = report.unwrap_results();
+    let run = Experiment::builder()
+        .app(AppId::Hpccg)
+        .execution_mode(mode)
+        .logical_procs(procs / degree)
+        .build()
+        .expect("valid experiment")
+        .run_with(move |ctx| {
+            let params = HpccgParams {
+                nx: 8,
+                ny: 8,
+                nz: 8 * degree,
+                modeled_nx: 128,
+                modeled_ny: 128,
+                modeled_nz: 128 * degree,
+                max_iters: 15,
+                kernels: KernelSelection::paper_application(),
+            };
+            let out = run_hpccg(ctx, &params)?;
+            Ok((out.report.total_time.as_secs(), out.residual))
+        })
+        .expect("hpccg experiment");
+    let results = run.unwrap_results();
     let time = results.iter().map(|(t, _)| *t).fold(0.0f64, f64::max);
     let residual = results[0].1;
     (time, residual)

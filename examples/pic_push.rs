@@ -11,34 +11,34 @@
 //! runtime snapshots at launch time so they can be re-executed safely after
 //! a failure (Section III-B2; in GTC these are the particle positions).  The
 //! example runs a few PIC steps on 4 physical processes (2 logical ranks × 2
-//! replicas), injects a crash of one replica midway, and checks that the
-//! total deposited charge is conserved on every surviving replica.
+//! replicas), injects a crash of one replica midway through the
+//! `Experiment` builder's `inject_failure` knob, and checks that the total
+//! deposited charge is conserved on every surviving replica.
 
-use apps::{run_gtc, AppContext, GtcParams};
+use apps::{run_gtc, GtcParams};
 use intra_replication::prelude::*;
 
 fn main() {
     let particles_per_rank = 10_000;
     let steps = 6;
 
-    let report = run_cluster(&ClusterConfig::new(4), move |proc| {
-        let injector = FailureInjector::none();
+    let run = Experiment::builder()
+        .app(AppId::Gtc)
+        .mode(Mode::IntraReplication)
+        .logical_procs(2)
         // Replica 0 of logical rank 1 (physical rank 1) dies at step 3.
-        injector.arm(1, ProtocolPoint::IterationStart { iteration: 3 });
-        let mut ctx = AppContext::new(
-            proc,
-            ExecutionMode::IntraParallel { degree: 2 },
-            IntraConfig::paper(),
-            injector,
-        )
-        .expect("context");
-        let params = GtcParams::small(particles_per_rank, steps);
-        run_gtc(&mut ctx, &params)
-    });
+        .inject_failure(1, ProtocolPoint::IterationStart { iteration: 3 })
+        .build()
+        .expect("valid experiment")
+        .run_with(move |ctx| {
+            let params = GtcParams::small(particles_per_rank, steps);
+            run_gtc(ctx, &params)
+        })
+        .expect("pic experiment");
 
     let mut survivors = 0;
-    for (rank, result) in report.results.iter().enumerate() {
-        match result.as_ref().expect("no panics expected") {
+    for (rank, result) in run.results.iter().enumerate() {
+        match result {
             Ok(out) => {
                 survivors += 1;
                 println!(
@@ -55,6 +55,6 @@ fn main() {
         }
     }
     assert_eq!(survivors, 3, "three of the four replicas survive");
-    assert_eq!(report.failures.len(), 1);
+    assert_eq!(run.failure_events, 1);
     println!("\npic_push finished: charge conserved on every surviving replica");
 }

@@ -1,80 +1,100 @@
-//! Quickstart: intra-parallelizing the `waxpby` kernel of the paper's
-//! Figure 4 on a 2-replica logical process.
+//! Quickstart: the typed `Experiment` facade, end to end.
 //!
 //! Run with:
 //! ```text
 //! cargo run --example quickstart
 //! ```
 //!
-//! Two simulated physical processes form the two replicas of one logical MPI
-//! rank.  A `waxpby` computation (`w = alpha*x + beta*y`) is split into 8
-//! tasks; each replica executes 4 of them and receives the other 4 results
-//! from its peer, so both end up with the complete vector while having done
-//! only half the computation — the core idea of intra-parallelization.
+//! Two things happen here:
+//!
+//! 1. the one-liner — a catalog application (HPCCG) runs in the paper's
+//!    intra-replication mode through `Experiment::run()`;
+//! 2. the paper's Figure 4 — a `waxpby` computation (`w = alpha*x +
+//!    beta*y`) split into 8 tasks on a 2-replica logical process, written
+//!    through `Experiment::run_with()` and the typed register/launch
+//!    session API.  Each replica executes 4 tasks and receives the other 4
+//!    results from its peer, so both end up with the complete vector while
+//!    having done only half the computation — the core idea of
+//!    intra-parallelization.
 
 use intra_replication::prelude::*;
 
 fn main() {
+    // --- 1. A catalog application in one expression. --------------------
+    let report = Experiment::builder()
+        .app(AppId::Hpccg)
+        .scale(ExperimentScale::Tiny)
+        .mode(Mode::IntraReplication)
+        .build()
+        .expect("valid experiment")
+        .run()
+        .expect("hpccg experiment");
+    println!(
+        "HPCCG (tiny, intra, {} ranks): app time {:.4}s, mean section time {:.4}s\n",
+        report.procs,
+        report.app_time_s(),
+        report.mean_section_s()
+    );
+
+    // --- 2. Figure 4: an intra-parallelized waxpby section. -------------
     let n = 1 << 16;
     let alpha = 2.0;
     let beta = 0.5;
 
-    let report = run_cluster(&ClusterConfig::new(2), move |proc| {
-        // Build the replication environment: 2 replicas of 1 logical process,
-        // sharing work inside intra-parallel sections.
-        let env = ReplicatedEnv::without_failures(
-            proc.clone(),
-            ExecutionMode::IntraParallel { degree: 2 },
-        )
-        .expect("environment");
-        let mut rt = IntraRuntime::new(env, IntraConfig::paper());
+    let run = Experiment::builder()
+        .app(AppId::Hpccg) // nominal: the body below drives its own section
+        .mode(Mode::IntraReplication)
+        .logical_procs(1) // 2 physical processes = 2 replicas of 1 logical rank
+        .build()
+        .expect("valid experiment")
+        .run_with(move |ctx| {
+            // The replicated variables: x and y are inputs, w is the output.
+            let mut ws = Workspace::new();
+            let x = ws.add("x", (0..n).map(|i| i as f64).collect());
+            let y = ws.add("y", (0..n).map(|i| (n - i) as f64).collect());
+            let w = ws.add_zeros("w", n);
 
-        // The replicated variables: x and y are inputs, w is the output.
-        let mut ws = Workspace::new();
-        let x = ws.add("x", (0..n).map(|i| i as f64).collect());
-        let y = ws.add("y", (0..n).map(|i| (n - i) as f64).collect());
-        let w = ws.add_zeros("w", n);
+            // One intra-parallel section of 8 waxpby tasks (Figure 4),
+            // through the typed session API: the handle's type carries the
+            // three-argument arity, so a mis-bound launch cannot compile.
+            let mut session = IntraSession::begin(ctx.rt.section(&mut ws));
+            let waxpby = session.register(
+                "waxpby",
+                [ArgTag::In, ArgTag::In, ArgTag::Out],
+                |c: &mut TaskCtx| {
+                    let (alpha, beta) = (c.scalars[0], c.scalars[1]);
+                    for i in 0..c.outputs[0].len() {
+                        c.outputs[0][i] = alpha * c.inputs[0][i] + beta * c.inputs[1][i];
+                    }
+                },
+            );
+            for chunk in split_ranges(n, 8) {
+                session.launch(
+                    waxpby,
+                    [(x, chunk.clone()), (y, chunk.clone()), (w, chunk)],
+                    vec![alpha, beta],
+                    (),
+                )?;
+            }
+            let section_report = session.end()?;
 
-        // One intra-parallel section of 8 waxpby tasks (Figure 4).
-        let mut section = rt.section(&mut ws);
-        section
-            .add_split(n, |chunk| {
-                TaskDef::new(
-                    "waxpby",
-                    move |ctx| {
-                        let x = &ctx.inputs[0];
-                        let y = &ctx.inputs[1];
-                        let w = &mut ctx.outputs[0];
-                        for i in 0..w.len() {
-                            w[i] = alpha * x[i] + beta * y[i];
-                        }
-                    },
-                    vec![
-                        ArgSpec::input(x, chunk.clone()),
-                        ArgSpec::input(y, chunk.clone()),
-                        ArgSpec::output(w, chunk),
-                    ],
-                )
-            })
-            .expect("launch tasks");
-        let section_report = section.end().expect("section");
+            // Verify: both replicas hold the complete result.
+            let ok = ws
+                .get(w)
+                .iter()
+                .enumerate()
+                .all(|(i, &v)| (v - (alpha * i as f64 + beta * (n - i) as f64)).abs() < 1e-9);
+            Ok((
+                ctx.env.physical_rank(),
+                ok,
+                section_report.tasks_executed_locally,
+                section_report.tasks_received,
+                section_report.update_bytes_sent,
+            ))
+        })
+        .expect("waxpby experiment");
 
-        // Verify: both replicas hold the complete result.
-        let ok = ws
-            .get(w)
-            .iter()
-            .enumerate()
-            .all(|(i, &v)| (v - (alpha * i as f64 + beta * (n - i) as f64)).abs() < 1e-9);
-        (
-            proc.rank(),
-            ok,
-            section_report.tasks_executed_locally,
-            section_report.tasks_received,
-            section_report.update_bytes_sent,
-        )
-    });
-
-    for (rank, ok, local, received, bytes) in report.unwrap_results() {
+    for (rank, ok, local, received, bytes) in run.unwrap_results() {
         println!(
             "replica {rank}: result correct = {ok}, tasks executed locally = {local}, \
              tasks received from peer = {received}, update bytes sent = {bytes}"

@@ -1,0 +1,52 @@
+#!/bin/sh
+# Dumps the workspace's public API surface to stdout.
+#
+# Text-based on purpose: no network, no extra tooling, fast enough to run
+# on every CI push.  One line per `pub` item (functions, types, traits,
+# modules, constants, re-exports), prefixed with its file, in file order.
+# `pub(crate)` & co. are excluded — they are not part of the surface.
+#
+# Items spanning several source lines are joined before printing:
+# `pub use` re-exports are captured up to their terminating `;` (so the
+# full contents of brace-grouped re-exports — the facade's main surface —
+# show up and drift is detected when a symbol is added to or removed from
+# a group), and `pub fn` signatures up to their body `{`, so rustfmt line
+# wrapping never hides an API change.
+#
+# The checked-in snapshot lives at docs/api-surface.txt; `make api-surface`
+# regenerates it and CI fails when the surface drifts without the file
+# being updated, so every API change is visible in review.
+set -eu
+cd "$(dirname "$0")/.."
+
+find src crates/*/src -name '*.rs' | LC_ALL=C sort | while read -r f; do
+    awk -v FILE="$f" '
+        function flush(buf,    out) {
+            out = buf
+            gsub(/[ \t]+/, " ", out)
+            sub(/^ /, "", out)
+            if (out ~ /^pub use /) {
+                # Re-exports: keep the full (possibly brace-grouped) path
+                # list, terminated by `;`.
+                sub(/;.*$/, "", out)
+            } else {
+                # Declarations: cut at the body/initializer, keep the
+                # signature only.
+                sub(/ ?\{.*$/, "", out)
+                sub(/ ?=.*$/, "", out)
+                sub(/;.*$/, "", out)
+            }
+            print FILE ": " out
+        }
+        cap {
+            buf = buf " " $0
+            if (isuse ? index($0, ";") : ($0 ~ /[{;=]/)) { flush(buf); cap = 0 }
+            next
+        }
+        /^[ \t]*pub ((async |unsafe |const )*(fn|struct|enum|trait|type|mod|const|static|use)[ (<])/ {
+            buf = $0
+            isuse = ($0 ~ /^[ \t]*pub use /)
+            if (isuse ? index($0, ";") : ($0 ~ /[{;=]/)) { flush(buf) } else { cap = 1 }
+        }
+    ' "$f"
+done

@@ -19,12 +19,25 @@
 //! * [`apps`] — the mini-applications of the evaluation (HPCCG, AMG proxy,
 //!   GTC proxy, MiniGhost proxy).
 //!
+//! ## The `Experiment` surface
+//!
+//! The whole stack is driven through one typed entry point, the
+//! [`Experiment`] builder: application × scale × mode × scheduler ×
+//! failure plan × seed, validated at [`ExperimentBuilder::build`] into
+//! typed [`enum@Error`] values and executed with [`Experiment::run`]
+//! (catalog applications) or [`Experiment::run_with`] (custom per-process
+//! bodies).  The campaign engine, the figure harness and every example are
+//! built on it.
+//!
 //! See `examples/quickstart.rs` for the shortest end-to-end program, the
 //! `ipr-bench` crate for the harness that regenerates every figure of the
 //! paper, and the `campaign` crate for declarative scenario sweeps with a
 //! CI-grade regression gate (`examples/campaign_sweep.rs`).
 
 #![warn(missing_docs)]
+
+pub mod error;
+pub mod experiment;
 
 pub use apps;
 pub use ipr_core as core;
@@ -33,10 +46,19 @@ pub use replication;
 pub use simcluster;
 pub use simmpi;
 
+pub use error::{Error, Result};
+pub use experiment::{
+    CustomRun, Experiment, ExperimentBuilder, FailurePlan, Mode, RankOutcome, RunReport,
+};
+
 /// Convenience prelude pulling in the most commonly used items from every
 /// layer.
 pub mod prelude {
-    pub use apps::{AppContext, AppRunReport};
+    pub use crate::error::Error;
+    pub use crate::experiment::{
+        CustomRun, Experiment, ExperimentBuilder, FailurePlan, Mode, RankOutcome, RunReport,
+    };
+    pub use apps::{AppContext, AppId, AppRunReport, AppWorkload, ExperimentScale};
     pub use ipr_core::prelude::*;
     pub use replication::{
         sample_failure_trace, ExecutionMode, FailureInjector, FailureRate, ProtocolPoint,

@@ -78,7 +78,7 @@ fn section_round_trip(scheduler: Arc<dyn Scheduler>) {
                 )
             })
             .unwrap();
-        section.end().unwrap();
+        let _ = section.end().unwrap();
         (ws.get(w).to_vec(), ws.fingerprint())
     });
     let results = report.unwrap_results();
@@ -121,11 +121,32 @@ fn locality_scheduler_section_round_trips() {
 }
 
 #[test]
-fn every_registered_scheduler_section_round_trips() {
-    // The registry is the source of truth for name-based selection (the
-    // apps drivers' and bench CLI's scheduler knob); every entry must run.
-    for name in SchedulerRegistry::builtin().names() {
-        section_round_trip(scheduler_by_name(name).expect("registered"));
+fn every_builtin_scheduler_kind_section_round_trips() {
+    // `SchedulerKind` is the typed source of truth for scheduler selection
+    // (the `Experiment` builder's scheduler axis); every kind must run.
+    for kind in SchedulerKind::ALL {
+        section_round_trip(kind.scheduler());
+    }
+}
+
+/// One `Experiment::run` smoke per execution mode: the facade's unified
+/// entry point must stay wired to every layer below it.
+#[test]
+fn experiment_builder_smoke_per_mode() {
+    use intra_replication::{Experiment, Mode};
+    for mode in [
+        Mode::NoReplication,
+        Mode::Replication,
+        Mode::IntraReplication,
+    ] {
+        let report = Experiment::builder()
+            .app(apps::AppId::Hpccg)
+            .mode(mode)
+            .build()
+            .expect("valid experiment")
+            .run()
+            .expect("experiment executes");
+        assert_eq!(report.completed(), report.procs, "{mode}");
     }
 }
 
@@ -142,8 +163,12 @@ fn every_crate_headline_symbol_is_reachable_via_facade() {
     // ipr-core
     let _ = IntraConfig::paper();
     let _ = split_ranges(10, 3);
+    let _ = SchedulerKind::StaticBlock;
     // kernels
     let _ = intra_replication::kernels::vecops::ddot_cost(1024);
     // apps (type-level: the constructor needs a live ProcHandle)
     let _ = intra_replication::apps::HpccgParams::small(4, 2);
+    // facade experiment surface
+    let _ = intra_replication::Experiment::builder();
+    let _ = intra_replication::FailurePlan::none();
 }

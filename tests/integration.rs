@@ -28,7 +28,7 @@ fn facade_reexports_every_layer() {
                 )
             })
             .unwrap();
-        section.end().unwrap();
+        let _ = section.end().unwrap();
         vecops::grid_sum(ws.get(w))
     });
     for sum in report.unwrap_results() {
@@ -123,7 +123,7 @@ fn kernel_costs_drive_task_weights_end_to_end() {
                 .with_cost(TaskCost::new(cost.flops, cost.mem_bytes())),
             )
             .unwrap();
-        section.end().unwrap();
+        let _ = section.end().unwrap();
         (proc.now() - before).as_secs()
     });
     let elapsed = report.unwrap_results()[0];
@@ -133,24 +133,83 @@ fn kernel_costs_drive_task_weights_end_to_end() {
 
 #[test]
 fn replicas_of_an_application_survive_injected_failures() {
-    use apps::{run_minighost, AppContext, MiniGhostParams};
-    let report = run_cluster(&ClusterConfig::ideal(4), |proc| {
-        let injector = FailureInjector::none();
-        injector.arm(2, ProtocolPoint::IterationStart { iteration: 1 });
-        let mut ctx = AppContext::new(
-            proc,
-            ExecutionMode::IntraParallel { degree: 2 },
-            IntraConfig::paper(),
-            injector,
-        )
+    use apps::{run_minighost, MiniGhostParams};
+    let run = Experiment::builder()
+        .app(AppId::MiniGhost)
+        .mode(Mode::IntraReplication)
+        .logical_procs(2)
+        .inject_failure(2, ProtocolPoint::IterationStart { iteration: 1 })
+        .build()
+        .unwrap()
+        .run_with(|ctx| {
+            let params = MiniGhostParams::small(5, 4);
+            run_minighost(ctx, &params)
+        })
         .unwrap();
-        let params = MiniGhostParams::small(5, 4);
-        run_minighost(&mut ctx, &params)
-    });
     // Physical rank 2 crashed; the others finished with a finite checksum.
-    assert!(report.results[2].as_ref().unwrap().is_err());
+    assert!(run.results[2].is_err());
+    assert_eq!(run.failure_events, 1);
     for rank in [0usize, 1, 3] {
-        let out = report.results[rank].as_ref().unwrap().as_ref().unwrap();
+        let out = run.results[rank].as_ref().unwrap();
         assert!(out.last_sum.is_finite());
     }
+}
+
+#[test]
+fn experiment_facade_runs_every_mode_end_to_end() {
+    // The same typed experiment, swept over the mode axis: native completes
+    // on every rank, and both replicated modes complete on twice as many.
+    for (mode, expected_procs) in [
+        (Mode::NoReplication, 2),
+        (Mode::Replication, 4),
+        (Mode::IntraReplication, 4),
+    ] {
+        let experiment = Experiment::builder()
+            .app(AppId::Hpccg)
+            .scale(ExperimentScale::Tiny)
+            .mode(mode)
+            .build()
+            .unwrap();
+        assert_eq!(experiment.procs(), expected_procs, "{mode}");
+        let report = experiment.run().unwrap();
+        assert_eq!(report.procs, expected_procs, "{mode}");
+        assert_eq!(report.completed(), expected_procs, "{mode}");
+        assert_eq!(report.crashed() + report.errored(), 0, "{mode}");
+        assert_eq!(report.failure_events, 0, "{mode}");
+        assert!(report.makespan_s > 0.0, "{mode}");
+        assert!(report.app_time_s() > 0.0, "{mode}");
+        // Only the work-sharing mode receives peer task results.
+        if mode == Mode::IntraReplication {
+            assert!(report.tasks_received() > 0);
+        } else {
+            assert_eq!(report.tasks_received(), 0, "{mode}");
+        }
+    }
+}
+
+#[test]
+fn experiment_runs_are_deterministic_and_seed_sensitive() {
+    let experiment = |seed: u64| {
+        Experiment::builder()
+            .app(AppId::Gtc)
+            .scale(ExperimentScale::Tiny)
+            .mode(Mode::IntraReplication)
+            .failures(FailurePlan::poisson(2.0))
+            .seed(seed)
+            .build()
+            .unwrap()
+    };
+    let strip = |report: intra_replication::RunReport| {
+        (
+            report.makespan_s,
+            report.ranks,
+            report.failure_events,
+            report.procs,
+        )
+    };
+    let a = strip(experiment(43).run().unwrap());
+    let b = strip(experiment(43).run().unwrap());
+    assert_eq!(a, b, "same seed, same everything (modulo wall clock)");
+    let c = strip(experiment(44).run().unwrap());
+    assert_ne!(a, c, "the seed drives the failure trace");
 }
