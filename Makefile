@@ -10,8 +10,8 @@ CAMPAIGN_JOBS ?= 4
 CAMPAIGN_TOL ?= 0
 
 .PHONY: all build test verify bench-build docs fmt fmt-check clippy \
-        campaign-smoke golden bench-json api-surface api-surface-check \
-        ci clean
+        campaign-smoke weak-smoke golden golden-weak bench-json \
+        api-surface api-surface-check ci clean
 
 # Label recorded with the BENCH.json entry (CI passes its own).
 BENCH_LABEL ?= local
@@ -57,6 +57,21 @@ campaign-smoke:
 	./target/release/campaign diff crates/campaign/golden/smoke.json \
 		target/campaign-smoke.json --tol $(CAMPAIGN_TOL)
 
+# The event-engine determinism gate: run the weak-scaling smoke sweep at
+# two engine worker counts and require both to match the checked-in golden
+# baseline bit-exactly, then prove the 10k-logical-rank sweep still runs.
+weak-smoke:
+	$(CARGO) build --release -p campaign
+	./target/release/campaign weak --sweep weak-smoke --workers 1 \
+		--out target/weak-smoke-w1.json
+	./target/release/campaign weak --sweep weak-smoke --workers 8 \
+		--out target/weak-smoke-w8.json
+	./target/release/campaign diff crates/campaign/golden/weak_scaling.json \
+		target/weak-smoke-w1.json --tol 0
+	./target/release/campaign diff crates/campaign/golden/weak_scaling.json \
+		target/weak-smoke-w8.json --tol 0
+	./target/release/campaign weak --sweep weak-10k > /dev/null
+
 # Wall-clock benchmark harness: runs the fabric microbenchmarks and a timed
 # smoke campaign, appending one entry to the checked-in BENCH.json trajectory
 # (see the README for the schema).  Commit the new entry when a PR changes
@@ -86,7 +101,13 @@ golden:
 	./target/release/campaign run --grid smoke --jobs $(CAMPAIGN_JOBS) \
 		--strip-informational --out crates/campaign/golden/smoke.json
 
-ci: verify bench-build docs fmt-check clippy api-surface-check campaign-smoke
+# Same, for the event-engine weak-scaling baseline.
+golden-weak:
+	$(CARGO) build --release -p campaign
+	./target/release/campaign weak --sweep weak-smoke --workers 1 \
+		--strip-informational --out crates/campaign/golden/weak_scaling.json
+
+ci: verify bench-build docs fmt-check clippy api-surface-check campaign-smoke weak-smoke
 
 clean:
 	$(CARGO) clean

@@ -20,40 +20,6 @@ pub fn task_cost(cost: KernelCost) -> TaskCost {
     TaskCost::new(cost.flops, cost.mem_bytes())
 }
 
-/// The legacy scheduler-selection knob of the app drivers: resolves a
-/// scheduler *name* ("static-block", "round-robin", "cost-aware",
-/// "adaptive", "locality") and applies it to `intra`.  `None` leaves the
-/// configured scheduler untouched.
-///
-/// Names are trimmed before the lookup; empty or whitespace-only names are
-/// rejected with [`ipr_core::IntraError::InvalidConfig`] instead of being
-/// silently passed to a doomed lookup.
-///
-/// ```
-/// use apps::driver::with_scheduler;
-/// use ipr_core::IntraConfig;
-///
-/// # #[allow(deprecated)] {
-/// let config = with_scheduler(IntraConfig::paper(), Some("adaptive")).unwrap();
-/// assert_eq!(config.scheduler.name(), "adaptive");
-/// assert!(with_scheduler(IntraConfig::paper(), Some("bogus")).is_err());
-/// assert!(with_scheduler(IntraConfig::paper(), Some("")).is_err());
-/// # }
-/// ```
-#[deprecated(
-    since = "0.1.0",
-    note = "parse a typed `SchedulerKind` at the string edge and use \
-            `IntraConfig::with_scheduler_kind` (or the `Experiment` builder)"
-)]
-pub fn with_scheduler(intra: IntraConfig, scheduler: Option<&str>) -> IntraResult<IntraConfig> {
-    match scheduler {
-        // `SchedulerKind::from_str` trims the name and rejects empty and
-        // unknown names with `IntraError::InvalidConfig`.
-        Some(name) => Ok(intra.with_scheduler_kind(name.parse::<ipr_core::SchedulerKind>()?)),
-        None => Ok(intra),
-    }
-}
-
 /// Per-process context shared by all the mini-applications.
 pub struct AppContext {
     /// The replication environment (communicators, failure injection).
@@ -226,28 +192,5 @@ mod tests {
         let t = task_cost(c);
         assert_eq!(t.flops, 10.0);
         assert_eq!(t.mem_bytes, 150.0);
-    }
-
-    /// Regression (shim-compat): the deprecated name knob must trim
-    /// whitespace around valid names and reject empty / whitespace-only
-    /// names with `InvalidConfig` — it used to hand them to the registry
-    /// lookup verbatim.
-    #[test]
-    #[allow(deprecated)]
-    fn with_scheduler_trims_and_rejects_blank_names() {
-        use ipr_core::IntraError;
-
-        let config = with_scheduler(IntraConfig::paper(), Some("  adaptive \t")).unwrap();
-        assert_eq!(config.scheduler.name(), "adaptive");
-        for blank in ["", " ", "\t", "  \t "] {
-            let err = with_scheduler(IntraConfig::paper(), Some(blank)).unwrap_err();
-            assert!(
-                matches!(err, IntraError::InvalidConfig(_)),
-                "{blank:?} -> {err:?}"
-            );
-        }
-        // `None` still means "keep the configured scheduler".
-        let config = with_scheduler(IntraConfig::paper(), None).unwrap();
-        assert_eq!(config.scheduler.name(), "static-block");
     }
 }

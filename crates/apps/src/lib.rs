@@ -25,6 +25,7 @@ pub mod hpccg;
 pub mod minighost;
 pub mod report;
 pub mod scale;
+pub mod weak_scaling;
 
 pub use amg_proxy::{run_amg, AmgOutput, AmgParams, AmgSolver};
 pub use catalog::{run_app, AppId, AppWorkload};
@@ -34,3 +35,4 @@ pub use hpccg::{run_hpccg, HpccgOutput, HpccgParams, KernelSelection};
 pub use minighost::{run_minighost, MiniGhostOutput, MiniGhostParams};
 pub use report::AppRunReport;
 pub use scale::ExperimentScale;
+pub use weak_scaling::{run_weak_scaling, WeakMode, WeakScalingProgram, WeakScalingSpec};

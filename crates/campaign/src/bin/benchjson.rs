@@ -5,8 +5,10 @@
 //! bench-json [--label NAME] [--jobs N] [--out FILE] [--append FILE] [--quick]
 //! ```
 //!
-//! Runs the fabric microbenchmarks (`ipr_bench::fabric`) and a wall-clock
-//! timed smoke campaign, then writes one schema'd entry:
+//! Runs the fabric microbenchmarks (`ipr_bench::fabric`), a wall-clock
+//! timed smoke campaign, and the event-engine weak-scaling sweeps
+//! (`weak_scaling_10k`, and `weak_scaling_100k` unless `--quick`), then
+//! writes one schema'd entry:
 //!
 //! * `--out FILE` writes a fresh single-entry document;
 //! * `--append FILE` reads an existing trajectory document (creating it when
@@ -17,7 +19,7 @@
 //! All numbers are host wall-clock measurements; nothing here affects the
 //! virtual-time results the golden campaign baseline gates on.
 
-use campaign::{run_campaign, CampaignGrid, Json};
+use campaign::{run_campaign, run_weak_sweep, CampaignGrid, Json, WeakSweep};
 use ipr_bench::fabric::{self, FabricBench};
 use std::process::ExitCode;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
@@ -116,6 +118,47 @@ fn main() -> ExitCode {
         ("wall_s", Json::Num(round6(wall_s))),
         ("sweep_ms", Json::Num(round6(sweep_ms))),
     ]));
+
+    // --- event-engine weak-scaling sweeps ------------------------------
+    // Wall-clock per sweep at scales no thread-per-rank run can reach.
+    // Each sweep runs once (10k is seconds, 100k is tens of seconds); the
+    // quick mode keeps only the 10k point.
+    let weak_sweeps: Vec<WeakSweep> = if quick {
+        vec![WeakSweep::scale_10k()]
+    } else {
+        vec![WeakSweep::scale_10k(), WeakSweep::scale_100k()]
+    };
+    for sweep in &weak_sweeps {
+        let t0 = Instant::now();
+        let report = run_weak_sweep(sweep, 0);
+        let wall_s = t0.elapsed().as_secs_f64();
+        let procs: usize = report.rows.iter().map(|r| r.procs).sum();
+        let messages: u64 = report.rows.iter().map(|r| r.messages).sum();
+        assert!(
+            report.rows.iter().all(|r| r.completed == r.procs),
+            "weak sweep '{}' left incomplete ranks",
+            sweep.name
+        );
+        let name = match sweep.name.as_str() {
+            "weak-10k" => "weak_scaling_10k",
+            "weak-100k" => "weak_scaling_100k",
+            other => other,
+        };
+        eprintln!(
+            "{name:<18} {:>9.2} s/sweep  ({} runs, {procs} physical ranks, {messages} msgs)",
+            wall_s,
+            report.rows.len(),
+        );
+        results.push(Json::obj(vec![
+            ("name", Json::Str(name.to_string())),
+            ("kind", Json::Str("weak".to_string())),
+            ("runs", Json::Num(report.rows.len() as f64)),
+            ("physical_ranks", Json::Num(procs as f64)),
+            ("messages", Json::Num(messages as f64)),
+            ("wall_s", Json::Num(round6(wall_s))),
+            ("ranks_per_sec", Json::Num((procs as f64 / wall_s).round())),
+        ]));
+    }
 
     let date_unix_s = SystemTime::now()
         .duration_since(UNIX_EPOCH)

@@ -4,6 +4,8 @@
 //! campaign list                        # built-in grids
 //! campaign list smoke                  # the runs a grid expands into
 //! campaign run --grid smoke --jobs 4 --out smoke.json [--csv smoke.csv]
+//! campaign weak list                   # built-in weak-scaling sweeps
+//! campaign weak --sweep weak-smoke --workers 4 --out weak.json
 //! campaign diff golden/smoke.json smoke.json [--tol 1e-9]
 //! ```
 //!
@@ -12,13 +14,16 @@
 //! the baseline beyond the tolerance, which is how CI gates on the golden
 //! smoke baseline.
 
-use campaign::{diff_reports, run_campaign, strip_informational, CampaignGrid, Json};
+use campaign::{
+    diff_reports, run_campaign, run_weak_sweep, strip_informational, CampaignGrid, Json, WeakSweep,
+};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  campaign list [GRID]\n  campaign run --grid NAME [--jobs N] [--out FILE] [--csv FILE] [--strip-informational]\n  campaign diff BASELINE CANDIDATE [--tol REL]\n\n--strip-informational drops the non-deterministic wall-clock fields from\nthe JSON report (used when regenerating golden baselines).\n\nbuilt-in grids: {}",
-        CampaignGrid::builtin_names().join(", ")
+        "usage:\n  campaign list [GRID]\n  campaign run --grid NAME [--jobs N] [--out FILE] [--csv FILE] [--strip-informational]\n  campaign weak list\n  campaign weak [--sweep NAME] [--workers N] [--out FILE] [--strip-informational]\n  campaign diff BASELINE CANDIDATE [--tol REL]\n\n--strip-informational drops the non-deterministic wall-clock fields from\nthe JSON report (used when regenerating golden baselines).\n\nbuilt-in grids: {}\nbuilt-in weak sweeps: {}",
+        CampaignGrid::builtin_names().join(", "),
+        WeakSweep::builtin_names().join(", ")
     );
     ExitCode::from(2)
 }
@@ -139,6 +144,93 @@ fn cmd_run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_weak(args: &[String]) -> ExitCode {
+    if args.len() == 1 && args[0] == "list" {
+        println!("built-in weak-scaling sweeps:");
+        for name in WeakSweep::builtin_names() {
+            let sweep = WeakSweep::by_name(name).expect("builtin");
+            let specs = sweep.expand();
+            let max_procs = specs.iter().map(|s| s.procs()).max().unwrap_or(0);
+            println!(
+                "  {name:<12} {} runs, up to {max_procs} physical ranks",
+                specs.len()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    let mut sweep_name = "weak-smoke".to_string();
+    let mut workers = 0usize;
+    let mut out: Option<String> = None;
+    let mut strip = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Option<String> {
+            let v = it.next().cloned();
+            if v.is_none() {
+                eprintln!("{flag} needs a value");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--sweep" => match value("--sweep") {
+                Some(v) => sweep_name = v,
+                None => return ExitCode::from(2),
+            },
+            "--workers" => match value("--workers").and_then(|v| v.parse().ok()) {
+                Some(v) => workers = v,
+                None => {
+                    eprintln!("--workers needs a non-negative integer (0 = host parallelism)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match value("--out") {
+                Some(v) => out = Some(v),
+                None => return ExitCode::from(2),
+            },
+            "--strip-informational" => strip = true,
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return usage();
+            }
+        }
+    }
+    let Some(sweep) = WeakSweep::by_name(&sweep_name) else {
+        eprintln!(
+            "unknown weak sweep '{sweep_name}'; expected one of: {}",
+            WeakSweep::builtin_names().join(", ")
+        );
+        return ExitCode::from(2);
+    };
+    let num_runs = sweep.expand().len();
+    eprintln!("weak sweep '{sweep_name}': {num_runs} runs, {workers} engine worker(s) (0 = auto)");
+    let started = std::time::Instant::now();
+    let report = run_weak_sweep(&sweep, workers);
+    eprintln!(
+        "weak sweep '{sweep_name}' finished in {:.2}s wall-clock",
+        started.elapsed().as_secs_f64()
+    );
+    let mut doc = report.to_json();
+    if strip {
+        // Golden baselines must not bake in host wall-clock noise.
+        strip_informational(&mut doc);
+    }
+    let json = doc.render();
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            print!("{json}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
 fn cmd_diff(args: &[String]) -> ExitCode {
     let mut paths = Vec::new();
     let mut tol = 0.0f64;
@@ -191,6 +283,7 @@ fn main() -> ExitCode {
         Some((cmd, rest)) => match cmd.as_str() {
             "list" => cmd_list(rest),
             "run" => cmd_run(rest),
+            "weak" => cmd_weak(rest),
             "diff" => cmd_diff(rest),
             _ => usage(),
         },

@@ -13,13 +13,15 @@ use crate::json::Json;
 /// One detected divergence, as a human-readable `path: message` line.
 pub type Violation = String;
 
-/// Fields that carry *informational* host-side measurements (wall-clock
-/// times) rather than simulation results.  They are non-deterministic by
-/// nature, so the diff ignores them entirely: their values are never
-/// compared and their presence or absence on either side is not a
-/// violation.  This is what lets a golden baseline recorded without
-/// `wall_time_ms` keep gating reports that now include it.
-pub const INFORMATIONAL_KEYS: &[&str] = &["wall_time_ms"];
+/// Fields that carry *informational* host-side measurements rather than
+/// simulation results.  They are non-deterministic by nature — wall-clock
+/// times measure the host, and engine `dispatches` count scheduler pops,
+/// which duplicate wakeups inflate depending on worker interleaving — so
+/// the diff ignores them entirely: their values are never compared and
+/// their presence or absence on either side is not a violation.  This is
+/// what lets a golden baseline recorded without `wall_time_ms` keep gating
+/// reports that now include it.
+pub const INFORMATIONAL_KEYS: &[&str] = &["wall_time_ms", "dispatches"];
 
 fn is_informational_key(key: &str) -> bool {
     INFORMATIONAL_KEYS.contains(&key)

@@ -19,7 +19,10 @@
 //! * [`report::CampaignReport`] — machine-readable JSON/CSV with per-run
 //!   seeds for exact reproduction;
 //! * [`diff`] — a tolerance-aware comparison that turns a checked-in golden
-//!   JSON into a CI determinism/regression gate.
+//!   JSON into a CI determinism/regression gate;
+//! * [`weak`] — weak-scaling sweeps on `simmpi`'s event-driven engine
+//!   (tens of thousands of logical ranks, far past the thread-per-rank
+//!   ceiling), gated by their own golden baseline.
 //!
 //! The `campaign` binary exposes `run` / `list` / `diff` on the command
 //! line; `make campaign-smoke` reproduces the CI gate locally.
@@ -33,6 +36,7 @@ pub mod json;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod weak;
 
 pub use diff::{diff_reports, strip_informational, INFORMATIONAL_KEYS};
 pub use grid::CampaignGrid;
@@ -40,3 +44,4 @@ pub use json::Json;
 pub use report::CampaignReport;
 pub use runner::{run_campaign, run_spec, run_specs, RunResult};
 pub use spec::{FailureSpec, RunSpec};
+pub use weak::{run_weak_spec, run_weak_sweep, WeakReport, WeakRow, WeakRunSpec, WeakSweep};

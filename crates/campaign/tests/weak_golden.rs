@@ -1,0 +1,76 @@
+//! Golden-baseline gate for the event-driven weak-scaling campaign.
+//!
+//! The checked-in `golden/weak_scaling.json` was recorded with one engine
+//! worker; these tests prove the report is a pure function of the virtual
+//! execution — byte-identical at every worker count — and that the engine
+//! actually delivers the scale the sweep presets promise (10k logical
+//! ranks well inside a debug-build test budget).
+
+use campaign::{diff_reports, run_weak_sweep, strip_informational, Json, WeakSweep};
+
+/// The golden baseline, recorded via
+/// `campaign weak --sweep weak-smoke --workers 1 --strip-informational`.
+const GOLDEN: &str = include_str!("../golden/weak_scaling.json");
+
+/// Renders a sweep execution the way the golden was recorded: informational
+/// host-side fields stripped, so the bytes are comparable.
+fn render_stripped(sweep: &WeakSweep, workers: usize) -> String {
+    let mut doc = run_weak_sweep(sweep, workers).to_json();
+    strip_informational(&mut doc);
+    doc.render()
+}
+
+#[test]
+fn weak_smoke_is_byte_identical_to_golden_at_any_worker_count() {
+    let sweep = WeakSweep::smoke();
+    // 1 is the recording configuration, 4 forces real interleaving on any
+    // host, 0 is "auto" (whatever parallelism this machine offers).
+    for workers in [1, 4, 0] {
+        assert_eq!(
+            render_stripped(&sweep, workers),
+            GOLDEN,
+            "weak-smoke diverged from golden at workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn weak_smoke_passes_the_zero_tolerance_diff_gate() {
+    // The diff gate is what CI runs; unlike the byte comparison it must
+    // accept an *unstripped* candidate (wall_time_ms and dispatches are
+    // informational) while still gating every deterministic field.
+    let baseline = Json::parse(GOLDEN).expect("golden parses");
+    let candidate = run_weak_sweep(&WeakSweep::smoke(), 0).to_json();
+    let violations = diff_reports(&baseline, &candidate, 0.0);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn ten_thousand_logical_ranks_run_inside_the_test_budget() {
+    // The thread-per-rank world tops out around a few thousand OS threads;
+    // this is the regression gate proving the event engine holds at 10k
+    // logical ranks (20k physical in intra mode).  The sweep takes ~4 s in
+    // a debug build; the bound is generous so CI noise cannot flake it,
+    // while still catching any return to thread-per-rank scaling (which
+    // would abort on thread exhaustion long before the timer).
+    let started = std::time::Instant::now();
+    let report = run_weak_sweep(&WeakSweep::scale_10k(), 0);
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed.as_secs() < 120,
+        "weak-10k took {elapsed:?}, expected well under 120s"
+    );
+    assert_eq!(report.rows.len(), 2, "native and intra rows");
+    for row in &report.rows {
+        assert_eq!(
+            row.completed, row.procs,
+            "{}: every rank must complete",
+            row.id
+        );
+        assert_eq!(row.errored, 0, "{}: no deadlocks or panics", row.id);
+        assert!(row.makespan_s > 0.0, "{}: non-trivial makespan", row.id);
+    }
+    // Weak scaling: the intra row simulates twice the physical ranks.
+    assert_eq!(report.rows[0].procs, 10_000);
+    assert_eq!(report.rows[1].procs, 20_000);
+}

@@ -17,23 +17,19 @@
 //! Registration returns a [`TaskHandle<N>`] carrying the argument count `N`
 //! in its type, so a launch with the wrong number of bindings is a compile
 //! error rather than a runtime [`IntraError::InvalidTask`]; the single
-//! [`IntraSession::launch`] entry point takes `impl Into<CostHint>` in place
-//! of the old `launch_task` / `launch_task_with_cost` pair.  The quickstart
+//! [`IntraSession::launch`] entry point takes `impl Into<CostHint>`, so a
+//! plain launch passes `()` and a modeled one passes a
+//! [`TaskCost`](crate::task::TaskCost).  The quickstart
 //! example and the waxpby test of Section IV use this shim so the code reads
 //! like Figure 4 of the paper.
 
 use crate::error::{IntraError, IntraResult};
 use crate::report::SectionReport;
 use crate::section::Section;
-use crate::task::{ArgSpec, ArgTag, CostHint, TaskCost, TaskDef, TaskFn};
+use crate::task::{ArgSpec, ArgTag, CostHint, TaskDef, TaskFn};
 use crate::workspace::VarId;
 use std::ops::Range;
 use std::sync::Arc;
-
-/// Identifier returned by the deprecated [`IntraSession::register_task`];
-/// superseded by the typed [`TaskHandle`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TaskTypeId(pub(crate) usize);
 
 /// Typed handle to a registered task type.
 ///
@@ -96,7 +92,8 @@ impl<'a> IntraSession<'a> {
     /// scalar parameters and an optional modeled cost.
     ///
     /// The cost argument accepts anything [`CostHint`] converts from: `()`
-    /// for no modeled cost, a [`TaskCost`], or an `Option<TaskCost>`.
+    /// for no modeled cost, a [`TaskCost`](crate::task::TaskCost), or an
+    /// `Option<TaskCost>`.
     pub fn launch<const N: usize>(
         &mut self,
         handle: TaskHandle<N>,
@@ -110,54 +107,6 @@ impl<'a> IntraSession<'a> {
             scalars,
             cost.into(),
         )
-    }
-
-    /// `Intra_Task_launch` (untyped): instantiates a registered task type on
-    /// concrete variable ranges plus scalar parameters.
-    #[deprecated(
-        since = "0.1.0",
-        note = "register with `register` and use the typed `launch(handle, bindings, scalars, ())`"
-    )]
-    pub fn launch_task(
-        &mut self,
-        id: TaskTypeId,
-        bindings: Vec<(VarId, Range<usize>)>,
-        scalars: Vec<f64>,
-    ) -> IntraResult<()> {
-        self.launch_impl(id.0, bindings, scalars, CostHint::NONE)
-    }
-
-    /// Untyped launch with an explicit modeled compute cost.
-    #[deprecated(
-        since = "0.1.0",
-        note = "register with `register` and use the typed `launch(handle, bindings, scalars, cost)`"
-    )]
-    pub fn launch_task_with_cost(
-        &mut self,
-        id: TaskTypeId,
-        bindings: Vec<(VarId, Range<usize>)>,
-        scalars: Vec<f64>,
-        cost: Option<TaskCost>,
-    ) -> IntraResult<()> {
-        self.launch_impl(id.0, bindings, scalars, CostHint::from(cost))
-    }
-
-    /// `Intra_Task_register` (untyped): declares a task type with a runtime
-    /// tag list; the arity is only checked when an instance is launched.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `register`, whose `TaskHandle<N>` checks the argument arity at registration"
-    )]
-    pub fn register_task<F>(&mut self, name: &str, tags: Vec<ArgTag>, func: F) -> TaskTypeId
-    where
-        F: Fn(&mut crate::task::TaskCtx) + Send + Sync + 'static,
-    {
-        self.types.push(TaskType {
-            name: name.to_string(),
-            func: Arc::new(func),
-            tags,
-        });
-        TaskTypeId(self.types.len() - 1)
     }
 
     fn launch_impl(
@@ -208,7 +157,7 @@ impl<'a> IntraSession<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::task::ArgTag;
+    use crate::task::{ArgTag, TaskCost};
     use crate::workspace::Workspace;
 
     // The session cannot execute without a cluster (that is covered by the
@@ -247,31 +196,6 @@ mod tests {
                 .unwrap();
             session.num_tasks() == 2
         });
-        assert!(ok);
-    }
-
-    /// Shim-compat: the deprecated untyped launch still checks the binding
-    /// count at launch time.
-    #[test]
-    #[allow(deprecated)]
-    fn launch_rejects_wrong_binding_count() {
-        let ok = with_session(|session, x| {
-            let ty = session.register_task("t", vec![ArgTag::In, ArgTag::Out], |_| {});
-            let err = session
-                .launch_task(ty, vec![(x, 0..4)], vec![])
-                .unwrap_err();
-            matches!(err, IntraError::InvalidTask(_))
-        });
-        assert!(ok);
-    }
-
-    /// Shim-compat: unknown `TaskTypeId`s (only constructible through the
-    /// deprecated path) still fail cleanly.
-    #[test]
-    #[allow(deprecated)]
-    fn launch_rejects_unknown_type() {
-        let ok =
-            with_session(|session, _x| session.launch_task(TaskTypeId(3), vec![], vec![]).is_err());
         assert!(ok);
     }
 }

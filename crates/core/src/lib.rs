@@ -72,13 +72,12 @@ pub mod section;
 pub mod task;
 pub mod workspace;
 
-pub use api::{IntraSession, TaskHandle, TaskTypeId};
+pub use api::{IntraSession, TaskHandle};
 pub use cost::{CostEstimate, CostModel, TaskKey, DEFAULT_EMA_ALPHA};
 pub use error::{IntraError, IntraResult};
 pub use report::{RuntimeReport, SectionReport, TaskCostSample};
 pub use runtime::{IntraConfig, IntraRuntime};
 #[allow(deprecated)]
-pub use sched::scheduler_by_name;
 pub use sched::{
     assignment_makespan, AdaptiveScheduler, CostAwareScheduler, LocalityAwareScheduler,
     RoundRobinScheduler, Scheduler, SchedulerKind, SchedulerRegistry, StaticBlockScheduler,
@@ -89,7 +88,7 @@ pub use workspace::{VarId, Workspace};
 
 /// Convenience re-exports for application code.
 pub mod prelude {
-    pub use crate::api::{IntraSession, TaskHandle, TaskTypeId};
+    pub use crate::api::{IntraSession, TaskHandle};
     pub use crate::cost::{CostEstimate, CostModel};
     pub use crate::error::{IntraError, IntraResult};
     pub use crate::report::{RuntimeReport, SectionReport, TaskCostSample};

@@ -1,7 +1,6 @@
 //! The intra-parallelization runtime owned by one physical process.
 
 use crate::cost::{CostModel, DEFAULT_EMA_ALPHA};
-use crate::error::IntraResult;
 use crate::report::RuntimeReport;
 use crate::sched::{Scheduler, SchedulerKind, StaticBlockScheduler};
 use crate::section::Section;
@@ -106,27 +105,6 @@ impl IntraConfig {
     pub fn with_scheduler_kind(mut self, kind: SchedulerKind) -> Self {
         self.scheduler = kind.scheduler();
         self
-    }
-
-    /// Sets the scheduler by name.  Fails with the list of available names
-    /// when `name` is unknown; surrounding whitespace is trimmed and empty
-    /// names are rejected.
-    ///
-    /// ```
-    /// use ipr_core::IntraConfig;
-    ///
-    /// # #[allow(deprecated)] {
-    /// let config = IntraConfig::paper().with_scheduler_name("adaptive").unwrap();
-    /// assert_eq!(config.scheduler.name(), "adaptive");
-    /// assert!(IntraConfig::paper().with_scheduler_name("nope").is_err());
-    /// # }
-    /// ```
-    #[deprecated(
-        since = "0.1.0",
-        note = "parse a `SchedulerKind` at the string edge and use `with_scheduler_kind`"
-    )]
-    pub fn with_scheduler_name(self, name: &str) -> IntraResult<Self> {
-        Ok(self.with_scheduler_kind(name.parse::<SchedulerKind>()?))
     }
 
     /// Sets the smoothing factor of the measured-cost EMA (clamped to
@@ -247,29 +225,6 @@ mod tests {
             let c = IntraConfig::paper().with_scheduler_kind(kind);
             assert_eq!(c.scheduler.name(), kind.name());
         }
-    }
-
-    /// Shim-compat: the deprecated name-based builder resolves through
-    /// `SchedulerKind` and keeps its error shape (the message lists the
-    /// available names).
-    #[test]
-    #[allow(deprecated)]
-    fn scheduler_name_builder_resolves_the_registry() {
-        for name in crate::sched::SchedulerRegistry::builtin().names() {
-            let c = IntraConfig::paper().with_scheduler_name(name).unwrap();
-            assert_eq!(c.scheduler.name(), name);
-        }
-        let err = IntraConfig::paper()
-            .with_scheduler_name("no-such")
-            .unwrap_err();
-        assert!(err.to_string().contains("static-block"), "{err}");
-        // The whitespace fix applies here too: trimmed names resolve, empty
-        // names are rejected instead of silently failing the lookup.
-        let c = IntraConfig::paper()
-            .with_scheduler_name(" adaptive ")
-            .unwrap();
-        assert_eq!(c.scheduler.name(), "adaptive");
-        assert!(IntraConfig::paper().with_scheduler_name("  ").is_err());
     }
 
     #[test]

@@ -471,29 +471,6 @@ impl Default for SchedulerRegistry {
     }
 }
 
-/// Resolves a built-in scheduler by name (`"static-block"`, `"round-robin"`,
-/// `"cost-aware"`, `"adaptive"`, `"locality"`).
-///
-/// # Examples
-///
-/// ```
-/// use ipr_core::scheduler_by_name;
-///
-/// # #[allow(deprecated)] {
-/// assert_eq!(scheduler_by_name("cost-aware").unwrap().name(), "cost-aware");
-/// assert!(scheduler_by_name("nope").is_none());
-/// # }
-/// ```
-#[deprecated(
-    since = "0.1.0",
-    note = "parse a typed `SchedulerKind` instead and call `SchedulerKind::scheduler()`"
-)]
-pub fn scheduler_by_name(name: &str) -> Option<Arc<dyn Scheduler>> {
-    name.parse::<SchedulerKind>()
-        .ok()
-        .map(SchedulerKind::scheduler)
-}
-
 /// Makespan of an assignment: the maximum, over the replicas, of the summed
 /// weights of the tasks assigned to that replica.  Used by the scheduler
 /// tests and the `ABL-ADAPT` ablation.
@@ -545,20 +522,6 @@ mod tests {
         let err = "no-such".parse::<SchedulerKind>().unwrap_err();
         assert!(err.to_string().contains("no-such"), "{err}");
         assert!(err.to_string().contains("static-block"), "{err}");
-    }
-
-    /// Shim-compat: the deprecated string lookup still resolves (now through
-    /// `SchedulerKind`, so it additionally trims whitespace).
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_scheduler_by_name_still_resolves() {
-        assert_eq!(
-            scheduler_by_name("cost-aware").unwrap().name(),
-            "cost-aware"
-        );
-        assert_eq!(scheduler_by_name(" adaptive ").unwrap().name(), "adaptive");
-        assert!(scheduler_by_name("").is_none());
-        assert!(scheduler_by_name("unknown").is_none());
     }
 
     #[test]

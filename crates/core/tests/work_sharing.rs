@@ -342,47 +342,6 @@ fn paper_api_reproduces_the_figure_4_waxpby() {
     assert_eq!(results[1], expected);
 }
 
-/// Shim-compat: the deprecated register/launch pair (runtime-checked tag
-/// lists, separate cost entry point) still executes the Figure 4 section
-/// end to end and produces the same result as the typed path.
-#[test]
-#[allow(deprecated)]
-fn deprecated_register_launch_shim_still_runs_figure_4() {
-    let n = 40;
-    let report = run_cluster(&ClusterConfig::ideal(2), move |proc| {
-        let mut rt = make_rt(
-            proc,
-            ExecutionMode::IntraParallel { degree: 2 },
-            IntraConfig::paper(),
-        );
-        let mut ws = Workspace::new();
-        let x = ws.add("x", (0..n).map(|i| i as f64).collect());
-        let w = ws.add_zeros("w", n);
-        let mut session = IntraSession::begin(rt.section(&mut ws));
-        let task_id = session.register_task("scale", vec![ArgTag::In, ArgTag::Out], |ctx| {
-            for i in 0..ctx.outputs[0].len() {
-                ctx.outputs[0][i] = 3.0 * ctx.inputs[0][i];
-            }
-        });
-        for chunk in split_ranges(n, 4) {
-            session
-                .launch_task_with_cost(
-                    task_id,
-                    vec![(x, chunk.clone()), (w, chunk)],
-                    vec![],
-                    Some(TaskCost::new(1.0, 1.0)),
-                )
-                .unwrap();
-        }
-        let _ = session.end().unwrap();
-        ws.get(w).to_vec()
-    });
-    for result in report.unwrap_results() {
-        let expected: Vec<f64> = (0..n).map(|i| 3.0 * i as f64).collect();
-        assert_eq!(result, expected);
-    }
-}
-
 #[test]
 fn update_drain_time_is_visible_with_a_realistic_network() {
     // With a realistic network model and a waxpby-sized update, the section

@@ -1,0 +1,224 @@
+//! Discrete-event virtual-time scheduling core.
+//!
+//! [`VirtualEngine`] is the deterministic heart of the event-driven
+//! execution strategy: a priority queue of *timers* keyed by virtual time
+//! plus a FIFO *ready list* of tasks that can run immediately.  It knows
+//! nothing about MPI, mailboxes or failure semantics — `simmpi::engine`
+//! builds the cooperative rank scheduler on top of it.
+//!
+//! ## Determinism
+//!
+//! Dispatch order is a pure function of the calls made against the engine:
+//!
+//! * ready tasks dispatch strictly FIFO in the order they were made ready;
+//! * timers dispatch in virtual-time order, ties broken by insertion order
+//!   (a strictly monotone sequence number), never by heap internals;
+//! * virtual *now* only moves when a timer fires, and never backwards.
+//!
+//! The engine is single-threaded by construction (callers wrap it in a lock
+//! when driving it from a worker pool); all determinism obligations beyond
+//! dispatch order — e.g. that task *results* do not depend on dispatch
+//! interleaving — belong to the layer above.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Identifier of a task registered with a [`VirtualEngine`].
+///
+/// The engine does not allocate ids; callers use whatever dense indexing
+/// they already have (the rank number, in `simmpi`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+/// What the engine hands back on [`VirtualEngine::next`]: the task to run
+/// and the virtual time at which it resumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dispatch {
+    /// The task to resume.
+    pub task: TaskId,
+    /// Virtual time of the resumption (the engine's `now`).
+    pub at: SimTime,
+}
+
+/// Deterministic discrete-event scheduler: a virtual-time timer queue plus
+/// a FIFO ready list.
+///
+/// ```
+/// use simcluster::{SimTime, TaskId, VirtualEngine};
+///
+/// let mut engine = VirtualEngine::new();
+/// engine.schedule_at(TaskId(0), SimTime::from_secs(2.0));
+/// engine.schedule_at(TaskId(1), SimTime::from_secs(1.0));
+/// engine.make_ready(TaskId(2));
+///
+/// // Ready tasks dispatch first (virtual now does not move)…
+/// assert_eq!(engine.next().unwrap().task, TaskId(2));
+/// // …then timers in virtual-time order, advancing now.
+/// assert_eq!(engine.next().unwrap().task, TaskId(1));
+/// assert_eq!(engine.now(), SimTime::from_secs(1.0));
+/// assert_eq!(engine.next().unwrap().task, TaskId(0));
+/// assert!(engine.next().is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct VirtualEngine {
+    now: SimTime,
+    ready: VecDeque<TaskId>,
+    /// Min-heap over `(time, seq, task)` — `seq` makes equal-time pops
+    /// follow insertion order exactly.
+    timers: BinaryHeap<Reverse<(SimTime, u64, TaskId)>>,
+    seq: u64,
+    dispatched: u64,
+}
+
+impl VirtualEngine {
+    /// An empty engine at virtual time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time: the time of the latest timer dispatched.
+    /// Monotonically non-decreasing.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Appends `task` to the ready list: it dispatches (FIFO) before any
+    /// timer fires, at the current virtual time.
+    pub fn make_ready(&mut self, task: TaskId) {
+        self.ready.push_back(task);
+    }
+
+    /// Schedules `task` to resume at virtual time `at`.  Scheduling in the
+    /// past (`at < now`) is allowed — conservative per-rank clocks can lag
+    /// global virtual time — and dispatches at the current `now` without
+    /// moving time backwards.
+    pub fn schedule_at(&mut self, task: TaskId, at: SimTime) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.timers.push(Reverse((at, seq, task)));
+    }
+
+    /// Pops the next task to run: the oldest ready task if any, otherwise
+    /// the earliest timer (advancing virtual `now` to its time).  `None`
+    /// means the engine is idle — every task is parked or finished.
+    ///
+    /// Deliberately iterator-shaped, but not an `Iterator` impl: dispatch
+    /// consumers interleave `next` with `make_ready`/`schedule_at`, which
+    /// iterator adapters would hide behind a borrow.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Dispatch> {
+        let dispatch = if let Some(task) = self.ready.pop_front() {
+            Dispatch { task, at: self.now }
+        } else {
+            let Reverse((at, _, task)) = self.timers.pop()?;
+            self.now = self.now.max(at);
+            Dispatch { task, at: self.now }
+        };
+        self.dispatched += 1;
+        Some(dispatch)
+    }
+
+    /// True if neither the ready list nor the timer queue holds a task.
+    pub fn is_idle(&self) -> bool {
+        self.ready.is_empty() && self.timers.is_empty()
+    }
+
+    /// Number of tasks waiting (ready + timed).
+    pub fn pending(&self) -> usize {
+        self.ready.len() + self.timers.len()
+    }
+
+    /// Total dispatches served so far (diagnostic; one per `next`).
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn ready_tasks_dispatch_fifo_before_any_timer() {
+        let mut e = VirtualEngine::new();
+        e.schedule_at(TaskId(9), t(0.5));
+        e.make_ready(TaskId(1));
+        e.make_ready(TaskId(2));
+        assert_eq!(
+            e.next().unwrap(),
+            Dispatch {
+                task: TaskId(1),
+                at: SimTime::ZERO
+            }
+        );
+        assert_eq!(
+            e.next().unwrap(),
+            Dispatch {
+                task: TaskId(2),
+                at: SimTime::ZERO
+            }
+        );
+        assert_eq!(e.next().unwrap().task, TaskId(9));
+        assert_eq!(e.now(), t(0.5));
+    }
+
+    #[test]
+    fn timers_fire_in_time_order_with_insertion_tie_break() {
+        let mut e = VirtualEngine::new();
+        e.schedule_at(TaskId(3), t(2.0));
+        e.schedule_at(TaskId(1), t(1.0));
+        e.schedule_at(TaskId(2), t(1.0)); // same time, inserted later
+        let order: Vec<TaskId> = std::iter::from_fn(|| e.next().map(|d| d.task)).collect();
+        assert_eq!(order, vec![TaskId(1), TaskId(2), TaskId(3)]);
+        assert_eq!(e.now(), t(2.0));
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    fn now_never_moves_backwards() {
+        let mut e = VirtualEngine::new();
+        e.schedule_at(TaskId(0), t(5.0));
+        assert_eq!(e.next().unwrap().at, t(5.0));
+        // A timer in the past dispatches at the current now.
+        e.schedule_at(TaskId(1), t(1.0));
+        let d = e.next().unwrap();
+        assert_eq!(d.task, TaskId(1));
+        assert_eq!(d.at, t(5.0));
+        assert_eq!(e.now(), t(5.0));
+    }
+
+    #[test]
+    fn counters_track_pending_and_dispatched() {
+        let mut e = VirtualEngine::new();
+        assert!(e.is_idle());
+        e.make_ready(TaskId(0));
+        e.schedule_at(TaskId(1), t(1.0));
+        assert_eq!(e.pending(), 2);
+        assert!(!e.is_idle());
+        e.next();
+        e.next();
+        assert_eq!(e.pending(), 0);
+        assert_eq!(e.dispatched(), 2);
+    }
+
+    #[test]
+    fn dispatch_order_is_reproducible() {
+        let run = || {
+            let mut e = VirtualEngine::new();
+            for i in 0..100usize {
+                if i % 3 == 0 {
+                    e.make_ready(TaskId(i));
+                } else {
+                    e.schedule_at(TaskId(i), t((i % 7) as f64));
+                }
+            }
+            std::iter::from_fn(move || e.next().map(|d| d.task)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

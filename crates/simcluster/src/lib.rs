@@ -26,6 +26,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod clock;
+pub mod engine;
 pub mod failure;
 pub mod model;
 pub mod rng;
@@ -34,6 +35,7 @@ pub mod time;
 pub mod topology;
 
 pub use clock::VirtualClock;
+pub use engine::{Dispatch, TaskId, VirtualEngine};
 pub use failure::{FailureEvent, FailureStatusBoard, FailureWaker, ProcessState};
 pub use model::{ComputeModel, MachineModel, NetworkModel};
 pub use rng::seeded_rng;

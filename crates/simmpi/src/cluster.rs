@@ -1,5 +1,13 @@
 //! Cluster launcher: spawns one OS thread per simulated physical process and
 //! collects results, virtual-time breakdowns and statistics.
+//!
+//! Although every rank gets its own thread (bodies are arbitrary blocking
+//! closures), only [`ClusterConfig::max_runnable`] of them are *runnable*
+//! at once: each thread holds a permit from the router's runnable gate and
+//! releases it whenever it parks in a blocking receive, so large clusters
+//! behave like a small worker pool instead of thrashing the host scheduler.
+//! For rank counts beyond a few thousand, use the event-driven engine
+//! ([`crate::engine`]), which drops the thread-per-rank model entirely.
 
 use crate::proc::{ProcCore, ProcHandle};
 use crate::router::Router;
@@ -27,6 +35,15 @@ pub struct ClusterConfig {
     /// duration, all pending operations abort with `MpiError::Aborted`
     /// (protects the test suite against protocol deadlocks).
     pub watchdog: Option<Duration>,
+    /// Upper bound on simultaneously *runnable* rank threads.  One OS
+    /// thread per rank still exists, but only this many hold a runnable
+    /// permit at once — a thread parked in a blocking receive gives its
+    /// permit back, so the host scheduler juggles a small worker-pool's
+    /// worth of active threads instead of all `num_procs`.  `0` (the
+    /// default) resolves to the host's available parallelism.  Virtual-time
+    /// results are identical for every value; only host wall clock and
+    /// scheduler load change.
+    pub max_runnable: usize,
 }
 
 impl ClusterConfig {
@@ -39,6 +56,7 @@ impl ClusterConfig {
             topology: None,
             seed: 42,
             watchdog: Some(Duration::from_secs(300)),
+            max_runnable: 0,
         }
     }
 
@@ -73,6 +91,22 @@ impl ClusterConfig {
     pub fn with_watchdog(mut self, watchdog: Option<Duration>) -> Self {
         self.watchdog = watchdog;
         self
+    }
+
+    /// Sets the runnable-thread bound (`0` = host parallelism).
+    pub fn with_max_runnable(mut self, max_runnable: usize) -> Self {
+        self.max_runnable = max_runnable;
+        self
+    }
+
+    fn resolved_max_runnable(&self) -> usize {
+        if self.max_runnable != 0 {
+            return self.max_runnable;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8)
+            .max(2)
     }
 
     fn resolved_topology(&self) -> Topology {
@@ -116,13 +150,31 @@ pub struct ClusterReport<R> {
 impl<R> ClusterReport<R> {
     /// Virtual makespan: the largest final virtual time over the processes
     /// that did *not* crash (crashed processes stop early by construction).
+    ///
+    /// When *every* process crashed there are no survivors to take the
+    /// maximum over; the makespan then falls back to [`max_time`] over the
+    /// crashed processes instead of reporting `SimTime::ZERO` — a total-loss
+    /// run must not look like an instantaneous perfect one in reports and
+    /// benches.  Use [`all_crashed`] to detect the case explicitly.
+    ///
+    /// [`max_time`]: ClusterReport::max_time
+    /// [`all_crashed`]: ClusterReport::all_crashed
     pub fn makespan(&self) -> SimTime {
         self.procs
             .iter()
             .filter(|p| !p.failed)
             .map(|p| p.final_time)
             .max()
-            .unwrap_or(SimTime::ZERO)
+            .unwrap_or_else(|| self.max_time())
+    }
+
+    /// True if every process crashed (total loss): there are processes, and
+    /// all of them were marked failed.  In this case [`makespan`] reports
+    /// the time the last process reached before dying.
+    ///
+    /// [`makespan`]: ClusterReport::makespan
+    pub fn all_crashed(&self) -> bool {
+        !self.procs.is_empty() && self.procs.iter().all(|p| p.failed)
     }
 
     /// Largest final virtual time over all processes.
@@ -158,6 +210,27 @@ impl<R> ClusterReport<R> {
     }
 }
 
+/// Blocks until the run signals completion or `timeout` of wall-clock time
+/// has elapsed.  Returns `true` if the watchdog expired with the run still
+/// unfinished (the caller must abort), `false` if the run finished in time.
+///
+/// The wait loops against one *absolute* deadline: a spurious condvar wakeup
+/// (permitted by every condvar implementation) re-enters the wait for the
+/// remaining time instead of being mistaken for a timeout.  A single
+/// `wait_for` here once aborted healthy runs whose condvar woke spuriously
+/// before the deadline.
+fn watchdog_expired(done: &(Mutex<bool>, Condvar), timeout: Duration) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    let (lock, cvar) = done;
+    let mut finished = lock.lock();
+    while !*finished {
+        if cvar.wait_until(&mut finished, deadline).timed_out() {
+            break;
+        }
+    }
+    !*finished
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -187,7 +260,10 @@ where
         config.num_procs
     );
     let failures = FailureStatusBoard::new(config.num_procs);
-    let router = Arc::new(Router::new(config.num_procs, failures.clone()));
+    let router = Arc::new(
+        Router::new(config.num_procs, failures.clone())
+            .with_runnable_limit(config.resolved_max_runnable()),
+    );
     let stats = StatsRegistry::new();
 
     let cores: Vec<Arc<ProcCore>> = (0..config.num_procs)
@@ -208,16 +284,11 @@ where
     let done = Arc::new((Mutex::new(false), Condvar::new()));
 
     let results: Vec<Result<R, String>> = std::thread::scope(|scope| {
-        let watchdog_handle = config.watchdog.map(|deadline| {
+        let watchdog_handle = config.watchdog.map(|timeout| {
             let router = Arc::clone(&router);
             let done = Arc::clone(&done);
             scope.spawn(move || {
-                let (lock, cvar) = &*done;
-                let mut finished = lock.lock();
-                if !*finished {
-                    cvar.wait_for(&mut finished, deadline);
-                }
-                if !*finished {
+                if watchdog_expired(&done, timeout) {
                     router.abort();
                 }
             })
@@ -232,6 +303,10 @@ where
                 scope.spawn(move || {
                     let handle = ProcHandle::new(Arc::clone(&core));
                     let rank = handle.rank();
+                    // Hold a runnable permit for the body's lifetime (given
+                    // back transparently around every blocking receive, and
+                    // on panic via RAII).
+                    let _permit = router.enter_runnable();
                     let out = catch_unwind(AssertUnwindSafe(|| body(handle)));
                     match out {
                         Ok(v) => Ok(v),
@@ -286,5 +361,101 @@ where
         procs,
         stats,
         failures: failures.events(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    /// Regression: a spurious condvar wakeup before the deadline must
+    /// re-enter the wait, not abort a healthy run.  The notifies below do
+    /// *not* set `finished`, exactly like a spurious wakeup.
+    #[test]
+    fn watchdog_survives_spurious_wakeups() {
+        let done = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let done = Arc::clone(&done);
+            thread::spawn(move || watchdog_expired(&done, Duration::from_secs(60)))
+        };
+        for _ in 0..5 {
+            thread::sleep(Duration::from_millis(2));
+            done.1.notify_all();
+        }
+        // Now genuinely finish the run, well before the deadline.
+        *done.0.lock() = true;
+        done.1.notify_all();
+        let expired = waiter.join().unwrap();
+        assert!(!expired, "spurious wakeups must not trip the watchdog");
+    }
+
+    #[test]
+    fn watchdog_expires_when_the_run_never_finishes() {
+        let done = (Mutex::new(false), Condvar::new());
+        assert!(watchdog_expired(&done, Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn watchdog_sees_a_run_that_finished_before_it_waited() {
+        let done = (Mutex::new(true), Condvar::new());
+        assert!(!watchdog_expired(&done, Duration::from_millis(1)));
+    }
+
+    /// Regression: when every rank crashed, the makespan must report the
+    /// last death time instead of `SimTime::ZERO` — a total-loss run used to
+    /// look like a perfect instantaneous one.
+    #[test]
+    fn makespan_of_total_loss_run_reports_last_death_time() {
+        let report = run_cluster(&ClusterConfig::ideal(2), |proc| {
+            proc.charge_other(SimTime::from_secs(1.0 + proc.rank() as f64));
+            proc.fail_here();
+        });
+        assert!(report.all_crashed());
+        assert_eq!(report.makespan(), report.max_time());
+        assert_eq!(report.makespan().as_secs(), 2.0);
+    }
+
+    /// The runnable gate is a host-scheduling knob only: a message-passing
+    /// run produces identical virtual times whether one thread is runnable
+    /// at a time or all of them are.
+    #[test]
+    fn gate_width_does_not_change_virtual_results() {
+        let run = |max_runnable: usize| {
+            run_cluster(
+                &ClusterConfig::new(6).with_max_runnable(max_runnable),
+                |proc| {
+                    let world = proc.world();
+                    world.allreduce_sum_f64(proc.rank() as f64).unwrap()
+                },
+            )
+        };
+        let baseline = run(1);
+        for width in [2, 3, 64] {
+            let report = run(width);
+            assert_eq!(report.results, baseline.results);
+            for (a, b) in baseline.procs.iter().zip(&report.procs) {
+                assert_eq!(a.final_time, b.final_time, "rank {}", a.rank);
+                assert_eq!(a.compute_time, b.compute_time);
+                assert_eq!(a.comm_time, b.comm_time);
+            }
+        }
+    }
+
+    /// The survivor filter is unchanged: crashed ranks still do not drag the
+    /// makespan when at least one rank survived.
+    #[test]
+    fn makespan_still_ignores_crashed_ranks_when_survivors_exist() {
+        let report = run_cluster(&ClusterConfig::ideal(2), |proc| {
+            if proc.rank() == 0 {
+                proc.charge_other(SimTime::from_secs(9.0));
+                proc.fail_here();
+            } else {
+                proc.charge_other(SimTime::from_secs(3.0));
+            }
+        });
+        assert!(!report.all_crashed());
+        assert_eq!(report.makespan().as_secs(), 3.0);
+        assert_eq!(report.max_time().as_secs(), 9.0);
     }
 }

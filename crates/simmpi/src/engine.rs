@@ -1,0 +1,1258 @@
+//! Event-driven execution strategy: N logical ranks on a small worker pool.
+//!
+//! The thread-per-rank launcher ([`crate::cluster::run_cluster`]) maps every
+//! simulated rank onto one OS thread, which caps experiments at a few
+//! thousand ranks.  This module lifts that ceiling: rank bodies are
+//! *cooperatively scheduled state machines* ([`RankProgram`]) driven by the
+//! discrete-event core of [`simcluster::VirtualEngine`], so 10k–1M logical
+//! ranks run on a handful of worker threads.
+//!
+//! ## Execution model
+//!
+//! A [`RankProgram`] yields one [`Step`] at a time: charge compute, send a
+//! message, receive a message, or finish.  The driver runs each rank in
+//! *bursts*: compute charges and sends are rank-local (the sender's channel
+//! busy-until times live with the rank), so a burst proceeds lock-free until
+//! the program posts a `Recv` — the engine's only continuation point.  A
+//! receive that cannot be matched parks the rank; the matching delivery
+//! later schedules a resumption at the message's virtual arrival time.
+//! Where the router blocks an OS thread on a mailbox condvar, the engine
+//! parks a task and wakes it by event — the same generation/waker semantics
+//! expressed as continuations.
+//!
+//! ## Determinism
+//!
+//! Virtual-time results are independent of the number of worker threads and
+//! of host scheduling:
+//!
+//! * every per-rank quantity (clock, channel busy-until) is touched only by
+//!   the rank itself, and a receive completes at `max(receiver clock,
+//!   arrival) + overhead` regardless of *when* in host time the match
+//!   happened (the conservative-clock rule of [`simcluster::clock`]);
+//! * wildcard receives match in virtual **arrival** order (ties broken by
+//!   source, tag, sender sequence — see
+//!   `MailboxState::take_match_by_arrival`), not host delivery order, when
+//!   the candidates are already queued.  Programs whose wildcard receives
+//!   race with in-flight sends should run with one worker or use exact
+//!   sources (every workload in `apps` uses exact sources);
+//! * failure injection is rank-local: a crash scheduled at virtual time *t*
+//!   fires at the first step boundary where the rank's own clock has
+//!   reached *t*, mirroring the protocol-point semantics of the
+//!   thread-world failure injector;
+//! * the report sorts failure events by `(time, rank)` and rank rows by
+//!   rank, so serialized output is byte-stable across worker counts.
+//!
+//! ## Liveness
+//!
+//! The thread world needs a wall-clock watchdog because a deadlocked
+//! protocol leaves threads blocked forever.  The engine does not: when the
+//! event queue drains with ranks still parked, those ranks are *provably*
+//! deadlocked (nothing can ever wake them) and are reported as errored —
+//! deadlock detection falls out of the scheduler for free.
+
+use crate::comm::WORLD_COMM_ID;
+use crate::mailbox::MailboxState;
+use crate::message::{Envelope, MatchSelector, Tag};
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use simcluster::{
+    FailureEvent, MachineModel, SimTime, TaskId, Topology, VirtualClock, VirtualEngine,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One cooperative step of a rank program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Step {
+    /// Charge a compute region described by its flop count and memory
+    /// traffic (roofline model, like [`crate::ProcHandle::charge_compute`]).
+    Compute {
+        /// Floating-point operations performed.
+        flops: f64,
+        /// Bytes moved to/from memory.
+        mem_bytes: f64,
+    },
+    /// Charge an explicit amount of virtual time without attributing it to
+    /// compute or communication (like [`crate::ProcHandle::charge_other`]).
+    Elapse(SimTime),
+    /// Eagerly send `bytes` modeled bytes to world rank `dst`.  Sends never
+    /// block (the sender is only charged its injection occupancy); sends to
+    /// crashed or out-of-range destinations are dropped silently, exactly
+    /// like the router drops them.
+    Send {
+        /// Destination world rank.
+        dst: usize,
+        /// Message tag.
+        tag: Tag,
+        /// Modeled payload size in bytes.
+        bytes: usize,
+    },
+    /// Block until a message matching `(src, tag)` is available (`None` is a
+    /// wildcard).  How the receive ended is visible to the *next* step via
+    /// [`RankCtx::last_recv`].
+    Recv {
+        /// Expected source world rank, or any.
+        src: Option<usize>,
+        /// Expected tag, or any.
+        tag: Option<Tag>,
+    },
+    /// The program is finished.
+    Done,
+}
+
+/// Completed-receive metadata handed back to the program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecvDone {
+    /// World rank of the sender.
+    pub src: usize,
+    /// Tag of the matched message.
+    pub tag: Tag,
+    /// Modeled payload size in bytes.
+    pub bytes: usize,
+    /// Receiver's virtual time when the receive completed.
+    pub at: SimTime,
+}
+
+/// How the previous [`Step::Recv`] ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecvOutcome {
+    /// A message was matched and consumed.
+    Message(RecvDone),
+    /// The named source crashed with no matching message queued (the
+    /// engine-world equivalent of [`crate::MpiError::ProcessFailed`]).
+    PeerFailed {
+        /// The crashed source rank.
+        src: usize,
+    },
+}
+
+/// Read-only view a program gets at every step.
+#[derive(Debug, Clone, Copy)]
+pub struct RankCtx {
+    rank: usize,
+    world: usize,
+    now: SimTime,
+    last_recv: Option<RecvOutcome>,
+}
+
+impl RankCtx {
+    /// World rank of this program.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of logical ranks.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// Current virtual time of this rank.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// How the previous [`Step::Recv`] ended.  `Some` exactly on the first
+    /// step after a receive.
+    pub fn last_recv(&self) -> Option<RecvOutcome> {
+        self.last_recv
+    }
+}
+
+/// A cooperatively-scheduled rank body: a state machine that yields one
+/// [`Step`] per call instead of running on a dedicated OS thread.
+///
+/// Programs must be deterministic functions of their own state and the
+/// [`RankCtx`] they are shown (ARCHITECTURE.md determinism rules); they are
+/// `Send` because bursts migrate between worker threads, but never run
+/// concurrently with themselves.
+pub trait RankProgram: Send {
+    /// Produces the next step.  If the previous step was a `Recv`,
+    /// [`RankCtx::last_recv`] says how it ended.
+    fn step(&mut self, ctx: &RankCtx) -> Step;
+
+    /// Optional scalar result collected into the report (e.g. a residual or
+    /// checksum a test wants to assert on).
+    fn result(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Configuration of an event-driven virtual cluster run.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of logical ranks.
+    pub num_ranks: usize,
+    /// Machine model (compute + network calibration).
+    pub machine: MachineModel,
+    /// Placement of ranks on nodes.  Defaults to block placement with
+    /// `machine.cores_per_node` ranks per node.
+    pub topology: Option<Topology>,
+    /// Worker threads driving the ranks; `0` picks the host parallelism.
+    /// Virtual-time results are identical for every value.
+    pub workers: usize,
+    /// Crash-stop failures to inject: `(rank, virtual time)`.  The crash
+    /// fires at the first step boundary at which the rank's clock has
+    /// reached the given time.
+    pub crashes: Vec<(usize, SimTime)>,
+    /// Per-rank step budget guarding against non-terminating programs
+    /// (`0` = unlimited).  A rank exceeding it is reported as errored, the
+    /// virtual-time analogue of the thread world's wall-clock watchdog.
+    pub step_limit: u64,
+}
+
+impl EngineConfig {
+    /// A cluster of `num_ranks` logical ranks on the paper's
+    /// Grid'5000/IB-20G machine model.
+    pub fn new(num_ranks: usize) -> Self {
+        EngineConfig {
+            num_ranks,
+            machine: MachineModel::grid5000_ib20g(),
+            topology: None,
+            workers: 0,
+            crashes: Vec::new(),
+            step_limit: 0,
+        }
+    }
+
+    /// A cluster with a zero-cost machine model, for protocol-correctness
+    /// tests that do not care about timing.
+    pub fn ideal(num_ranks: usize) -> Self {
+        EngineConfig {
+            machine: MachineModel::ideal(),
+            ..EngineConfig::new(num_ranks)
+        }
+    }
+
+    /// Sets the machine model.
+    pub fn with_machine(mut self, machine: MachineModel) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Sets an explicit topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = host parallelism).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Schedules a crash-stop failure of `rank` at virtual time `at`.
+    pub fn with_crash(mut self, rank: usize, at: SimTime) -> Self {
+        self.crashes.push((rank, at));
+        self
+    }
+
+    /// Sets the per-rank step budget (`0` = unlimited).
+    pub fn with_step_limit(mut self, step_limit: u64) -> Self {
+        self.step_limit = step_limit;
+        self
+    }
+
+    fn resolved_topology(&self) -> Topology {
+        self.topology
+            .clone()
+            .unwrap_or_else(|| Topology::block(self.num_ranks, self.machine.cores_per_node.max(1)))
+    }
+}
+
+/// How one rank's program ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RankEnd {
+    /// The program ran to [`Step::Done`].
+    Completed,
+    /// The rank was crashed by failure injection.
+    Crashed,
+    /// The program panicked, exceeded its step budget, or was still parked
+    /// on a receive when the event queue drained (deadlock).
+    Errored(String),
+}
+
+/// Per-rank summary of an event-driven run.
+#[derive(Debug, Clone)]
+pub struct VirtualRankReport {
+    /// World rank.
+    pub rank: usize,
+    /// Final virtual time of the rank.
+    pub final_time: SimTime,
+    /// Virtual time attributed to computation.
+    pub compute_time: SimTime,
+    /// Virtual time attributed to communication (incl. waiting).
+    pub comm_time: SimTime,
+    /// Virtual time spent blocked waiting for remote progress.
+    pub wait_time: SimTime,
+    /// True if the rank was marked as crashed during the run.
+    pub failed: bool,
+    /// How the program ended.
+    pub end: RankEnd,
+    /// Scalar result reported by the program, if any.
+    pub result: Option<f64>,
+}
+
+/// Result of an event-driven virtual cluster run.
+#[derive(Debug)]
+pub struct VirtualClusterReport {
+    /// Per-rank summaries, ordered by rank.
+    pub ranks: Vec<VirtualRankReport>,
+    /// Failure history, sorted by `(time, rank)` so it is identical at any
+    /// worker count.
+    pub failures: Vec<FailureEvent>,
+    /// Scheduler dispatches served.  A *host-execution* diagnostic, not a
+    /// virtual-time result: duplicate wakeups (a failure retirement racing
+    /// a message delivery for the same parked rank) are consumed as
+    /// harmless stale dispatches, so the count can vary with worker
+    /// interleaving even though every virtual-time field is identical.
+    pub dispatches: u64,
+    /// Messages injected (deterministic: each rank's send sequence is a
+    /// pure function of virtual time).
+    pub messages: u64,
+}
+
+impl VirtualClusterReport {
+    /// Virtual makespan: the largest final virtual time over the ranks that
+    /// did *not* crash, falling back to [`max_time`] when every rank crashed
+    /// — the same total-loss semantics as
+    /// [`ClusterReport::makespan`](crate::ClusterReport::makespan).
+    ///
+    /// [`max_time`]: VirtualClusterReport::max_time
+    pub fn makespan(&self) -> SimTime {
+        self.ranks
+            .iter()
+            .filter(|r| !r.failed)
+            .map(|r| r.final_time)
+            .max()
+            .unwrap_or_else(|| self.max_time())
+    }
+
+    /// Largest final virtual time over all ranks.
+    pub fn max_time(&self) -> SimTime {
+        self.ranks
+            .iter()
+            .map(|r| r.final_time)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// True if every rank crashed (total loss).
+    pub fn all_crashed(&self) -> bool {
+        !self.ranks.is_empty() && self.ranks.iter().all(|r| r.failed)
+    }
+
+    /// Number of ranks that ran to completion.
+    pub fn num_completed(&self) -> usize {
+        self.ranks
+            .iter()
+            .filter(|r| r.end == RankEnd::Completed)
+            .count()
+    }
+
+    /// Number of ranks crashed by failure injection.
+    pub fn num_crashed(&self) -> usize {
+        self.ranks
+            .iter()
+            .filter(|r| r.end == RankEnd::Crashed)
+            .count()
+    }
+
+    /// Ranks that errored (panic, step budget, deadlock), with messages.
+    pub fn errors(&self) -> Vec<(usize, &str)> {
+        self.ranks
+            .iter()
+            .filter_map(|r| match &r.end {
+                RankEnd::Errored(msg) => Some((r.rank, msg.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Scheduling phase of one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// On the ready list (or about to be), `local` present.
+    Runnable,
+    /// A worker is running a burst; `local` is taken.
+    Stepping,
+    /// Waiting for a receive to become satisfiable.
+    Parked,
+    /// Terminal states.
+    Done,
+    Crashed,
+    Errored,
+}
+
+/// Rank state only ever touched by the rank's own burst: moved out of the
+/// shared table while a worker steps the program, so the burst runs without
+/// holding the scheduler lock.
+struct RankLocal {
+    program: Box<dyn RankProgram>,
+    clock: VirtualClock,
+    /// Busy-until time of the local copy engine (intra-node sends).
+    local_busy: SimTime,
+    /// Busy-until time of this rank's share of the node NIC.
+    nic_busy: SimTime,
+    /// Fair-share divisor of the node NIC (ranks co-located on the node).
+    nic_sharing: f64,
+    last_recv: Option<RecvOutcome>,
+    crash_at: Option<SimTime>,
+    steps: u64,
+    /// Sender-local envelope sequence (virtual-time tie-breaking only).
+    seq: u64,
+}
+
+/// Shared per-rank slot: mailbox and scheduling state.
+struct RankSlot {
+    phase: Phase,
+    mailbox: MailboxState,
+    parked_on: Option<MatchSelector>,
+    local: Option<RankLocal>,
+    error: Option<String>,
+}
+
+/// Scheduler state shared by the worker pool, behind one mutex.
+struct Shared {
+    engine: VirtualEngine,
+    ranks: Vec<RankSlot>,
+    failed: Vec<bool>,
+    failures: Vec<FailureEvent>,
+    /// Bursts currently executing outside the lock.
+    in_flight: usize,
+    messages: u64,
+}
+
+/// Why a burst ended.
+enum BurstEnd {
+    NeedRecv(MatchSelector),
+    Done,
+    Crashed(SimTime),
+    Errored(String),
+}
+
+/// Outcome of one lock-free burst: buffered outgoing envelopes plus the
+/// reason the rank stopped stepping.
+struct Burst {
+    end: BurstEnd,
+    outgoing: Vec<Envelope>,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// Models message injection exactly like `ProcCore::inject`: the sending
+/// channel (node-NIC fair share for inter-node, local copy engine for
+/// intra-node) serializes back-to-back sends, the sender CPU is charged only
+/// the fixed overhead, and the message arrives one latency after injection
+/// completes.
+fn inject(
+    local: &mut RankLocal,
+    rank: usize,
+    dst: usize,
+    tag: Tag,
+    bytes: usize,
+    topology: &Topology,
+    machine: &MachineModel,
+) -> Envelope {
+    let same_node = topology.same_node(rank, dst);
+    let link = *machine.link(same_node);
+    let channel = if same_node {
+        &mut local.local_busy
+    } else {
+        &mut local.nic_busy
+    };
+    let start = (*channel).max(local.clock.now());
+    let occupancy = if same_node {
+        link.sender_occupancy(bytes)
+    } else {
+        let serialization = link
+            .wire_time(bytes)
+            .saturating_sub(SimTime::from_secs(link.latency_s))
+            * local.nic_sharing;
+        SimTime::from_secs(link.send_overhead_s) + serialization
+    };
+    let done = start + occupancy;
+    *channel = done;
+    local
+        .clock
+        .advance_comm(SimTime::from_secs(link.send_overhead_s));
+    let arrival = done + SimTime::from_secs(link.latency_s);
+    let seq = local.seq;
+    local.seq += 1;
+    Envelope {
+        src_world: rank,
+        dst_world: dst,
+        comm: WORLD_COMM_ID,
+        tag,
+        payload: Bytes::new(),
+        modeled_bytes: bytes,
+        arrival,
+        seq,
+    }
+}
+
+/// Completes a matched receive on the rank's clock (conservative rule:
+/// `max(clock, arrival)` plus the receiver overhead) and records the
+/// outcome for the program's next step.
+fn complete_recv(
+    local: &mut RankLocal,
+    env: &Envelope,
+    rank: usize,
+    topology: &Topology,
+    machine: &MachineModel,
+) {
+    let same_node = topology.same_node(rank, env.src_world);
+    let link = machine.link(same_node);
+    local.clock.wait_until(env.arrival);
+    local.clock.advance_comm(link.receiver_overhead());
+    local.last_recv = Some(RecvOutcome::Message(RecvDone {
+        src: env.src_world,
+        tag: env.tag,
+        bytes: env.modeled_bytes,
+        at: local.clock.now(),
+    }));
+}
+
+/// Runs one rank as far as it can go without touching shared state: compute
+/// charges and sends are rank-local, so the burst only ends on a receive, a
+/// crash, completion, or an error.
+fn run_burst(
+    local: &mut RankLocal,
+    rank: usize,
+    world: usize,
+    topology: &Topology,
+    machine: &MachineModel,
+    step_limit: u64,
+) -> Burst {
+    let mut outgoing = Vec::new();
+    loop {
+        if let Some(at) = local.crash_at {
+            if local.clock.now() >= at {
+                return Burst {
+                    end: BurstEnd::Crashed(local.clock.now()),
+                    outgoing,
+                };
+            }
+        }
+        if step_limit > 0 && local.steps >= step_limit {
+            return Burst {
+                end: BurstEnd::Errored(format!("exceeded step budget of {step_limit}")),
+                outgoing,
+            };
+        }
+        local.steps += 1;
+        let ctx = RankCtx {
+            rank,
+            world,
+            now: local.clock.now(),
+            last_recv: local.last_recv.take(),
+        };
+        let step = match catch_unwind(AssertUnwindSafe(|| local.program.step(&ctx))) {
+            Ok(step) => step,
+            Err(payload) => {
+                return Burst {
+                    end: BurstEnd::Errored(panic_message(payload)),
+                    outgoing,
+                }
+            }
+        };
+        match step {
+            Step::Compute { flops, mem_bytes } => {
+                let dt = machine.compute.region_time(flops, mem_bytes);
+                local.clock.advance_compute(dt);
+            }
+            Step::Elapse(dt) => local.clock.advance_other(dt),
+            Step::Send { dst, tag, bytes } => {
+                if dst < world {
+                    outgoing.push(inject(local, rank, dst, tag, bytes, topology, machine));
+                }
+                // Out-of-range destinations are dropped like the router
+                // drops them; crashed destinations are filtered at apply
+                // time, where liveness is known.
+            }
+            Step::Recv { src, tag } => {
+                return Burst {
+                    end: BurstEnd::NeedRecv(MatchSelector {
+                        comm: WORLD_COMM_ID,
+                        src_world: src,
+                        tag,
+                    }),
+                    outgoing,
+                };
+            }
+            Step::Done => {
+                return Burst {
+                    end: BurstEnd::Done,
+                    outgoing,
+                }
+            }
+        }
+    }
+}
+
+/// Tries to hand a parked or freshly-recv-blocked rank its receive outcome:
+/// a queued matching envelope (earliest virtual arrival first) or a
+/// `PeerFailed` for a crashed named source.  Returns `false` if the rank
+/// must (stay) park(ed).
+fn try_satisfy_recv(
+    local: &mut RankLocal,
+    mailbox: &mut MailboxState,
+    failed: &[bool],
+    sel: &MatchSelector,
+    rank: usize,
+    topology: &Topology,
+    machine: &MachineModel,
+) -> bool {
+    if let Some(env) = mailbox.take_match_by_arrival(sel) {
+        complete_recv(local, &env, rank, topology, machine);
+        true
+    } else if let Some(src) = sel.src_world.filter(|&s| s < failed.len() && failed[s]) {
+        local.last_recv = Some(RecvOutcome::PeerFailed { src });
+        true
+    } else {
+        false
+    }
+}
+
+/// Applies a finished burst under the scheduler lock: delivers buffered
+/// sends (waking parked receivers at the message arrival time), then parks,
+/// re-readies, or retires the rank.
+fn apply_burst(
+    sh: &mut Shared,
+    rank: usize,
+    mut local: RankLocal,
+    burst: Burst,
+    topology: &Topology,
+    machine: &MachineModel,
+) {
+    for env in burst.outgoing {
+        sh.messages += 1;
+        let dst = env.dst_world;
+        if sh.failed[dst] {
+            continue; // crashed destination: dropped, like the router
+        }
+        let arrival = env.arrival;
+        let matches_parked = sh.ranks[dst].phase == Phase::Parked
+            && sh.ranks[dst]
+                .parked_on
+                .as_ref()
+                .is_some_and(|sel| env.matches(sel));
+        sh.ranks[dst].mailbox.push(env);
+        if matches_parked {
+            // Resume the receiver no earlier than the message's virtual
+            // arrival.  Duplicate wakeups are harmless: a dispatch that
+            // finds nothing to do re-parks.
+            sh.engine.schedule_at(TaskId(dst), arrival);
+        }
+    }
+    match burst.end {
+        BurstEnd::NeedRecv(sel) => {
+            let slot = &mut sh.ranks[rank];
+            if try_satisfy_recv(
+                &mut local,
+                &mut slot.mailbox,
+                &sh.failed,
+                &sel,
+                rank,
+                topology,
+                machine,
+            ) {
+                slot.phase = Phase::Runnable;
+                slot.local = Some(local);
+                sh.engine.make_ready(TaskId(rank));
+            } else {
+                slot.phase = Phase::Parked;
+                slot.parked_on = Some(sel);
+                slot.local = Some(local);
+            }
+        }
+        BurstEnd::Done => {
+            let slot = &mut sh.ranks[rank];
+            slot.phase = Phase::Done;
+            slot.local = Some(local);
+        }
+        BurstEnd::Crashed(at) => {
+            retire_failed(sh, rank, local, at, Phase::Crashed, None);
+        }
+        BurstEnd::Errored(msg) => {
+            // Mirror the thread world: a panicked rank is marked failed so
+            // peers blocked on it observe the failure instead of hanging.
+            let at = local.clock.now();
+            retire_failed(sh, rank, local, at, Phase::Errored, Some(msg));
+        }
+    }
+}
+
+/// Retires a rank as crashed/errored: records the failure, and wakes every
+/// rank parked on a receive naming it so the parked rank can observe
+/// `PeerFailed` (the continuation equivalent of the failure board waking
+/// blocked receivers through its registered wakers).
+fn retire_failed(
+    sh: &mut Shared,
+    rank: usize,
+    local: RankLocal,
+    at: SimTime,
+    phase: Phase,
+    error: Option<String>,
+) {
+    sh.failed[rank] = true;
+    sh.failures.push(FailureEvent { rank, time: at });
+    let slot = &mut sh.ranks[rank];
+    slot.phase = phase;
+    slot.error = error;
+    slot.local = Some(local);
+    for q in 0..sh.ranks.len() {
+        if sh.ranks[q].phase == Phase::Parked
+            && sh.ranks[q]
+                .parked_on
+                .as_ref()
+                .is_some_and(|sel| sel.src_world == Some(rank))
+        {
+            sh.engine.make_ready(TaskId(q));
+        }
+    }
+}
+
+/// One worker of the pool: pops dispatches, runs bursts outside the lock,
+/// applies them under it.  Returns when the event queue is drained and no
+/// burst is in flight.
+fn worker(
+    shared: &Mutex<Shared>,
+    cv: &Condvar,
+    world: usize,
+    topology: &Topology,
+    machine: &MachineModel,
+    step_limit: u64,
+) {
+    let mut guard = shared.lock();
+    loop {
+        let dispatch = loop {
+            if let Some(d) = guard.engine.next() {
+                break Some(d);
+            }
+            if guard.in_flight == 0 {
+                break None;
+            }
+            // Another worker's in-flight burst may enqueue more work (or
+            // finish the run); wait for its apply.
+            cv.wait(&mut guard);
+        };
+        let Some(dispatch) = dispatch else {
+            cv.notify_all();
+            return;
+        };
+        let rank = dispatch.task.0;
+        let sh = &mut *guard;
+        let local = match sh.ranks[rank].phase {
+            Phase::Runnable => {
+                let slot = &mut sh.ranks[rank];
+                slot.phase = Phase::Stepping;
+                slot.local.take()
+            }
+            Phase::Parked => {
+                let sel = sh.ranks[rank]
+                    .parked_on
+                    .expect("parked rank has a selector");
+                let slot = &mut sh.ranks[rank];
+                let mut local = slot.local.take().expect("parked rank has local state");
+                if try_satisfy_recv(
+                    &mut local,
+                    &mut slot.mailbox,
+                    &sh.failed,
+                    &sel,
+                    rank,
+                    topology,
+                    machine,
+                ) {
+                    slot.phase = Phase::Stepping;
+                    slot.parked_on = None;
+                    Some(local)
+                } else {
+                    // Spurious wakeup (e.g. a duplicate resume): re-park.
+                    slot.local = Some(local);
+                    None
+                }
+            }
+            // Stale dispatch for a rank that already resumed or retired.
+            _ => None,
+        };
+        let Some(mut local) = local else { continue };
+        sh.in_flight += 1;
+        drop(guard);
+
+        let burst = run_burst(&mut local, rank, world, topology, machine, step_limit);
+
+        guard = shared.lock();
+        let sh = &mut *guard;
+        sh.in_flight -= 1;
+        apply_burst(sh, rank, local, burst, topology, machine);
+        cv.notify_all();
+    }
+}
+
+/// Runs `num_ranks` logical ranks, each executing the program built by
+/// `make(rank)`, on a pool of `config.workers` worker threads, and collects
+/// virtual-time reports.
+///
+/// This is the scalable sibling of [`crate::run_cluster`]: same machine
+/// model, same injection/completion timing formulas, same failure
+/// semantics — but ranks are cooperative tasks instead of OS threads, so
+/// the rank count is bounded by memory, not by spawnable threads.
+pub fn run_virtual_cluster<P, F>(config: &EngineConfig, make: F) -> VirtualClusterReport
+where
+    P: RankProgram + 'static,
+    F: Fn(usize) -> P,
+{
+    let n = config.num_ranks;
+    assert!(n > 0, "cluster needs at least one rank");
+    let topology = config.resolved_topology();
+    assert!(
+        topology.num_procs() >= n,
+        "topology covers {} ranks but the cluster has {}",
+        topology.num_procs(),
+        n
+    );
+
+    // Fair-share divisor of each node's NIC, computed in one O(n) pass
+    // (`Topology::ranks_on` per rank would be quadratic at 1M ranks).
+    let mut per_node = vec![0usize; topology.num_nodes().max(1)];
+    for rank in 0..n {
+        per_node[topology.node_of(rank)] += 1;
+    }
+
+    let mut crash_at: Vec<Option<SimTime>> = vec![None; n];
+    for &(rank, at) in &config.crashes {
+        if rank < n {
+            let slot = &mut crash_at[rank];
+            *slot = Some(slot.map_or(at, |t| t.min(at)));
+        }
+    }
+
+    let mut engine = VirtualEngine::new();
+    let ranks: Vec<RankSlot> = (0..n)
+        .map(|rank| {
+            engine.make_ready(TaskId(rank));
+            RankSlot {
+                phase: Phase::Runnable,
+                mailbox: MailboxState::default(),
+                parked_on: None,
+                local: Some(RankLocal {
+                    program: Box::new(make(rank)),
+                    clock: VirtualClock::new(),
+                    local_busy: SimTime::ZERO,
+                    nic_busy: SimTime::ZERO,
+                    nic_sharing: per_node[topology.node_of(rank)].max(1) as f64,
+                    last_recv: None,
+                    crash_at: crash_at[rank],
+                    steps: 0,
+                    seq: 0,
+                }),
+                error: None,
+            }
+        })
+        .collect();
+
+    let shared = Mutex::new(Shared {
+        engine,
+        ranks,
+        failed: vec![false; n],
+        failures: Vec::new(),
+        in_flight: 0,
+        messages: 0,
+    });
+    let cv = Condvar::new();
+
+    let workers = if config.workers > 0 {
+        config.workers
+    } else {
+        std::thread::available_parallelism().map_or(4, |p| p.get())
+    }
+    .min(n)
+    .max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                worker(
+                    &shared,
+                    &cv,
+                    n,
+                    &topology,
+                    &config.machine,
+                    config.step_limit,
+                )
+            });
+        }
+    });
+
+    let mut sh = shared.into_inner();
+    let mut failures = std::mem::take(&mut sh.failures);
+    failures.sort_by_key(|f| (f.time, f.rank));
+    let dispatches = sh.engine.dispatched();
+    let ranks = sh
+        .ranks
+        .into_iter()
+        .enumerate()
+        .map(|(rank, slot)| {
+            let local = slot.local.expect("retired rank keeps its local state");
+            let end = match slot.phase {
+                Phase::Done => RankEnd::Completed,
+                Phase::Crashed => RankEnd::Crashed,
+                Phase::Errored => {
+                    RankEnd::Errored(slot.error.unwrap_or_else(|| "unknown error".to_string()))
+                }
+                // Still parked when the event queue drained: nothing can
+                // ever wake it — a deadlock, reported instead of hung.
+                Phase::Parked => RankEnd::Errored(
+                    "deadlock: parked on a receive when the event queue drained".to_string(),
+                ),
+                Phase::Runnable | Phase::Stepping => {
+                    unreachable!("rank {rank} left neither parked nor retired")
+                }
+            };
+            VirtualRankReport {
+                rank,
+                final_time: local.clock.now(),
+                compute_time: local.clock.compute_time(),
+                comm_time: local.clock.comm_time(),
+                wait_time: local.clock.wait_time(),
+                failed: matches!(slot.phase, Phase::Crashed | Phase::Errored),
+                end,
+                result: local.program.result(),
+            }
+        })
+        .collect();
+
+    VirtualClusterReport {
+        ranks,
+        failures,
+        dispatches,
+        messages: sh.messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ring pass: every rank sends a token right, receives from the left,
+    /// then finishes.
+    struct RingProgram {
+        state: u8,
+        bytes: usize,
+    }
+
+    impl RankProgram for RingProgram {
+        fn step(&mut self, ctx: &RankCtx) -> Step {
+            let right = (ctx.rank() + 1) % ctx.world();
+            let left = (ctx.rank() + ctx.world() - 1) % ctx.world();
+            match self.state {
+                0 => {
+                    self.state = 1;
+                    Step::Send {
+                        dst: right,
+                        tag: 7,
+                        bytes: self.bytes,
+                    }
+                }
+                1 => {
+                    self.state = 2;
+                    Step::Recv {
+                        src: Some(left),
+                        tag: Some(7),
+                    }
+                }
+                _ => {
+                    assert!(
+                        matches!(ctx.last_recv(), Some(RecvOutcome::Message(m)) if m.src == left),
+                        "rank {} expected a token from {left}",
+                        ctx.rank()
+                    );
+                    Step::Done
+                }
+            }
+        }
+
+        fn result(&self) -> Option<f64> {
+            Some(self.state as f64)
+        }
+    }
+
+    fn ring_report(workers: usize) -> VirtualClusterReport {
+        let config = EngineConfig::new(8).with_workers(workers);
+        run_virtual_cluster(&config, |_| RingProgram {
+            state: 0,
+            bytes: 4096,
+        })
+    }
+
+    #[test]
+    fn ring_pass_completes_with_symmetric_times() {
+        let report = ring_report(1);
+        assert_eq!(report.num_completed(), 8);
+        assert_eq!(report.messages, 8);
+        assert!(report.makespan() > SimTime::ZERO);
+        // The ring is fully symmetric under block placement of 8 ranks on
+        // 4-core nodes *except* at node boundaries; all ranks at least make
+        // identical progress counts.
+        for r in &report.ranks {
+            assert_eq!(r.end, RankEnd::Completed);
+            assert_eq!(r.result, Some(2.0));
+        }
+    }
+
+    #[test]
+    fn virtual_times_are_identical_at_any_worker_count() {
+        let baseline = ring_report(1);
+        for workers in [2, 4, 8] {
+            let report = ring_report(workers);
+            for (a, b) in baseline.ranks.iter().zip(&report.ranks) {
+                assert_eq!(a.final_time, b.final_time, "rank {} diverged", a.rank);
+                assert_eq!(a.compute_time, b.compute_time);
+                assert_eq!(a.comm_time, b.comm_time);
+                assert_eq!(a.wait_time, b.wait_time);
+            }
+            assert_eq!(baseline.messages, report.messages);
+        }
+    }
+
+    /// Two-rank ping-pong must charge the same virtual times as the
+    /// conservative-clock formulas predict: the engine is an execution
+    /// strategy, not a different cost model.
+    #[test]
+    fn ping_pong_matches_hand_computed_times() {
+        struct Ping(u8);
+        impl RankProgram for Ping {
+            fn step(&mut self, ctx: &RankCtx) -> Step {
+                self.0 += 1;
+                match (ctx.rank(), self.0) {
+                    (0, 1) => Step::Send {
+                        dst: 1,
+                        tag: 1,
+                        bytes: 1_000_000,
+                    },
+                    (0, 2) => Step::Recv {
+                        src: Some(1),
+                        tag: Some(2),
+                    },
+                    (1, 1) => Step::Recv {
+                        src: Some(0),
+                        tag: Some(1),
+                    },
+                    (1, 2) => Step::Send {
+                        dst: 0,
+                        tag: 2,
+                        bytes: 1_000_000,
+                    },
+                    _ => Step::Done,
+                }
+            }
+        }
+        // One rank per node: full NIC bandwidth, inter-node link.
+        let machine = MachineModel::grid5000_ib20g();
+        let link = *machine.link(false);
+        let config = EngineConfig::new(2)
+            .with_machine(machine)
+            .with_topology(Topology::one_per_node(2))
+            .with_workers(1);
+        let report = run_virtual_cluster(&config, |_| Ping(0));
+        let occupancy = link.sender_occupancy(1_000_000);
+        let overhead = SimTime::from_secs(link.send_overhead_s);
+        let latency = SimTime::from_secs(link.latency_s);
+        let recv_ovh = link.receiver_overhead();
+        // Rank 1: recv completes at arrival (= occupancy + latency) + recv
+        // overhead; its reply injection starts there.
+        let r1_recv_done = occupancy + latency + recv_ovh;
+        assert_eq!(report.ranks[1].final_time, r1_recv_done + overhead);
+        // Rank 0: sent (clock = overhead), then waits for the reply.
+        let reply_arrival = r1_recv_done + occupancy + latency;
+        assert_eq!(report.ranks[0].final_time, reply_arrival + recv_ovh);
+    }
+
+    /// A crash before the victim's send leaves the receiver observing
+    /// `PeerFailed` — the continuation analogue of `MpiError::ProcessFailed`.
+    struct WaitForPeer {
+        state: u8,
+        saw_failure: bool,
+    }
+
+    impl RankProgram for WaitForPeer {
+        fn step(&mut self, ctx: &RankCtx) -> Step {
+            match (ctx.rank(), self.state) {
+                (1, _) => {
+                    // Victim: compute past its crash time, then (never) send.
+                    self.state += 1;
+                    if self.state == 1 {
+                        Step::Elapse(SimTime::from_secs(5.0))
+                    } else {
+                        Step::Send {
+                            dst: 0,
+                            tag: 1,
+                            bytes: 8,
+                        }
+                    }
+                }
+                (0, 0) => {
+                    self.state = 1;
+                    Step::Recv {
+                        src: Some(1),
+                        tag: Some(1),
+                    }
+                }
+                _ => {
+                    self.saw_failure =
+                        matches!(ctx.last_recv(), Some(RecvOutcome::PeerFailed { src: 1 }));
+                    Step::Done
+                }
+            }
+        }
+
+        fn result(&self) -> Option<f64> {
+            Some(if self.saw_failure { 1.0 } else { 0.0 })
+        }
+    }
+
+    #[test]
+    fn crash_wakes_parked_receiver_with_peer_failed() {
+        let config = EngineConfig::ideal(2)
+            .with_workers(2)
+            .with_crash(1, SimTime::from_secs(1.0));
+        let report = run_virtual_cluster(&config, |_| WaitForPeer {
+            state: 0,
+            saw_failure: false,
+        });
+        assert_eq!(report.ranks[0].end, RankEnd::Completed);
+        assert_eq!(report.ranks[0].result, Some(1.0), "must observe PeerFailed");
+        assert_eq!(report.ranks[1].end, RankEnd::Crashed);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].rank, 1);
+        // The crash fired at the first step boundary past t=1.0, i.e. after
+        // the 5 s elapse.
+        assert_eq!(report.failures[0].time, SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    fn total_loss_makespan_reports_last_death_not_zero() {
+        struct Busy;
+        impl RankProgram for Busy {
+            fn step(&mut self, ctx: &RankCtx) -> Step {
+                if ctx.now() < SimTime::from_secs(10.0) {
+                    Step::Elapse(SimTime::from_secs(1.0 + ctx.rank() as f64))
+                } else {
+                    Step::Done
+                }
+            }
+        }
+        let config = EngineConfig::ideal(2)
+            .with_crash(0, SimTime::from_secs(0.5))
+            .with_crash(1, SimTime::from_secs(0.5));
+        let report = run_virtual_cluster(&config, |_| Busy);
+        assert!(report.all_crashed());
+        assert_eq!(report.makespan(), report.max_time());
+        // Rank 0 died at 1.0 (first boundary past 0.5), rank 1 at 2.0.
+        assert_eq!(report.makespan(), SimTime::from_secs(2.0));
+        assert_eq!(
+            report
+                .failures
+                .iter()
+                .map(|f| (f.rank, f.time))
+                .collect::<Vec<_>>(),
+            vec![(0, SimTime::from_secs(1.0)), (1, SimTime::from_secs(2.0))]
+        );
+    }
+
+    #[test]
+    fn deadlocked_rank_is_reported_not_hung() {
+        struct Stuck(bool);
+        impl RankProgram for Stuck {
+            fn step(&mut self, _ctx: &RankCtx) -> Step {
+                if !self.0 {
+                    self.0 = true;
+                    Step::Recv {
+                        src: Some(0),
+                        tag: Some(99),
+                    }
+                } else {
+                    Step::Done
+                }
+            }
+        }
+        let config = EngineConfig::ideal(2).with_workers(2);
+        let report = run_virtual_cluster(&config, |rank| Stuck(rank == 0));
+        // Rank 0 finishes immediately; rank 1 waits for a message that is
+        // never sent and must be reported as deadlocked, not hang the run.
+        assert_eq!(report.ranks[0].end, RankEnd::Completed);
+        assert!(matches!(report.ranks[1].end, RankEnd::Errored(ref m) if m.contains("deadlock")));
+    }
+
+    #[test]
+    fn panicking_program_is_reported_and_unblocks_peers() {
+        struct Faulty(u8);
+        impl RankProgram for Faulty {
+            fn step(&mut self, ctx: &RankCtx) -> Step {
+                self.0 += 1;
+                match (ctx.rank(), self.0) {
+                    (0, 1) => panic!("program bug"),
+                    (1, 1) => Step::Recv {
+                        src: Some(0),
+                        tag: Some(1),
+                    },
+                    _ => Step::Done,
+                }
+            }
+        }
+        let config = EngineConfig::ideal(2).with_workers(1);
+        let report = run_virtual_cluster(&config, |_| Faulty(0));
+        assert!(matches!(report.ranks[0].end, RankEnd::Errored(ref m) if m.contains("bug")));
+        // The peer observed the failure instead of deadlocking.
+        assert_eq!(report.ranks[1].end, RankEnd::Completed);
+    }
+
+    #[test]
+    fn step_budget_catches_non_terminating_programs() {
+        struct Spinner;
+        impl RankProgram for Spinner {
+            fn step(&mut self, _ctx: &RankCtx) -> Step {
+                Step::Elapse(SimTime::ZERO)
+            }
+        }
+        let config = EngineConfig::ideal(1).with_step_limit(1_000);
+        let report = run_virtual_cluster(&config, |_| Spinner);
+        assert!(matches!(report.ranks[0].end, RankEnd::Errored(ref m) if m.contains("budget")));
+    }
+
+    #[test]
+    fn self_send_is_received() {
+        struct SelfTalk(u8);
+        impl RankProgram for SelfTalk {
+            fn step(&mut self, ctx: &RankCtx) -> Step {
+                self.0 += 1;
+                match self.0 {
+                    1 => Step::Send {
+                        dst: ctx.rank(),
+                        tag: 3,
+                        bytes: 64,
+                    },
+                    2 => Step::Recv {
+                        src: Some(ctx.rank()),
+                        tag: Some(3),
+                    },
+                    _ => {
+                        assert!(matches!(ctx.last_recv(), Some(RecvOutcome::Message(_))));
+                        Step::Done
+                    }
+                }
+            }
+        }
+        let report = run_virtual_cluster(&EngineConfig::ideal(1), |_| SelfTalk(0));
+        assert_eq!(report.num_completed(), 1);
+    }
+}

@@ -29,6 +29,9 @@
 //! * [`collectives`] adds barrier / bcast / reduce / allreduce / (all)gather /
 //!   scatter;
 //! * [`router`] moves envelopes between per-rank mailboxes;
+//! * [`engine`] is the second execution strategy: cooperatively-scheduled
+//!   rank state machines on a discrete-event virtual-time core, lifting the
+//!   thread-per-rank ceiling to 10k–1M logical ranks;
 //! * [`datatype`] converts typed slices to and from bytes.
 //!
 //! The replication layer (`replication` crate) and the intra-parallelization
@@ -42,7 +45,9 @@ pub mod cluster;
 pub mod collectives;
 pub mod comm;
 pub mod datatype;
+pub mod engine;
 pub mod error;
+mod mailbox;
 pub mod message;
 pub mod proc;
 pub mod request;
@@ -54,8 +59,12 @@ pub use datatype::{
     copied_bytes, copy_into, extend_from_bytes, from_bytes, reset_copied_bytes, to_bytes,
     to_bytes_into, typed_view, Pod,
 };
+pub use engine::{
+    run_virtual_cluster, EngineConfig, RankCtx, RankEnd, RankProgram, RecvDone, RecvOutcome, Step,
+    VirtualClusterReport, VirtualRankReport,
+};
 pub use error::{MpiError, MpiResult};
 pub use message::{CommId, Envelope, MatchSelector, Tag, RESERVED_TAG_BASE};
 pub use proc::ProcHandle;
 pub use request::{RecvRequest, SendRequest};
-pub use router::Router;
+pub use router::{Router, RunnablePermit};

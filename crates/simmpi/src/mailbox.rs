@@ -1,0 +1,256 @@
+//! Indexed mailbox state shared by the two execution strategies.
+//!
+//! [`MailboxState`] implements the matching semantics of one rank's mailbox:
+//! envelopes queue in per-`(communicator, source, tag)` FIFO lanes, and a
+//! lazily-compacted arrival-order index remembers the order in which lanes
+//! received envelopes.  An exact receive (explicit source and tag) is a
+//! single lane lookup plus a pop — O(1) amortized regardless of how many
+//! unrelated messages are queued — while a wildcard receive walks an index.
+//!
+//! Two wildcard disciplines are offered, one per execution strategy:
+//!
+//! * [`take_match`](MailboxState::take_match) matches in **delivery order**
+//!   (the order `push` was called).  The condvar-based
+//!   [`Router`](crate::router::Router) uses it: with one OS thread per rank,
+//!   delivery order is the natural analogue of a flat mailbox scan.
+//! * [`take_match_by_arrival`](MailboxState::take_match_by_arrival) matches
+//!   in **virtual arrival order**, ties broken by `(source, tag, sender
+//!   sequence)`.  The event-driven engine ([`crate::engine`]) uses it so
+//!   that wildcard matching depends only on virtual time, never on the host
+//!   order in which worker threads happened to apply deliveries.
+//!
+//! ## Staleness and compaction
+//!
+//! The arrival-order index is maintained lazily: when an exact receive pops
+//! an envelope from its lane, the corresponding index entry stays behind and
+//! is discarded the next time a wildcard scan walks past it (an entry is
+//! stale exactly when its arrival id is older than the lane's current
+//! front).  To keep memory bounded on wildcard-free workloads, `push`
+//! compacts the index whenever it grows past twice the number of queued
+//! envelopes.
+
+use crate::message::{Envelope, LaneKey, MatchSelector};
+use std::collections::{HashMap, VecDeque};
+
+/// Index-compaction slack: the arrival-order index is rebuilt when it holds
+/// more than `2 * queued + COMPACT_SLACK` entries.  The constant keeps tiny
+/// mailboxes from compacting on every push.
+pub(crate) const COMPACT_SLACK: usize = 64;
+
+/// The matching core of one rank's mailbox.  Not synchronized: the router
+/// wraps it in a mutex/condvar pair, the engine drives it under its
+/// scheduler lock.
+#[derive(Default)]
+pub(crate) struct MailboxState {
+    /// Per-`(comm, src, tag)` FIFO lanes.  Values are `(arrival id,
+    /// envelope)`; arrival ids are monotone within the mailbox, so a lane's
+    /// ids are strictly increasing front to back.
+    lanes: HashMap<LaneKey, VecDeque<(u64, Envelope)>>,
+    /// Delivery-order index over all lanes (may contain stale entries, see
+    /// the module docs).
+    order: VecDeque<(u64, LaneKey)>,
+    /// Next arrival id.
+    next_arrival: u64,
+    /// Number of envelopes currently queued (live, not stale).
+    queued: usize,
+}
+
+impl MailboxState {
+    /// Queues an envelope.
+    pub(crate) fn push(&mut self, env: Envelope) {
+        let key = env.lane_key();
+        let id = self.next_arrival;
+        self.next_arrival += 1;
+        self.lanes.entry(key).or_default().push_back((id, env));
+        self.order.push_back((id, key));
+        self.queued += 1;
+        if self.order.len() > 2 * self.queued + COMPACT_SLACK {
+            self.compact();
+        }
+    }
+
+    /// Number of envelopes currently queued (live, not stale).
+    pub(crate) fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// Current length of the delivery-order index, stale entries included
+    /// (diagnostic; used by the compaction regression test).
+    #[cfg(test)]
+    pub(crate) fn index_len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Drops every stale index entry (lazy-deletion debt left behind by
+    /// exact receives).
+    fn compact(&mut self) {
+        let lanes = &self.lanes;
+        self.order.retain(|(id, key)| {
+            lanes
+                .get(key)
+                .and_then(|lane| lane.front())
+                .is_some_and(|&(front, _)| front <= *id)
+        });
+    }
+
+    /// Pops the front envelope of one lane, dropping the lane once empty so
+    /// the map does not accumulate dead `(comm, src, tag)` combinations.
+    fn pop_lane(&mut self, key: &LaneKey) -> Option<Envelope> {
+        let lane = self.lanes.get_mut(key)?;
+        let (_, env) = lane.pop_front()?;
+        if lane.is_empty() {
+            self.lanes.remove(key);
+        }
+        self.queued -= 1;
+        Some(env)
+    }
+
+    /// Removes and returns the earliest-**delivered** envelope matching
+    /// `sel`, if any — the same envelope a front-to-back scan of a flat
+    /// mailbox queue would select.
+    pub(crate) fn take_match(&mut self, sel: &MatchSelector) -> Option<Envelope> {
+        if let Some(key) = sel.exact_lane() {
+            // Fully determined selector: the match, if any, is the lane
+            // front (lanes are FIFO in delivery order).
+            return self.pop_lane(&key);
+        }
+        // Wildcard: walk the delivery-order index from the front, purging
+        // stale entries as they are encountered.
+        let mut i = 0;
+        while i < self.order.len() {
+            let (id, key) = self.order[i];
+            let front = self
+                .lanes
+                .get(&key)
+                .and_then(|lane| lane.front())
+                .map(|&(front, _)| front);
+            match front {
+                // Lane gone or already consumed past this entry: stale.
+                None => {
+                    self.order.remove(i);
+                }
+                Some(front) if front > id => {
+                    self.order.remove(i);
+                }
+                Some(front) => {
+                    if front == id && sel.matches_lane(&key) {
+                        self.order.remove(i);
+                        return self.pop_lane(&key);
+                    }
+                    // Either the lane does not match the selector, or an
+                    // older envelope of the same lane is still queued
+                    // (`front < id`) — in which case that envelope's own
+                    // index entry sits earlier and takes precedence.
+                    i += 1;
+                }
+            }
+        }
+        None
+    }
+
+    /// Removes and returns the envelope matching `sel` with the smallest
+    /// **virtual arrival time**, ties broken by `(source, tag, sender
+    /// sequence)`.
+    ///
+    /// Unlike [`take_match`](Self::take_match), the selection is a pure
+    /// function of the queued envelopes' virtual-time stamps — it does not
+    /// depend on the host order in which concurrent worker threads applied
+    /// deliveries, which is what lets the event-driven engine keep wildcard
+    /// receives deterministic at any worker count.  Within one lane the
+    /// delivery FIFO *is* arrival order (one sender's back-to-back sends
+    /// serialize on its channel, so arrivals are monotone per lane), so only
+    /// the cross-lane choice differs from delivery order.
+    pub(crate) fn take_match_by_arrival(&mut self, sel: &MatchSelector) -> Option<Envelope> {
+        if let Some(key) = sel.exact_lane() {
+            return self.pop_lane(&key);
+        }
+        // The candidate set is each matching lane's front.  `(arrival, src,
+        // tag, seq)` totally orders the candidates (two lanes never share
+        // `(src, tag)` under one selector comm), so the minimum is
+        // well-defined no matter what order the hash map iterates in.
+        let best = self
+            .lanes
+            .iter()
+            .filter(|(key, _)| sel.matches_lane(key))
+            .filter_map(|(key, lane)| lane.front().map(|(_, env)| (key, env)))
+            .min_by(|(ka, a), (kb, b)| {
+                (a.arrival, ka.1, ka.2, a.seq).cmp(&(b.arrival, kb.1, kb.2, b.seq))
+            })
+            .map(|(key, _)| *key)?;
+        self.pop_lane(&best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use simcluster::SimTime;
+
+    fn env_at(src: usize, tag: u32, arrival: f64, seq: u64) -> Envelope {
+        Envelope {
+            src_world: src,
+            dst_world: 0,
+            comm: 9,
+            tag,
+            payload: Bytes::new(),
+            modeled_bytes: 0,
+            arrival: SimTime::from_secs(arrival),
+            seq,
+        }
+    }
+
+    fn any(comm: u64) -> MatchSelector {
+        MatchSelector {
+            comm,
+            src_world: None,
+            tag: None,
+        }
+    }
+
+    #[test]
+    fn delivery_order_and_arrival_order_can_differ() {
+        // Lane (src 1) delivered first but arrives later than lane (src 0).
+        let mut mb = MailboxState::default();
+        mb.push(env_at(1, 5, 3.0, 0));
+        mb.push(env_at(0, 5, 1.0, 0));
+        let mut by_delivery = MailboxState::default();
+        by_delivery.push(env_at(1, 5, 3.0, 0));
+        by_delivery.push(env_at(0, 5, 1.0, 0));
+
+        // Delivery-order wildcard returns the first-delivered envelope…
+        assert_eq!(by_delivery.take_match(&any(9)).unwrap().src_world, 1);
+        // …while arrival-order wildcard returns the earliest arrival.
+        assert_eq!(mb.take_match_by_arrival(&any(9)).unwrap().src_world, 0);
+        assert_eq!(mb.take_match_by_arrival(&any(9)).unwrap().src_world, 1);
+        assert_eq!(mb.queued(), 0);
+    }
+
+    #[test]
+    fn arrival_order_breaks_ties_by_source_then_tag() {
+        let mut mb = MailboxState::default();
+        mb.push(env_at(2, 1, 1.0, 0));
+        mb.push(env_at(1, 7, 1.0, 0));
+        mb.push(env_at(1, 3, 1.0, 0));
+        let first = mb.take_match_by_arrival(&any(9)).unwrap();
+        assert_eq!((first.src_world, first.tag), (1, 3));
+        let second = mb.take_match_by_arrival(&any(9)).unwrap();
+        assert_eq!((second.src_world, second.tag), (1, 7));
+        assert_eq!(mb.take_match_by_arrival(&any(9)).unwrap().src_world, 2);
+    }
+
+    #[test]
+    fn arrival_order_respects_exact_lane_fifo() {
+        let mut mb = MailboxState::default();
+        mb.push(env_at(0, 5, 1.0, 0));
+        mb.push(env_at(0, 5, 2.0, 1));
+        let sel = MatchSelector {
+            comm: 9,
+            src_world: Some(0),
+            tag: Some(5),
+        };
+        assert_eq!(mb.take_match_by_arrival(&sel).unwrap().seq, 0);
+        assert_eq!(mb.take_match_by_arrival(&sel).unwrap().seq, 1);
+        assert!(mb.take_match_by_arrival(&sel).is_none());
+    }
+}

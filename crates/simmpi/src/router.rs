@@ -1,15 +1,17 @@
-//! Message routing between simulated processes.
+//! Message routing between simulated processes (thread-per-rank strategy).
 //!
 //! The router owns one mailbox per physical rank.  A mailbox is *indexed*:
 //! envelopes queue in per-`(communicator, source, tag)` FIFO lanes, and a
-//! separate arrival-order index remembers the order in which lanes received
+//! separate delivery-order index remembers the order in which lanes received
 //! envelopes.  An exact receive (`MPI_Recv` with explicit source and tag) is
 //! a single lane lookup plus a pop — O(1) amortized regardless of how many
 //! unrelated messages are queued — while a wildcard receive (`MPI_ANY_SOURCE`
-//! / `MPI_ANY_TAG`) walks the arrival-order index, which yields exactly the
+//! / `MPI_ANY_TAG`) walks the delivery-order index, which yields exactly the
 //! envelope a scan of one flat queue would have found.  Matching is purely
 //! receiver-side and per-lane FIFO, which preserves MPI's non-overtaking
-//! guarantee.
+//! guarantee.  The matching core lives in the private `mailbox` module, shared
+//! with the event-driven engine ([`crate::engine`]); the router adds the
+//! blocking layer around it.
 //!
 //! Blocked receivers never sleep-poll.  Each mailbox pairs a generation
 //! counter with a condvar: delivery, abort and failure notification bump the
@@ -19,138 +21,109 @@
 //! board — by the failure injector, a panicking process, or a test harness —
 //! wakes every blocked receiver immediately; there is no re-check interval
 //! to wait out.
-//!
-//! ## Staleness and compaction
-//!
-//! The arrival-order index is maintained lazily: when an exact receive pops
-//! an envelope from its lane, the corresponding index entry stays behind and
-//! is discarded the next time a wildcard scan walks past it (an entry is
-//! stale exactly when its arrival id is older than the lane's current
-//! front).  To keep memory bounded on wildcard-free workloads, delivery
-//! compacts the index whenever it grows past twice the number of queued
-//! envelopes.
 
 use crate::error::{MpiError, MpiResult};
-use crate::message::{Envelope, LaneKey, MatchSelector};
+use crate::mailbox::MailboxState;
+use crate::message::{Envelope, MatchSelector};
 use parking_lot::{Condvar, Mutex};
 use simcluster::FailureStatusBoard;
-use std::collections::{HashMap, VecDeque};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
-/// Index-compaction slack: the arrival-order index is rebuilt when it holds
-/// more than `2 * queued + COMPACT_SLACK` entries.  The constant keeps tiny
-/// mailboxes from compacting on every push.
-const COMPACT_SLACK: usize = 64;
+thread_local! {
+    /// True while the current thread holds a [`RunnablePermit`].  Lets
+    /// [`Router::recv_blocking`] know whether it must release a runnable
+    /// slot around its sleep (threads without a permit — tests, external
+    /// callers — wait without touching the gate).
+    static HOLDS_PERMIT: Cell<bool> = const { Cell::new(false) };
+}
 
+/// Counting gate that bounds how many rank threads are *runnable* at once.
+///
+/// With one OS thread per simulated rank, an ungated cluster makes the host
+/// scheduler juggle all N threads even though most are asleep in a receive;
+/// past a few hundred ranks the wakeup storms and context-switch overhead
+/// dominate.  The gate caps concurrency: each rank thread holds a permit
+/// while it executes and *releases it for the duration of every blocking
+/// receive*, so a small worker-pool's worth of threads makes progress while
+/// the rest stay parked.  Virtual-time results are unaffected — they are a
+/// pure function of the messages exchanged, not of host scheduling.
+///
+/// A limit of `0` disables the gate entirely (every operation is a no-op).
+struct RunnableGate {
+    limit: usize,
+    running: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl RunnableGate {
+    fn new(limit: usize) -> Self {
+        RunnableGate {
+            limit,
+            running: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a runnable slot is free and claims it.
+    fn acquire(&self) {
+        if self.limit == 0 {
+            return;
+        }
+        let mut running = self.running.lock();
+        while *running >= self.limit {
+            self.cv.wait(&mut running);
+        }
+        *running += 1;
+    }
+
+    /// Returns a claimed slot.
+    fn release(&self) {
+        if self.limit == 0 {
+            return;
+        }
+        let mut running = self.running.lock();
+        *running -= 1;
+        self.cv.notify_one();
+    }
+}
+
+/// RAII claim on one runnable slot of a router's gate, held by a rank
+/// thread for the duration of its body (see [`Router::enter_runnable`]).
+/// Dropping the permit — including during a panic unwind — returns the
+/// slot.
+pub struct RunnablePermit<'r> {
+    router: &'r Router,
+}
+
+impl Drop for RunnablePermit<'_> {
+    fn drop(&mut self) {
+        HOLDS_PERMIT.with(|h| h.set(false));
+        self.router.gate.release();
+    }
+}
+
+/// One mailbox's condvar-synchronized state: the shared matching core
+/// ([`MailboxState`], also used by the event-driven engine) plus the wakeup
+/// generation receivers sleep on.
 #[derive(Default)]
-struct MailboxState {
-    /// Per-`(comm, src, tag)` FIFO lanes.  Values are `(arrival id,
-    /// envelope)`; arrival ids are monotone within the mailbox, so a lane's
-    /// ids are strictly increasing front to back.
-    lanes: HashMap<LaneKey, VecDeque<(u64, Envelope)>>,
-    /// Arrival-order index over all lanes (may contain stale entries, see
-    /// the module docs).
-    order: VecDeque<(u64, LaneKey)>,
-    /// Next arrival id.
-    next_arrival: u64,
-    /// Number of envelopes currently queued (live, not stale).
-    queued: usize,
+struct MailboxSync {
+    mail: MailboxState,
     /// Wakeup generation: bumped by delivery, abort and failure
     /// notification.  Receivers sleep on the condvar until it moves.
     generation: u64,
 }
 
-impl MailboxState {
-    fn push(&mut self, env: Envelope) {
-        let key = env.lane_key();
-        let id = self.next_arrival;
-        self.next_arrival += 1;
-        self.lanes.entry(key).or_default().push_back((id, env));
-        self.order.push_back((id, key));
-        self.queued += 1;
-        if self.order.len() > 2 * self.queued + COMPACT_SLACK {
-            self.compact();
-        }
-    }
-
-    /// Drops every stale index entry (lazy-deletion debt left behind by
-    /// exact receives).
-    fn compact(&mut self) {
-        let lanes = &self.lanes;
-        self.order.retain(|(id, key)| {
-            lanes
-                .get(key)
-                .and_then(|lane| lane.front())
-                .is_some_and(|&(front, _)| front <= *id)
-        });
-    }
-
-    /// Pops the front envelope of one lane, dropping the lane once empty so
-    /// the map does not accumulate dead `(comm, src, tag)` combinations.
-    fn pop_lane(&mut self, key: &LaneKey) -> Option<Envelope> {
-        let lane = self.lanes.get_mut(key)?;
-        let (_, env) = lane.pop_front()?;
-        if lane.is_empty() {
-            self.lanes.remove(key);
-        }
-        self.queued -= 1;
-        Some(env)
-    }
-
-    /// Removes and returns the earliest-delivered envelope matching `sel`,
-    /// if any — the same envelope a front-to-back scan of a flat mailbox
-    /// queue would select.
-    fn take_match(&mut self, sel: &MatchSelector) -> Option<Envelope> {
-        if let Some(key) = sel.exact_lane() {
-            // Fully determined selector: the match, if any, is the lane
-            // front (lanes are FIFO in delivery order).
-            return self.pop_lane(&key);
-        }
-        // Wildcard: walk the arrival-order index from the front, purging
-        // stale entries as they are encountered.
-        let mut i = 0;
-        while i < self.order.len() {
-            let (id, key) = self.order[i];
-            let front = self
-                .lanes
-                .get(&key)
-                .and_then(|lane| lane.front())
-                .map(|&(front, _)| front);
-            match front {
-                // Lane gone or already consumed past this entry: stale.
-                None => {
-                    self.order.remove(i);
-                }
-                Some(front) if front > id => {
-                    self.order.remove(i);
-                }
-                Some(front) => {
-                    if front == id && sel.matches_lane(&key) {
-                        self.order.remove(i);
-                        return self.pop_lane(&key);
-                    }
-                    // Either the lane does not match the selector, or an
-                    // older envelope of the same lane is still queued
-                    // (`front < id`) — in which case that envelope's own
-                    // index entry sits earlier and takes precedence.
-                    i += 1;
-                }
-            }
-        }
-        None
-    }
-}
-
 struct Mailbox {
-    state: Mutex<MailboxState>,
+    state: Mutex<MailboxSync>,
     cv: Condvar,
 }
 
 impl Mailbox {
     fn new() -> Self {
         Mailbox {
-            state: Mutex::new(MailboxState::default()),
+            state: Mutex::new(MailboxSync::default()),
             cv: Condvar::new(),
         }
     }
@@ -169,6 +142,7 @@ pub struct Router {
     seq: AtomicU64,
     aborted: AtomicBool,
     failures: FailureStatusBoard,
+    gate: RunnableGate,
 }
 
 impl Router {
@@ -191,7 +165,28 @@ impl Router {
             seq: AtomicU64::new(0),
             aborted: AtomicBool::new(false),
             failures,
+            gate: RunnableGate::new(0),
         }
+    }
+
+    /// Bounds how many permit-holding rank threads are runnable at once
+    /// (`0` = unbounded).  Permits are claimed with
+    /// [`enter_runnable`](Router::enter_runnable) and transparently released
+    /// around every blocking receive, so the limit caps host-scheduler load
+    /// without changing any virtual-time result.
+    pub fn with_runnable_limit(mut self, limit: usize) -> Self {
+        self.gate = RunnableGate::new(limit);
+        self
+    }
+
+    /// Claims a runnable slot for the current thread, blocking until one is
+    /// free.  The slot is held until the returned permit drops and is
+    /// temporarily given back for the duration of every
+    /// [`recv_blocking`](Router::recv_blocking) sleep on this thread.
+    pub fn enter_runnable(&self) -> RunnablePermit<'_> {
+        self.gate.acquire();
+        HOLDS_PERMIT.with(|h| h.set(true));
+        RunnablePermit { router: self }
     }
 
     /// Number of ranks served.
@@ -223,7 +218,7 @@ impl Router {
         }
         let mb = &self.mailboxes[dst];
         let mut state = mb.state.lock();
-        state.push(env);
+        state.mail.push(env);
         state.generation += 1;
         mb.cv.notify_all();
     }
@@ -252,7 +247,7 @@ impl Router {
     /// Non-blocking probe: removes and returns the earliest envelope in
     /// `dst`'s mailbox matching `sel`, if any.
     pub fn try_match(&self, dst: usize, sel: &MatchSelector) -> Option<Envelope> {
-        self.mailboxes[dst].state.lock().take_match(sel)
+        self.mailboxes[dst].state.lock().mail.take_match(sel)
     }
 
     /// Blocking receive: waits until an envelope matching `sel` is available
@@ -275,7 +270,7 @@ impl Router {
         let mb = &self.mailboxes[dst];
         let mut state = mb.state.lock();
         loop {
-            if let Some(env) = state.take_match(sel) {
+            if let Some(env) = state.mail.take_match(sel) {
                 return Ok(env);
             }
             if self.is_aborted() {
@@ -293,8 +288,23 @@ impl Router {
             // bumped under the mailbox lock, so checking it under the same
             // lock cannot miss a wakeup.
             let waited_on = state.generation;
+            let gated = HOLDS_PERMIT.with(Cell::get);
             while state.generation == waited_on {
-                mb.cv.wait(&mut state);
+                if gated {
+                    // Give the runnable slot back while asleep so another
+                    // rank thread can make the progress this one is waiting
+                    // for.  Reacquire only *after* unlocking the mailbox:
+                    // holding the mailbox lock while blocked on the gate
+                    // would deadlock against a permit-holding sender trying
+                    // to deliver into this very mailbox.
+                    self.gate.release();
+                    mb.cv.wait(&mut state);
+                    drop(state);
+                    self.gate.acquire();
+                    state = mb.state.lock();
+                } else {
+                    mb.cv.wait(&mut state);
+                }
             }
         }
     }
@@ -302,7 +312,7 @@ impl Router {
     /// Number of queued (unmatched) envelopes currently sitting in `dst`'s
     /// mailbox.  Diagnostic only.
     pub fn queued(&self, dst: usize) -> usize {
-        self.mailboxes[dst].state.lock().queued
+        self.mailboxes[dst].state.lock().mail.queued()
     }
 }
 
@@ -467,6 +477,63 @@ mod tests {
     }
 
     #[test]
+    fn runnable_gate_bounds_concurrency() {
+        use std::sync::atomic::AtomicUsize;
+        let r = Arc::new(Router::new(1, FailureStatusBoard::new(1)).with_runnable_limit(2));
+        let concurrent = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                let concurrent = Arc::clone(&concurrent);
+                let peak = Arc::clone(&peak);
+                thread::spawn(move || {
+                    let _permit = r.enter_runnable();
+                    let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    thread::sleep(Duration::from_millis(5));
+                    concurrent.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let peak = peak.load(Ordering::SeqCst);
+        assert!(peak <= 2, "gate of 2 admitted {peak} concurrent threads");
+    }
+
+    /// The load-bearing property of the gate: a receiver parked in
+    /// `recv_blocking` must give its runnable slot back, otherwise a
+    /// 1-permit cluster would deadlock the moment any rank waits for a
+    /// message whose sender has not run yet.
+    #[test]
+    fn parked_receiver_releases_its_runnable_slot() {
+        let board = FailureStatusBoard::new(2);
+        let r = Arc::new(Router::new(2, board).with_runnable_limit(1));
+        let receiver = {
+            let r = Arc::clone(&r);
+            thread::spawn(move || {
+                let _permit = r.enter_runnable();
+                r.recv_blocking(1, &sel(9, Some(0), Some(3)))
+            })
+        };
+        // Let the receiver claim the only permit and park.
+        thread::sleep(Duration::from_millis(10));
+        let sender = {
+            let r = Arc::clone(&r);
+            thread::spawn(move || {
+                // Only acquirable because the parked receiver released it.
+                let _permit = r.enter_runnable();
+                r.deliver(env(0, 1, 9, 3, 0));
+            })
+        };
+        sender.join().unwrap();
+        let got = receiver.join().unwrap().unwrap();
+        assert_eq!(got.tag, 3);
+    }
+
+    #[test]
     fn index_compaction_keeps_memory_bounded_without_wildcards() {
         let r = Router::new(2, FailureStatusBoard::new(2));
         // Many deliver/exact-receive cycles never run a wildcard scan, so
@@ -477,11 +544,11 @@ mod tests {
             assert_eq!(got.seq, round);
         }
         let state = r.mailboxes[1].state.lock();
-        assert_eq!(state.queued, 0);
+        assert_eq!(state.mail.queued(), 0);
         assert!(
-            state.order.len() <= COMPACT_SLACK + 2,
+            state.mail.index_len() <= crate::mailbox::COMPACT_SLACK + 2,
             "stale index entries must be compacted away, found {}",
-            state.order.len()
+            state.mail.index_len()
         );
     }
 }
