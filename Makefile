@@ -10,8 +10,8 @@ CAMPAIGN_JOBS ?= 4
 CAMPAIGN_TOL ?= 0
 
 .PHONY: all build test verify bench-build docs fmt fmt-check clippy \
-        campaign-smoke weak-smoke golden golden-weak bench-json \
-        api-surface api-surface-check ci clean
+        campaign-smoke failures-smoke weak-smoke golden golden-failures \
+        golden-weak bench-json api-surface api-surface-check ci clean
 
 # Label recorded with the BENCH.json entry (CI passes its own).
 BENCH_LABEL ?= local
@@ -57,6 +57,20 @@ campaign-smoke:
 	./target/release/campaign diff crates/campaign/golden/smoke.json \
 		target/campaign-smoke.json --tol $(CAMPAIGN_TOL)
 
+# The failure-model gate: run the failure sweep (fitted MTBF hazards and
+# correlated node/rack domains included) at two job counts, require both
+# reports byte-identical, then gate on the checked-in golden baseline.
+failures-smoke:
+	$(CARGO) build --release -p campaign
+	./target/release/campaign run --grid failures --jobs 1 \
+		--out target/campaign-failures-j1.json
+	./target/release/campaign run --grid failures --jobs 8 \
+		--out target/campaign-failures.json --csv target/campaign-failures.csv
+	./target/release/campaign diff target/campaign-failures-j1.json \
+		target/campaign-failures.json --tol 0
+	./target/release/campaign diff crates/campaign/golden/failures.json \
+		target/campaign-failures.json --tol $(CAMPAIGN_TOL)
+
 # The event-engine determinism gate: run the weak-scaling smoke sweep at
 # two engine worker counts and require both to match the checked-in golden
 # baseline bit-exactly, then prove the 10k-logical-rank sweep still runs.
@@ -101,13 +115,19 @@ golden:
 	./target/release/campaign run --grid smoke --jobs $(CAMPAIGN_JOBS) \
 		--strip-informational --out crates/campaign/golden/smoke.json
 
+# Same, for the failure-model sweep baseline.
+golden-failures:
+	$(CARGO) build --release -p campaign
+	./target/release/campaign run --grid failures --jobs $(CAMPAIGN_JOBS) \
+		--strip-informational --out crates/campaign/golden/failures.json
+
 # Same, for the event-engine weak-scaling baseline.
 golden-weak:
 	$(CARGO) build --release -p campaign
 	./target/release/campaign weak --sweep weak-smoke --workers 1 \
 		--strip-informational --out crates/campaign/golden/weak_scaling.json
 
-ci: verify bench-build docs fmt-check clippy api-surface-check campaign-smoke weak-smoke
+ci: verify bench-build docs fmt-check clippy api-surface-check campaign-smoke failures-smoke weak-smoke
 
 clean:
 	$(CARGO) clean

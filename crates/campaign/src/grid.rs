@@ -9,7 +9,7 @@
 use crate::spec::{FailureSpec, RunSpec};
 use apps::{AppId, ExperimentScale};
 use ipr_core::SchedulerKind;
-use replication::{ExecutionMode, FailureRate};
+use replication::{ExecutionMode, FailureDomain, FailureRate};
 
 /// A declarative sweep: the cross product of the six axes below.
 #[derive(Debug, Clone)]
@@ -84,9 +84,10 @@ impl CampaignGrid {
         }
     }
 
-    /// Failure-rate sweep: HPCCG under intra-parallelized replication with
+    /// Failure-model sweep: HPCCG under intra-parallelized replication with
     /// homogeneous and inhomogeneous (ramp, burst) Poisson arrivals at
-    /// increasing rates.
+    /// increasing rates, the fitted Weibull/log-normal MTBF hazards, and
+    /// correlated node/rack failure domains.
     pub fn failures() -> Self {
         let h = SMOKE_FAILURE_HORIZON_S;
         CampaignGrid {
@@ -123,6 +124,27 @@ impl CampaignGrid {
                         center: 0.5,
                         width: 0.25,
                     },
+                    horizon_s: h,
+                },
+                // The fitted MTBF hazards, with one MTBF per horizon so a
+                // tiny run sees about one expected failure per rank.
+                FailureSpec::Poisson {
+                    rate: FailureRate::weibull_hpc(h),
+                    horizon_s: h,
+                },
+                FailureSpec::Poisson {
+                    rate: FailureRate::lognormal_hpc(h),
+                    horizon_s: h,
+                },
+                // Correlated domains: one event kills a whole node / rack.
+                FailureSpec::Correlated {
+                    domain: FailureDomain::Node,
+                    rate: FailureRate::Constant(1.0),
+                    horizon_s: h,
+                },
+                FailureSpec::Correlated {
+                    domain: FailureDomain::Rack { nodes_per_rack: 2 },
+                    rate: FailureRate::weibull_hpc(h),
                     horizon_s: h,
                 },
             ],

@@ -33,12 +33,13 @@ impl CampaignReport {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "id,app,scale,mode,scheduler,failure,seed,procs,completed,crashed,errored,\
-             failure_events,makespan_s,section_s,update_drain_s,tasks_executed,tasks_received,\
-             tasks_reexecuted,update_bytes_sent,verification,wall_time_ms\n",
+             failure_events,scheduled_crashes,makespan_s,section_s,update_drain_s,\
+             tasks_executed,tasks_received,tasks_reexecuted,update_bytes_sent,verification,\
+             wall_time_ms\n",
         );
         for r in &self.runs {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 r.id,
                 r.app,
                 r.scale,
@@ -51,6 +52,7 @@ impl CampaignReport {
                 r.crashed,
                 r.errored,
                 r.failure_events,
+                r.scheduled_crashes,
                 r.makespan_s,
                 r.section_s,
                 r.update_drain_s,
@@ -80,6 +82,7 @@ fn run_to_json(r: &RunResult) -> Json {
         ("crashed", Json::Num(r.crashed as f64)),
         ("errored", Json::Num(r.errored as f64)),
         ("failure_events", Json::Num(r.failure_events as f64)),
+        ("scheduled_crashes", Json::Num(r.scheduled_crashes as f64)),
         ("makespan_s", Json::Num(r.makespan_s)),
         ("section_s", Json::Num(r.section_s)),
         ("update_drain_s", Json::Num(r.update_drain_s)),
@@ -115,6 +118,7 @@ mod tests {
                 crashed: 0,
                 errored: 0,
                 failure_events: 0,
+                scheduled_crashes: 0,
                 makespan_s: 1.5,
                 section_s: 0.75,
                 update_drain_s: 0.25,

@@ -41,6 +41,13 @@ pub struct RunResult {
     pub errored: usize,
     /// Crash-stop failure events recorded by the cluster.
     pub failure_events: usize,
+    /// Timed crashes the failure plan scheduled before the run started
+    /// (`Experiment::scheduled_crashes().len()`): a pure function of the
+    /// spec, so diffed exactly like every other deterministic column.  Not
+    /// every scheduled crash fires — a rank that finishes before its crash
+    /// time survives — which is why this is reported next to
+    /// `failure_events`.
+    pub scheduled_crashes: usize,
     /// Virtual makespan over the surviving ranks, in seconds.
     pub makespan_s: f64,
     /// Mean virtual time inside intra-parallel sections over completed
@@ -73,6 +80,7 @@ pub fn run_spec(spec: &RunSpec) -> RunResult {
     let experiment = spec
         .experiment()
         .expect("expanded grid points are valid experiments");
+    let scheduled_crashes = experiment.scheduled_crashes().len();
     let report = experiment.run().expect("experiment execution");
     RunResult {
         id: spec.id(),
@@ -87,6 +95,7 @@ pub fn run_spec(spec: &RunSpec) -> RunResult {
         crashed: report.crashed(),
         errored: report.errored(),
         failure_events: report.failure_events,
+        scheduled_crashes,
         makespan_s: report.makespan_s,
         section_s: report.mean_section_s(),
         update_drain_s: report.mean_update_drain_s(),

@@ -54,21 +54,37 @@ impl WeakRunSpec {
         self.logical * self.mode.degree()
     }
 
-    /// Per-rank crash times of this run: the first arrival of each physical
-    /// rank's Poisson trace (same sampler, seed discipline and labels as the
-    /// classic grid's failure axis).
+    /// Per-rank crash times of this run.  Poisson plans take the first
+    /// arrival of each physical rank's trace (same sampler, seed discipline
+    /// and labels as the classic grid's failure axis); correlated plans
+    /// expand each group's first event over the co-located ranks of the
+    /// run's topology — the same one [`apps::run_weak_scaling`] places the
+    /// ranks on.
     pub fn crashes(&self) -> Vec<(usize, SimTime)> {
-        let FailureSpec::Poisson { rate, horizon_s } = self.failure else {
-            return Vec::new();
-        };
-        let horizon = SimTime::from_secs(horizon_s);
-        (0..self.procs())
-            .filter_map(|rank| {
-                replication::sample_failure_trace(rate, horizon, self.seed, rank)
-                    .first()
-                    .map(|&t| (rank, t))
-            })
-            .collect()
+        match self.failure {
+            FailureSpec::None => Vec::new(),
+            FailureSpec::Poisson { rate, horizon_s } => {
+                let horizon = SimTime::from_secs(horizon_s);
+                (0..self.procs())
+                    .filter_map(|rank| {
+                        replication::sample_failure_trace(rate, horizon, self.seed, rank)
+                            .first()
+                            .map(|&t| (rank, t))
+                    })
+                    .collect()
+            }
+            FailureSpec::Correlated {
+                domain,
+                rate,
+                horizon_s,
+            } => {
+                let topology = self
+                    .workload()
+                    .topology(&simcluster::MachineModel::grid5000_ib20g());
+                replication::CorrelatedPlan::new(domain, rate, SimTime::from_secs(horizon_s))
+                    .crashes(&topology, self.seed)
+            }
+        }
     }
 
     /// The workload spec this run executes.
@@ -163,19 +179,45 @@ impl WeakSweep {
         }
     }
 
+    /// Weak scaling under realistic failure pressure: 1k logical ranks,
+    /// native vs intra, with the fitted Weibull MTBF hazard per rank and
+    /// rack-correlated events (one rack = 8 nodes) — the sweep that shows
+    /// replica-disjoint placement absorbing correlated losses at scale.
+    pub fn failures() -> Self {
+        WeakSweep {
+            name: "weak-failures".to_string(),
+            logical: vec![1_000],
+            modes: vec![WeakMode::Native, WeakMode::Intra],
+            iters: 2,
+            failures: vec![
+                FailureSpec::Poisson {
+                    rate: replication::FailureRate::weibull_hpc(FailureSpec::DEFAULT_HORIZON_S),
+                    horizon_s: FailureSpec::DEFAULT_HORIZON_S,
+                },
+                FailureSpec::Correlated {
+                    domain: replication::FailureDomain::Rack { nodes_per_rack: 8 },
+                    rate: replication::FailureRate::Constant(0.2),
+                    horizon_s: FailureSpec::DEFAULT_HORIZON_S,
+                },
+            ],
+            seeds: vec![42],
+        }
+    }
+
     /// Looks up a built-in sweep by name.
     pub fn by_name(name: &str) -> Option<Self> {
         match name {
             "weak-smoke" => Some(Self::smoke()),
             "weak-10k" => Some(Self::scale_10k()),
             "weak-100k" => Some(Self::scale_100k()),
+            "weak-failures" => Some(Self::failures()),
             _ => None,
         }
     }
 
     /// Names of the built-in sweeps.
     pub fn builtin_names() -> &'static [&'static str] {
-        &["weak-smoke", "weak-10k", "weak-100k"]
+        &["weak-smoke", "weak-10k", "weak-100k", "weak-failures"]
     }
 }
 

@@ -22,7 +22,7 @@ proptest! {
         mode_i in 0usize..3,
         degree in 2usize..5,
         sched_i in 0usize..SchedulerKind::ALL.len(),
-        fail_i in 0usize..4,
+        fail_i in 0usize..8,
         seed in 0u64..10_000,
         index in 0usize..64,
     ) {
@@ -38,9 +38,20 @@ proptest! {
                 FailureRate::Ramp { start: 0.0, end: 2.0 },
                 2.0,
             ),
-            _ => FailurePlan::poisson_process(
+            3 => FailurePlan::poisson_process(
                 FailureRate::Burst { base: 0.1, peak: 4.0, center: 0.5, width: 0.25 },
                 1.5,
+            ),
+            4 => FailurePlan::poisson_process(FailureRate::weibull_hpc(360.0), 1.0),
+            5 => FailurePlan::poisson_process(
+                // Negative log-space location: the label embeds `--`.
+                FailureRate::LogNormal { mu: -0.5, sigma: 1.25 },
+                2.0,
+            ),
+            6 => FailurePlan::node_failures(FailureRate::Constant(1.0)),
+            _ => FailurePlan::rack_failures(
+                4,
+                FailureRate::Weibull { shape: 0.7, scale_s: 90.0 },
             ),
         };
         let spec = RunSpec {

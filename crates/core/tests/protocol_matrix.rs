@@ -23,8 +23,26 @@ fn run_workload(
     procs: usize,
     injector: &FailureInjector,
 ) -> Vec<Result<IntraResult<f64>, String>> {
+    run_workload_on(&ClusterConfig::ideal(procs), mode, injector, 0.0)
+}
+
+/// [`run_workload`] on an explicit cluster configuration, with `warmup_s`
+/// virtual seconds of modeled work charged before the first section.  The
+/// timed-trace tests use both: arrivals at t > 0 are only due once virtual
+/// time has advanced past them, which never happens on the zero-cost ideal
+/// machine (and, outside the intra mode, this workload models no
+/// time-charged communication of its own).
+fn run_workload_on(
+    config: &ClusterConfig,
+    mode: ExecutionMode,
+    injector: &FailureInjector,
+    warmup_s: f64,
+) -> Vec<Result<IntraResult<f64>, String>> {
     let injector = injector.clone();
-    let report = run_cluster(&ClusterConfig::ideal(procs), move |proc| {
+    let report = run_cluster(config, move |proc| {
+        if warmup_s > 0.0 {
+            proc.charge_other(SimTime::from_secs(warmup_s));
+        }
         let env = ReplicatedEnv::new(proc, mode, injector.clone())?;
         let mut rt = IntraRuntime::new(env, IntraConfig::paper());
         let mut ws = Workspace::new();
@@ -240,4 +258,91 @@ fn intra_recovery_reports_the_observed_failure() {
         survivor.tasks_executed_locally, survivor.num_tasks,
         "survivor ends up executing everything"
     );
+}
+
+/// Failure traces drawn from the fitted MTBF hazards (Weibull, LogNormal)
+/// arm timed failures exactly like the homogeneous traces: in every mode
+/// the armed rank crashes at the first protocol point past its first
+/// arrival, and the survivor finishes with the correct result.
+#[test]
+fn mtbf_hazard_traces_crash_and_recover_in_every_mode() {
+    use replication::{sample_failure_trace, FailureRate};
+
+    // MTBF of 1e-9 virtual seconds: the first arrival lands long before
+    // the workload's first modeled compute step (~1e-7 s of virtual time),
+    // so the crash is observed at an early protocol point.
+    let horizon = SimTime::from_secs(1e-6);
+    for rate in [
+        FailureRate::weibull_hpc(1e-9),
+        FailureRate::lognormal_hpc(1e-9),
+    ] {
+        let trace = sample_failure_trace(rate, horizon, 42, 0);
+        assert!(
+            !trace.is_empty(),
+            "{}: a hot hazard must produce arrivals",
+            rate.label()
+        );
+        for mode in ALL_MODES {
+            let injector = FailureInjector::none();
+            injector.arm_trace(0, &trace);
+            let results = run_workload_on(&ClusterConfig::new(2), mode, &injector, 1e-7);
+            assert_eq!(
+                results[0].as_ref().unwrap().as_ref().unwrap_err(),
+                &IntraError::Crashed,
+                "{mode:?} {}: traced rank must crash",
+                rate.label()
+            );
+            assert_eq!(
+                results[1].as_ref().unwrap().as_ref().unwrap(),
+                &4.0,
+                "{mode:?} {}: survivor result",
+                rate.label()
+            );
+            let fired = injector.fired_timed();
+            assert_eq!(fired.len(), 1, "{mode:?} {}", rate.label());
+            assert_eq!(fired[0].scheduled, trace[0], "earliest arrival fires");
+        }
+    }
+}
+
+/// A correlated node event expanded over a replica-disjoint topology arms
+/// one whole replica set; the intra runtime recovers on the other set.
+#[test]
+fn correlated_node_loss_is_survivable_under_replica_disjoint_placement() {
+    use replication::{CorrelatedPlan, FailureDomain, FailureRate};
+    use simcluster::Topology;
+
+    // 2 logical ranks x 2 replicas on 2-core nodes: node 0 = replica set 0.
+    let topo = Topology::replica_disjoint(2, 2, 2);
+    let plan = CorrelatedPlan::new(
+        FailureDomain::Node,
+        FailureRate::Constant(1e9),
+        SimTime::from_secs(1e-6),
+    );
+    let crashes = plan.crashes(&topo, 42);
+    let injector = FailureInjector::none();
+    // Keep only node 0's event: a single correlated loss.
+    for &(rank, at) in crashes.iter().filter(|&&(r, _)| topo.node_of(r) == 0) {
+        injector.arm_at(rank, at);
+    }
+    let results = run_workload_on(
+        &ClusterConfig::new(4),
+        ExecutionMode::IntraParallel { degree: 2 },
+        &injector,
+        1e-7,
+    );
+    for rank in topo.ranks_on(0) {
+        assert_eq!(
+            results[rank].as_ref().unwrap().as_ref().unwrap_err(),
+            &IntraError::Crashed,
+            "rank {rank} of the lost node"
+        );
+    }
+    for rank in topo.ranks_on(1) {
+        assert_eq!(
+            results[rank].as_ref().unwrap().as_ref().unwrap(),
+            &4.0,
+            "rank {rank} of the surviving node"
+        );
+    }
 }

@@ -22,9 +22,16 @@
 //! reproducible from its seed.
 
 use parking_lot::Mutex;
-use rand::Rng;
 use simcluster::SimTime;
 use std::sync::Arc;
+
+// The rate functions and trace samplers historically lived in this module;
+// they moved to the dedicated `rate` module when the failure-model library
+// grew, and stay re-exported here for the established paths.
+pub use crate::rate::{
+    majorant_candidates, majorant_candidates_fn, sample_failure_trace, sample_trace_fn,
+    FailureRate, HorizonRate, RateFn,
+};
 
 /// A point in the intra-parallelization / replication protocol at which a
 /// failure can be injected.
@@ -73,196 +80,6 @@ pub enum ProtocolPoint {
         /// Iteration index.
         iteration: usize,
     },
-}
-
-/// Intensity function λ(t) of a Poisson failure-arrival process, in crashes
-/// per virtual second.  `Constant` gives a homogeneous process; the other
-/// variants are inhomogeneous and are sampled by thinning a homogeneous
-/// process running at the peak rate.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum FailureRate {
-    /// λ(t) = `rate` for all t.
-    Constant(f64),
-    /// λ(t) ramps linearly from `start` at t = 0 to `end` at t = horizon.
-    Ramp {
-        /// Rate at the beginning of the horizon.
-        start: f64,
-        /// Rate at the end of the horizon.
-        end: f64,
-    },
-    /// λ(t) = `base` outside the burst window, `peak` inside
-    /// [`center` − `width`/2, `center` + `width`/2] (times are fractions of
-    /// the horizon in [0, 1]).
-    Burst {
-        /// Background rate outside the burst.
-        base: f64,
-        /// Rate inside the burst window.
-        peak: f64,
-        /// Center of the burst as a fraction of the horizon.
-        center: f64,
-        /// Width of the burst as a fraction of the horizon.
-        width: f64,
-    },
-}
-
-impl FailureRate {
-    /// The intensity at time `t` of a process observed over `horizon`
-    /// virtual seconds.
-    pub fn at(&self, t: f64, horizon: f64) -> f64 {
-        let rate = match *self {
-            FailureRate::Constant(rate) => rate,
-            FailureRate::Ramp { start, end } => {
-                if horizon <= 0.0 {
-                    start
-                } else {
-                    start + (end - start) * (t / horizon).clamp(0.0, 1.0)
-                }
-            }
-            FailureRate::Burst {
-                base,
-                peak,
-                center,
-                width,
-            } => {
-                if horizon <= 0.0 {
-                    base
-                } else {
-                    let frac = (t / horizon).clamp(0.0, 1.0);
-                    if (frac - center).abs() <= width / 2.0 {
-                        peak
-                    } else {
-                        base
-                    }
-                }
-            }
-        };
-        rate.max(0.0)
-    }
-
-    /// An upper bound on λ(t) over the horizon (the thinning majorant).
-    pub fn max_rate(&self, _horizon: f64) -> f64 {
-        match *self {
-            FailureRate::Constant(rate) => rate.max(0.0),
-            FailureRate::Ramp { start, end } => start.max(end).max(0.0),
-            FailureRate::Burst { base, peak, .. } => base.max(peak).max(0.0),
-        }
-    }
-
-    /// Compact label used in campaign run ids and reports, e.g.
-    /// `const-0.5`, `ramp-0.1-2`, `burst-0.1-4-0.5-0.2`.
-    pub fn label(&self) -> String {
-        match *self {
-            FailureRate::Constant(rate) => format!("const-{rate}"),
-            FailureRate::Ramp { start, end } => format!("ramp-{start}-{end}"),
-            FailureRate::Burst {
-                base,
-                peak,
-                center,
-                width,
-            } => format!("burst-{base}-{peak}-{center}-{width}"),
-        }
-    }
-
-    /// Parses the output of [`FailureRate::label`].
-    pub fn parse(s: &str) -> Option<Self> {
-        let nums = |rest: &str| -> Option<Vec<f64>> {
-            rest.split('-').map(|p| p.parse::<f64>().ok()).collect()
-        };
-        if let Some(rest) = s.strip_prefix("const-") {
-            let v = nums(rest)?;
-            (v.len() == 1).then(|| FailureRate::Constant(v[0]))
-        } else if let Some(rest) = s.strip_prefix("ramp-") {
-            let v = nums(rest)?;
-            (v.len() == 2).then(|| FailureRate::Ramp {
-                start: v[0],
-                end: v[1],
-            })
-        } else if let Some(rest) = s.strip_prefix("burst-") {
-            let v = nums(rest)?;
-            (v.len() == 4).then(|| FailureRate::Burst {
-                base: v[0],
-                peak: v[1],
-                center: v[2],
-                width: v[3],
-            })
-        } else {
-            None
-        }
-    }
-}
-
-/// RNG stream id reserved for failure traces (keeps trace sampling
-/// independent of any other per-rank randomness derived from the same seed).
-const FAILURE_TRACE_STREAM: usize = 0xFA11;
-
-/// Samples the crash times of one physical rank over `[0, horizon)` virtual
-/// seconds from the Poisson process described by `rate`.
-///
-/// Sampling uses Lewis–Shedler thinning: candidate arrivals are drawn from a
-/// homogeneous process at the majorant rate λ\* = [`FailureRate::max_rate`]
-/// and each candidate at time t is kept with probability λ(t)/λ\*.  The
-/// generator is a deterministic [`simcluster::rng`] substream of
-/// `(seed, rank)`, so the trace is a pure function of its arguments: every
-/// replica (and every re-run) derives the identical trace without
-/// coordination.
-pub fn sample_failure_trace(
-    rate: FailureRate,
-    horizon: SimTime,
-    seed: u64,
-    rank: usize,
-) -> Vec<SimTime> {
-    thinned_candidates(rate, horizon, seed, rank)
-        .into_iter()
-        .filter_map(|(t, accepted)| accepted.then_some(t))
-        .collect()
-}
-
-/// Candidate arrival times of the homogeneous majorant process that thinning
-/// filters (exposed for tests: an inhomogeneous trace must be a subset of
-/// its majorant candidates).
-pub fn majorant_candidates(
-    rate: FailureRate,
-    horizon: SimTime,
-    seed: u64,
-    rank: usize,
-) -> Vec<SimTime> {
-    thinned_candidates(rate, horizon, seed, rank)
-        .into_iter()
-        .map(|(t, _)| t)
-        .collect()
-}
-
-/// The single thinning loop behind [`sample_failure_trace`] and
-/// [`majorant_candidates`]: every candidate of the homogeneous majorant
-/// process, paired with its acceptance verdict.  Sharing the loop (and its
-/// RNG draw order) is what makes "an inhomogeneous trace is a subset of its
-/// majorant candidates" structural rather than conventional.
-fn thinned_candidates(
-    rate: FailureRate,
-    horizon: SimTime,
-    seed: u64,
-    rank: usize,
-) -> Vec<(SimTime, bool)> {
-    let horizon_s = horizon.as_secs();
-    let max_rate = rate.max_rate(horizon_s);
-    let mut candidates = Vec::new();
-    if max_rate <= 0.0 || horizon_s <= 0.0 {
-        return candidates;
-    }
-    let mut rng = simcluster::rng::substream(seed, rank, FAILURE_TRACE_STREAM);
-    let mut t = 0.0f64;
-    loop {
-        // Exponential inter-arrival at the majorant rate; 1 - u is in (0, 1]
-        // so the logarithm is finite.
-        let u: f64 = rng.gen();
-        t += -(1.0 - u).ln() / max_rate;
-        if t >= horizon_s {
-            return candidates;
-        }
-        let accept: f64 = rng.gen();
-        let accepted = accept * max_rate < rate.at(t, horizon_s);
-        candidates.push((SimTime::from_secs(t), accepted));
-    }
 }
 
 /// One timed failure that fired: the rank, the virtual time it was scheduled

@@ -15,7 +15,10 @@
 //!   ("SDR-MPI allows sending messages between the replicas of a logical MPI
 //!   process by simply using MPI functions over a dedicated communicator");
 //! * crash-stop **failure injection and detection** hooks
-//!   ([`failure::FailureInjector`], [`failure::ProtocolPoint`]).
+//!   ([`failure::FailureInjector`], [`failure::ProtocolPoint`]) backed by a
+//!   failure-model library: parametric and user-supplied rate functions
+//!   sampled by Lewis–Shedler thinning ([`rate`]) and correlated node/rack
+//!   failure domains ([`correlated`]).
 //!
 //! The crate also provides [`ReplicatedEnv`], the per-physical-process handle
 //! the mini-applications use, and a non-replicated pass-through mode so the
@@ -25,12 +28,18 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod correlated;
 pub mod env;
 pub mod failure;
 pub mod mapping;
+pub mod rate;
 pub mod replicated_comm;
 
+pub use correlated::{sample_group_trace, CorrelatedPlan, FailureDomain};
 pub use env::{ExecutionMode, ReplicatedEnv};
-pub use failure::{sample_failure_trace, FailureInjector, FailureRate, ProtocolPoint, TimedFiring};
+pub use failure::{FailureInjector, ProtocolPoint, TimedFiring};
 pub use mapping::ReplicaMapping;
+pub use rate::{
+    majorant_candidates, sample_failure_trace, sample_trace_fn, FailureRate, HorizonRate, RateFn,
+};
 pub use replicated_comm::ReplicatedComm;

@@ -216,3 +216,225 @@ fn arming_a_trace_consumes_all_entries_of_the_rank_on_the_first_fire() {
     assert_eq!(inj.pending(), 1, "only rank 1's entry remains");
     assert!(!inj.should_fail_at(0, point, SimTime::from_secs(100.0)));
 }
+
+// ---------------------------------------------------------------------------
+// Statistical property suite: empirical traces vs analytic intensities.
+// Every test runs at fixed seeds, so the assertions are deterministic even
+// though they check distributional properties.
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+use replication::rate::{majorant_candidates_fn, sample_trace_fn, RateFn};
+
+/// Aggregate arrival count of `rate` over `streams` fixed-seed traces.
+fn total_count(rate: FailureRate, horizon: f64, streams: u64) -> usize {
+    (0..streams)
+        .map(|seed| sample_failure_trace(rate, SimTime::from_secs(horizon), seed, 0).len())
+        .sum()
+}
+
+/// Asserts the empirical aggregate count is within `tol` (relative) of the
+/// analytic expectation `mean_events * streams`.
+fn assert_count_matches(rate: FailureRate, horizon: f64, streams: u64, tol: f64) {
+    let total = total_count(rate, horizon, streams) as f64;
+    let expected = rate.mean_events(horizon) * streams as f64;
+    assert!(
+        total > (1.0 - tol) * expected && total < (1.0 + tol) * expected,
+        "{}: empirical count {total} vs analytic {expected} (tol {tol})",
+        rate.label()
+    );
+}
+
+#[test]
+fn constant_mean_inter_arrival_matches_the_rate() {
+    // For a homogeneous process the inter-arrival times are Exp(rate):
+    // the empirical mean over many fixed-seed streams must be ~1/rate.
+    let rate = 2.0;
+    let mut gaps = Vec::new();
+    for seed in 0..100 {
+        let t = trace(FailureRate::Constant(rate), seed, 0);
+        let mut prev = 0.0;
+        for x in &t {
+            gaps.push(x.as_secs() - prev);
+            prev = x.as_secs();
+        }
+    }
+    assert!(gaps.len() > 10_000, "enough arrivals for a stable mean");
+    let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    let expected = 1.0 / rate;
+    assert!(
+        (mean - expected).abs() < 0.05 * expected,
+        "mean inter-arrival {mean} vs 1/rate {expected}"
+    );
+}
+
+#[test]
+fn empirical_counts_match_the_analytic_mean_for_every_variant() {
+    // The thinning sampler must reproduce ∫λ for each intensity family
+    // (mean_events accounts for the Weibull floor clamp exactly).
+    assert_count_matches(FailureRate::Constant(0.8), HORIZON, 200, 0.1);
+    assert_count_matches(FailureRate::weibull_hpc(HORIZON), HORIZON, 300, 0.1);
+    assert_count_matches(
+        FailureRate::Weibull {
+            shape: 1.5,
+            scale_s: HORIZON / 2.0,
+        },
+        HORIZON,
+        200,
+        0.1,
+    );
+    assert_count_matches(FailureRate::lognormal_hpc(HORIZON / 2.0), HORIZON, 300, 0.1);
+    assert_count_matches(
+        FailureRate::Ramp {
+            start: 0.2,
+            end: 1.0,
+        },
+        HORIZON,
+        200,
+        0.1,
+    );
+}
+
+#[test]
+fn expected_event_counts_are_monotone_in_rate_and_horizon() {
+    // Analytic monotonicity on a deterministic grid...
+    let rates = [
+        FailureRate::Constant(0.5),
+        FailureRate::weibull_hpc(10.0),
+        FailureRate::lognormal_hpc(10.0),
+        FailureRate::Ramp {
+            start: 0.5,
+            end: 1.5,
+        },
+    ];
+    for r in rates {
+        let mut prev = 0.0;
+        for i in 1..=20 {
+            let m = r.mean_events(5.0 * i as f64);
+            assert!(
+                m >= prev,
+                "{}: mean_events must grow with horizon",
+                r.label()
+            );
+            prev = m;
+        }
+    }
+    // ...and scaling the intensity scales the empirical aggregate too.
+    let slow = total_count(FailureRate::weibull_hpc(4.0 * HORIZON), HORIZON, 200);
+    let fast = total_count(FailureRate::weibull_hpc(HORIZON / 4.0), HORIZON, 200);
+    assert!(
+        fast > 2 * slow,
+        "shorter MTBF must produce more failures ({fast} vs {slow})"
+    );
+}
+
+#[test]
+fn constant_traces_extend_prefix_stable_with_the_horizon() {
+    // A homogeneous majorant does not depend on the horizon, so extending
+    // the observation window only appends arrivals — the earlier trace is a
+    // structural prefix of the later one (rule-5 stability under horizon
+    // growth).
+    for seed in 0..20 {
+        let short = trace_h(FailureRate::Constant(0.5), 40.0, seed);
+        let long = trace_h(FailureRate::Constant(0.5), 120.0, seed);
+        assert!(long.len() >= short.len());
+        assert_eq!(&long[..short.len()], &short[..], "seed {seed}");
+    }
+}
+
+fn trace_h(rate: FailureRate, horizon: f64, seed: u64) -> Vec<SimTime> {
+    sample_failure_trace(rate, SimTime::from_secs(horizon), seed, 0)
+}
+
+/// A custom user-supplied intensity the built-in family cannot express: a
+/// triangle wave with explicit majorant, exercising the `RateFn` surface.
+struct TriangleWave {
+    period: f64,
+    peak: f64,
+}
+
+impl RateFn for TriangleWave {
+    fn rate(&self, t: f64) -> f64 {
+        let phase = (t / self.period).fract();
+        let tri = 1.0 - (2.0 * phase - 1.0).abs();
+        self.peak * tri
+    }
+
+    fn majorant(&self, _horizon: f64) -> f64 {
+        self.peak
+    }
+}
+
+#[test]
+fn custom_rate_fn_traces_obey_the_thinning_invariants() {
+    let wave = TriangleWave {
+        period: 10.0,
+        peak: 1.5,
+    };
+    let horizon = SimTime::from_secs(HORIZON);
+    let mut accepted_total = 0usize;
+    for seed in 0..50 {
+        let accepted = sample_trace_fn(&wave, horizon, seed, 1);
+        let candidates = majorant_candidates_fn(&wave, horizon, seed, 1);
+        // Thinning subset: every accepted time is a candidate, in order.
+        assert!(accepted.len() <= candidates.len());
+        let mut it = candidates.iter();
+        for a in &accepted {
+            assert!(it.any(|c| c == a), "accepted {a} not a candidate");
+        }
+        // Majorant bound: the candidate process runs at rate `peak`, so its
+        // count is Poisson(peak * horizon); check a generous upper bound,
+        // and that λ never exceeds the declared majorant where sampled.
+        for c in &candidates {
+            assert!(wave.rate(c.as_secs()) <= wave.majorant(HORIZON) + 1e-12);
+        }
+        accepted_total += accepted.len();
+    }
+    // ∫λ over a whole number of periods is peak/2 per second.
+    let expected = 50.0 * wave.peak / 2.0 * HORIZON;
+    assert!(
+        (accepted_total as f64) > 0.85 * expected && (accepted_total as f64) < 1.15 * expected,
+        "triangle-wave count {accepted_total} vs expectation {expected}"
+    );
+    // Determinism (rule 5) holds for custom rate functions too.
+    assert_eq!(
+        sample_trace_fn(&wave, horizon, 7, 3),
+        sample_trace_fn(&wave, horizon, 7, 3)
+    );
+}
+
+proptest! {
+    #[test]
+    fn every_rate_label_round_trips_with_mangled_input(
+        variant in 0usize..5,
+        a in -2.0f64..8.0,
+        b in 0.01f64..8.0,
+        c in 0.0f64..1.0,
+        d in 0.01f64..0.5,
+        pad_left in 0usize..3,
+        pad_right in 0usize..3,
+        upper in proptest::prelude::any::<bool>(),
+    ) {
+        let rate = match variant {
+            0 => FailureRate::Constant(a.abs()),
+            1 => FailureRate::Ramp { start: a.abs(), end: b },
+            2 => FailureRate::Burst { base: a.abs(), peak: b, center: c, width: d },
+            3 => FailureRate::Weibull { shape: b, scale_s: b + c },
+            _ => FailureRate::LogNormal { mu: a, sigma: b },
+        };
+        // Canonical label round-trips...
+        prop_assert_eq!(FailureRate::parse(&rate.label()), Some(rate));
+        // ...and so does a whitespace-padded, case-mangled rendering.
+        let mut mangled = rate.label();
+        if upper {
+            mangled = mangled.to_ascii_uppercase();
+        }
+        let mangled = format!(
+            "{}{}{}",
+            " ".repeat(pad_left),
+            mangled,
+            "\t".repeat(pad_right)
+        );
+        prop_assert_eq!(FailureRate::parse(&mangled), Some(rate));
+    }
+}

@@ -124,6 +124,50 @@ impl Topology {
             .filter_map(|(r, &n)| (n == node).then_some(r))
             .collect()
     }
+
+    /// Rack hosting `node` when racks group `nodes_per_rack` consecutive
+    /// nodes (rack r hosts nodes `r*n .. (r+1)*n`) — the correlated
+    /// failure-domain view of the machine.
+    ///
+    /// # Panics
+    /// Panics if `nodes_per_rack` is zero.
+    pub fn rack_of(&self, node: NodeId, nodes_per_rack: usize) -> usize {
+        assert!(nodes_per_rack > 0, "nodes_per_rack must be positive");
+        node / nodes_per_rack
+    }
+
+    /// Number of racks in use when racks group `nodes_per_rack` consecutive
+    /// nodes.
+    ///
+    /// # Panics
+    /// Panics if `nodes_per_rack` is zero.
+    pub fn num_racks(&self, nodes_per_rack: usize) -> usize {
+        assert!(nodes_per_rack > 0, "nodes_per_rack must be positive");
+        self.num_nodes().div_ceil(nodes_per_rack)
+    }
+
+    /// All ranks placed on any node of `rack`, ascending.
+    ///
+    /// # Panics
+    /// Panics if `nodes_per_rack` is zero.
+    pub fn ranks_on_rack(&self, rack: usize, nodes_per_rack: usize) -> Vec<usize> {
+        assert!(nodes_per_rack > 0, "nodes_per_rack must be positive");
+        self.placement
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &n)| (n / nodes_per_rack == rack).then_some(r))
+            .collect()
+    }
+
+    /// True if the two ranks are placed on the same rack of
+    /// `nodes_per_rack` consecutive nodes.
+    ///
+    /// # Panics
+    /// Panics if `nodes_per_rack` is zero.
+    pub fn same_rack(&self, a: usize, b: usize, nodes_per_rack: usize) -> bool {
+        self.rack_of(self.placement[a], nodes_per_rack)
+            == self.rack_of(self.placement[b], nodes_per_rack)
+    }
 }
 
 #[cfg(test)]
@@ -191,5 +235,29 @@ mod tests {
     fn node_of_out_of_range_panics() {
         let t = Topology::block(4, 4);
         let _ = t.node_of(4);
+    }
+
+    #[test]
+    fn rack_views_group_consecutive_nodes() {
+        // 16 ranks, 2 per node -> 8 nodes; racks of 3 nodes -> 3 racks.
+        let t = Topology::block(16, 2);
+        assert_eq!(t.num_racks(3), 3);
+        assert_eq!(t.rack_of(0, 3), 0);
+        assert_eq!(t.rack_of(2, 3), 0);
+        assert_eq!(t.rack_of(3, 3), 1);
+        assert_eq!(t.ranks_on_rack(0, 3), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(t.ranks_on_rack(2, 3), vec![12, 13, 14, 15]);
+        assert!(t.same_rack(0, 5, 3));
+        assert!(!t.same_rack(5, 6, 3));
+        // One rack per node degenerates to the node view.
+        assert_eq!(t.num_racks(1), t.num_nodes());
+        assert_eq!(t.ranks_on_rack(1, 1), t.ranks_on(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_nodes_per_rack_panics() {
+        let t = Topology::block(4, 4);
+        let _ = t.num_racks(0);
     }
 }

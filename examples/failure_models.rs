@@ -1,0 +1,89 @@
+//! The failure-model library, end to end.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example failure_models
+//! ```
+//!
+//! Three tours through the library:
+//!
+//! 1. rate functions — the fitted Weibull/LogNormal MTBF hazards next to a
+//!    homogeneous Poisson process, sampled per rank with Lewis–Shedler
+//!    thinning (expected event counts vs. the analytic mean);
+//! 2. a Weibull-hazard experiment — the same typed builder as every other
+//!    axis, here with infant-mortality failures (shape < 1, the
+//!    Schroeder–Gibson fit to the LANL failure records);
+//! 3. correlated failure domains — a node-level event kills every rank of
+//!    the node at once, and replica-disjoint placement is what turns that
+//!    from a fatal event into a recoverable one.
+
+use intra_replication::prelude::*;
+
+fn main() {
+    // --- 1. Rate functions and their traces. ----------------------------
+    let horizon = SimTime::from_secs(10.0);
+    println!("failure traces over {}s, one rank, seed 42:", 10.0);
+    for rate in [
+        FailureRate::Constant(0.3),
+        FailureRate::weibull_hpc(3.0),
+        FailureRate::lognormal_hpc(3.0),
+    ] {
+        let trace = sample_failure_trace(rate, horizon, 42, 0);
+        println!(
+            "  {:<24} {} events (analytic mean {:.2}), first at {:?}",
+            rate.label(),
+            trace.len(),
+            rate.mean_events(horizon.as_secs()),
+            trace.first()
+        );
+    }
+
+    // --- 2. A fitted MTBF hazard as an experiment axis. -----------------
+    let report = Experiment::builder()
+        .app(AppId::Hpccg)
+        .scale(ExperimentScale::Tiny)
+        .mode(Mode::IntraReplication)
+        .failures(FailurePlan::poisson_process(
+            FailureRate::weibull_hpc(3.0),
+            1.0,
+        ))
+        .seed(43)
+        .build()
+        .expect("valid experiment")
+        .run()
+        .expect("weibull experiment");
+    println!(
+        "\nHPCCG under a Weibull hazard (MTBF 3s): {} completed, {} crashed, makespan {:.4}s",
+        report.completed(),
+        report.crashed(),
+        report.makespan_s
+    );
+
+    // --- 3. Correlated node failures vs. replica placement. -------------
+    // Rate 0.3 / seed 45 schedules exactly one node-level event at the
+    // tiny intra-2 scale: node 0, which hosts replica 0 of every logical
+    // rank (replica-disjoint placement).  The job survives it.
+    let experiment = Experiment::builder()
+        .app(AppId::Hpccg)
+        .scale(ExperimentScale::Tiny)
+        .mode(Mode::IntraReplication)
+        .failures(FailurePlan::node_failures(FailureRate::Constant(0.3)))
+        .seed(45)
+        .build()
+        .expect("valid experiment");
+    let topology = experiment.topology();
+    for (rank, at) in experiment.scheduled_crashes() {
+        println!(
+            "\nscheduled: rank {rank} (node {}) crashes at {:?}",
+            topology.node_of(rank),
+            at
+        );
+    }
+    let report = experiment.run().expect("correlated experiment");
+    println!(
+        "correlated node loss under intra-replication: {} completed, {} crashed — every \
+         logical rank finished on its surviving replica",
+        report.completed(),
+        report.crashed()
+    );
+}

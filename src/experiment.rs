@@ -38,7 +38,8 @@ use crate::error::{Error, Result};
 use apps::{run_app, AppContext, AppId, AppRunReport, AppWorkload, ExperimentScale};
 use ipr_core::{IntraConfig, IntraError, IntraResult, SchedulerKind};
 use replication::{
-    sample_failure_trace, ExecutionMode, FailureInjector, FailureRate, ProtocolPoint,
+    sample_failure_trace, CorrelatedPlan, ExecutionMode, FailureDomain, FailureInjector,
+    FailureRate, ProtocolPoint,
 };
 use simcluster::{MachineModel, SimTime, Topology};
 use simmpi::{run_cluster, ClusterConfig, ClusterReport};
@@ -121,6 +122,21 @@ pub enum FailurePlan {
         /// Observation horizon in virtual seconds.
         horizon_s: f64,
     },
+    /// Correlated failures: crash events are drawn per failure *domain
+    /// group* (a node or a rack of the experiment's topology) and each
+    /// event kills every rank co-located in the group at once
+    /// (deterministic per (run seed, group); see
+    /// [`replication::CorrelatedPlan`]).  This is the failure mode where
+    /// replica placement matters: replica-disjoint placement survives any
+    /// single-node loss.
+    Correlated {
+        /// What one event kills.
+        domain: FailureDomain,
+        /// Intensity function of the per-group event process.
+        rate: FailureRate,
+        /// Observation horizon in virtual seconds.
+        horizon_s: f64,
+    },
 }
 
 impl FailurePlan {
@@ -148,19 +164,55 @@ impl FailurePlan {
         FailurePlan::Poisson { rate, horizon_s }
     }
 
+    /// Correlated crash events at the given per-group intensity over the
+    /// default horizon.
+    pub fn correlated(domain: FailureDomain, rate: FailureRate) -> Self {
+        FailurePlan::Correlated {
+            domain,
+            rate,
+            horizon_s: Self::DEFAULT_HORIZON_S,
+        }
+    }
+
+    /// Correlated crash events with an explicit intensity and horizon.
+    pub fn correlated_process(domain: FailureDomain, rate: FailureRate, horizon_s: f64) -> Self {
+        FailurePlan::Correlated {
+            domain,
+            rate,
+            horizon_s,
+        }
+    }
+
+    /// Node-level correlated failures: each event kills every rank of one
+    /// node ([`FailurePlan::correlated`] with [`FailureDomain::Node`]).
+    pub fn node_failures(rate: FailureRate) -> Self {
+        Self::correlated(FailureDomain::Node, rate)
+    }
+
+    /// Rack-level correlated failures: each event kills every rank on one
+    /// rack of `nodes_per_rack` consecutive nodes.
+    pub fn rack_failures(nodes_per_rack: usize, rate: FailureRate) -> Self {
+        Self::correlated(FailureDomain::Rack { nodes_per_rack }, rate)
+    }
+
     /// True if the plan injects no failures.
     pub fn is_none(&self) -> bool {
         matches!(self, FailurePlan::None)
     }
 
-    /// Compact label used in run ids and reports, e.g. `none` or
-    /// `poisson-const-0.5-h2`.
+    /// Compact label used in run ids and reports, e.g. `none`,
+    /// `poisson-const-0.5-h2` or `corr-rack4-weibull-0.7-360-h1`.
     pub fn label(&self) -> String {
         match self {
             FailurePlan::None => "none".to_string(),
             FailurePlan::Poisson { rate, horizon_s } => {
                 format!("poisson-{}-h{horizon_s}", rate.label())
             }
+            FailurePlan::Correlated {
+                domain,
+                rate,
+                horizon_s,
+            } => format!("corr-{}-{}-h{horizon_s}", domain.label(), rate.label()),
         }
     }
 
@@ -168,6 +220,18 @@ impl FailurePlan {
     pub fn parse(s: &str) -> Option<Self> {
         if s == "none" {
             return Some(FailurePlan::None);
+        }
+        if let Some(rest) = s.strip_prefix("corr-") {
+            let (domain_part, rest) = rest.split_once('-')?;
+            let domain = FailureDomain::parse(domain_part)?;
+            let h_at = rest.rfind("-h")?;
+            let rate = FailureRate::parse(&rest[..h_at])?;
+            let horizon_s = rest[h_at + 2..].parse::<f64>().ok()?;
+            return Some(FailurePlan::Correlated {
+                domain,
+                rate,
+                horizon_s,
+            });
         }
         let rest = s.strip_prefix("poisson-")?;
         let h_at = rest.rfind("-h")?;
@@ -295,22 +359,59 @@ impl Experiment {
         config
     }
 
+    /// The physical placement of the experiment: replica-disjoint when
+    /// replicated (so replicas of one logical rank never share a node,
+    /// mirroring the paper), block placement otherwise.
+    pub fn topology(&self) -> Topology {
+        if self.replicas > 1 {
+            Topology::replica_disjoint(
+                self.logical_procs(),
+                self.replicas,
+                self.machine.cores_per_node,
+            )
+        } else {
+            Topology::block(self.procs(), self.machine.cores_per_node)
+        }
+    }
+
     /// The cluster configuration of the experiment: the paper's machine
     /// model (or the configured override), replica-disjoint placement when
     /// replicated, and the experiment seed.
     pub fn cluster_config(&self) -> ClusterConfig {
-        let degree = self.replicas;
-        let num_logical = self.logical_procs();
-        let procs = self.procs();
-        let topology = if degree > 1 {
-            Topology::replica_disjoint(num_logical, degree, self.machine.cores_per_node)
-        } else {
-            Topology::block(procs, self.machine.cores_per_node)
-        };
-        ClusterConfig::new(procs)
+        ClusterConfig::new(self.procs())
             .with_machine(self.machine)
-            .with_topology(topology)
+            .with_topology(self.topology())
             .with_seed(self.seed)
+    }
+
+    /// The timed crashes the failure plan schedules for this experiment,
+    /// as `(physical rank, virtual crash time)` pairs — a pure function of
+    /// the experiment axes (and in particular of the seed), computed
+    /// without running anything.  Poisson plans contribute every arrival
+    /// of each rank's trace; correlated plans contribute the first event
+    /// of every failure group, expanded to the group's co-located ranks.
+    /// Hand-placed [`ExperimentBuilder::inject_failure`] points are not
+    /// timed and do not appear here.
+    pub fn scheduled_crashes(&self) -> Vec<(usize, SimTime)> {
+        match self.failures {
+            FailurePlan::None => Vec::new(),
+            FailurePlan::Poisson { rate, horizon_s } => {
+                let horizon = SimTime::from_secs(horizon_s);
+                (0..self.procs())
+                    .flat_map(|rank| {
+                        sample_failure_trace(rate, horizon, self.seed, rank)
+                            .into_iter()
+                            .map(move |at| (rank, at))
+                    })
+                    .collect()
+            }
+            FailurePlan::Correlated {
+                domain,
+                rate,
+                horizon_s,
+            } => CorrelatedPlan::new(domain, rate, SimTime::from_secs(horizon_s))
+                .crashes(&self.topology(), self.seed),
+        }
     }
 
     /// Runs the experiment's catalog application on the simulated cluster
@@ -387,15 +488,14 @@ impl Experiment {
         let config = self.cluster_config();
         let mode = self.execution_mode();
         let intra = self.intra_config();
-        let failures = self.failures;
-        let seed = self.seed;
         let injections = self.injections.clone();
+        let crashes = self.scheduled_crashes();
         run_cluster(&config, move |proc| {
             let injector = FailureInjector::none();
-            if let FailurePlan::Poisson { rate, horizon_s } = failures {
-                let trace =
-                    sample_failure_trace(rate, SimTime::from_secs(horizon_s), seed, proc.rank());
-                injector.arm_trace(proc.rank(), &trace);
+            for &(rank, at) in &crashes {
+                if rank == proc.rank() {
+                    injector.arm_at(rank, at);
+                }
             }
             for &(rank, point) in &injections {
                 if rank == proc.rank() {
@@ -594,30 +694,7 @@ impl ExperimentBuilder {
                 )));
             }
         }
-        if let FailurePlan::Poisson { rate, horizon_s } = failures {
-            if !horizon_s.is_finite() || horizon_s <= 0.0 {
-                return Err(Error::Config(format!(
-                    "failure horizon must be finite and positive, got {horizon_s}"
-                )));
-            }
-            // Check the declared intensity fields themselves —
-            // `FailureRate::max_rate` clamps to zero, so a negative rate
-            // would otherwise silently sample an empty trace while the run
-            // id still advertises the bogus rate.
-            let invalid = |r: f64| !r.is_finite() || r < 0.0;
-            let rate_invalid = match rate {
-                FailureRate::Constant(r) => invalid(r),
-                FailureRate::Ramp { start, end } => invalid(start) || invalid(end),
-                FailureRate::Burst {
-                    base, peak, width, ..
-                } => invalid(base) || invalid(peak) || invalid(width),
-            };
-            if rate_invalid {
-                return Err(Error::Config(format!(
-                    "failure rate must be finite and non-negative, got {rate:?}"
-                )));
-            }
-        }
+        validate_failure_plan(&failures)?;
         Ok(Experiment {
             app,
             scale,
@@ -633,6 +710,56 @@ impl ExperimentBuilder {
             injections: self.injections,
         })
     }
+}
+
+/// Rejects failure plans whose declared parameters are out of domain.
+/// `FailureRate::max_rate` clamps to zero, so a negative or NaN rate would
+/// otherwise silently sample an empty trace while the run id still
+/// advertises the bogus parameters.
+fn validate_failure_plan(failures: &FailurePlan) -> Result<()> {
+    let (rate, horizon_s) = match *failures {
+        FailurePlan::None => return Ok(()),
+        FailurePlan::Poisson { rate, horizon_s } => (rate, horizon_s),
+        FailurePlan::Correlated {
+            domain,
+            rate,
+            horizon_s,
+        } => {
+            if let FailureDomain::Rack { nodes_per_rack } = domain {
+                if nodes_per_rack == 0 {
+                    return Err(Error::Config(
+                        "correlated rack domain needs nodes_per_rack >= 1".into(),
+                    ));
+                }
+            }
+            (rate, horizon_s)
+        }
+    };
+    if !horizon_s.is_finite() || horizon_s <= 0.0 {
+        return Err(Error::Config(format!(
+            "failure horizon must be finite and positive, got {horizon_s}"
+        )));
+    }
+    let invalid = |r: f64| !r.is_finite() || r < 0.0;
+    // Shape-like parameters must additionally be strictly positive: a
+    // Weibull with shape or scale 0 (or a LogNormal with sigma 0) is not a
+    // distribution.
+    let invalid_pos = |r: f64| !r.is_finite() || r <= 0.0;
+    let rate_invalid = match rate {
+        FailureRate::Constant(r) => invalid(r),
+        FailureRate::Ramp { start, end } => invalid(start) || invalid(end),
+        FailureRate::Burst {
+            base, peak, width, ..
+        } => invalid(base) || invalid(peak) || invalid(width),
+        FailureRate::Weibull { shape, scale_s } => invalid_pos(shape) || invalid_pos(scale_s),
+        FailureRate::LogNormal { mu, sigma } => !mu.is_finite() || invalid_pos(sigma),
+    };
+    if rate_invalid {
+        return Err(Error::Config(format!(
+            "failure rate must be finite and within its parameter domain, got {rate:?}"
+        )));
+    }
+    Ok(())
 }
 
 /// Per-rank outcome of one experiment run.
@@ -990,6 +1117,158 @@ mod tests {
                 input: "bogus".into()
             })
         );
+    }
+
+    #[test]
+    fn fitted_hazard_validation_rejects_out_of_domain_shapes() {
+        // Shape-like parameters must be strictly positive and finite; a
+        // Weibull with shape 0 or a LogNormal with sigma 0 is not a
+        // distribution, so `build` must reject it instead of letting the
+        // sampler quietly produce an empty or degenerate trace.
+        for bad_rate in [
+            FailureRate::Weibull {
+                shape: 0.0,
+                scale_s: 1.0,
+            },
+            FailureRate::Weibull {
+                shape: -0.7,
+                scale_s: 1.0,
+            },
+            FailureRate::Weibull {
+                shape: f64::NAN,
+                scale_s: 1.0,
+            },
+            FailureRate::Weibull {
+                shape: 0.7,
+                scale_s: 0.0,
+            },
+            FailureRate::LogNormal {
+                mu: f64::NAN,
+                sigma: 1.0,
+            },
+            FailureRate::LogNormal {
+                mu: 0.0,
+                sigma: 0.0,
+            },
+            FailureRate::LogNormal {
+                mu: 0.0,
+                sigma: -1.0,
+            },
+        ] {
+            assert!(
+                matches!(
+                    Experiment::builder()
+                        .app(AppId::Hpccg)
+                        .failures(FailurePlan::poisson_process(bad_rate, 1.0))
+                        .build(),
+                    Err(Error::Config(_))
+                ),
+                "{bad_rate:?} must be rejected"
+            );
+        }
+        // A negative LogNormal location is fine: mu is a log-space mean.
+        assert!(Experiment::builder()
+            .app(AppId::Hpccg)
+            .failures(FailurePlan::poisson_process(
+                FailureRate::LogNormal {
+                    mu: -0.5,
+                    sigma: 1.25,
+                },
+                1.0
+            ))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn correlated_plan_validation_is_typed() {
+        // An empty rack is a domain with no groups — reject it up front.
+        assert!(matches!(
+            Experiment::builder()
+                .app(AppId::Hpccg)
+                .failures(FailurePlan::rack_failures(0, FailureRate::Constant(1.0)))
+                .build(),
+            Err(Error::Config(_))
+        ));
+        // The correlated rate itself goes through the same domain checks as
+        // the per-rank plan.
+        assert!(matches!(
+            Experiment::builder()
+                .app(AppId::Hpccg)
+                .failures(FailurePlan::node_failures(FailureRate::Constant(-1.0)))
+                .build(),
+            Err(Error::Config(_))
+        ));
+        // A correlated plan in an unreplicated run is unrecoverable and
+        // needs the same explicit opt-in as a per-rank plan.
+        let native = || {
+            Experiment::builder()
+                .app(AppId::Hpccg)
+                .mode(Mode::NoReplication)
+                .failures(FailurePlan::node_failures(FailureRate::Constant(0.5)))
+        };
+        assert_eq!(native().build(), Err(Error::UnrecoverableFailurePlan));
+        assert!(native().allow_unrecoverable_failures().build().is_ok());
+    }
+
+    #[test]
+    fn correlated_plan_labels_round_trip() {
+        let plans = [
+            FailurePlan::node_failures(FailureRate::Constant(1.0)),
+            FailurePlan::rack_failures(4, FailureRate::weibull_hpc(360.0)),
+            FailurePlan::correlated_process(
+                FailureDomain::Node,
+                // Negative log-space location: the label contains `--`,
+                // which the sign-aware number parser must round-trip.
+                FailureRate::LogNormal {
+                    mu: -0.5,
+                    sigma: 1.25,
+                },
+                2.5,
+            ),
+            FailurePlan::poisson_process(FailureRate::lognormal_hpc(360.0), 1.0),
+        ];
+        for plan in plans {
+            assert_eq!(
+                plan.label().parse::<FailurePlan>().unwrap(),
+                plan,
+                "label {:?} must round-trip",
+                plan.label()
+            );
+        }
+        assert_eq!(
+            FailurePlan::node_failures(FailureRate::Constant(1.0)).label(),
+            "corr-node-const-1-h1"
+        );
+        assert!("corr-shelf-const-1-h1".parse::<FailurePlan>().is_err());
+        assert!("corr-rack4-const-1".parse::<FailurePlan>().is_err());
+    }
+
+    #[test]
+    fn scheduled_crashes_follow_the_plan_and_placement() {
+        // No plan, no crashes.
+        let quiet = Experiment::builder().app(AppId::Hpccg).build().unwrap();
+        assert!(quiet.scheduled_crashes().is_empty());
+        // A hot node-level plan under replica-disjoint placement schedules
+        // whole co-located rank groups, never a partial node.
+        let e = Experiment::builder()
+            .app(AppId::Hpccg)
+            .failures(FailurePlan::node_failures(FailureRate::Constant(50.0)))
+            .build()
+            .unwrap();
+        let crashes = e.scheduled_crashes();
+        assert!(!crashes.is_empty());
+        let topology = e.topology();
+        for &(rank, at) in &crashes {
+            for peer in topology.ranks_on(topology.node_of(rank)) {
+                assert!(
+                    crashes.contains(&(peer, at)),
+                    "rank {rank}'s node peers must crash at the same instant"
+                );
+            }
+        }
+        // Deterministic in the seed.
+        assert_eq!(crashes, e.scheduled_crashes());
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * [`simmpi`] — the in-process MPI-like runtime (communicators,
 //!   point-to-point, collectives, cluster launcher);
 //! * [`replication`] — active replication substrate (logical/replica
-//!   communicators, failure injection, Poisson failure traces);
+//!   communicators, failure injection, the failure-model library: fitted
+//!   Weibull/LogNormal hazards, custom rate functions, correlated
+//!   node/rack failure domains);
 //! * [`core`] (`ipr-core`) — **the paper's contribution**: intra-parallel
 //!   sections, tasks, schedulers, update transfer, failure recovery;
 //! * [`kernels`] — HPC kernels (waxpby, ddot, sparsemv, stencils, PIC) and
@@ -61,8 +63,8 @@ pub mod prelude {
     pub use apps::{AppContext, AppId, AppRunReport, AppWorkload, ExperimentScale};
     pub use ipr_core::prelude::*;
     pub use replication::{
-        sample_failure_trace, ExecutionMode, FailureInjector, FailureRate, ProtocolPoint,
-        ReplicatedEnv,
+        sample_failure_trace, CorrelatedPlan, ExecutionMode, FailureDomain, FailureInjector,
+        FailureRate, ProtocolPoint, RateFn, ReplicatedEnv,
     };
     pub use simcluster::{MachineModel, SimTime, Topology};
     pub use simmpi::{run_cluster, ClusterConfig, Comm, MpiError, ProcHandle};

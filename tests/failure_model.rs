@@ -1,0 +1,106 @@
+//! End-to-end facade tests for the failure-model library: a correlated
+//! node-level plan drawn through the typed [`Experiment`] builder kills a
+//! whole co-located rank group, and replica-disjoint placement decides
+//! whether the application survives it.
+
+use intra_replication::prelude::*;
+
+/// A (rate, seed) pair whose correlated node plan schedules exactly one
+/// node-level event inside the horizon under the tiny HPCCG intra-2
+/// topology: node 0 (physical ranks 0 and 1 — replica 0 of both logical
+/// ranks) at t ≈ 0.12 virtual seconds.  The choice is deterministic, so the
+/// assertions below can be exact.
+const SINGLE_NODE_LOSS: (f64, u64) = (0.3, 45);
+
+fn intra_with_node_plan() -> Experiment {
+    let (rate, seed) = SINGLE_NODE_LOSS;
+    Experiment::builder()
+        .app(AppId::Hpccg)
+        .scale(ExperimentScale::Tiny)
+        .mode(Mode::IntraReplication)
+        .failures(FailurePlan::node_failures(FailureRate::Constant(rate)))
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn a_single_node_loss_is_survivable_under_intra_replication() {
+    let experiment = intra_with_node_plan();
+    let topology = experiment.topology();
+    let crashes = experiment.scheduled_crashes();
+
+    // The pinned plan schedules exactly the ranks of node 0, all at the
+    // same instant — a node event never kills a partial node.
+    let lost_node = topology.node_of(crashes[0].0);
+    let lost_ranks: Vec<usize> = crashes.iter().map(|&(r, _)| r).collect();
+    assert_eq!(lost_ranks, topology.ranks_on(lost_node));
+    assert!(crashes.iter().all(|&(_, at)| at == crashes[0].1));
+
+    // Replica-disjoint placement puts the two replicas of each logical
+    // rank on different nodes, so the lost node carries at most one
+    // replica of anything.
+    let report = experiment.run().unwrap();
+    assert_eq!(report.crashed(), lost_ranks.len());
+    assert_eq!(report.failure_events, lost_ranks.len());
+    for (rank, outcome) in report.ranks.iter().enumerate() {
+        if lost_ranks.contains(&rank) {
+            assert!(
+                matches!(outcome, RankOutcome::Crashed),
+                "rank {rank} was on the lost node"
+            );
+        } else {
+            assert!(
+                outcome.report().is_some(),
+                "rank {rank} was on a surviving node: {outcome:?}"
+            );
+        }
+    }
+    // Every logical rank still completed on its surviving replica.
+    assert_eq!(report.completed(), experiment.logical_procs());
+    assert!(report.makespan_s > 0.0);
+}
+
+#[test]
+fn the_same_node_plan_is_fatal_without_replication() {
+    // Same correlated node plan, hot enough that the first event lands
+    // well before the application finishes; without replication it takes
+    // the whole job down (the opt-in is required, see the builder tests).
+    let (_, seed) = SINGLE_NODE_LOSS;
+    let report = Experiment::builder()
+        .app(AppId::Hpccg)
+        .scale(ExperimentScale::Tiny)
+        .mode(Mode::NoReplication)
+        .failures(FailurePlan::node_failures(FailureRate::Constant(50.0)))
+        .seed(seed)
+        .allow_unrecoverable_failures()
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(report.completed(), 0, "no replicas, no survivors");
+    assert!(report.crashed() >= 1);
+    assert_eq!(report.crashed() + report.errored(), report.procs);
+}
+
+#[test]
+fn correlated_experiments_are_deterministic_and_seed_sensitive() {
+    let strip = |report: intra_replication::RunReport| {
+        (report.makespan_s, report.failure_events, report.ranks)
+    };
+    let a = strip(intra_with_node_plan().run().unwrap());
+    let b = strip(intra_with_node_plan().run().unwrap());
+    assert_eq!(a, b, "same seed, same everything (modulo wall clock)");
+
+    let (rate, seed) = SINGLE_NODE_LOSS;
+    let other = Experiment::builder()
+        .app(AppId::Hpccg)
+        .scale(ExperimentScale::Tiny)
+        .mode(Mode::IntraReplication)
+        .failures(FailurePlan::node_failures(FailureRate::Constant(rate)))
+        .seed(seed + 1)
+        .build()
+        .unwrap();
+    let c = strip(other.run().unwrap());
+    assert_ne!(a, c, "the seed drives the correlated event times");
+}
