@@ -10,8 +10,9 @@ CAMPAIGN_JOBS ?= 4
 CAMPAIGN_TOL ?= 0
 
 .PHONY: all build test verify bench-build docs fmt fmt-check clippy \
-        campaign-smoke failures-smoke weak-smoke golden golden-failures \
-        golden-weak bench-json api-surface api-surface-check ci clean
+        campaign-smoke failures-smoke weak-smoke serve-smoke golden \
+        golden-failures golden-weak bench-json api-surface api-surface-check \
+        ci clean
 
 # Label recorded with the BENCH.json entry (CI passes its own).
 BENCH_LABEL ?= local
@@ -86,6 +87,29 @@ weak-smoke:
 		target/weak-smoke-w8.json --tol 0
 	./target/release/campaign weak --sweep weak-10k > /dev/null
 
+# The campaign-service gate: submit the smoke grid to a fresh spool twice
+# and drain it through `campaign serve` with a fresh run cache.  The second
+# pass must be a pure cache replay (0 runs executed), its final report must
+# be byte-identical to the first pass, and both must diff clean against the
+# checked-in golden baseline.
+serve-smoke:
+	$(CARGO) build --release -p campaign
+	rm -rf target/serve-smoke
+	./target/release/campaign submit --spool target/serve-smoke/spool \
+		--id first --grid smoke
+	./target/release/campaign serve --spool target/serve-smoke/spool \
+		--cache-dir target/serve-smoke/cache --jobs $(CAMPAIGN_JOBS) --drain
+	./target/release/campaign submit --spool target/serve-smoke/spool \
+		--id second --grid smoke
+	./target/release/campaign serve --spool target/serve-smoke/spool \
+		--cache-dir target/serve-smoke/cache --jobs $(CAMPAIGN_JOBS) --drain
+	@grep -q '"executed": 0,' target/serve-smoke/spool/done/second.json || \
+		(echo "error: warm re-sweep executed runs (expected 100% cache hits)" && exit 1)
+	cmp target/serve-smoke/spool/results/first.json \
+		target/serve-smoke/spool/results/second.json
+	./target/release/campaign diff crates/campaign/golden/smoke.json \
+		target/serve-smoke/spool/results/second.json --tol $(CAMPAIGN_TOL)
+
 # Wall-clock benchmark harness: runs the fabric microbenchmarks and a timed
 # smoke campaign, appending one entry to the checked-in BENCH.json trajectory
 # (see the README for the schema).  Commit the new entry when a PR changes
@@ -127,7 +151,7 @@ golden-weak:
 	./target/release/campaign weak --sweep weak-smoke --workers 1 \
 		--strip-informational --out crates/campaign/golden/weak_scaling.json
 
-ci: verify bench-build docs fmt-check clippy api-surface-check campaign-smoke failures-smoke weak-smoke
+ci: verify bench-build docs fmt-check clippy api-surface-check campaign-smoke failures-smoke weak-smoke serve-smoke
 
 clean:
 	$(CARGO) clean

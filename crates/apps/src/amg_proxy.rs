@@ -419,7 +419,7 @@ fn run_pcg(
 
     let rr = kernels.dot(ctx, &mut ws, r_v, r_v)?;
     let residual = rr.sqrt();
-    let report = ctx.finish("amg-pcg", iterations, residual);
+    let report = ctx.finish(iterations, residual);
     Ok(AmgOutput { report, residual })
 }
 
@@ -533,6 +533,6 @@ fn run_gmres(
         }
     }
 
-    let report = ctx.finish("amg-gmres", cycles, residual);
+    let report = ctx.finish(cycles, residual);
     Ok(AmgOutput { report, residual })
 }

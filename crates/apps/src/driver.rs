@@ -8,7 +8,7 @@
 //! [`AppContext::run_redundant`].
 
 use crate::report::AppRunReport;
-use ipr_core::{IntraConfig, IntraResult, IntraRuntime, TaskCost};
+use ipr_core::{IntraConfig, IntraResult, IntraRuntime, SectionsView, TaskCost};
 use kernels::KernelCost;
 use replication::{ExecutionMode, FailureInjector, ReplicatedEnv};
 use simcluster::SimTime;
@@ -88,34 +88,26 @@ impl AppContext {
         self.env.charge_compute(cost.flops, cost.mem_bytes());
     }
 
-    /// Builds the per-process report for the measured region.
-    pub fn finish(&self, app: &str, iterations: usize, verification: f64) -> AppRunReport {
+    /// Builds the per-process report for the measured region.  The report
+    /// carries measurements only — the configuration axes (app name, mode,
+    /// scheduler) are known to the caller that configured the run.
+    pub fn finish(&self, iterations: usize, verification: f64) -> AppRunReport {
         let total_time = self.env.now().saturating_sub(self.start);
-        let sections: Vec<_> = self.rt.report().sections()[self.sections_at_start..].to_vec();
-        let section_time: SimTime = sections.iter().map(|s| s.total_time()).sum();
-        let update_drain_time: SimTime = sections.iter().map(|s| s.update_drain_time()).sum();
-        let tasks_executed: usize = sections.iter().map(|s| s.tasks_executed_locally).sum();
-        let tasks_received: usize = sections.iter().map(|s| s.tasks_received).sum();
-        let tasks_reexecuted: usize = sections.iter().map(|s| s.tasks_reexecuted).sum();
-        let replica_failures_observed: usize =
-            sections.iter().map(|s| s.replica_failures_observed).sum();
-        let update_bytes_sent: usize = sections.iter().map(|s| s.update_bytes_sent).sum();
+        let report = self.rt.report();
+        let measured = SectionsView::new(&report.sections()[self.sections_at_start..]);
         AppRunReport {
-            app: app.to_string(),
-            mode: self.env.mode().label().to_string(),
-            scheduler: self.scheduler_name().to_string(),
             logical_rank: self.env.logical_rank(),
             replica_id: self.env.replica_id(),
             iterations,
             total_time,
-            section_time,
-            update_drain_time,
-            sections: sections.len(),
-            tasks_executed,
-            tasks_received,
-            tasks_reexecuted,
-            replica_failures_observed,
-            update_bytes_sent,
+            section_time: measured.total_section_time(),
+            update_drain_time: measured.total_update_drain_time(),
+            sections: measured.num_sections(),
+            tasks_executed: measured.total_tasks_executed(),
+            tasks_received: measured.total_tasks_received(),
+            tasks_reexecuted: measured.total_tasks_reexecuted(),
+            replica_failures_observed: measured.total_replica_failures_observed(),
+            update_bytes_sent: measured.total_update_bytes_sent(),
             verification,
         }
     }

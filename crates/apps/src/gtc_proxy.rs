@@ -282,7 +282,7 @@ pub fn run_gtc(ctx: &mut AppContext, params: &GtcParams) -> IntraResult<GtcOutpu
     }
 
     let kinetic = ws.get(v_v).iter().map(|v| v * v).sum::<f64>();
-    let report = ctx.finish("gtc", params.steps, total_charge);
+    let report = ctx.finish(params.steps, total_charge);
     Ok(GtcOutput {
         report,
         total_charge,

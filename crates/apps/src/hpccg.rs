@@ -456,7 +456,7 @@ pub fn run_hpccg(ctx: &mut AppContext, params: &HpccgParams) -> IntraResult<Hpcc
         .map(|v| (v - 1.0).abs())
         .fold(0.0f64, f64::max);
 
-    let report = ctx.finish("hpccg", iterations, residual);
+    let report = ctx.finish(iterations, residual);
     Ok(HpccgOutput {
         report,
         residual,

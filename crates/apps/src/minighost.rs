@@ -213,6 +213,6 @@ pub fn run_minighost(
         }
     }
 
-    let report = ctx.finish("minighost", params.steps, last_sum);
+    let report = ctx.finish(params.steps, last_sum);
     Ok(MiniGhostOutput { report, last_sum })
 }

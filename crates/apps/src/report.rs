@@ -7,17 +7,15 @@ use simcluster::SimTime;
 /// The benchmark harness aggregates these across processes (taking the
 /// makespan) and across execution modes to compute the paper's efficiency
 /// numbers.
+///
+/// Carries *measurements only*: the run's configuration axes (app, mode,
+/// scheduler, …) live on the experiment that produced it and in the
+/// versioned campaign report model (`campaign::report::v1`), not here —
+/// the pre-v1 `app`/`mode`/`scheduler` string fields were deleted (see
+/// MIGRATION.md).
 #[derive(Debug, Clone, PartialEq)]
 #[must_use = "an AppRunReport carries the run's metrics; dropping it silently loses them"]
 pub struct AppRunReport {
-    /// Application name ("hpccg", "amg-pcg", "amg-gmres", "gtc", "minighost").
-    pub app: String,
-    /// Execution mode label ("native", "replicated", "intra").
-    pub mode: String,
-    /// Name of the scheduler used inside intra-parallel sections
-    /// ("static-block", "round-robin", "cost-aware", "adaptive",
-    /// "locality").
-    pub scheduler: String,
     /// Logical rank of this process.
     pub logical_rank: usize,
     /// Replica id of this process.
@@ -73,9 +71,6 @@ mod tests {
     #[test]
     fn breakdown_accessors() {
         let r = AppRunReport {
-            app: "hpccg".into(),
-            mode: "intra".into(),
-            scheduler: "static-block".into(),
             logical_rank: 0,
             replica_id: 0,
             iterations: 10,
@@ -97,9 +92,6 @@ mod tests {
     #[test]
     fn zero_total_time_gives_zero_fraction() {
         let r = AppRunReport {
-            app: "x".into(),
-            mode: "native".into(),
-            scheduler: "static-block".into(),
             logical_rank: 0,
             replica_id: 0,
             iterations: 0,

@@ -35,7 +35,12 @@ fn hpccg_converges_in_all_modes() {
                 "mode {mode:?}: residual {}",
                 out.residual
             );
-            assert_eq!(out.report.mode, mode.label());
+            // The report carries measurements only (the mode is the
+            // caller's configuration); intra mode shares section work, so
+            // it must have executed sections.
+            if matches!(mode, ExecutionMode::IntraParallel { .. }) {
+                assert!(out.report.sections > 0, "mode {mode:?}: no sections");
+            }
         }
     }
 }

@@ -19,10 +19,14 @@
 //! All numbers are host wall-clock measurements; nothing here affects the
 //! virtual-time results the golden campaign baseline gates on.
 
-use campaign::{run_campaign, run_weak_sweep, CampaignGrid, Json, WeakSweep};
+use campaign::{
+    run_campaign, run_weak_sweep, serve, CampaignGrid, Json, RunCache, ServeOptions, Spool,
+    WeakSweep,
+};
 use ipr_bench::fabric::{self, FabricBench};
 use std::process::ExitCode;
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Version tag of the `BENCH.json` document layout (see README).
 const SCHEMA: &str = "ipr-bench/1";
@@ -118,6 +122,61 @@ fn main() -> ExitCode {
         ("wall_s", Json::Num(round6(wall_s))),
         ("sweep_ms", Json::Num(round6(sweep_ms))),
     ]));
+
+    // --- sweep-server sustained throughput -----------------------------
+    // Queue >= 1000 specs (the smoke axes replicated across seeds, split
+    // into 8 concurrent jobs) into a fresh spool with a cold cache, then
+    // drain it through `campaign::serve` and report specs/s.  This times
+    // the whole service path: file-queue claim, work-stealing execution,
+    // cache writes, and streaming JSONL results.
+    {
+        let base = CampaignGrid::by_name("smoke").expect("smoke grid is built in");
+        let mut grid = base.clone();
+        grid.seeds = (42u64..42 + 84).collect(); // 12 axes x 84 seeds = 1008 specs
+        let specs = grid.expand();
+        let num_jobs = 8usize;
+        let chunk = specs.len().div_ceil(num_jobs);
+        let root = std::env::temp_dir().join(format!("ipr-bench-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let spool = Spool::open(root.join("spool")).expect("spool");
+        let cache = Arc::new(RunCache::open(root.join("cache")).expect("cache"));
+        for (i, part) in specs.chunks(chunk).enumerate() {
+            let mut part = part.to_vec();
+            for (j, spec) in part.iter_mut().enumerate() {
+                spec.index = j;
+            }
+            spool
+                .submit_specs(&format!("bench{i}"), &part)
+                .expect("submit");
+        }
+        let options = ServeOptions {
+            workers: jobs,
+            drain: true,
+            poll: Duration::from_millis(1),
+        };
+        let t0 = Instant::now();
+        let summaries = serve(&spool, &cache, &options).expect("serve");
+        let wall_s = t0.elapsed().as_secs_f64();
+        let executed: usize = summaries.iter().map(|s| s.executed).sum();
+        assert_eq!(executed, specs.len(), "cold serve must execute every spec");
+        assert!(summaries.iter().all(|s| s.error.is_none()));
+        let sweeps_per_sec = specs.len() as f64 / wall_s;
+        eprintln!(
+            "serve_throughput   {sweeps_per_sec:>9.0} specs/s  ({} specs in {} jobs, {jobs} workers, {wall_s:.3}s)",
+            specs.len(),
+            summaries.len(),
+        );
+        results.push(Json::obj(vec![
+            ("name", Json::Str("serve_throughput".to_string())),
+            ("kind", Json::Str("serve".to_string())),
+            ("queued_specs", Json::Num(specs.len() as f64)),
+            ("queued_jobs", Json::Num(summaries.len() as f64)),
+            ("workers", Json::Num(jobs as f64)),
+            ("wall_s", Json::Num(round6(wall_s))),
+            ("sweeps_per_sec", Json::Num(sweeps_per_sec.round())),
+        ]));
+        let _ = std::fs::remove_dir_all(&root);
+    }
 
     // --- event-engine weak-scaling sweeps ------------------------------
     // Wall-clock per sweep at scales no thread-per-rank run can reach.

@@ -1,27 +1,42 @@
-//! Campaign CLI: run sweep grids, list them, and diff reports.
+//! Campaign CLI: run sweep grids, list them, diff reports — and serve
+//! sweeps as a long-running, cached service.
 //!
 //! ```text
 //! campaign list                        # built-in grids
 //! campaign list smoke                  # the runs a grid expands into
 //! campaign run --grid smoke --jobs 4 --out smoke.json [--csv smoke.csv]
+//! campaign run --grid smoke --cache-dir target/campaign-cache  # reuse cached runs
 //! campaign weak list                   # built-in weak-scaling sweeps
 //! campaign weak --sweep weak-smoke --workers 4 --out weak.json
 //! campaign diff golden/smoke.json smoke.json [--tol 1e-9]
+//!
+//! campaign serve  --spool DIR [--cache-dir DIR] [--jobs N] [--drain]
+//! campaign submit --spool DIR --id ID --grid NAME
+//! campaign status --spool DIR
+//! campaign results --spool DIR --id ID [--stream]
+//! campaign stop   --spool DIR
 //! ```
 //!
 //! `run` writes a deterministic JSON report (byte-identical for any
-//! `--jobs` value); `diff` exits non-zero if the candidate diverges from
-//! the baseline beyond the tolerance, which is how CI gates on the golden
-//! smoke baseline.
+//! `--jobs` value); `diff` validates the `ipr-report/1` schema tag on both
+//! documents and exits non-zero if the candidate diverges from the
+//! baseline beyond the tolerance, which is how CI gates on the golden
+//! smoke baseline.  The service verbs speak the file-queue protocol of
+//! [`campaign::serve`]: submissions land in `DIR/jobs/`, the server claims
+//! and executes them through the content-addressed run cache, streams
+//! per-run JSONL into `DIR/results/`, and a re-submitted sweep replays
+//! cached runs byte-identically while executing only the delta.
 
 use campaign::{
-    diff_reports, run_campaign, run_weak_sweep, strip_informational, CampaignGrid, Json, WeakSweep,
+    diff_documents, run_campaign, run_specs_cached, run_weak_sweep, strip_informational,
+    CampaignGrid, CampaignReport, Json, RunCache, ServeOptions, Spool, WeakSweep,
 };
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  campaign list [GRID]\n  campaign run --grid NAME [--jobs N] [--out FILE] [--csv FILE] [--strip-informational]\n  campaign weak list\n  campaign weak [--sweep NAME] [--workers N] [--out FILE] [--strip-informational]\n  campaign diff BASELINE CANDIDATE [--tol REL]\n\n--strip-informational drops the non-deterministic wall-clock fields from\nthe JSON report (used when regenerating golden baselines).\n\nbuilt-in grids: {}\nbuilt-in weak sweeps: {}",
+        "usage:\n  campaign list [GRID]\n  campaign run --grid NAME [--jobs N] [--out FILE] [--csv FILE] [--cache-dir DIR] [--strip-informational]\n  campaign weak list\n  campaign weak [--sweep NAME] [--workers N] [--out FILE] [--strip-informational]\n  campaign diff BASELINE CANDIDATE [--tol REL]\n  campaign serve --spool DIR [--cache-dir DIR] [--jobs N] [--drain] [--poll-ms N]\n  campaign submit --spool DIR --id ID --grid NAME\n  campaign status --spool DIR\n  campaign results --spool DIR --id ID [--stream]\n  campaign stop --spool DIR\n\n--strip-informational drops the non-deterministic wall-clock fields from\nthe JSON report (used when regenerating golden baselines).\n\nbuilt-in grids: {}\nbuilt-in weak sweeps: {}",
         CampaignGrid::builtin_names().join(", "),
         WeakSweep::builtin_names().join(", ")
     );
@@ -66,6 +81,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut jobs = 1usize;
     let mut out: Option<String> = None;
     let mut csv: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
     let mut strip = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -96,6 +112,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 Some(v) => csv = Some(v),
                 None => return ExitCode::from(2),
             },
+            "--cache-dir" => match value("--cache-dir") {
+                Some(v) => cache_dir = Some(v),
+                None => return ExitCode::from(2),
+            },
             "--strip-informational" => strip = true,
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -113,7 +133,26 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let num_runs = grid.expand().len();
     eprintln!("campaign '{grid_name}': {num_runs} runs, {jobs} job(s)");
     let started = std::time::Instant::now();
-    let report = run_campaign(&grid, jobs);
+    let report = match &cache_dir {
+        None => run_campaign(&grid, jobs),
+        Some(dir) => {
+            let cache = match RunCache::open(dir) {
+                Ok(cache) => Arc::new(cache),
+                Err(e) => {
+                    eprintln!("cannot open cache {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let specs = grid.expand();
+            let batch = run_specs_cached(&specs, jobs, &cache);
+            eprintln!("cache: {} hit(s), {} executed", batch.hits, batch.executed);
+            CampaignReport {
+                campaign: grid.name.clone(),
+                scale: grid.scale.name().to_string(),
+                runs: batch.runs,
+            }
+        }
+    };
     eprintln!(
         "campaign '{grid_name}' finished in {:.2}s wall-clock",
         started.elapsed().as_secs_f64()
@@ -261,7 +300,15 @@ fn cmd_diff(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let violations = diff_reports(&baseline, &candidate, tol);
+    let violations = match diff_documents(&baseline, &candidate, tol) {
+        Ok(v) => v,
+        Err(e) => {
+            // A schema mismatch is a usage error, not a divergence: the two
+            // documents are not comparable at all.
+            eprintln!("SCHEMA: {e}");
+            return ExitCode::from(2);
+        }
+    };
     if violations.is_empty() {
         println!("OK: {candidate_path} matches {baseline_path} (relative tolerance {tol})");
         ExitCode::SUCCESS
@@ -277,6 +324,249 @@ fn cmd_diff(args: &[String]) -> ExitCode {
     }
 }
 
+/// Parses `--spool DIR` plus verb-specific flags shared by the service
+/// commands; returns the remaining (flag, value-or-empty) pairs untouched.
+fn open_spool(spool: &Option<String>) -> Result<Spool, ExitCode> {
+    let Some(dir) = spool else {
+        eprintln!("--spool DIR is required");
+        return Err(ExitCode::from(2));
+    };
+    Spool::open(dir).map_err(|e| {
+        eprintln!("cannot open spool {dir}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut spool_dir: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut options = ServeOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spool" => spool_dir = it.next().cloned(),
+            "--cache-dir" => cache_dir = it.next().cloned(),
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => options.workers = v,
+                None => {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--poll-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => options.poll = std::time::Duration::from_millis(v),
+                None => {
+                    eprintln!("--poll-ms needs a non-negative integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--drain" => options.drain = true,
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return usage();
+            }
+        }
+    }
+    let spool = match open_spool(&spool_dir) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let cache_dir = cache_dir.unwrap_or_else(|| RunCache::default_dir().display().to_string());
+    let cache = match RunCache::open(&cache_dir) {
+        Ok(cache) => Arc::new(cache),
+        Err(e) => {
+            eprintln!("cannot open cache {cache_dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "serving spool {} with {} worker(s), cache {} ({})",
+        spool.root().display(),
+        options.workers,
+        cache_dir,
+        if options.drain { "drain" } else { "resident" },
+    );
+    match campaign::serve(&spool, &cache, &options) {
+        Ok(summaries) => {
+            for s in &summaries {
+                match &s.error {
+                    Some(e) => eprintln!("job {}: FAILED: {e}", s.id),
+                    None => eprintln!(
+                        "job {}: {} run(s), {} executed, {} cache hit(s), {:.1}ms",
+                        s.id, s.runs, s.executed, s.cache_hits, s.wall_ms
+                    ),
+                }
+            }
+            if summaries.iter().any(|s| s.error.is_some()) {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let mut spool_dir: Option<String> = None;
+    let mut id: Option<String> = None;
+    let mut grid: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spool" => spool_dir = it.next().cloned(),
+            "--id" => id = it.next().cloned(),
+            "--grid" => grid = it.next().cloned(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return usage();
+            }
+        }
+    }
+    let spool = match open_spool(&spool_dir) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let (Some(id), Some(grid)) = (id, grid) else {
+        eprintln!("submit needs --id ID and --grid NAME");
+        return ExitCode::from(2);
+    };
+    if CampaignGrid::by_name(&grid).is_none() {
+        eprintln!(
+            "unknown grid '{grid}'; expected one of: {}",
+            CampaignGrid::builtin_names().join(", ")
+        );
+        return ExitCode::from(2);
+    }
+    match spool.submit_grid(&id, &grid) {
+        Ok(()) => {
+            eprintln!("submitted job '{id}' (grid {grid})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot submit '{id}': {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_status(args: &[String]) -> ExitCode {
+    let mut spool_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spool" => spool_dir = it.next().cloned(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return usage();
+            }
+        }
+    }
+    let spool = match open_spool(&spool_dir) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    match spool.status() {
+        Ok(status) => {
+            println!("queued: {}", status.queued.len());
+            for id in &status.queued {
+                println!("  {id}");
+            }
+            println!("active: {}", status.active.len());
+            for id in &status.active {
+                println!("  {id}");
+            }
+            println!("done: {}", status.done.len());
+            for s in &status.done {
+                match &s.error {
+                    Some(e) => println!("  {} FAILED: {e}", s.id),
+                    None => println!(
+                        "  {} {} {} run(s) {} executed {} cache-hit(s)",
+                        s.id, s.campaign, s.runs, s.executed, s.cache_hits
+                    ),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot read spool: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_results(args: &[String]) -> ExitCode {
+    let mut spool_dir: Option<String> = None;
+    let mut id: Option<String> = None;
+    let mut stream = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spool" => spool_dir = it.next().cloned(),
+            "--id" => id = it.next().cloned(),
+            "--stream" => stream = true,
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return usage();
+            }
+        }
+    }
+    let spool = match open_spool(&spool_dir) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let Some(id) = id else {
+        eprintln!("results needs --id ID");
+        return ExitCode::from(2);
+    };
+    let path = if stream {
+        spool.stream_path(&id)
+    } else {
+        spool.result_path(&id)
+    };
+    match std::fs::read_to_string(&path) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("no results for '{id}' at {}: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_stop(args: &[String]) -> ExitCode {
+    let mut spool_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spool" => spool_dir = it.next().cloned(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return usage();
+            }
+        }
+    }
+    let spool = match open_spool(&spool_dir) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    match spool.request_stop() {
+        Ok(()) => {
+            eprintln!("stop requested");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot request stop: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -285,6 +575,11 @@ fn main() -> ExitCode {
             "run" => cmd_run(rest),
             "weak" => cmd_weak(rest),
             "diff" => cmd_diff(rest),
+            "serve" => cmd_serve(rest),
+            "submit" => cmd_submit(rest),
+            "status" => cmd_status(rest),
+            "results" => cmd_results(rest),
+            "stop" => cmd_stop(rest),
             _ => usage(),
         },
         None => usage(),

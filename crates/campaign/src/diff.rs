@@ -4,27 +4,34 @@
 //! it walks baseline and candidate structurally and requires exact
 //! agreement on everything discrete — run ids, labels, seeds, task and
 //! crash counts.  The relative tolerance applies only to *metric* fields,
-//! identified by their key: virtual times (keys ending in `_s`) and
-//! `verification` values.  With the default tolerance of zero the gate is
-//! bit-exact, so it also catches any determinism violation.
+//! and *informational* fields (host wall clocks, dispatch counts) are
+//! ignored entirely.  A field's class comes from the versioned report
+//! schema ([`crate::report::v1::FIELDS`]); for keys the schema does not
+//! declare, the historical spelling heuristic (`*_s` / `verification` ⇒
+//! metric, everything else discrete) still applies, and *no* unknown key
+//! is ever treated as informational — a new wall-clock-ish field must be
+//! declared in the schema before the gate will ignore it.  With the
+//! default tolerance of zero the gate is bit-exact, so it also catches any
+//! determinism violation.
+//!
+//! [`diff_documents`] is the schema-checked entry point the CLI uses: it
+//! validates the `schema` version tag on both documents and rejects
+//! mismatches with a typed [`SchemaError`] instead of silently comparing
+//! incompatible reports.  [`diff_reports`] is the raw structural walk.
 
 use crate::json::Json;
+use crate::report::v1::{self, FieldClass, SchemaError};
 
 /// One detected divergence, as a human-readable `path: message` line.
 pub type Violation = String;
 
-/// Fields that carry *informational* host-side measurements rather than
-/// simulation results.  They are non-deterministic by nature — wall-clock
-/// times measure the host, and engine `dispatches` count scheduler pops,
-/// which duplicate wakeups inflate depending on worker interleaving — so
-/// the diff ignores them entirely: their values are never compared and
-/// their presence or absence on either side is not a violation.  This is
-/// what lets a golden baseline recorded without `wall_time_ms` keep gating
-/// reports that now include it.
-pub const INFORMATIONAL_KEYS: &[&str] = &["wall_time_ms", "dispatches"];
+/// The informational field names, re-exported from the v1 schema (see
+/// [`v1::INFORMATIONAL_KEYS`]); the schema declaration, not this list, is
+/// what the diff consults.
+pub use crate::report::v1::INFORMATIONAL_KEYS;
 
 fn is_informational_key(key: &str) -> bool {
-    INFORMATIONAL_KEYS.contains(&key)
+    v1::is_informational(key)
 }
 
 /// Removes every informational field (recursively) from a JSON document.
@@ -48,11 +55,15 @@ pub fn strip_informational(json: &mut Json) {
 }
 
 /// True if the field named `key` is a continuous metric (eligible for the
-/// relative tolerance): a virtual-time field (`*_s`) or a verification
-/// value.  Everything else — counts, seeds, ids — is discrete and compared
-/// exactly.
+/// relative tolerance).  The schema declaration wins; keys the schema does
+/// not know fall back to the spelling heuristic (virtual-time fields end in
+/// `_s`; `verification` is a residual).  Everything else — counts, seeds,
+/// ids — is discrete and compared exactly.
 fn is_metric_key(key: &str) -> bool {
-    key.ends_with("_s") || key == "verification"
+    match v1::field_class(key) {
+        Some(class) => class == FieldClass::Metric,
+        None => key.ends_with("_s") || key == "verification",
+    }
 }
 
 /// Compares two reports; an empty result means the candidate matches the
@@ -63,6 +74,31 @@ pub fn diff_reports(baseline: &Json, candidate: &Json, tol: f64) -> Vec<Violatio
     let mut violations = Vec::new();
     diff_value("$", None, baseline, candidate, tol, &mut violations);
     violations
+}
+
+/// The schema-checked diff: validates that both documents carry this
+/// build's report-schema version tag ([`v1::SCHEMA`]) before comparing
+/// them, and rejects missing, unknown, or mismatched tags with a typed
+/// [`SchemaError`].  This is the entry point `campaign diff` uses; tools
+/// comparing raw fragments can still call [`diff_reports`] directly.
+pub fn diff_documents(
+    baseline: &Json,
+    candidate: &Json,
+    tol: f64,
+) -> Result<Vec<Violation>, SchemaError> {
+    let base_tag = v1::document_schema(baseline).map(str::to_string);
+    let cand_tag = v1::document_schema(candidate).map(str::to_string);
+    if let (Some(b), Some(c)) = (&base_tag, &cand_tag) {
+        if b != c {
+            return Err(SchemaError::Mismatch {
+                baseline: b.clone(),
+                candidate: c.clone(),
+            });
+        }
+    }
+    v1::check_envelope(baseline, "baseline")?;
+    v1::check_envelope(candidate, "candidate")?;
+    Ok(diff_reports(baseline, candidate, tol))
 }
 
 fn type_name(v: &Json) -> &'static str {
@@ -265,5 +301,52 @@ mod tests {
         let v = diff_reports(&a, &b, 0.0);
         assert!(v.iter().any(|m| m.contains("$.y: missing")));
         assert!(v.iter().any(|m| m.contains("$.z: unexpected")));
+    }
+
+    #[test]
+    fn unknown_keys_are_never_informational() {
+        // A wall-clock-ish field that is *not* declared in the schema is
+        // still gated: only a schema declaration can make the diff ignore
+        // a field.
+        let a = j(r#"{"elapsed_wall_ms": 12.0}"#);
+        let b = j(r#"{"elapsed_wall_ms": 99.0}"#);
+        assert_eq!(diff_reports(&a, &b, 0.0).len(), 1);
+    }
+
+    #[test]
+    fn schema_checked_diff_rejects_bad_envelopes() {
+        let good = j(r#"{"schema": "ipr-report/1", "runs": []}"#);
+        let other = j(r#"{"schema": "ipr-report/2", "runs": []}"#);
+        let untagged = j(r#"{"runs": []}"#);
+
+        assert_eq!(diff_documents(&good, &good, 0.0), Ok(vec![]));
+        assert_eq!(
+            diff_documents(&good, &other, 0.0),
+            Err(SchemaError::Mismatch {
+                baseline: "ipr-report/1".into(),
+                candidate: "ipr-report/2".into()
+            })
+        );
+        assert_eq!(
+            diff_documents(&untagged, &good, 0.0),
+            Err(SchemaError::Missing {
+                which: "baseline".into()
+            })
+        );
+        assert_eq!(
+            diff_documents(&good, &untagged, 0.0),
+            Err(SchemaError::Missing {
+                which: "candidate".into()
+            })
+        );
+        // Two documents that agree on a *future* schema are still rejected
+        // by this build (unknown version), not silently compared.
+        assert_eq!(
+            diff_documents(&other, &other, 0.0),
+            Err(SchemaError::Unknown {
+                which: "baseline".into(),
+                found: "ipr-report/2".into()
+            })
+        );
     }
 }

@@ -68,6 +68,14 @@ impl Json {
         }
     }
 
+    /// The value as a bool, if a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Renders the value as pretty-printed JSON (2-space indent, trailing
     /// newline), deterministically.
     pub fn render(&self) -> String {
@@ -75,6 +83,48 @@ impl Json {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Renders the value as a single line (no indentation, no trailing
+    /// newline) — the form JSONL streams require.  Just as deterministic as
+    /// [`Json::render`], and parsed by the same [`Json::parse`].
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(v) => write_number(out, *v),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {

@@ -22,26 +22,43 @@
 //!   JSON into a CI determinism/regression gate;
 //! * [`weak`] — weak-scaling sweeps on `simmpi`'s event-driven engine
 //!   (tens of thousands of logical ranks, far past the thread-per-rank
-//!   ceiling), gated by their own golden baseline.
+//!   ceiling), gated by their own golden baseline;
+//! * [`report::v1`] — the versioned report model every rendering above
+//!   serializes through: a schema-tagged envelope (`ipr-report/1`) with
+//!   per-field semantics (discrete / metric / informational) declared once;
+//! * [`cache`] — a content-addressed run cache (fingerprint = experiment
+//!   axes + report schema + determinism epoch) so re-sweeps execute only
+//!   the delta;
+//! * [`queue`] + [`mod@serve`] — a long-running, work-stealing sweep service
+//!   with a file-queue submit/status/results protocol and streaming JSONL
+//!   output.
 //!
-//! The `campaign` binary exposes `run` / `list` / `diff` on the command
-//! line; `make campaign-smoke` reproduces the CI gate locally.
+//! The `campaign` binary exposes `run` / `list` / `diff` plus the service
+//! verbs `serve` / `submit` / `status` / `results` / `stop` on the command
+//! line; `make campaign-smoke` and `make serve-smoke` reproduce the CI
+//! gates locally.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod cache;
 pub mod diff;
 pub mod grid;
 pub mod json;
+pub mod queue;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod spec;
 pub mod weak;
 
-pub use diff::{diff_reports, strip_informational, INFORMATIONAL_KEYS};
+pub use cache::{fingerprint, run_specs_cached, CachedBatch, RunCache, DETERMINISM_EPOCH};
+pub use diff::{diff_documents, diff_reports, strip_informational, INFORMATIONAL_KEYS};
 pub use grid::CampaignGrid;
 pub use json::Json;
-pub use report::CampaignReport;
-pub use runner::{run_campaign, run_spec, run_specs, RunResult};
+pub use queue::ExecutorPool;
+pub use report::{v1, CampaignReport};
+pub use runner::{run_campaign, run_spec, run_specs, run_specs_on, RunResult};
+pub use serve::{serve, JobSummary, ServeOptions, Spool, SpoolStatus};
 pub use spec::{FailureSpec, RunSpec};
 pub use weak::{run_weak_spec, run_weak_sweep, WeakReport, WeakRow, WeakRunSpec, WeakSweep};

@@ -1,0 +1,315 @@
+//! A long-running, work-stealing executor pool.
+//!
+//! The batch runner ([`crate::runner::run_specs`]) and the sweep service
+//! ([`mod@crate::serve`]) share this pool: a fixed set of worker threads, one
+//! double-ended job queue per worker, and stealing between them.  Submitted
+//! jobs are distributed round-robin across the per-worker queues; each
+//! worker pops its own queue from the *front* and, when empty, steals from
+//! the *back* of a sibling's queue — the classic work-stealing shape, here
+//! built from mutex-guarded deques because the crate forbids `unsafe`
+//! (`#![deny(unsafe_code)]`), so a lock-free Chase–Lev deque is not on the
+//! table.  Campaign runs are milliseconds long, so per-job lock traffic is
+//! noise; what matters is that many concurrent submitters keep every worker
+//! busy without a single contended queue.
+//!
+//! The pool is *long-running*: it accepts submissions from any thread at
+//! any time, [`ExecutorPool::drain`] waits for quiescence without stopping
+//! the workers (the serve loop drains between jobs), and
+//! [`ExecutorPool::shutdown`] drains and joins gracefully.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// How long an idle worker sleeps before re-checking the queues on its
+/// own.  Wakeups are signalled on every submit, so this is a backstop, not
+/// the scheduling mechanism.
+const IDLE_RECHECK: Duration = Duration::from_millis(25);
+
+struct Shared {
+    /// One deque per worker; owner pops the front, thieves pop the back.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Jobs submitted and not yet finished executing.
+    pending: AtomicUsize,
+    /// Set once by [`ExecutorPool::shutdown`]; workers exit when the queues
+    /// are empty and this is set.
+    stopping: AtomicBool,
+    /// Round-robin cursor for submissions.
+    next: AtomicUsize,
+    /// Workers sleep here when every queue is empty.
+    work_mutex: Mutex<()>,
+    work_cond: Condvar,
+    /// Drainers sleep here until `pending` reaches zero.
+    idle_mutex: Mutex<()>,
+    idle_cond: Condvar,
+}
+
+impl Shared {
+    fn pop_any(&self, own: usize) -> Option<Job> {
+        // Own queue first, from the front (the oldest job submitted to us).
+        if let Some(job) = self.queues[own].lock().pop_front() {
+            return Some(job);
+        }
+        // Then steal from siblings, from the back, scanning round-robin
+        // starting after our own slot so thieves spread out.
+        let n = self.queues.len();
+        for offset in 1..n {
+            let victim = (own + offset) % n;
+            if let Some(job) = self.queues[victim].lock().pop_back() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn finish_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _quiet = self.idle_mutex.lock();
+            self.idle_cond.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, own: usize) {
+    loop {
+        if let Some(job) = shared.pop_any(own) {
+            job();
+            shared.finish_one();
+            continue;
+        }
+        // Nothing to do: re-check under the signal lock so a submission
+        // racing with this check cannot slip between "queues are empty"
+        // and "wait" (submitters take the same lock before notifying).
+        let mut guard = shared.work_mutex.lock();
+        let queues_empty = shared.queues.iter().all(|q| q.lock().is_empty());
+        if !queues_empty {
+            continue;
+        }
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = shared.work_cond.wait_for(&mut guard, IDLE_RECHECK);
+    }
+}
+
+/// A fixed-size pool of work-stealing executor threads (see the module
+/// docs for the queueing discipline).
+pub struct ExecutorPool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ExecutorPool {
+    /// Starts a pool of `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            stopping: AtomicBool::new(false),
+            next: AtomicUsize::new(0),
+            work_mutex: Mutex::new(()),
+            work_cond: Condvar::new(),
+            idle_mutex: Mutex::new(()),
+            idle_cond: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("campaign-exec-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        ExecutorPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs submitted and not yet finished.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::SeqCst)
+    }
+
+    /// Enqueues a job.  Callable from any thread, including from inside a
+    /// running job (workers never block on submission).  Panics if called
+    /// after [`ExecutorPool::shutdown`] began (jobs would be dropped).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        assert!(
+            !self.shared.stopping.load(Ordering::SeqCst),
+            "submit to a stopping ExecutorPool"
+        );
+        // Count before enqueueing so `drain` can never observe the queue
+        // with the job but `pending` without it.
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        let slot = self.shared.next.fetch_add(1, Ordering::SeqCst) % self.workers.len();
+        self.shared.queues[slot].lock().push_back(Box::new(job));
+        // Pair with the worker's check-then-wait under the same lock.
+        drop(self.shared.work_mutex.lock());
+        self.shared.work_cond.notify_one();
+    }
+
+    /// Blocks until every submitted job has finished.  The workers stay
+    /// alive; more jobs can be submitted afterwards (or concurrently — in
+    /// that case drain waits for those too, returning at *a* quiescent
+    /// point).
+    pub fn drain(&self) {
+        let mut guard = self.shared.idle_mutex.lock();
+        while self.shared.pending.load(Ordering::SeqCst) != 0 {
+            let _ = self.shared.idle_cond.wait_for(&mut guard, IDLE_RECHECK);
+        }
+    }
+
+    /// Drains outstanding work, then stops and joins every worker.
+    pub fn shutdown(mut self) {
+        self.drain();
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.work_mutex.lock();
+        }
+        self.shared.work_cond.notify_all();
+        for handle in self.workers.drain(..) {
+            handle.join().expect("executor worker panicked");
+        }
+    }
+}
+
+impl Drop for ExecutorPool {
+    fn drop(&mut self) {
+        // Graceful even when dropped without an explicit shutdown (e.g. a
+        // test panicking past it): finish queued work, then join.
+        if self.workers.is_empty() {
+            return;
+        }
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.work_mutex.lock();
+        }
+        self.shared.work_cond.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executes_every_job_exactly_once() {
+        let pool = ExecutorPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.drain();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert_eq!(pool.pending(), 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn accepts_submissions_from_many_threads() {
+        let pool = Arc::new(ExecutorPool::new(3));
+        let counter = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let pool = Arc::clone(&pool);
+                let counter = Arc::clone(&counter);
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        let counter = Arc::clone(&counter);
+                        pool.submit(move || {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        pool.drain();
+        assert_eq!(counter.load(Ordering::SeqCst), 8 * 25);
+    }
+
+    #[test]
+    fn drain_is_reusable_between_batches() {
+        let pool = ExecutorPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for round in 1..=3 {
+            for _ in 0..10 {
+                let counter = Arc::clone(&counter);
+                pool.submit(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            pool.drain();
+            assert_eq!(counter.load(Ordering::SeqCst), round * 10);
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn siblings_steal_from_a_loaded_queue() {
+        // One long job pins worker 0 while round-robin keeps handing it
+        // every even-numbered submission; the only way the batch finishes
+        // promptly is siblings stealing worker 0's backlog.
+        let pool = ExecutorPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new(AtomicBool::new(false));
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit(move || {
+                while !gate.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        }
+        for _ in 0..40 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // All 40 short jobs must complete while worker 0 is still pinned.
+        let start = std::time::Instant::now();
+        while counter.load(Ordering::SeqCst) != 40 {
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "stuck at {} of 40 with one worker pinned",
+                counter.load(Ordering::SeqCst)
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        gate.store(true, Ordering::SeqCst);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_finishes_queued_work_first() {
+        let pool = ExecutorPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                std::thread::sleep(Duration::from_micros(100));
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+}

@@ -1,5 +1,5 @@
 //! Campaign execution: one deterministic virtual-time simulation per
-//! [`RunSpec`], fanned out over OS threads.
+//! [`RunSpec`], fanned out over the work-stealing executor pool.
 //!
 //! Every run is self-contained — its own simulated cluster, its own seed,
 //! its own failure traces — so runs can execute concurrently without
@@ -8,127 +8,67 @@
 //! by grid index, never by completion order).
 
 use crate::grid::CampaignGrid;
-use crate::spec::{mode_label, RunSpec};
+use crate::queue::ExecutorPool;
+use crate::spec::RunSpec;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-/// Aggregated result of one campaign run (all fields are deterministic
-/// functions of the [`RunSpec`]).
-#[derive(Debug, Clone, PartialEq)]
-pub struct RunResult {
-    /// Run id ([`RunSpec::id`]).
-    pub id: String,
-    /// Application name.
-    pub app: String,
-    /// Scale preset name.
-    pub scale: String,
-    /// Mode label (with degree).
-    pub mode: String,
-    /// Scheduler name.
-    pub scheduler: String,
-    /// Failure-spec label.
-    pub failure: String,
-    /// Run seed.
-    pub seed: u64,
-    /// Physical processes simulated.
-    pub procs: usize,
-    /// Ranks that completed the application.
-    pub completed: usize,
-    /// Ranks that crashed through failure injection.
-    pub crashed: usize,
-    /// Ranks that failed for any other reason (e.g. peers of a crashed
-    /// native rank observing `ProcessFailed`).
-    pub errored: usize,
-    /// Crash-stop failure events recorded by the cluster.
-    pub failure_events: usize,
-    /// Timed crashes the failure plan scheduled before the run started
-    /// (`Experiment::scheduled_crashes().len()`): a pure function of the
-    /// spec, so diffed exactly like every other deterministic column.  Not
-    /// every scheduled crash fires — a rank that finishes before its crash
-    /// time survives — which is why this is reported next to
-    /// `failure_events`.
-    pub scheduled_crashes: usize,
-    /// Virtual makespan over the surviving ranks, in seconds.
-    pub makespan_s: f64,
-    /// Mean virtual time inside intra-parallel sections over completed
-    /// ranks, in seconds.
-    pub section_s: f64,
-    /// Mean virtual update-drain time over completed ranks, in seconds.
-    pub update_drain_s: f64,
-    /// Total tasks executed locally (summed over completed ranks).
-    pub tasks_executed: usize,
-    /// Total task results received from peer replicas.
-    pub tasks_received: usize,
-    /// Total tasks re-executed because their owner crashed.
-    pub tasks_reexecuted: usize,
-    /// Total modeled update bytes sent between replicas.
-    pub update_bytes_sent: usize,
-    /// Application verification value (max over completed ranks; 0 when no
-    /// rank completed).
-    pub verification: f64,
-    /// Host wall-clock time this run took to simulate, in milliseconds.
-    /// *Informational only*: the single non-deterministic field of a run
-    /// result, excluded from the tolerance diff (see `crate::diff`) and
-    /// present so campaign reports double as a host-performance trace.
-    pub wall_time_ms: f64,
-}
+/// Aggregated result of one campaign run — the campaign-historical name of
+/// the versioned report model's row type ([`crate::report::v1::RunRecord`]).
+pub use crate::report::v1::RunRecord as RunResult;
 
 /// Executes one run specification to completion by handing it to the
 /// facade's [`intra_replication::Experiment`] engine and folding the
-/// [`intra_replication::RunReport`] into the campaign's flat row.
+/// [`intra_replication::RunReport`] into the v1 row.
 pub fn run_spec(spec: &RunSpec) -> RunResult {
     let experiment = spec
         .experiment()
         .expect("expanded grid points are valid experiments");
     let scheduled_crashes = experiment.scheduled_crashes().len();
     let report = experiment.run().expect("experiment execution");
-    RunResult {
-        id: spec.id(),
-        app: spec.app.name().to_string(),
-        scale: spec.scale.name().to_string(),
-        mode: mode_label(spec.mode),
-        scheduler: spec.scheduler.to_string(),
-        failure: spec.failure.label(),
-        seed: spec.seed,
-        procs: report.procs,
-        completed: report.completed(),
-        crashed: report.crashed(),
-        errored: report.errored(),
-        failure_events: report.failure_events,
-        scheduled_crashes,
-        makespan_s: report.makespan_s,
-        section_s: report.mean_section_s(),
-        update_drain_s: report.mean_update_drain_s(),
-        tasks_executed: report.tasks_executed(),
-        tasks_received: report.tasks_received(),
-        tasks_reexecuted: report.tasks_reexecuted(),
-        update_bytes_sent: report.update_bytes_sent(),
-        verification: report.verification(),
-        wall_time_ms: report.wall_time_ms,
-    }
+    RunResult::from_run(spec, scheduled_crashes, &report)
 }
 
-/// Executes `specs` on up to `jobs` worker threads and returns the results
-/// in grid order (independent of completion order).
+/// Executes `specs` on a transient pool of up to `jobs` workers and returns
+/// the results in grid order (independent of completion order).
 pub fn run_specs(specs: &[RunSpec], jobs: usize) -> Vec<RunResult> {
-    let workers = jobs.max(1).min(specs.len().max(1));
-    let slots: Vec<Mutex<Option<RunResult>>> = specs.iter().map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::SeqCst);
-                if i >= specs.len() {
-                    break;
-                }
-                let result = run_spec(&specs[i]);
-                *slots[i].lock() = Some(result);
-            });
-        }
-    });
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    let pool = ExecutorPool::new(jobs.max(1).min(specs.len()));
+    let results = run_specs_on(&pool, specs);
+    pool.shutdown();
+    results
+}
+
+/// Executes `specs` on an existing pool (the long-running serve pool, or a
+/// transient one), returning results in spec order.  Blocks until every
+/// one of *these* specs finished; other traffic on the pool proceeds
+/// concurrently and is not waited for.
+pub fn run_specs_on(pool: &ExecutorPool, specs: &[RunSpec]) -> Vec<RunResult> {
+    let slots: Arc<Vec<Mutex<Option<RunResult>>>> =
+        Arc::new(specs.iter().map(|_| Mutex::new(None)).collect());
+    let done = Arc::new((Mutex::new(0usize), parking_lot::Condvar::new()));
+    for (i, spec) in specs.iter().cloned().enumerate() {
+        let slots = Arc::clone(&slots);
+        let done = Arc::clone(&done);
+        pool.submit(move || {
+            let result = run_spec(&spec);
+            *slots[i].lock() = Some(result);
+            let (count, cond) = &*done;
+            *count.lock() += 1;
+            cond.notify_all();
+        });
+    }
+    let (count, cond) = &*done;
+    let mut finished = count.lock();
+    while *finished < specs.len() {
+        cond.wait(&mut finished);
+    }
+    drop(finished);
     slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every slot was executed"))
+        .iter()
+        .map(|slot| slot.lock().take().expect("every slot was executed"))
         .collect()
 }
 

@@ -114,6 +114,82 @@ impl RunSpec {
         builder.build()
     }
 
+    /// The spec as a JSON object over its six axis labels (the `index` is
+    /// assigned by the receiver, not serialized) — the wire form the serve
+    /// protocol's job files use for explicit spec lists.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj(vec![
+            ("app", Json::Str(self.app.name().to_string())),
+            ("scale", Json::Str(self.scale.name().to_string())),
+            ("mode", Json::Str(mode_label(self.mode))),
+            ("scheduler", Json::Str(self.scheduler.to_string())),
+            ("failure", Json::Str(self.failure.label())),
+            ("seed", Json::Num(self.seed as f64)),
+        ])
+    }
+
+    /// Parses the output of [`RunSpec::to_json`], assigning `index`.
+    /// Every axis label goes through the same parser that accepts it on
+    /// the command line, so the wire form can express exactly what the CLI
+    /// can.
+    pub fn from_json(index: usize, doc: &crate::json::Json) -> Result<Self, String> {
+        use crate::json::Json;
+        let label = |name: &str| -> Result<&str, String> {
+            doc.get(name)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("run spec: missing string field '{name}'"))
+        };
+        let parse = |name: &str, err: &str| -> Result<String, String> {
+            label(name).map(str::to_string).and_then(|v| {
+                if v.is_empty() {
+                    Err(format!("run spec: {err}: empty '{name}'"))
+                } else {
+                    Ok(v)
+                }
+            })
+        };
+        let app = AppId::parse(&parse("app", "unknown app")?)
+            .ok_or_else(|| format!("run spec: unknown app '{}'", label("app").unwrap_or("?")))?;
+        let scale = ExperimentScale::parse(&parse("scale", "unknown scale")?).ok_or_else(|| {
+            format!(
+                "run spec: unknown scale '{}'",
+                label("scale").unwrap_or("?")
+            )
+        })?;
+        let mode = parse_mode(&parse("mode", "unknown mode")?)
+            .ok_or_else(|| format!("run spec: unknown mode '{}'", label("mode").unwrap_or("?")))?;
+        let scheduler: SchedulerKind =
+            parse("scheduler", "unknown scheduler")?
+                .parse()
+                .map_err(|_| {
+                    format!(
+                        "run spec: unknown scheduler '{}'",
+                        label("scheduler").unwrap_or("?")
+                    )
+                })?;
+        let failure =
+            FailureSpec::parse(&parse("failure", "unknown failure")?).ok_or_else(|| {
+                format!(
+                    "run spec: unknown failure '{}'",
+                    label("failure").unwrap_or("?")
+                )
+            })?;
+        let seed = doc
+            .get("seed")
+            .and_then(Json::as_f64)
+            .ok_or("run spec: missing numeric field 'seed'")? as u64;
+        Ok(RunSpec {
+            index,
+            app,
+            scale,
+            mode,
+            scheduler,
+            failure,
+            seed,
+        })
+    }
+
     /// The inverse of [`RunSpec::experiment`] on the six grid axes:
     /// re-derives the grid form of an experiment (`index` is campaign
     /// bookkeeping, not an experiment axis).
@@ -196,6 +272,33 @@ mod tests {
             ..spec.clone()
         };
         assert_eq!(moved.id(), spec.id());
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        let spec = RunSpec {
+            index: 5,
+            app: AppId::Gtc,
+            scale: ExperimentScale::Tiny,
+            mode: ExecutionMode::Replicated { degree: 2 },
+            scheduler: SchedulerKind::Adaptive,
+            failure: FailureSpec::Poisson {
+                rate: FailureRate::Constant(0.5),
+                horizon_s: 1.0,
+            },
+            seed: 99,
+        };
+        let doc = spec.to_json();
+        assert_eq!(RunSpec::from_json(5, &doc).unwrap(), spec);
+        // The index is receiver-assigned, not part of the wire form.
+        assert_eq!(RunSpec::from_json(0, &doc).unwrap().index, 0);
+        // Unknown labels surface as errors, not defaults.
+        let bad = crate::json::Json::parse(
+            r#"{"app": "bogus", "scale": "tiny", "mode": "native",
+                "scheduler": "static-block", "failure": "none", "seed": 1}"#,
+        )
+        .unwrap();
+        assert!(RunSpec::from_json(0, &bad).unwrap_err().contains("app"));
     }
 
     #[test]

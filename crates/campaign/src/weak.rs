@@ -279,6 +279,7 @@ impl WeakReport {
     /// which is what the golden weak-scaling gate compares against.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
+            ("schema", Json::Str(crate::report::v1::SCHEMA.to_string())),
             ("sweep", Json::Str(self.sweep.clone())),
             (
                 "runs",

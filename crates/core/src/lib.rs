@@ -75,7 +75,7 @@ pub mod workspace;
 pub use api::{IntraSession, TaskHandle};
 pub use cost::{CostEstimate, CostModel, TaskKey, DEFAULT_EMA_ALPHA};
 pub use error::{IntraError, IntraResult};
-pub use report::{RuntimeReport, SectionReport, TaskCostSample};
+pub use report::{RuntimeReport, SectionReport, SectionsView, TaskCostSample};
 pub use runtime::{IntraConfig, IntraRuntime};
 #[allow(deprecated)]
 pub use sched::{
@@ -91,7 +91,7 @@ pub mod prelude {
     pub use crate::api::{IntraSession, TaskHandle};
     pub use crate::cost::{CostEstimate, CostModel};
     pub use crate::error::{IntraError, IntraResult};
-    pub use crate::report::{RuntimeReport, SectionReport, TaskCostSample};
+    pub use crate::report::{RuntimeReport, SectionReport, SectionsView, TaskCostSample};
     pub use crate::runtime::{IntraConfig, IntraRuntime};
     pub use crate::sched::{
         AdaptiveScheduler, CostAwareScheduler, LocalityAwareScheduler, RoundRobinScheduler,

@@ -115,25 +115,28 @@ impl SectionReport {
     }
 }
 
-/// Accumulated metrics over every section executed by one
-/// [`crate::runtime::IntraRuntime`].
-#[derive(Debug, Clone, Default)]
-pub struct RuntimeReport {
-    sections: Vec<SectionReport>,
+/// Aggregated view over any slice of [`SectionReport`]s: the one place the
+/// per-section metrics are summed.  [`RuntimeReport`] is a thin owner over
+/// this view, and consumers that aggregate a *sub-range* of sections (the
+/// app driver sums only the measured region) borrow the same arithmetic
+/// instead of duplicating it.
+#[derive(Debug, Clone, Copy)]
+pub struct SectionsView<'a> {
+    sections: &'a [SectionReport],
 }
 
-impl RuntimeReport {
-    /// Records a section report.
-    pub fn push(&mut self, report: SectionReport) {
-        self.sections.push(report);
+impl<'a> SectionsView<'a> {
+    /// Wraps a slice of section reports.
+    pub fn new(sections: &'a [SectionReport]) -> Self {
+        SectionsView { sections }
     }
 
-    /// All recorded sections.
-    pub fn sections(&self) -> &[SectionReport] {
-        &self.sections
+    /// The underlying sections.
+    pub fn sections(&self) -> &'a [SectionReport] {
+        self.sections
     }
 
-    /// Number of sections executed.
+    /// Number of sections in the view.
     pub fn num_sections(&self) -> usize {
         self.sections.len()
     }
@@ -192,6 +195,83 @@ impl RuntimeReport {
             .iter()
             .map(|s| s.replica_failures_observed)
             .sum()
+    }
+}
+
+/// Accumulated metrics over every section executed by one
+/// [`crate::runtime::IntraRuntime`] — a thin owner over [`SectionsView`],
+/// which holds the aggregation arithmetic.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeReport {
+    sections: Vec<SectionReport>,
+}
+
+impl RuntimeReport {
+    /// Records a section report.
+    pub fn push(&mut self, report: SectionReport) {
+        self.sections.push(report);
+    }
+
+    /// All recorded sections.
+    pub fn sections(&self) -> &[SectionReport] {
+        &self.sections
+    }
+
+    /// The aggregated view over every recorded section.
+    pub fn view(&self) -> SectionsView<'_> {
+        SectionsView::new(&self.sections)
+    }
+
+    /// Number of sections executed.
+    pub fn num_sections(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Total virtual time spent inside sections.
+    pub fn total_section_time(&self) -> SimTime {
+        self.view().total_section_time()
+    }
+
+    /// Total virtual time spent executing local tasks.
+    pub fn total_local_work_time(&self) -> SimTime {
+        self.view().total_local_work_time()
+    }
+
+    /// Total virtual time spent draining update transfers.
+    pub fn total_update_drain_time(&self) -> SimTime {
+        self.view().total_update_drain_time()
+    }
+
+    /// Total modeled update bytes sent.
+    pub fn total_update_bytes_sent(&self) -> usize {
+        self.view().total_update_bytes_sent()
+    }
+
+    /// Total modeled update bytes received.
+    pub fn total_update_bytes_received(&self) -> usize {
+        self.view().total_update_bytes_received()
+    }
+
+    /// Total tasks executed locally across all sections.
+    pub fn total_tasks_executed(&self) -> usize {
+        self.view().total_tasks_executed()
+    }
+
+    /// Total tasks re-executed after failures.
+    pub fn total_tasks_reexecuted(&self) -> usize {
+        self.view().total_tasks_reexecuted()
+    }
+
+    /// Total tasks whose result was received from a peer replica.
+    pub fn total_tasks_received(&self) -> usize {
+        self.view().total_tasks_received()
+    }
+
+    /// Total replica failures of this logical process observed inside
+    /// sections (a crash spanning several sections counts once per section
+    /// that observed it).
+    pub fn total_replica_failures_observed(&self) -> usize {
+        self.view().total_replica_failures_observed()
     }
 }
 
@@ -260,5 +340,23 @@ mod tests {
         assert_eq!(rr.total_tasks_received(), 8);
         assert_eq!(rr.total_replica_failures_observed(), 0);
         assert_eq!(rr.sections().len(), 2);
+    }
+
+    #[test]
+    fn sections_view_aggregates_sub_ranges() {
+        // The view is the shared aggregation arithmetic: summing a
+        // sub-range (what the app driver's measured region does) must agree
+        // with summing the parts.
+        let sections = vec![report(0.0, 1.0, 2.0), report(2.0, 2.5, 4.0)];
+        let all = SectionsView::new(&sections);
+        let tail = SectionsView::new(&sections[1..]);
+        assert_eq!(all.num_sections(), 2);
+        assert_eq!(tail.num_sections(), 1);
+        assert_eq!(tail.total_section_time().as_secs(), 2.0);
+        assert_eq!(tail.total_update_drain_time().as_secs(), 1.5);
+        assert_eq!(
+            all.total_tasks_executed(),
+            SectionsView::new(&sections[..1]).total_tasks_executed() + tail.total_tasks_executed()
+        );
     }
 }

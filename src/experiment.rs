@@ -384,6 +384,53 @@ impl Experiment {
             .with_seed(self.seed)
     }
 
+    /// The canonical fingerprint material of the experiment: a versioned,
+    /// deterministic rendering of every axis that can influence the run's
+    /// deterministic results.  Two experiments produce byte-identical
+    /// deterministic reports if (and, for the axes the builder exposes,
+    /// only if) their materials are equal — this is what the campaign's
+    /// content-addressed run cache hashes (together with the report schema
+    /// version and the code-determinism epoch; see
+    /// `campaign::cache::fingerprint`).
+    ///
+    /// The six grid axes always appear; builder-only overrides
+    /// (`logical_procs`, `tasks_per_section`, `modeled_scale`, hand-placed
+    /// injections) and a non-default machine model are appended only when
+    /// set, so a grid-default experiment and its campaign-`RunSpec`
+    /// round-tripped twin (the PR 5 lossless conversion) yield the same
+    /// material.
+    pub fn fingerprint_material(&self) -> String {
+        use fmt::Write as _;
+        let mut m = String::from("ipr-experiment/1");
+        let _ = write!(
+            m,
+            "|app={}|scale={}|mode={}|replicas={}|scheduler={}|failures={}|seed={}",
+            self.app.name(),
+            self.scale.name(),
+            self.mode.label(),
+            self.replicas,
+            self.scheduler,
+            self.failures.label(),
+            self.seed
+        );
+        if let Some(n) = self.logical_procs {
+            let _ = write!(m, "|logical_procs={n}");
+        }
+        if let Some(n) = self.tasks_per_section {
+            let _ = write!(m, "|tasks_per_section={n}");
+        }
+        if let Some(s) = self.modeled_scale {
+            let _ = write!(m, "|modeled_scale={s}");
+        }
+        if self.machine != MachineModel::grid5000_ib20g() {
+            let _ = write!(m, "|machine={:?}", self.machine);
+        }
+        if !self.injections.is_empty() {
+            let _ = write!(m, "|injections={:?}", self.injections);
+        }
+        m
+    }
+
     /// The timed crashes the failure plan schedules for this experiment,
     /// as `(physical rank, virtual crash time)` pairs — a pure function of
     /// the experiment axes (and in particular of the seed), computed
@@ -1269,6 +1316,44 @@ mod tests {
         }
         // Deterministic in the seed.
         assert_eq!(crashes, e.scheduled_crashes());
+    }
+
+    #[test]
+    fn fingerprint_material_is_canonical_and_axis_sensitive() {
+        let base = || Experiment::builder().app(AppId::Hpccg).seed(7);
+        let material = base().build().unwrap().fingerprint_material();
+        // Stable for equal experiments.
+        assert_eq!(material, base().build().unwrap().fingerprint_material());
+        // Grid-default experiments carry no override markers: the material
+        // is exactly the six-axis form.
+        assert!(material.starts_with("ipr-experiment/1|app=hpccg|"));
+        assert!(!material.contains("machine="));
+        assert!(!material.contains("logical_procs="));
+        // Every axis perturbation changes the material.
+        let variants = [
+            base().app(AppId::Gtc).build().unwrap(),
+            base().scale(ExperimentScale::Small).build().unwrap(),
+            base().mode(Mode::Replication).build().unwrap(),
+            base().replicas(3).build().unwrap(),
+            base().scheduler(SchedulerKind::Adaptive).build().unwrap(),
+            base().failures(FailurePlan::poisson(0.5)).build().unwrap(),
+            base().seed(8).build().unwrap(),
+            base().logical_procs(3).build().unwrap(),
+            base().tasks_per_section(4).build().unwrap(),
+            base().modeled_scale(2.0).build().unwrap(),
+            base().machine(MachineModel::ideal()).build().unwrap(),
+            base()
+                .inject_failure(0, ProtocolPoint::SectionEnter { section: 0 })
+                .build()
+                .unwrap(),
+        ];
+        let mut materials: Vec<String> = variants
+            .iter()
+            .map(Experiment::fingerprint_material)
+            .collect();
+        materials.push(material);
+        let unique: std::collections::BTreeSet<&String> = materials.iter().collect();
+        assert_eq!(unique.len(), materials.len(), "{materials:#?}");
     }
 
     #[test]
