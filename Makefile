@@ -10,7 +10,7 @@ CAMPAIGN_JOBS ?= 4
 CAMPAIGN_TOL ?= 0
 
 .PHONY: all build test verify bench-build docs fmt fmt-check clippy \
-        campaign-smoke failures-smoke weak-smoke serve-smoke golden \
+        campaign-smoke failures-smoke weak-smoke serve-smoke bench-smoke golden \
         golden-failures golden-weak bench-json api-surface api-surface-check \
         ci clean
 
@@ -110,6 +110,14 @@ serve-smoke:
 	./target/release/campaign diff crates/campaign/golden/smoke.json \
 		target/serve-smoke/spool/results/second.json --tol $(CAMPAIGN_TOL)
 
+# Structural benchmark gate: the fabric + kernel suites at tiny scale,
+# asserting only structural invariants — the zero-copy byte budgets, finite
+# checksums and the BENCH.json entry schema.  Never wall-clock numbers, so
+# it stays green on arbitrarily slow shared runners.
+bench-smoke:
+	$(CARGO) build --release -p campaign
+	./target/release/bench-json --smoke
+
 # Wall-clock benchmark harness: runs the fabric microbenchmarks and a timed
 # smoke campaign, appending one entry to the checked-in BENCH.json trajectory
 # (see the README for the schema).  Commit the new entry when a PR changes
@@ -151,7 +159,7 @@ golden-weak:
 	./target/release/campaign weak --sweep weak-smoke --workers 1 \
 		--strip-informational --out crates/campaign/golden/weak_scaling.json
 
-ci: verify bench-build docs fmt-check clippy api-surface-check campaign-smoke failures-smoke weak-smoke serve-smoke
+ci: verify bench-build docs fmt-check clippy api-surface-check campaign-smoke failures-smoke weak-smoke serve-smoke bench-smoke
 
 clean:
 	$(CARGO) clean

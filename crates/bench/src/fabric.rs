@@ -35,10 +35,24 @@ pub struct FabricBench {
     pub wall_s: f64,
     /// `messages / wall_s`.
     pub msgs_per_sec: f64,
+    /// Replication degree of the benchmark (1 for plain point-to-point).
+    /// A degree-`r` fan-out moves `r²` physical copies per logical message,
+    /// so logical throughput is expected to fall with the degree — but only
+    /// linearly if the fabric amortizes per-send fixed costs across the
+    /// fan-out.
+    pub degree: usize,
+    /// `msgs_per_sec / degree`: the degree-normalized efficiency.  A fabric
+    /// whose fan-out path is O(degree) per logical send keeps this roughly
+    /// flat from x2 to x4; a cliff here is the tracked anomaly.
+    pub msgs_per_sec_per_degree: f64,
     /// Host bytes materialized by the datatype layer during the benchmark
     /// (serialization + deserialization copies; see
     /// [`simmpi::copied_bytes`]).
     pub bytes_copied: u64,
+    /// True if the benchmark's steady state is expected to copy *no*
+    /// payload bytes per message (persistent-payload send path): its copy
+    /// budget is then independent of the message count.
+    pub zero_copy: bool,
 }
 
 /// Runs `bench` `reps` times and keeps the fastest repetition.  The CI hosts
@@ -56,15 +70,26 @@ pub fn best_of<F: Fn() -> FabricBench>(reps: usize, bench: F) -> FabricBench {
     best
 }
 
-fn finish(name: String, messages: u64, payload_bytes: u64, t0: Instant) -> FabricBench {
+fn finish(
+    name: String,
+    messages: u64,
+    payload_bytes: u64,
+    degree: usize,
+    zero_copy: bool,
+    t0: Instant,
+) -> FabricBench {
     let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let msgs_per_sec = messages as f64 / wall_s;
     FabricBench {
         name,
         messages,
         payload_bytes,
         wall_s,
-        msgs_per_sec: messages as f64 / wall_s,
+        msgs_per_sec,
+        degree,
+        msgs_per_sec_per_degree: msgs_per_sec / degree.max(1) as f64,
         bytes_copied: simmpi::copied_bytes(),
+        zero_copy,
     }
 }
 
@@ -95,6 +120,8 @@ pub fn p2p_throughput(messages: usize, payload: usize) -> FabricBench {
         "p2p_throughput".to_string(),
         messages as u64,
         (messages * payload) as u64,
+        1,
+        false,
         t0,
     )
 }
@@ -138,6 +165,8 @@ pub fn mailbox_depth(tags: usize, rounds: usize, payload: usize) -> FabricBench 
         "mailbox_depth".to_string(),
         messages,
         messages * payload as u64,
+        1,
+        false,
         t0,
     )
 }
@@ -148,8 +177,10 @@ pub fn mailbox_depth(tags: usize, rounds: usize, payload: usize) -> FabricBench 
 /// emits the full stream to every replica of the destination (the rMPI-style
 /// discipline), so the fabric carries `degree²` copies per logical message
 /// while each receiver consumes exactly one stream — the duplicates sit in
-/// the mailbox, which punishes O(depth) matching, and the per-copy
-/// serialization punishes a copy-per-destination payload path.
+/// the mailbox, which punishes O(depth) matching, and the reference-counted
+/// fan-out punishes any copy-per-destination payload path.  The sender uses
+/// the persistent-payload send, so the steady state is fully zero-copy: the
+/// measured rate is pure protocol + fabric overhead.
 pub fn replica_fanout(degree: usize, messages: usize, payload_elems: usize) -> FabricBench {
     assert!(degree >= 1);
     let config = ClusterConfig::ideal(2 * degree);
@@ -160,13 +191,22 @@ pub fn replica_fanout(degree: usize, messages: usize, payload_elems: usize) -> F
         let world = proc.world();
         let rcomm = ReplicatedComm::new(world, degree).unwrap();
         if rcomm.logical_rank() == 0 {
+            // Persistent-payload pattern (the replicated analogue of MPI
+            // persistent requests): the body is serialized once, every send
+            // shares it by reference count, and the per-message sequence
+            // number travels out-of-band in the frame head — the steady
+            // state copies nothing.
+            let body = simmpi::to_payload(&data);
             for _ in 0..messages {
-                rcomm.send_logical(&data, 1, 3).unwrap();
+                rcomm.send_logical_payload(&body, 1, 3, body.len()).unwrap();
             }
         } else {
             for _ in 0..messages {
-                let v: Vec<f64> = rcomm.recv_logical(0, 3).unwrap();
-                assert_eq!(v.len(), payload_elems);
+                // Zero-copy receive: borrow the sender's serialized buffer
+                // instead of materializing a vector per copy.
+                let body = rcomm.recv_logical_payload(0, 3).unwrap();
+                let view = simmpi::typed_view::<f64>(&body).unwrap();
+                assert_eq!(view.len(), payload_elems);
             }
         }
     });
@@ -175,6 +215,8 @@ pub fn replica_fanout(degree: usize, messages: usize, payload_elems: usize) -> F
         format!("replica_fanout_x{degree}"),
         messages as u64,
         (messages * payload_elems * std::mem::size_of::<f64>()) as u64,
+        degree,
+        true,
         t0,
     )
 }
@@ -196,7 +238,64 @@ pub fn smoke_suite() -> Vec<FabricBench> {
         p2p_throughput(2_000, 64),
         mailbox_depth(256, 2, 16),
         replica_fanout(2, 200, 64),
+        replica_fanout(4, 100, 64),
     ]
+}
+
+/// Structural invariant on a finished benchmark.  Wall-clock numbers are
+/// never asserted; this is the check `make bench-smoke` gates CI on.
+///
+/// Copying benchmarks (plain send path) must have copied each logical
+/// payload at least once (serialization is real) but no more than O(degree)
+/// times — a copy-per-destination fan-out would show up as O(degree²)
+/// copied bytes.  Zero-copy benchmarks (persistent-payload path) must show
+/// copied bytes *independent of the message count*: one serialization per
+/// sender replica for the whole run, nothing per message.
+pub fn check_copy_budget(b: &FabricBench) -> Result<(), String> {
+    if b.messages == 0 || b.wall_s <= 0.0 || !b.msgs_per_sec.is_finite() {
+        return Err(format!("{}: degenerate measurement", b.name));
+    }
+    let per_msg = b.payload_bytes / b.messages.max(1);
+    if b.zero_copy {
+        if b.bytes_copied < per_msg {
+            return Err(format!(
+                "{}: copied {} < one payload {} — the body was never \
+                 serialized at all",
+                b.name, b.bytes_copied, per_msg
+            ));
+        }
+        // One body serialization per sender replica, plus fixed slack for
+        // control traffic; crucially this does NOT scale with `messages` —
+        // any per-message copy creeping back into the persistent-payload
+        // path trips this bound at bench scale.
+        let budget = b.degree as u64 * per_msg + (1 << 20);
+        if b.bytes_copied > budget {
+            return Err(format!(
+                "{}: copied {} bytes > zero-copy budget {} — the \
+                 persistent-payload path is copying per message again",
+                b.name, b.bytes_copied, budget
+            ));
+        }
+        return Ok(());
+    }
+    if b.bytes_copied < b.payload_bytes {
+        return Err(format!(
+            "{}: copied {} < moved {} — payloads are not being serialized",
+            b.name, b.bytes_copied, b.payload_bytes
+        ));
+    }
+    // One serialization per sender replica plus one deserialization per
+    // consuming receiver replica is 2·degree payload-sized copies; the +1
+    // and the fixed slack absorb framing and control traffic.
+    let budget = (2 * b.degree as u64 + 1) * b.payload_bytes + (1 << 20);
+    if b.bytes_copied > budget {
+        return Err(format!(
+            "{}: copied {} bytes > O(degree) budget {} — the fan-out is \
+             copying per destination again",
+            b.name, b.bytes_copied, budget
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -209,14 +308,27 @@ mod tests {
             assert!(b.messages > 0, "{}", b.name);
             assert!(b.wall_s > 0.0, "{}", b.name);
             assert!(b.msgs_per_sec > 0.0, "{}", b.name);
+            let copy_floor = if b.zero_copy {
+                b.payload_bytes / b.messages
+            } else {
+                b.payload_bytes
+            };
             assert!(
-                b.bytes_copied >= b.payload_bytes,
-                "{}: the fabric must at least serialize each logical payload \
-                 once (copied {} < moved {})",
+                b.bytes_copied >= copy_floor,
+                "{}: the fabric must serialize the payload at least once \
+                 (copied {} < {})",
                 b.name,
                 b.bytes_copied,
-                b.payload_bytes
+                copy_floor
             );
+            assert!(b.degree >= 1, "{}", b.name);
+            let expected = b.msgs_per_sec / b.degree as f64;
+            assert!(
+                (b.msgs_per_sec_per_degree - expected).abs() < 1e-9 * expected.abs().max(1.0),
+                "{}: efficiency field out of sync with msgs_per_sec",
+                b.name
+            );
+            check_copy_budget(&b).unwrap();
         }
     }
 }

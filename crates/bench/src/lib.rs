@@ -12,6 +12,7 @@
 //! | 6d | [`fig6::run`] (`Fig6App::MiniGhost`) | MiniGhost stencil + sum |
 //! | — | [`ablations`] | task granularity, bandwidth, scheduler, adaptive-scheduling (`ABL-ADAPT`) ablations |
 //! | — | [`fabric`] | wall-clock microbenchmarks of the simulator host's message fabric (feeds `BENCH.json`) |
+//! | — | [`kernels`] | wall-clock throughput of the compute kernels at HPCCG/MiniGhost scales (feeds `BENCH.json`) |
 //!
 //! The `figures` binary prints the rows in the same form as the paper
 //! (normalized time / execution time plus the efficiency above each bar);
@@ -25,6 +26,7 @@ pub mod fabric;
 pub mod fig5a;
 pub mod fig5b;
 pub mod fig6;
+pub mod kernels;
 pub mod scale;
 pub mod table;
 

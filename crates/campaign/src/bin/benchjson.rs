@@ -2,10 +2,11 @@
 //! trajectory entry for this build.
 //!
 //! ```text
-//! bench-json [--label NAME] [--jobs N] [--out FILE] [--append FILE] [--quick]
+//! bench-json [--label NAME] [--jobs N] [--out FILE] [--append FILE] [--quick] [--smoke]
 //! ```
 //!
-//! Runs the fabric microbenchmarks (`ipr_bench::fabric`), a wall-clock
+//! Runs the fabric microbenchmarks (`ipr_bench::fabric`), the kernel
+//! throughput microbenchmarks (`ipr_bench::kernels`), a wall-clock
 //! timed smoke campaign, and the event-engine weak-scaling sweeps
 //! (`weak_scaling_10k`, and `weak_scaling_100k` unless `--quick`), then
 //! writes one schema'd entry:
@@ -16,6 +17,11 @@
 //!   checked-in `BENCH.json` accumulates one entry per PR;
 //! * with neither flag the entry is printed to stdout.
 //!
+//! `--smoke` is the CI gate (`make bench-smoke`): it runs only the fabric
+//! and kernel suites at tiny scale and asserts *structural* invariants —
+//! the zero-copy byte budgets and the entry schema — never wall-clock
+//! numbers, so it stays green on arbitrarily slow shared runners.
+//!
 //! All numbers are host wall-clock measurements; nothing here affects the
 //! virtual-time results the golden campaign baseline gates on.
 
@@ -24,6 +30,7 @@ use campaign::{
     WeakSweep,
 };
 use ipr_bench::fabric::{self, FabricBench};
+use ipr_bench::kernels::{self, KernelBench};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -39,8 +46,76 @@ fn fabric_to_json(b: &FabricBench) -> Json {
         ("payload_bytes", Json::Num(b.payload_bytes as f64)),
         ("wall_s", Json::Num(round6(b.wall_s))),
         ("msgs_per_sec", Json::Num(b.msgs_per_sec.round())),
+        ("degree", Json::Num(b.degree as f64)),
+        (
+            "msgs_per_sec_per_degree",
+            Json::Num(b.msgs_per_sec_per_degree.round()),
+        ),
         ("bytes_copied", Json::Num(b.bytes_copied as f64)),
     ])
+}
+
+fn kernel_to_json(b: &KernelBench) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(b.name.to_string())),
+        ("kind", Json::Str("kernel".to_string())),
+        ("iters", Json::Num(b.iters as f64)),
+        ("n", Json::Num(b.n as f64)),
+        ("unit", Json::Str(b.unit.to_string())),
+        ("wall_s", Json::Num(round6(b.wall_s))),
+        ("per_sec", Json::Num(b.per_sec.round())),
+    ])
+}
+
+/// The `--smoke` CI gate: tiny-scale fabric + kernel suites, structural
+/// invariants only (copy budgets, schema fields — never wall-clock).
+fn run_smoke() -> ExitCode {
+    let mut failures = 0usize;
+    let mut entries: Vec<Json> = Vec::new();
+    for b in fabric::smoke_suite() {
+        eprintln!(
+            "bench-smoke fabric {:<18} degree {} ({} msgs, {} bytes copied)",
+            b.name, b.degree, b.messages, b.bytes_copied
+        );
+        if let Err(e) = fabric::check_copy_budget(&b) {
+            eprintln!("bench-smoke FAIL: {e}");
+            failures += 1;
+        }
+        entries.push(fabric_to_json(&b));
+    }
+    for b in kernels::smoke_suite() {
+        eprintln!(
+            "bench-smoke kernel {:<18} ({} iters x {} {})",
+            b.name, b.iters, b.n, b.unit
+        );
+        if let Err(e) = kernels::check_kernel_result(&b) {
+            eprintln!("bench-smoke FAIL: {e}");
+            failures += 1;
+        }
+        entries.push(kernel_to_json(&b));
+    }
+    // Schema check: every emitted entry must carry the fields the BENCH.json
+    // trajectory tooling keys on.
+    for entry in &entries {
+        for field in ["name", "kind", "wall_s"] {
+            if entry.get(field).is_none() {
+                eprintln!(
+                    "bench-smoke FAIL: entry missing '{field}': {}",
+                    entry.render()
+                );
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench-smoke: {failures} structural check(s) failed");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "bench-smoke: {} entries structurally sound (no wall-clock assertions)",
+        entries.len()
+    );
+    ExitCode::SUCCESS
 }
 
 fn round6(v: f64) -> f64 {
@@ -53,6 +128,7 @@ fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut append: Option<String> = None;
     let mut quick = false;
+    let mut smoke = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -74,12 +150,16 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--quick" => quick = true,
+            "--smoke" => smoke = true,
             _ => return usage(),
         }
     }
     if out.is_some() && append.is_some() {
         eprintln!("--out and --append are mutually exclusive");
         return usage();
+    }
+    if smoke {
+        return run_smoke();
     }
 
     // --- fabric microbenchmarks ---------------------------------------
@@ -91,10 +171,35 @@ fn main() -> ExitCode {
     let mut results: Vec<Json> = Vec::new();
     for b in &suite {
         eprintln!(
-            "fabric {:<18} {:>9.0} msgs/s  ({} msgs in {:.3}s, {} bytes copied)",
-            b.name, b.msgs_per_sec, b.messages, b.wall_s, b.bytes_copied
+            "fabric {:<18} {:>9.0} msgs/s  ({:.0}/s per degree-{}, {} msgs in {:.3}s, {} bytes copied)",
+            b.name,
+            b.msgs_per_sec,
+            b.msgs_per_sec_per_degree,
+            b.degree,
+            b.messages,
+            b.wall_s,
+            b.bytes_copied
         );
         results.push(fabric_to_json(b));
+    }
+
+    // --- kernel throughput microbenchmarks ----------------------------
+    let ksuite = if quick {
+        kernels::smoke_suite()
+    } else {
+        kernels::default_suite()
+    };
+    for b in &ksuite {
+        eprintln!(
+            "kernel {:<18} {:>9.2} M{}/s  ({} iters x {} in {:.3}s)",
+            b.name,
+            b.per_sec / 1e6,
+            b.unit,
+            b.iters,
+            b.n,
+            b.wall_s
+        );
+        results.push(kernel_to_json(b));
     }
 
     // --- wall-clock timed smoke campaign ------------------------------
@@ -280,6 +385,8 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench-json [--label NAME] [--jobs N] [--out FILE] [--append FILE] [--quick]");
+    eprintln!(
+        "usage: bench-json [--label NAME] [--jobs N] [--out FILE] [--append FILE] [--quick] [--smoke]"
+    );
     ExitCode::from(2)
 }

@@ -144,6 +144,45 @@ impl Grid3d {
         self.data[i] = v;
     }
 
+    /// One ghost-inclusive x-row (length `nx + 2`) at raw coordinates
+    /// `(0.., y, z)`.  Rows are the contiguous unit of the storage layout;
+    /// the blocked stencil kernels walk rows as slices so the inner loops
+    /// compile to bounds-check-free, vectorizable code instead of one
+    /// indexed load per stencil point.
+    #[inline]
+    pub fn raw_row(&self, y: usize, z: usize) -> &[f64] {
+        let start = self.index(0, y, z);
+        &self.data[start..start + self.nx + 2]
+    }
+
+    /// The interior cells of row `(y, z)` (interior coordinates, length
+    /// `nx`) as a mutable slice.
+    #[inline]
+    pub fn interior_row_mut(&mut self, y: usize, z: usize) -> &mut [f64] {
+        let start = self.index(1, y + 1, z + 1);
+        let nx = self.nx;
+        &mut self.data[start..start + nx]
+    }
+
+    /// Length of one ghost-inclusive x-row (`nx + 2`); the row stride of
+    /// the plane slabs returned by [`Grid3d::interior_plane_slabs_mut`].
+    #[inline]
+    pub fn raw_row_len(&self) -> usize {
+        self.nx + 2
+    }
+
+    /// Splits the grid into one mutable ghost-inclusive z-plane slab per
+    /// *interior* plane (raw planes `1..=nz`, each `(nx+2) * (ny+2)` long,
+    /// row stride [`Grid3d::raw_row_len`]).
+    ///
+    /// The slabs are disjoint, so a task pool can hand each tile of planes
+    /// to a different worker without any aliasing: this is the mutable
+    /// surface behind the pool-parallel stencil sweeps.
+    pub fn interior_plane_slabs_mut(&mut self) -> Vec<&mut [f64]> {
+        let plane = (self.nx + 2) * (self.ny + 2);
+        self.data.chunks_mut(plane).skip(1).take(self.nz).collect()
+    }
+
     /// Copies the interior cells into a flat vector (x fastest, then y, z) —
     /// the layout used when the grid is exposed to the task workspace.
     pub fn interior_to_vec(&self) -> Vec<f64> {

@@ -22,6 +22,7 @@ pub mod cost;
 pub mod dense;
 pub mod grid;
 pub mod pic;
+pub mod pool;
 pub mod sparse;
 pub mod stencil;
 pub mod vecops;
@@ -29,4 +30,5 @@ pub mod vecops;
 pub use cost::KernelCost;
 pub use grid::Grid3d;
 pub use pic::ParticleSet;
+pub use pool::KernelPool;
 pub use sparse::CsrMatrix;

@@ -1,0 +1,182 @@
+//! A small intra-rank work-stealing pool for kernel tiles.
+//!
+//! The paper's intra-parallelization executes a kernel as a set of
+//! independent tiles (plane ranges, row ranges) inside one rank.  This pool
+//! is the host-side executor for that shape of work: a fixed task set is
+//! distributed round-robin over per-worker deques, each worker drains its
+//! own deque from the front and steals from siblings' backs when it runs
+//! dry — the same discipline as the campaign crate's `ExecutorPool`, but
+//! scoped: tasks may borrow the caller's data (the grids and vectors being
+//! swept), which a long-lived `'static` pool cannot allow without `unsafe`.
+//!
+//! Because the task set of one [`KernelPool::run`] call is fixed up front
+//! and kernel tiles never spawn new tiles, an idle worker that finds every
+//! deque empty can simply exit: no condition variables, no idle backstop.
+//! [`std::thread::scope`] joins the workers before `run` returns, so the
+//! borrow checker sees the borrows end there — the whole pool is safe code
+//! (this crate is `#![deny(unsafe_code)]`).
+//!
+//! Determinism: tiles write disjoint outputs and their arithmetic does not
+//! depend on which worker executes them, so pool-driven sweeps are
+//! bit-identical to sequential ones for *any* worker count (the property
+//! tests pin this down).  The modeled [`crate::KernelCost`] descriptors are
+//! untouched by host-side execution: virtual-time reports cannot observe
+//! the pool.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One unit of kernel work: a closure borrowing the caller's data for the
+/// lifetime of a single [`KernelPool::run`] call.
+pub type Task<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+/// A fork-join work-stealing executor for kernel tiles.
+#[derive(Debug, Clone)]
+pub struct KernelPool {
+    workers: usize,
+}
+
+impl KernelPool {
+    /// A pool with `workers` workers (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        KernelPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool sized to the host's available parallelism.
+    pub fn host_sized() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes every task, returning when all have finished.
+    ///
+    /// Tasks are dealt round-robin onto per-worker deques; worker `w` pops
+    /// its own deque from the front (oldest first) and steals from other
+    /// deques' backs when its own is empty.  With one worker — or with an
+    /// empty or single-task set, which skips the thread machinery entirely —
+    /// this degenerates to in-order sequential execution on the calling
+    /// thread.
+    pub fn run(&self, tasks: Vec<Task<'_>>) {
+        let n = self.workers;
+        if n == 1 || tasks.len() <= 1 {
+            for t in tasks {
+                t();
+            }
+            return;
+        }
+        let queues: Vec<Mutex<VecDeque<Task<'_>>>> =
+            (0..n).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, t) in tasks.into_iter().enumerate() {
+            queues[i % n]
+                .lock()
+                .expect("kernel pool queue poisoned")
+                .push_back(t);
+        }
+        std::thread::scope(|s| {
+            // The calling thread acts as worker 0; only n-1 threads spawn.
+            for w in 1..n {
+                let queues = &queues;
+                s.spawn(move || worker_loop(queues, w));
+            }
+            worker_loop(&queues, 0);
+        });
+    }
+}
+
+fn worker_loop(queues: &[Mutex<VecDeque<Task<'_>>>], own: usize) {
+    let n = queues.len();
+    loop {
+        if let Some(t) = queues[own]
+            .lock()
+            .expect("kernel pool queue poisoned")
+            .pop_front()
+        {
+            t();
+            continue;
+        }
+        // Steal from siblings' backs, scanning round-robin starting after
+        // our own slot so concurrent thieves spread out.
+        let mut stolen = false;
+        for offset in 1..n {
+            let victim = (own + offset) % n;
+            if let Some(t) = queues[victim]
+                .lock()
+                .expect("kernel pool queue poisoned")
+                .pop_back()
+            {
+                t();
+                stolen = true;
+                break;
+            }
+        }
+        if !stolen {
+            // Every deque is empty and tiles never enqueue new tiles: no
+            // more work can ever appear, so this worker is done.
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        for workers in [1, 2, 4, 7] {
+            let pool = KernelPool::new(workers);
+            let counter = AtomicUsize::new(0);
+            let tasks: Vec<Task<'_>> = (0..100)
+                .map(|_| {
+                    let c = &counter;
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }) as Task<'_>
+                })
+                .collect();
+            pool.run(tasks);
+            assert_eq!(counter.load(Ordering::SeqCst), 100, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn tasks_may_borrow_and_mutate_disjoint_data() {
+        let mut data = vec![0u64; 64];
+        let pool = KernelPool::new(4);
+        pool.run(
+            data.chunks_mut(8)
+                .enumerate()
+                .map(|(i, chunk)| {
+                    let task: Task<'_> = Box::new(move || {
+                        for (j, slot) in chunk.iter_mut().enumerate() {
+                            *slot = (i * 8 + j) as u64;
+                        }
+                    });
+                    task
+                })
+                .collect(),
+        );
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64);
+        }
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one_and_empty_task_set_is_fine() {
+        let pool = KernelPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        pool.run(Vec::new());
+        assert!(KernelPool::host_sized().workers() >= 1);
+    }
+}

@@ -11,6 +11,7 @@
 //! those ghosts outside the intra-parallel sections).
 
 use crate::cost::{KernelCost, F64};
+use crate::pool::{KernelPool, Task};
 use std::ops::Range;
 
 /// A sparse matrix in compressed-sparse-row format.
@@ -99,16 +100,67 @@ impl CsrMatrix {
     /// # Panics
     /// Panics on out-of-range rows or undersized vectors.
     pub fn spmv_rows(&self, rows: Range<usize>, x: &[f64], y: &mut [f64]) {
+        assert!(y.len() >= rows.end, "y is shorter than the row range");
+        let start = rows.start;
+        self.spmv_rows_into(rows.clone(), x, &mut y[start..rows.end]);
+    }
+
+    /// Like [`CsrMatrix::spmv_rows`], but writes the products into a
+    /// zero-based chunk: `out[i - rows.start] = (A x)[rows.start + i]`.
+    /// This is the form a work-stealing pool wants — each tile borrows its
+    /// own disjoint slice of `y` (e.g. from `chunks_mut`) with no index
+    /// offsetting at the call site.
+    ///
+    /// The inner loop walks the row's values and column indices as zipped
+    /// slices in the same `k` order as the classic indexed loop, so results
+    /// are bit-identical to it — the slices merely drop the per-nonzero
+    /// bounds checks.
+    ///
+    /// # Panics
+    /// Panics on out-of-range rows, an undersized `x`, or an `out` chunk
+    /// shorter than the row range.
+    pub fn spmv_rows_into(&self, rows: Range<usize>, x: &[f64], out: &mut [f64]) {
         assert!(rows.end <= self.nrows, "row range out of bounds");
         assert!(x.len() >= self.ncols, "x is shorter than ncols");
-        assert!(y.len() >= rows.end, "y is shorter than the row range");
+        assert!(
+            out.len() >= rows.len(),
+            "out chunk is shorter than the row range"
+        );
+        let start = rows.start;
         for i in rows {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
             let mut sum = 0.0;
-            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
-                sum += self.vals[k] * x[self.col_idx[k] as usize];
+            for (v, c) in self.vals[lo..hi].iter().zip(&self.col_idx[lo..hi]) {
+                sum += v * x[*c as usize];
             }
-            y[i] = sum;
+            out[i - start] = sum;
         }
+    }
+
+    /// Sparse matrix-vector product executed on a [`KernelPool`]: rows are
+    /// split into one contiguous block per worker (the striping the paper's
+    /// intra-parallel `sparsemv` tasks use) and each block runs as a pool
+    /// task writing its own disjoint chunk of `y`.  Bit-identical to
+    /// [`CsrMatrix::spmv`] for any worker count.
+    ///
+    /// # Panics
+    /// Panics if `x` is shorter than `ncols` or `y` shorter than `nrows`.
+    pub fn spmv_pool(&self, x: &[f64], y: &mut [f64], pool: &KernelPool) {
+        assert!(x.len() >= self.ncols, "x is shorter than ncols");
+        assert!(y.len() >= self.nrows, "y is shorter than nrows");
+        let block = self.nrows.div_ceil(pool.workers().max(1)).max(1);
+        pool.run(
+            y[..self.nrows]
+                .chunks_mut(block)
+                .enumerate()
+                .map(|(b, chunk)| {
+                    let lo = b * block;
+                    let hi = (lo + chunk.len()).min(self.nrows);
+                    let task: Task<'_> = Box::new(move || self.spmv_rows_into(lo..hi, x, chunk));
+                    task
+                })
+                .collect(),
+        );
     }
 
     /// Generates the HPCCG-style 27-point operator for a local `nx × ny × nz`

@@ -10,17 +10,13 @@
 
 use crate::cost::{KernelCost, F64};
 use crate::grid::Grid3d;
+use crate::pool::{KernelPool, Task};
 use std::ops::Range;
 
-/// Applies the 27-point average stencil to the interior z-planes in `zs` of
-/// `input`, writing into the same planes of `output`.  Ghost cells of
-/// `input` must already be filled.  Restricting the plane range is what lets
-/// the stencil be split into intra-parallel tasks.
-///
-/// # Panics
-/// Panics if the grids have different dimensions or the range is out of
-/// bounds.
-pub fn stencil27_planes(input: &Grid3d, output: &mut Grid3d, zs: Range<usize>) {
+/// Scalar reference for the 27-point stencil: one indexed load per tap.
+/// Kept as the bit-identity oracle for the blocked kernel (the property
+/// tests check `stencil27_planes` against this, bit for bit).
+pub fn stencil27_planes_scalar(input: &Grid3d, output: &mut Grid3d, zs: Range<usize>) {
     let (nx, ny, nz) = input.dims();
     assert_eq!(input.dims(), output.dims(), "grids must have equal dims");
     assert!(zs.end <= nz, "plane range out of bounds");
@@ -42,18 +38,102 @@ pub fn stencil27_planes(input: &Grid3d, output: &mut Grid3d, zs: Range<usize>) {
     }
 }
 
+/// Accumulates the 27-point sums of output row `(y, z)` into `out`
+/// (`out.len()` = nx), then scales by `inv`.
+///
+/// The nine input rows are visited in `(dz, dy)` order and each row's three
+/// taps are added in `dx` order, so every cell's floating-point addition
+/// chain is exactly the scalar reference's `(dz, dy, dx)` chain — the
+/// results are bit-identical.  The difference is purely mechanical: each
+/// pass is an element-wise add of three shifted row slices, which compiles
+/// to bounds-check-free SIMD instead of 27 indexed loads per cell.
+#[inline]
+fn stencil27_row_into(input: &Grid3d, y: usize, z: usize, inv: f64, out: &mut [f64]) {
+    let nx = out.len();
+    for o in out.iter_mut() {
+        *o = 0.0;
+    }
+    for dz in 0..3 {
+        for dy in 0..3 {
+            let row = input.raw_row(y + dy, z + dz);
+            let (r0, r1, r2) = (&row[..nx], &row[1..nx + 1], &row[2..nx + 2]);
+            for (((o, a), b), c) in out.iter_mut().zip(r0).zip(r1).zip(r2) {
+                *o = ((*o + a) + b) + c;
+            }
+        }
+    }
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
+}
+
+/// Applies the 27-point average stencil to the interior z-planes in `zs` of
+/// `input`, writing into the same planes of `output`.  Ghost cells of
+/// `input` must already be filled.  Restricting the plane range is what lets
+/// the stencil be split into intra-parallel tasks (and what the pool-driven
+/// [`stencil27_pool`] tiles over).
+///
+/// Blocked implementation: sweeps row by row with slice-based inner loops
+/// (see [`Grid3d::raw_row`]); bit-identical to
+/// [`stencil27_planes_scalar`].
+///
+/// # Panics
+/// Panics if the grids have different dimensions or the range is out of
+/// bounds.
+pub fn stencil27_planes(input: &Grid3d, output: &mut Grid3d, zs: Range<usize>) {
+    let (_, ny, nz) = input.dims();
+    assert_eq!(input.dims(), output.dims(), "grids must have equal dims");
+    assert!(zs.end <= nz, "plane range out of bounds");
+    let inv = 1.0 / 27.0;
+    for z in zs {
+        for y in 0..ny {
+            stencil27_row_into(input, y, z, inv, output.interior_row_mut(y, z));
+        }
+    }
+}
+
+/// One interior z-plane of the 27-point stencil, written into the plane's
+/// raw slab (as handed out by [`Grid3d::interior_plane_slabs_mut`]).  The
+/// unit of work of [`stencil27_pool`].
+fn stencil27_plane_into(input: &Grid3d, z: usize, slab: &mut [f64]) {
+    let (nx, ny, _) = input.dims();
+    let stride = input.raw_row_len();
+    let inv = 1.0 / 27.0;
+    for y in 0..ny {
+        let start = (y + 1) * stride + 1;
+        stencil27_row_into(input, y, z, inv, &mut slab[start..start + nx]);
+    }
+}
+
+/// Full 27-point sweep executed on a [`KernelPool`]: the interior planes
+/// are tiled across the pool's workers (one task per plane, stolen freely),
+/// each writing its own disjoint output slab.  Bit-identical to the
+/// sequential sweep for any worker count — every cell's arithmetic is
+/// unchanged; only *which thread* computes a plane varies.
+pub fn stencil27_pool(input: &Grid3d, output: &mut Grid3d, pool: &KernelPool) {
+    assert_eq!(input.dims(), output.dims(), "grids must have equal dims");
+    let slabs = output.interior_plane_slabs_mut();
+    pool.run(
+        slabs
+            .into_iter()
+            .enumerate()
+            .map(|(z, slab)| {
+                let task: Task<'_> = Box::new(move || stencil27_plane_into(input, z, slab));
+                task
+            })
+            .collect(),
+    );
+}
+
 /// Applies the 27-point stencil to the whole interior.
 pub fn stencil27(input: &Grid3d, output: &mut Grid3d) {
     let (_, _, nz) = input.dims();
     stencil27_planes(input, output, 0..nz);
 }
 
-/// Applies the 7-point average stencil to the interior z-planes in `zs`.
-///
-/// # Panics
-/// Panics if the grids have different dimensions or the range is out of
-/// bounds.
-pub fn stencil7_planes(input: &Grid3d, output: &mut Grid3d, zs: Range<usize>) {
+/// Scalar reference for the 7-point stencil (bit-identity oracle for the
+/// blocked kernel, like [`stencil27_planes_scalar`]).
+pub fn stencil7_planes_scalar(input: &Grid3d, output: &mut Grid3d, zs: Range<usize>) {
     let (nx, ny, nz) = input.dims();
     assert_eq!(input.dims(), output.dims(), "grids must have equal dims");
     assert!(zs.end <= nz, "plane range out of bounds");
@@ -70,6 +150,45 @@ pub fn stencil7_planes(input: &Grid3d, output: &mut Grid3d, zs: Range<usize>) {
                     + input.get_raw(cx, cy, cz - 1)
                     + input.get_raw(cx, cy, cz + 1);
                 output.set(x, y, z, sum * inv);
+            }
+        }
+    }
+}
+
+/// Applies the 7-point average stencil to the interior z-planes in `zs`.
+///
+/// Blocked implementation: walks the five contributing input rows of each
+/// output row as slices, adding the taps in the scalar reference's order
+/// (center, x−1, x+1, y−1, y+1, z−1, z+1) — bit-identical to
+/// [`stencil7_planes_scalar`], but free of per-tap index arithmetic.
+///
+/// # Panics
+/// Panics if the grids have different dimensions or the range is out of
+/// bounds.
+pub fn stencil7_planes(input: &Grid3d, output: &mut Grid3d, zs: Range<usize>) {
+    let (nx, ny, nz) = input.dims();
+    assert_eq!(input.dims(), output.dims(), "grids must have equal dims");
+    assert!(zs.end <= nz, "plane range out of bounds");
+    let inv = 1.0 / 7.0;
+    for z in zs {
+        for y in 0..ny {
+            let c = input.raw_row(y + 1, z + 1);
+            let s = input.raw_row(y, z + 1);
+            let n = input.raw_row(y + 2, z + 1);
+            let d = input.raw_row(y + 1, z);
+            let u = input.raw_row(y + 1, z + 2);
+            let out = output.interior_row_mut(y, z);
+            let taps = out
+                .iter_mut()
+                .zip(&c[1..nx + 1])
+                .zip(&c[..nx])
+                .zip(&c[2..nx + 2])
+                .zip(&s[1..nx + 1])
+                .zip(&n[1..nx + 1])
+                .zip(&d[1..nx + 1])
+                .zip(&u[1..nx + 1]);
+            for (((((((o, c0), cw), ce), sv), nv), dv), uv) in taps {
+                *o = ((((((c0 + cw) + ce) + sv) + nv) + dv) + uv) * inv;
             }
         }
     }

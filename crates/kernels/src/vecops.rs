@@ -31,18 +31,22 @@ pub fn waxpby(alpha: f64, x: &[f64], beta: f64, y: &[f64], w: &mut [f64]) {
         "waxpby: x and w must have the same length"
     );
     // Match HPCCG's special-casing of alpha/beta == 1.0 (it matters for the
-    // flop count, not for the result).
+    // flop count, not for the result).  The zipped iterators give the
+    // compiler three bounds-check-free elementwise loops; the per-element
+    // arithmetic is unchanged, so results are bit-identical to the indexed
+    // form.
+    let pairs = w.iter_mut().zip(x.iter().zip(y));
     if alpha == 1.0 {
-        for i in 0..w.len() {
-            w[i] = x[i] + beta * y[i];
+        for (w, (x, y)) in pairs {
+            *w = x + beta * y;
         }
     } else if beta == 1.0 {
-        for i in 0..w.len() {
-            w[i] = alpha * x[i] + y[i];
+        for (w, (x, y)) in pairs {
+            *w = alpha * x + y;
         }
     } else {
-        for i in 0..w.len() {
-            w[i] = alpha * x[i] + beta * y[i];
+        for (w, (x, y)) in pairs {
+            *w = alpha * x + beta * y;
         }
     }
 }
@@ -65,6 +69,46 @@ pub fn ddot(x: &[f64], y: &[f64]) -> f64 {
     let mut sum = 0.0;
     for i in 0..x.len() {
         sum += x[i] * y[i];
+    }
+    sum
+}
+
+/// Number of independent accumulators used by [`ddot_lanes`].
+pub const DDOT_LANES: usize = 8;
+
+/// Dot product with [`DDOT_LANES`] fixed-width accumulator lanes.
+///
+/// The sequential [`ddot`] carries one serial addition chain, so its
+/// throughput is capped by the FP-add latency and the compiler cannot
+/// vectorize it without `-ffast-math`-style licence.  This variant keeps
+/// eight independent accumulators (lane `l` sums elements `l, l+8, l+16, …`)
+/// and tree-reduces them at the end, which is the standard way to expose the
+/// reduction to SIMD while keeping the summation order *fixed*: for a given
+/// input the result is always the same bits, on every host and worker count.
+/// It is **not** bit-identical to [`ddot`] (the association differs), which
+/// is why `ddot` stays the app-facing kernel: the simulated applications'
+/// goldens are pinned to the sequential order.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn ddot_lanes(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "ddot_lanes: vectors must have the same length"
+    );
+    let mut lanes = [0.0f64; DDOT_LANES];
+    let mut xc = x.chunks_exact(DDOT_LANES);
+    let mut yc = y.chunks_exact(DDOT_LANES);
+    for (xs, ys) in xc.by_ref().zip(yc.by_ref()) {
+        for ((lane, a), b) in lanes.iter_mut().zip(xs).zip(ys) {
+            *lane += a * b;
+        }
+    }
+    let mut sum = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    for (a, b) in xc.remainder().iter().zip(yc.remainder()) {
+        sum += a * b;
     }
     sum
 }
@@ -217,6 +261,20 @@ mod tests {
             let yx = ddot(&ys, &xs);
             prop_assert!((xy - yx).abs() < 1e-6);
             prop_assert!(ddot_self(&xs) >= 0.0);
+        }
+
+        #[test]
+        fn ddot_lanes_agrees_with_sequential_ddot(
+            xs in proptest::collection::vec(-100.0f64..100.0, 0..200)
+        ) {
+            let ys: Vec<f64> = xs.iter().map(|v| v * 0.25 - 2.0).collect();
+            let seq = ddot(&xs, &ys);
+            let lanes = ddot_lanes(&xs, &ys);
+            // Different association, same value up to rounding.
+            let scale = 1.0 + seq.abs();
+            prop_assert!((seq - lanes).abs() / scale < 1e-10);
+            // And the laned result is itself deterministic bit for bit.
+            prop_assert_eq!(lanes.to_bits(), ddot_lanes(&xs, &ys).to_bits());
         }
 
         #[test]

@@ -1,0 +1,185 @@
+//! Bit-identity properties of the blocked / pooled kernels.
+//!
+//! The blocked rewrites (slice-based stencils, laned reductions, pooled
+//! sweeps) are throughput work on the *host* side; the contract that keeps
+//! the repository's goldens valid is that they change no result by even one
+//! ULP.  Every property here compares `f64::to_bits`, not approximate
+//! equality: the blocked kernels must reproduce their scalar references'
+//! floating-point addition chains exactly, and the pool must be invisible —
+//! the same bits for any worker count and any plane-split point.
+
+use kernels::stencil::{
+    stencil27, stencil27_planes, stencil27_planes_scalar, stencil27_pool, stencil7_planes,
+    stencil7_planes_scalar,
+};
+use kernels::vecops::{ddot_lanes, waxpby};
+use kernels::{CsrMatrix, Grid3d, KernelPool};
+use proptest::prelude::*;
+
+fn arb_grid(nx: usize, ny: usize, nz: usize, seed: u64) -> Grid3d {
+    // A cheap deterministic fill with enough structure that reassociated
+    // sums would actually differ in the low bits.
+    Grid3d::from_fn(nx, ny, nz, move |x, y, z| {
+        let h = (x as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((y as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add((z as u64).wrapping_mul(0x94d0_49bb_1331_11eb))
+            .wrapping_add(seed);
+        ((h % 4093) as f64) * 0.037 - 75.0
+    })
+}
+
+fn grids_bit_equal(a: &Grid3d, b: &Grid3d) -> bool {
+    let (nx, ny, nz) = a.dims();
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if a.get(x, y, z).to_bits() != b.get(x, y, z).to_bits() {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn blocked_stencil27_matches_scalar_reference(
+        nx in 1usize..9, ny in 1usize..8, nz in 1usize..7, seed in 0u64..1000,
+    ) {
+        let input = arb_grid(nx, ny, nz, seed);
+        let mut blocked = Grid3d::filled(nx, ny, nz, 0.0);
+        let mut scalar = Grid3d::filled(nx, ny, nz, 0.0);
+        stencil27(&input, &mut blocked);
+        stencil27_planes_scalar(&input, &mut scalar, 0..nz);
+        prop_assert!(grids_bit_equal(&blocked, &scalar));
+    }
+
+    #[test]
+    fn blocked_stencil7_matches_scalar_reference(
+        nx in 1usize..9, ny in 1usize..8, nz in 1usize..7, seed in 0u64..1000,
+    ) {
+        let input = arb_grid(nx, ny, nz, seed);
+        let mut blocked = Grid3d::filled(nx, ny, nz, 0.0);
+        let mut scalar = Grid3d::filled(nx, ny, nz, 0.0);
+        stencil7_planes(&input, &mut blocked, 0..nz);
+        stencil7_planes_scalar(&input, &mut scalar, 0..nz);
+        prop_assert!(grids_bit_equal(&blocked, &scalar));
+    }
+
+    #[test]
+    fn plane_split_point_is_invisible(
+        nx in 1usize..8, ny in 1usize..8, nz in 2usize..7,
+        split_pick in 1usize..6, seed in 0u64..1000,
+    ) {
+        // Splitting the sweep into two plane ranges — the intra-parallel
+        // tiling — must reproduce the one-shot sweep bit for bit.
+        let split = split_pick.min(nz - 1);
+        let input = arb_grid(nx, ny, nz, seed);
+        let mut whole = Grid3d::filled(nx, ny, nz, 0.0);
+        let mut parts = Grid3d::filled(nx, ny, nz, 0.0);
+        stencil27(&input, &mut whole);
+        stencil27_planes(&input, &mut parts, 0..split);
+        stencil27_planes(&input, &mut parts, split..nz);
+        prop_assert!(grids_bit_equal(&whole, &parts));
+    }
+
+    #[test]
+    fn pooled_stencil27_matches_sequential_for_any_worker_count(
+        nx in 1usize..8, ny in 1usize..8, nz in 1usize..7, seed in 0u64..1000,
+    ) {
+        let input = arb_grid(nx, ny, nz, seed);
+        let mut sequential = Grid3d::filled(nx, ny, nz, 0.0);
+        stencil27(&input, &mut sequential);
+        for workers in [1, 2, 4] {
+            let pool = KernelPool::new(workers);
+            let mut pooled = Grid3d::filled(nx, ny, nz, 0.0);
+            stencil27_pool(&input, &mut pooled, &pool);
+            prop_assert!(
+                grids_bit_equal(&sequential, &pooled),
+                "pooled sweep diverged at workers={workers}",
+            );
+        }
+    }
+
+    #[test]
+    fn sliced_spmv_matches_indexed_reference(
+        nx in 1usize..6, ny in 1usize..6, nz in 1usize..6, seed in 0u64..1000,
+    ) {
+        let a = CsrMatrix::stencil27(nx, ny, nz, true, true);
+        let x: Vec<f64> = (0..a.ncols())
+            .map(|i| (((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 1021) as f64)
+                * 0.013 - 6.5)
+            .collect();
+        let mut y = vec![0.0; a.nrows()];
+        a.spmv(&x, &mut y);
+        // One-row-at-a-time sweeps must agree with the full sweep exactly
+        // (each row's k-order is fixed, so any row partition is invisible).
+        let mut per_row = vec![0.0; a.nrows()];
+        for i in 0..a.nrows() {
+            a.spmv_rows(i..i + 1, &x, &mut per_row);
+        }
+        for (full, single) in y.iter().zip(&per_row) {
+            prop_assert_eq!(full.to_bits(), single.to_bits());
+        }
+        // And the zero-based chunk form used by pool tasks.
+        let mid = a.nrows() / 2;
+        let mut chunk = vec![0.0; a.nrows() - mid];
+        a.spmv_rows_into(mid..a.nrows(), &x, &mut chunk);
+        for (full, got) in y[mid..].iter().zip(&chunk) {
+            prop_assert_eq!(full.to_bits(), got.to_bits());
+        }
+        // Pooled spmv is bit-identical for any worker count.
+        for workers in [1, 2, 4] {
+            let pool = KernelPool::new(workers);
+            let mut pooled = vec![0.0; a.nrows()];
+            a.spmv_pool(&x, &mut pooled, &pool);
+            for (full, got) in y.iter().zip(&pooled) {
+                prop_assert_eq!(full.to_bits(), got.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn zipped_waxpby_matches_indexed_arithmetic(
+        alpha_pick in 0usize..3, n in 0usize..80, seed in 0u64..1000,
+    ) {
+        // Covers all three special-case branches (alpha == 1, beta == 1,
+        // general) against per-element recomputation.
+        let (alpha, beta) = [(1.0, 0.75), (2.5, 1.0), (1.25, -0.5)][alpha_pick];
+        let x: Vec<f64> = (0..n)
+            .map(|i| (((i as u64).wrapping_add(seed) % 509) as f64) * 0.21 - 53.0)
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| v * 0.3 + 1.0).collect();
+        let mut w = vec![0.0; n];
+        waxpby(alpha, &x, beta, &y, &mut w);
+        for i in 0..n {
+            let expect = if alpha == 1.0 {
+                x[i] + beta * y[i]
+            } else if beta == 1.0 {
+                alpha * x[i] + y[i]
+            } else {
+                alpha * x[i] + beta * y[i]
+            };
+            prop_assert_eq!(w[i].to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn ddot_lanes_is_deterministic_across_layouts(
+        n in 0usize..100, seed in 0u64..1000,
+    ) {
+        let x: Vec<f64> = (0..n)
+            .map(|i| (((i as u64).wrapping_mul(31).wrapping_add(seed) % 701) as f64)
+                * 0.017 - 6.0)
+            .collect();
+        let y: Vec<f64> = x.iter().rev().cloned().collect();
+        let first = ddot_lanes(&x, &y);
+        // Re-running, and running on freshly cloned storage, gives the same
+        // bits: the lane layout is a function of index only.
+        prop_assert_eq!(first.to_bits(), ddot_lanes(&x.clone(), &y.clone()).to_bits());
+    }
+}

@@ -24,9 +24,8 @@
 //! failover behaviour of the channel.
 
 use crate::mapping::ReplicaMapping;
-use bytes::Bytes;
 use parking_lot::Mutex;
-use simmpi::{Comm, MpiError, MpiResult, Pod, Tag, RESERVED_TAG_BASE};
+use simmpi::{Comm, FxBuildHasher, MpiError, MpiResult, Pod, Tag, RESERVED_TAG_BASE};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -34,6 +33,10 @@ use std::sync::Arc;
 /// First tag reserved for the replication layer's internal collectives.
 /// Applications must keep their tags below this value.
 pub const REPLICATION_TAG_BASE: Tag = RESERVED_TAG_BASE / 2;
+
+/// Shared per-`(logical rank, tag)` sequence-number map (Fx-hashed: the
+/// keys are small trusted integer tuples on the per-message hot path).
+type SeqMap = Arc<Mutex<HashMap<(usize, Tag), u64, FxBuildHasher>>>;
 
 /// Communicators and rank mapping for one physical process of a replicated
 /// MPI application.
@@ -52,15 +55,15 @@ pub struct ReplicatedComm {
     coll_seq: Arc<AtomicU64>,
     /// Next sequence number per outgoing (destination logical rank, tag)
     /// channel.
-    send_seq: Arc<Mutex<HashMap<(usize, Tag), u64>>>,
+    send_seq: SeqMap,
     /// Next expected sequence number per incoming (source logical rank, tag)
     /// channel.
-    recv_seq: Arc<Mutex<HashMap<(usize, Tag), u64>>>,
+    recv_seq: SeqMap,
     /// Replica id whose stream is currently consumed, per source logical
     /// rank.  Advanced only when a receive from that replica reports
     /// `ProcessFailed` (its stream ran dry), never from a racy liveness
     /// query, so failover is deterministic in virtual time.
-    src_replica: Arc<Mutex<HashMap<usize, usize>>>,
+    src_replica: Arc<Mutex<HashMap<usize, usize, FxBuildHasher>>>,
 }
 
 impl ReplicatedComm {
@@ -96,9 +99,9 @@ impl ReplicatedComm {
             my_logical,
             my_replica,
             coll_seq: Arc::new(AtomicU64::new(0)),
-            send_seq: Arc::new(Mutex::new(HashMap::new())),
-            recv_seq: Arc::new(Mutex::new(HashMap::new())),
-            src_replica: Arc::new(Mutex::new(HashMap::new())),
+            send_seq: Arc::new(Mutex::new(HashMap::default())),
+            recv_seq: Arc::new(Mutex::new(HashMap::default())),
+            src_replica: Arc::new(Mutex::new(HashMap::default())),
         })
     }
 
@@ -196,6 +199,30 @@ impl ReplicatedComm {
         tag: Tag,
         modeled_bytes: usize,
     ) -> MpiResult<()> {
+        // Serialized in one pass; sub-threshold bodies land in the payload's
+        // inline representation and allocate nothing.
+        let payload = simmpi::to_payload(buf);
+        self.send_logical_payload(&payload, dest_logical, tag, modeled_bytes)
+    }
+
+    /// Zero-copy variant of [`ReplicatedComm::send_logical`]: sends a
+    /// pre-serialized message body.
+    ///
+    /// This is the replicated analogue of MPI's persistent requests: an
+    /// application that transmits (from) the same buffer every iteration
+    /// serializes it once with [`simmpi::to_payload`] and hands the handle
+    /// in here each send.  The channel's sequence number travels out-of-band
+    /// in the message frame ([`simmpi::Comm::send_framed_multi`]), so a send
+    /// costs no payload copy and no allocation at all — every replica copy
+    /// shares the caller's buffer by reference count.  The wire-level
+    /// modeled size is `modeled_bytes` plus the 8-byte frame head.
+    pub fn send_logical_payload(
+        &self,
+        payload: &bytes::Bytes,
+        dest_logical: usize,
+        tag: Tag,
+        modeled_bytes: usize,
+    ) -> MpiResult<()> {
         if dest_logical >= self.num_logical() {
             return Err(MpiError::InvalidRank {
                 rank: dest_logical,
@@ -209,24 +236,28 @@ impl ReplicatedComm {
             *entry += 1;
             s
         };
-        // Frame: 8-byte little-endian sequence number followed by the data,
-        // serialized directly into one buffer (no intermediate vector).
-        let mut framed = Vec::with_capacity(8 + std::mem::size_of_val(buf));
-        framed.extend_from_slice(&seq.to_le_bytes());
-        simmpi::to_bytes_into(buf, &mut framed);
-        let payload = Bytes::from(framed);
         // One copy goes to *every* replica of the destination, alive or not:
         // the sender has no failure detector, so it must not consult the
         // (real-time-racy) failure board — doing so would make the charged
         // send time depend on thread scheduling.  Copies addressed to
         // crashed replicas are dropped by the network.  The copies share the
         // single framed buffer by reference count: the replica fan-out
-        // performs O(1) payload allocations, not O(degree).
-        for r in 0..self.degree() {
-            let dst = self.mapping.physical_of(dest_logical, r);
-            self.world
-                .send_payload(payload.clone(), dst, tag, modeled_bytes + 8)?;
+        // performs O(1) payload allocations, not O(degree), and the whole
+        // group goes through one batched router visit.
+        let degree = self.degree();
+        let mut dest_buf = [0usize; 8];
+        let mut dest_vec;
+        let dests: &mut [usize] = if degree <= dest_buf.len() {
+            &mut dest_buf[..degree]
+        } else {
+            dest_vec = vec![0usize; degree];
+            &mut dest_vec[..]
+        };
+        for (r, d) in dests.iter_mut().enumerate() {
+            *d = self.mapping.physical_of(dest_logical, r);
         }
+        self.world
+            .send_framed_multi(seq, payload, dests, tag, modeled_bytes + 8)?;
         Ok(())
     }
 
@@ -241,6 +272,17 @@ impl ReplicatedComm {
     /// message streams — never by a real-time liveness query — so the
     /// virtual-time behaviour is deterministic.
     pub fn recv_logical<T: Pod>(&self, src_logical: usize, tag: Tag) -> MpiResult<Vec<T>> {
+        let body = self.recv_logical_payload(src_logical, tag)?;
+        simmpi::from_bytes(&body)
+    }
+
+    /// Zero-copy variant of [`ReplicatedComm::recv_logical`]: returns the
+    /// message body as reference-counted bytes borrowing the very buffer the
+    /// sender serialized (the 8-byte sequence frame is already stripped).
+    /// Use [`simmpi::typed_view`] to read it as a typed slice without
+    /// materializing a vector; the deserializing wrapper above is the
+    /// convenience path.
+    pub fn recv_logical_payload(&self, src_logical: usize, tag: Tag) -> MpiResult<bytes::Bytes> {
         if src_logical >= self.num_logical() {
             return Err(MpiError::InvalidRank {
                 rank: src_logical,
@@ -257,8 +299,8 @@ impl ReplicatedComm {
                 });
             }
             let phys = self.mapping.physical_of(src_logical, src_replica);
-            let framed = match self.world.recv_payload(Some(phys), Some(tag)) {
-                Ok((payload, _)) => payload,
+            let (seq, body) = match self.world.recv_framed(Some(phys), Some(tag)) {
+                Ok((seq, body, _)) => (seq, body),
                 // The consumed stream ran dry mid-wait: fail over to the
                 // next replica id (or error out once none is left).
                 Err(MpiError::ProcessFailed { .. }) => {
@@ -271,15 +313,6 @@ impl ReplicatedComm {
                 }
                 Err(e) => return Err(e),
             };
-            if framed.len() < 8 {
-                return Err(MpiError::TypeMismatch {
-                    bytes: framed.len(),
-                    elem_size: 8,
-                });
-            }
-            let mut seq_bytes = [0u8; 8];
-            seq_bytes.copy_from_slice(&framed[..8]);
-            let seq = u64::from_le_bytes(seq_bytes);
             if seq < expected {
                 // Duplicate of a message already delivered through another
                 // replica's stream: discard and keep looking.
@@ -292,7 +325,7 @@ impl ReplicatedComm {
             self.recv_seq
                 .lock()
                 .insert((src_logical, tag), expected + 1);
-            return simmpi::from_bytes(&framed[8..]);
+            return Ok(body);
         }
     }
 

@@ -174,14 +174,112 @@ impl Comm {
             comm: self.id,
             tag,
             payload,
+            head: None,
             modeled_bytes,
             arrival,
             seq: self.core.router.next_seq(),
         };
-        self.core.stats.incr("mpi.messages_sent");
-        self.core.stats.add("mpi.bytes_sent", modeled_bytes as u64);
+        self.core.ctr_messages_sent.incr();
+        self.core.ctr_bytes_sent.add(modeled_bytes as u64);
         self.core.router.deliver(env);
         Ok(SendRequest::new(inject_done))
+    }
+
+    /// Sends one pre-serialized payload to several destinations (the replica
+    /// fan-out of the replication layer), equivalent to — and bit-identical
+    /// in virtual time with — calling [`Comm::send_payload`] once per
+    /// destination in order, but with the per-send fixed costs paid once:
+    /// one rank/tag/liveness validation, one block of sequence numbers
+    /// (`Router::next_seq_block`), one batched statistics update.  The
+    /// payload is shared by reference count; each destination's envelope
+    /// clones the handle (for inline payloads a bounded memcpy, never an
+    /// allocation).
+    pub fn send_payload_multi(
+        &self,
+        payload: &Bytes,
+        dests: &[usize],
+        tag: Tag,
+        modeled_bytes: usize,
+    ) -> MpiResult<()> {
+        self.send_multi_inner(payload, None, dests, tag, modeled_bytes)
+    }
+
+    /// [`Comm::send_payload_multi`] with an out-of-band 8-byte frame head.
+    ///
+    /// Logically sends `head.to_le_bytes() ++ payload` to every destination,
+    /// but carries the head in the envelope (see [`Envelope::head`]) so the
+    /// shared payload buffer is never rewritten: a protocol that stamps a
+    /// per-message sequence number onto an otherwise reused buffer performs
+    /// zero payload copies per send.  Receive with [`Comm::recv_framed`];
+    /// `modeled_bytes` must already include the head (the wire carries it).
+    pub fn send_framed_multi(
+        &self,
+        head: u64,
+        payload: &Bytes,
+        dests: &[usize],
+        tag: Tag,
+        modeled_bytes: usize,
+    ) -> MpiResult<()> {
+        self.send_multi_inner(payload, Some(head), dests, tag, modeled_bytes)
+    }
+
+    fn send_multi_inner(
+        &self,
+        payload: &Bytes,
+        head: Option<u64>,
+        dests: &[usize],
+        tag: Tag,
+        modeled_bytes: usize,
+    ) -> MpiResult<()> {
+        Self::validate_tag(tag)?;
+        for &d in dests {
+            self.validate_rank(d)?;
+        }
+        self.core.check_alive()?;
+        let seq_base = self.core.router.next_seq_block(dests.len() as u64);
+        // Inject per copy — each replica occupies the sending channel in
+        // turn, exactly as the one-send-per-destination loop would, so every
+        // arrival timestamp is unchanged — but under a single clock
+        // acquisition.
+        let mut world_buf = [0usize; 8];
+        let mut world_vec;
+        let dst_worlds: &mut [usize] = if dests.len() <= world_buf.len() {
+            &mut world_buf[..dests.len()]
+        } else {
+            world_vec = vec![0usize; dests.len()];
+            &mut world_vec[..]
+        };
+        for (w, &d) in dst_worlds.iter_mut().zip(dests.iter()) {
+            *w = self.group[d];
+        }
+        let mut arr_buf = [SimTime::ZERO; 8];
+        let mut arr_vec;
+        let arrivals: &mut [SimTime] = if dests.len() <= arr_buf.len() {
+            &mut arr_buf[..dests.len()]
+        } else {
+            arr_vec = vec![SimTime::ZERO; dests.len()];
+            &mut arr_vec[..]
+        };
+        self.core.inject_multi(modeled_bytes, dst_worlds, arrivals);
+        for (i, (&dst_world, &arrival)) in dst_worlds.iter().zip(arrivals.iter()).enumerate() {
+            let env = Envelope {
+                src_world: self.core.world_rank,
+                dst_world,
+                comm: self.id,
+                tag,
+                payload: payload.clone(),
+                head,
+                modeled_bytes,
+                arrival,
+                seq: seq_base + i as u64,
+            };
+            self.core.router.deliver(env);
+        }
+        self.core.ctr_messages_sent.add(dests.len() as u64);
+        self.core
+            .ctr_bytes_sent
+            .add((modeled_bytes * dests.len()) as u64);
+        Ok(())
     }
 
     /// Blocking standard-mode send of a typed slice.
@@ -191,7 +289,7 @@ impl Comm {
     /// the serialization occupies the NIC in the background.
     pub fn send<T: Pod>(&self, buf: &[T], dest: usize, tag: Tag) -> MpiResult<()> {
         Self::validate_tag(tag)?;
-        let bytes = Bytes::from(datatype::to_bytes(buf));
+        let bytes = datatype::to_payload(buf);
         let modeled = bytes.len();
         self.send_bytes(bytes, modeled, dest, tag)?;
         Ok(())
@@ -208,7 +306,7 @@ impl Comm {
         modeled_bytes: usize,
     ) -> MpiResult<()> {
         Self::validate_tag(tag)?;
-        let bytes = Bytes::from(datatype::to_bytes(buf));
+        let bytes = datatype::to_payload(buf);
         self.send_bytes(bytes, modeled_bytes, dest, tag)?;
         Ok(())
     }
@@ -267,7 +365,7 @@ impl Comm {
     /// finished injecting the message (`Comm::wait_send`).
     pub fn isend<T: Pod>(&self, buf: &[T], dest: usize, tag: Tag) -> MpiResult<SendRequest> {
         Self::validate_tag(tag)?;
-        let bytes = Bytes::from(datatype::to_bytes(buf));
+        let bytes = datatype::to_payload(buf);
         let modeled = bytes.len();
         self.send_bytes(bytes, modeled, dest, tag)
     }
@@ -281,7 +379,7 @@ impl Comm {
         modeled_bytes: usize,
     ) -> MpiResult<SendRequest> {
         Self::validate_tag(tag)?;
-        let bytes = Bytes::from(datatype::to_bytes(buf));
+        let bytes = datatype::to_payload(buf);
         self.send_bytes(bytes, modeled_bytes, dest, tag)
     }
 
@@ -322,19 +420,75 @@ impl Comm {
         self.core.check_alive()?;
         let env = self.core.router.recv_blocking(self.core.world_rank, &sel)?;
         self.core.complete_recv(env.arrival, env.src_world);
-        self.core.stats.incr("mpi.messages_received");
-        self.core
-            .stats
-            .add("mpi.bytes_received", env.modeled_bytes as u64);
+        self.core.ctr_messages_received.incr();
+        self.core.ctr_bytes_received.add(env.modeled_bytes as u64);
         let source = self
             .comm_rank_of_world(env.src_world)
             .expect("sender is not a member of this communicator");
+        // Correctness fallback for framed sends consumed through the plain
+        // byte interface: re-materialize the contiguous `head ++ payload`
+        // frame the sender logically transmitted.  Framed protocols receive
+        // through `recv_framed` instead, which never takes this copy.
+        let payload = match env.head {
+            None => env.payload,
+            Some(h) => Bytes::with_len(8 + env.payload.len(), |buf| {
+                buf[..8].copy_from_slice(&h.to_le_bytes());
+                buf[8..].copy_from_slice(&env.payload);
+            }),
+        };
         let status = RecvStatus {
             source,
             tag: env.tag,
-            bytes: env.payload.len(),
+            bytes: payload.len(),
         };
-        Ok((env.payload, status))
+        Ok((payload, status))
+    }
+
+    /// Blocking receive of a framed message: returns the 8-byte frame head
+    /// and the message body separately, with zero copies either way.
+    ///
+    /// Accepts both representations on the wire — envelopes sent with
+    /// [`Comm::send_framed_multi`] (out-of-band head) are split for free,
+    /// while plain sends whose payload begins with an 8-byte little-endian
+    /// head are split by reference (`slice(8..)`, no copy).  A plain
+    /// message shorter than 8 bytes is a frame error.
+    pub fn recv_framed(
+        &self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> MpiResult<(u64, Bytes, RecvStatus)> {
+        if let Some(t) = tag {
+            Self::validate_tag(t)?;
+        }
+        let sel = self.selector(src, tag)?;
+        self.core.check_alive()?;
+        let env = self.core.router.recv_blocking(self.core.world_rank, &sel)?;
+        self.core.complete_recv(env.arrival, env.src_world);
+        self.core.ctr_messages_received.incr();
+        self.core.ctr_bytes_received.add(env.modeled_bytes as u64);
+        let source = self
+            .comm_rank_of_world(env.src_world)
+            .expect("sender is not a member of this communicator");
+        let (head, body) = match env.head {
+            Some(h) => (h, env.payload),
+            None => {
+                if env.payload.len() < 8 {
+                    return Err(MpiError::TypeMismatch {
+                        bytes: env.payload.len(),
+                        elem_size: 8,
+                    });
+                }
+                let mut h = [0u8; 8];
+                h.copy_from_slice(&env.payload[..8]);
+                (u64::from_le_bytes(h), env.payload.slice(8..))
+            }
+        };
+        let status = RecvStatus {
+            source,
+            tag: env.tag,
+            bytes: body.len(),
+        };
+        Ok((head, body, status))
     }
 
     /// Blocking receive returning a freshly allocated typed vector.
@@ -374,10 +528,8 @@ impl Comm {
         self.core.check_alive()?;
         let env = self.core.router.recv_blocking(self.core.world_rank, &sel)?;
         self.core.complete_recv(env.arrival, env.src_world);
-        self.core.stats.incr("mpi.messages_received");
-        self.core
-            .stats
-            .add("mpi.bytes_received", env.modeled_bytes as u64);
+        self.core.ctr_messages_received.incr();
+        self.core.ctr_bytes_received.add(env.modeled_bytes as u64);
         datatype::from_bytes(&env.payload)
     }
 

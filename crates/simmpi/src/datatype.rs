@@ -127,6 +127,67 @@ pub fn to_bytes_into<T: Pod>(data: &[T], out: &mut Vec<u8>) {
     }
 }
 
+/// Serializes a typed slice directly into a payload [`bytes::Bytes`].
+///
+/// When the wire size fits [`bytes::Bytes::INLINE_CAP`] the serialization
+/// goes through a stack buffer into the inline representation — *zero* heap
+/// allocations for the whole send-side payload path.  Larger payloads take
+/// the ordinary [`to_bytes`] + `Bytes::from(Vec)` route (one allocation,
+/// moved in without re-copying).
+pub fn to_payload<T: Pod>(data: &[T]) -> bytes::Bytes {
+    to_payload_framed(&[], data)
+}
+
+/// Serializes `header` followed by the little-endian serialization of `data`
+/// into a payload [`bytes::Bytes`], staying allocation-free when the whole
+/// frame fits the inline representation.  Framed protocols (e.g. the
+/// replicated channel's sequence-number prefix) build their wire frame with
+/// this instead of assembling a temporary vector.
+///
+/// # Panics
+/// Panics if `header` alone exceeds [`bytes::Bytes::INLINE_CAP`] while the
+/// total frame would have fit (cannot happen for the fixed small headers the
+/// runtime uses).
+pub fn to_payload_framed<T: Pod>(header: &[u8], data: &[T]) -> bytes::Bytes {
+    let wire = data.len() * T::SIZE;
+    let total = header.len() + wire;
+    if total <= bytes::Bytes::INLINE_CAP && wire_layout_matches::<T>() {
+        note_copied(wire);
+        let mut buf = [0u8; bytes::Bytes::INLINE_CAP];
+        buf[..header.len()].copy_from_slice(header);
+        // SAFETY: same argument as `to_bytes_into` — `T: Pod` is a plain
+        // numeric type valid for any bit pattern with no padding, and the
+        // byte view does not outlive `data`.
+        let raw: &[u8] = unsafe {
+            std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), std::mem::size_of_val(data))
+        };
+        buf[header.len()..total].copy_from_slice(raw);
+        bytes::Bytes::copy_from_slice(&buf[..total])
+    } else if wire_layout_matches::<T>() {
+        note_copied(wire);
+        // Serialize straight into a `Bytes` buffer (arena-backed for medium
+        // frames — no allocator call, no page fault; see
+        // [`bytes::Bytes::with_len`]).
+        bytes::Bytes::with_len(total, |buf| {
+            buf[..header.len()].copy_from_slice(header);
+            // SAFETY: same argument as `to_bytes_into` — `T: Pod` is a plain
+            // numeric type valid for any bit pattern with no padding, and
+            // the byte view does not outlive `data`.
+            let raw: &[u8] = unsafe {
+                std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), std::mem::size_of_val(data))
+            };
+            buf[header.len()..].copy_from_slice(raw);
+        })
+    } else {
+        // Portable element-wise fallback (big-endian targets, wire sizes
+        // that differ from in-memory sizes).
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(header);
+        to_bytes_into(data, &mut out);
+        bytes::Bytes::from(out)
+    }
+}
+
 /// True when `T`'s in-memory layout equals its little-endian wire format —
 /// the precondition of every bulk-`memcpy` / reinterpretation fast path in
 /// this module.  False on big-endian targets, and false whenever the
@@ -413,6 +474,23 @@ mod tests {
             copied_bytes() - mid < BIG as u64 / 2,
             "typed_view must not copy the buffer"
         );
+    }
+
+    #[test]
+    fn to_payload_framed_round_trips_across_the_inline_boundary() {
+        // 7 f64 + 8-byte header = 64 bytes (inline); 8 f64 + header = 72
+        // (heap).  Both must produce identical wire content.
+        for elems in [0usize, 1, 7, 8, 100] {
+            let data: Vec<f64> = (0..elems).map(|i| i as f64 * 1.25 - 3.0).collect();
+            let header = 0xDEAD_BEEF_u64.to_le_bytes();
+            let payload = to_payload_framed(&header, &data);
+            assert_eq!(payload.len(), 8 + elems * 8);
+            assert_eq!(&payload[..8], &header);
+            let back: Vec<f64> = from_bytes(&payload[8..]).unwrap();
+            assert_eq!(back, data);
+            // And the unframed variant matches to_bytes exactly.
+            assert_eq!(&to_payload(&data)[..], &to_bytes(&data)[..]);
+        }
     }
 
     #[test]

@@ -493,6 +493,7 @@ fn inject(
         comm: WORLD_COMM_ID,
         tag,
         payload: Bytes::new(),
+        head: None,
         modeled_bytes: bytes,
         arrival,
         seq,

@@ -1,0 +1,91 @@
+//! A fast non-cryptographic hasher for small fixed-size keys on hot paths.
+//!
+//! This is the FxHash function from the Firefox / rustc tradition: a
+//! rotate-xor-multiply per 8-byte word.  The fabric uses it for the mailbox
+//! lane map and the replication layer for its per-channel sequence maps —
+//! all keyed by small integer tuples looked up once or twice per message,
+//! where SipHash's keyed initialization and finalization dominate the probe
+//! cost.  Keys come from the simulation itself (never from untrusted
+//! input), so hash-flooding resistance buys nothing here.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Streaming FxHash state.  Construct through [`FxBuildHasher`] /
+/// `HashMap::default()`; the hasher is not cryptographic and must not be
+/// used on attacker-controlled keys.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` plugging [`FxHasher`] into `HashMap`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn distinct_small_keys_hash_distinctly() {
+        let b = FxBuildHasher::default();
+        let mut seen = std::collections::HashSet::new();
+        for src in 0..64usize {
+            for tag in 0..64u32 {
+                assert!(seen.insert(b.hash_one((src, tag))));
+            }
+        }
+    }
+
+    #[test]
+    fn hash_is_deterministic_across_builders() {
+        let a = FxBuildHasher::default().hash_one((7usize, 9u32));
+        let b = FxBuildHasher::default().hash_one((7usize, 9u32));
+        assert_eq!(a, b);
+    }
+}

@@ -47,6 +47,7 @@ pub mod comm;
 pub mod datatype;
 pub mod engine;
 pub mod error;
+pub mod fxhash;
 mod mailbox;
 pub mod message;
 pub mod proc;
@@ -57,13 +58,14 @@ pub use cluster::{run_cluster, ClusterConfig, ClusterReport, ProcReport};
 pub use comm::{Comm, RecvStatus, WORLD_COMM_ID};
 pub use datatype::{
     copied_bytes, copy_into, extend_from_bytes, from_bytes, reset_copied_bytes, to_bytes,
-    to_bytes_into, typed_view, Pod,
+    to_bytes_into, to_payload, to_payload_framed, typed_view, Pod,
 };
 pub use engine::{
     run_virtual_cluster, EngineConfig, RankCtx, RankEnd, RankProgram, RecvDone, RecvOutcome, Step,
     VirtualClusterReport, VirtualRankReport,
 };
 pub use error::{MpiError, MpiResult};
+pub use fxhash::{FxBuildHasher, FxHasher};
 pub use message::{CommId, Envelope, MatchSelector, Tag, RESERVED_TAG_BASE};
 pub use proc::ProcHandle;
 pub use request::{RecvRequest, SendRequest};

@@ -19,23 +19,19 @@
 //!   that wildcard matching depends only on virtual time, never on the host
 //!   order in which worker threads happened to apply deliveries.
 //!
-//! ## Staleness and compaction
-//!
-//! The arrival-order index is maintained lazily: when an exact receive pops
-//! an envelope from its lane, the corresponding index entry stays behind and
-//! is discarded the next time a wildcard scan walks past it (an entry is
-//! stale exactly when its arrival id is older than the lane's current
-//! front).  To keep memory bounded on wildcard-free workloads, `push`
-//! compacts the index whenever it grows past twice the number of queued
-//! envelopes.
+//! Both disciplines reduce to a minimum over the lanes' front envelopes:
+//! arrival ids are assigned in delivery order and each lane's ids are
+//! strictly increasing, so the earliest-delivered match is simply the
+//! matching lane front with the smallest id.  Keeping *only* the lanes (no
+//! auxiliary delivery-order index) makes `push` a single map operation —
+//! the fabric's per-copy hot path — at the cost of an O(lanes) scan per
+//! wildcard receive, which profiling shows is the right trade: exact
+//! receives outnumber wildcards by orders of magnitude in every workload in
+//! this repository.
 
+use crate::fxhash::FxBuildHasher;
 use crate::message::{Envelope, LaneKey, MatchSelector};
 use std::collections::{HashMap, VecDeque};
-
-/// Index-compaction slack: the arrival-order index is rebuilt when it holds
-/// more than `2 * queued + COMPACT_SLACK` entries.  The constant keeps tiny
-/// mailboxes from compacting on every push.
-pub(crate) const COMPACT_SLACK: usize = 64;
 
 /// The matching core of one rank's mailbox.  Not synchronized: the router
 /// wraps it in a mutex/condvar pair, the engine drives it under its
@@ -45,52 +41,38 @@ pub(crate) struct MailboxState {
     /// Per-`(comm, src, tag)` FIFO lanes.  Values are `(arrival id,
     /// envelope)`; arrival ids are monotone within the mailbox, so a lane's
     /// ids are strictly increasing front to back.
-    lanes: HashMap<LaneKey, VecDeque<(u64, Envelope)>>,
-    /// Delivery-order index over all lanes (may contain stale entries, see
-    /// the module docs).
-    order: VecDeque<(u64, LaneKey)>,
+    lanes: HashMap<LaneKey, VecDeque<(u64, Envelope)>, FxBuildHasher>,
     /// Next arrival id.
     next_arrival: u64,
-    /// Number of envelopes currently queued (live, not stale).
+    /// Number of envelopes currently queued.
     queued: usize,
 }
 
 impl MailboxState {
-    /// Queues an envelope.
+    /// Queues an envelope, assigning the next internal arrival id.
     pub(crate) fn push(&mut self, env: Envelope) {
-        let key = env.lane_key();
         let id = self.next_arrival;
-        self.next_arrival += 1;
-        self.lanes.entry(key).or_default().push_back((id, env));
-        self.order.push_back((id, key));
-        self.queued += 1;
-        if self.order.len() > 2 * self.queued + COMPACT_SLACK {
-            self.compact();
-        }
+        self.push_with_arrival(id, env);
     }
 
-    /// Number of envelopes currently queued (live, not stale).
+    /// Queues an envelope under an externally-assigned arrival id.  The
+    /// sharded router stamps ids from one per-mailbox atomic counter so that
+    /// delivery order stays totally ordered *across* shards; each shard's
+    /// `MailboxState` then only ever sees a monotone subsequence of those
+    /// ids.  The caller must never reuse or reorder ids within one state
+    /// (the internal counter is advanced past `id` to keep the two entry
+    /// points composable).
+    pub(crate) fn push_with_arrival(&mut self, id: u64, env: Envelope) {
+        debug_assert!(id >= self.next_arrival, "arrival ids must be monotone");
+        let key = env.lane_key();
+        self.next_arrival = id + 1;
+        self.lanes.entry(key).or_default().push_back((id, env));
+        self.queued += 1;
+    }
+
+    /// Number of envelopes currently queued.
     pub(crate) fn queued(&self) -> usize {
         self.queued
-    }
-
-    /// Current length of the delivery-order index, stale entries included
-    /// (diagnostic; used by the compaction regression test).
-    #[cfg(test)]
-    pub(crate) fn index_len(&self) -> usize {
-        self.order.len()
-    }
-
-    /// Drops every stale index entry (lazy-deletion debt left behind by
-    /// exact receives).
-    fn compact(&mut self) {
-        let lanes = &self.lanes;
-        self.order.retain(|(id, key)| {
-            lanes
-                .get(key)
-                .and_then(|lane| lane.front())
-                .is_some_and(|&(front, _)| front <= *id)
-        });
     }
 
     /// Pops the front envelope of one lane, dropping the lane once empty so
@@ -114,38 +96,36 @@ impl MailboxState {
             // front (lanes are FIFO in delivery order).
             return self.pop_lane(&key);
         }
-        // Wildcard: walk the delivery-order index from the front, purging
-        // stale entries as they are encountered.
-        let mut i = 0;
-        while i < self.order.len() {
-            let (id, key) = self.order[i];
-            let front = self
+        // Wildcard: the earliest-delivered match is the matching lane front
+        // with the smallest arrival id (ids are assigned in delivery order).
+        let best = self
+            .lanes
+            .iter()
+            .filter(|(key, _)| sel.matches_lane(key))
+            .filter_map(|(key, lane)| lane.front().map(|&(id, _)| (id, *key)))
+            .min_by_key(|&(id, _)| id)
+            .map(|(_, key)| key)?;
+        self.pop_lane(&best)
+    }
+
+    /// Returns the arrival id of the earliest-**delivered** envelope
+    /// matching `sel` without removing it — the id `take_match` would
+    /// consume next.  The sharded router uses this to pick the winning
+    /// shard for a wildcard receive: each shard reports its earliest match
+    /// and the globally smallest arrival id wins.
+    pub(crate) fn peek_match(&self, sel: &MatchSelector) -> Option<u64> {
+        if let Some(key) = sel.exact_lane() {
+            return self
                 .lanes
                 .get(&key)
                 .and_then(|lane| lane.front())
-                .map(|&(front, _)| front);
-            match front {
-                // Lane gone or already consumed past this entry: stale.
-                None => {
-                    self.order.remove(i);
-                }
-                Some(front) if front > id => {
-                    self.order.remove(i);
-                }
-                Some(front) => {
-                    if front == id && sel.matches_lane(&key) {
-                        self.order.remove(i);
-                        return self.pop_lane(&key);
-                    }
-                    // Either the lane does not match the selector, or an
-                    // older envelope of the same lane is still queued
-                    // (`front < id`) — in which case that envelope's own
-                    // index entry sits earlier and takes precedence.
-                    i += 1;
-                }
-            }
+                .map(|&(id, _)| id);
         }
-        None
+        self.lanes
+            .iter()
+            .filter(|(key, _)| sel.matches_lane(key))
+            .filter_map(|(_, lane)| lane.front().map(|&(id, _)| id))
+            .min()
     }
 
     /// Removes and returns the envelope matching `sel` with the smallest
@@ -194,6 +174,7 @@ mod tests {
             comm: 9,
             tag,
             payload: Bytes::new(),
+            head: None,
             modeled_bytes: 0,
             arrival: SimTime::from_secs(arrival),
             seq,

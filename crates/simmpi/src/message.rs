@@ -27,6 +27,19 @@ pub struct Envelope {
     pub tag: Tag,
     /// Actual payload carried (used for correctness).
     pub payload: Bytes,
+    /// Optional 8-byte frame head carried out-of-band.
+    ///
+    /// Protocol layers that prefix every message with a small fixed header
+    /// (the replication channel's sequence number) would otherwise have to
+    /// materialize `header ++ payload` in a fresh buffer for every send —
+    /// one allocation and one full payload copy per message.  Carrying the
+    /// head in the envelope instead lets all copies of a fan-out share one
+    /// reference-counted payload with **zero** per-send copies.  `None` for
+    /// plain sends.  `Comm::recv_framed` splits either representation
+    /// transparently; a plain `recv_payload` of a headed envelope
+    /// re-materializes the contiguous frame (correctness fallback, off the
+    /// hot path).
+    pub head: Option<u64>,
     /// Number of bytes charged to the network model.  Usually equal to
     /// `payload.len()`, but paper-scale experiments can run the protocol on
     /// reduced actual arrays while charging the modeled size (see
@@ -114,6 +127,7 @@ mod tests {
             comm,
             tag,
             payload: Bytes::new(),
+            head: None,
             modeled_bytes: 0,
             arrival: SimTime::ZERO,
             seq: 0,

@@ -97,6 +97,47 @@ proptest! {
     }
 
     #[test]
+    fn concurrent_senders_keep_per_source_fifo_order(
+        senders in 1usize..6,
+        messages in 1usize..12,
+        tag in 0u32..100,
+    ) {
+        // Ranks 1..=senders all blast rank 0 concurrently (each logical
+        // process runs on its own host thread, so this genuinely exercises
+        // the sharded mailbox lanes under contention).  Rank 0 receives with
+        // wildcard source and must observe every source's counter sequence
+        // in send order — the per-lane FIFO guarantee — while the sharding
+        // makes no promise about interleaving *between* sources.
+        let report = run_cluster(&ClusterConfig::ideal(senders + 1), move |proc| {
+            let world = proc.world();
+            let rank = world.rank();
+            if rank == 0 {
+                let mut next_expected = vec![0u64; senders + 1];
+                for _ in 0..senders * messages {
+                    let (msg, status) = world.recv_any::<u64>(tag).unwrap();
+                    let src = status.source;
+                    assert_eq!(
+                        msg,
+                        vec![src as u64, next_expected[src]],
+                        "source {src} delivered out of send order"
+                    );
+                    next_expected[src] += 1;
+                }
+                next_expected
+            } else {
+                for m in 0..messages as u64 {
+                    world.send(&[rank as u64, m], 0, tag).unwrap();
+                }
+                Vec::new()
+            }
+        });
+        let results = report.unwrap_results();
+        for (src, &count) in results[0].iter().enumerate().skip(1) {
+            prop_assert_eq!(count, messages as u64, "source {} short-counted", src);
+        }
+    }
+
+    #[test]
     fn virtual_clocks_are_monotone_and_consistent(
         n in 1usize..6,
         messages in 1usize..8,
@@ -145,6 +186,7 @@ mod mailbox_lanes {
             comm: 1,
             tag,
             payload: Bytes::new(),
+            head: None,
             modeled_bytes: 0,
             arrival: SimTime::ZERO,
             seq,

@@ -2,54 +2,168 @@
 //!
 //! The build environment has no crates.io access, so this crate provides the
 //! one type the workspace uses: [`Bytes`], a cheaply-clonable immutable byte
-//! buffer.  It is backed by `Arc<Vec<u8>>`, so `clone()` is a reference-count
-//! bump exactly like the real crate — which matters for the simulator, where
-//! a message payload is cloned once per destination replica — and
-//! `From<Vec<u8>>` *moves* the vector in without copying its bytes, exactly
-//! like the real crate's `Bytes::from(Vec<u8>)` (an `Arc<[u8]>` backing
-//! would re-copy the buffer on conversion).
+//! buffer.  Two representations share the type:
+//!
+//! * **Inline** — payloads up to [`Bytes::INLINE_CAP`] bytes live directly
+//!   in the value, so constructing, cloning, and dropping a small payload
+//!   performs *zero* heap allocations.  This is what makes sub-threshold
+//!   message sends allocation-free on the simulator's hot path.
+//! * **Shared** — larger payloads are backed by `Arc<Vec<u8>>`, so `clone()`
+//!   is a reference-count bump exactly like the real crate — which matters
+//!   for the simulator, where a message payload is cloned once per
+//!   destination replica — and `From<Vec<u8>>` *moves* the vector in without
+//!   copying its bytes, exactly like the real crate's `Bytes::from(Vec<u8>)`.
+//!
+//! Equality, ordering, and hashing are by *content* (as in the real crate),
+//! so the two representations are indistinguishable to users.
 
 use std::borrow::Borrow;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::{Deref, RangeBounds};
 use std::sync::Arc;
 
+mod arena;
+
 /// A cheaply-clonable immutable contiguous slice of memory.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<Vec<u8>>,
-    start: usize,
-    end: usize,
+    repr: Repr,
+}
+
+/// Backing storage of the inline representation.  Aligned to 8 bytes so a
+/// freshly inlined payload (e.g. the body of a small message frame) can be
+/// reinterpreted in place as `f64`/`u64` data without an alignment copy.
+#[derive(Clone, Copy)]
+#[repr(align(8))]
+struct InlineBuf([u8; Bytes::INLINE_CAP]);
+
+#[derive(Clone)]
+enum Repr {
+    /// Small payloads stored in the value itself; no heap allocation.
+    Inline { len: u8, buf: InlineBuf },
+    /// Reference-counted view into a shared backing vector.
+    Shared {
+        data: Arc<Vec<u8>>,
+        start: usize,
+        end: usize,
+    },
+    /// Reference-counted view into a thread-local bump-arena chunk (see the
+    /// `arena` module); built by [`Bytes::with_len`].  The chunk's pages are
+    /// populated in bulk when the chunk is mapped, so carving a payload from
+    /// it never takes a page fault — the property that keeps serialization
+    /// fast when queued messages pin the heap and defeat normal allocator
+    /// reuse.
+    Arena {
+        chunk: Arc<arena::Chunk>,
+        start: usize,
+        end: usize,
+    },
 }
 
 impl Bytes {
-    /// Creates an empty `Bytes`.
+    /// Largest payload the inline representation holds.  Constructing a
+    /// `Bytes` of at most this many bytes via [`Bytes::copy_from_slice`]
+    /// (or slicing one) allocates nothing.
+    pub const INLINE_CAP: usize = 64;
+
+    /// Creates an empty `Bytes` (no allocation).
     pub fn new() -> Self {
-        Self::from_vec(Vec::new())
+        Self {
+            repr: Repr::Inline {
+                len: 0,
+                buf: InlineBuf([0; Self::INLINE_CAP]),
+            },
+        }
     }
 
     /// Creates `Bytes` from a static slice (copied; semantics are identical).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Self::from_vec(bytes.to_vec())
+        Self::copy_from_slice(bytes)
     }
 
-    /// Creates `Bytes` by copying `data`.
+    /// Creates `Bytes` by copying `data`; inline (allocation-free) when the
+    /// payload fits [`Bytes::INLINE_CAP`].
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self::from_vec(data.to_vec())
+        if data.len() <= Self::INLINE_CAP {
+            let mut buf = InlineBuf([0u8; Self::INLINE_CAP]);
+            buf.0[..data.len()].copy_from_slice(data);
+            Self {
+                repr: Repr::Inline {
+                    len: data.len() as u8,
+                    buf,
+                },
+            }
+        } else {
+            Self::from_vec(data.to_vec())
+        }
+    }
+
+    /// Builds a `Bytes` of exactly `len` bytes by handing `fill` a mutable
+    /// buffer to write.  This is the allocation-conscious constructor for
+    /// message payloads:
+    ///
+    /// * `len <= INLINE_CAP` — `fill` writes the inline representation; no
+    ///   heap allocation at all.
+    /// * medium sizes — the buffer is carved from a thread-local,
+    ///   bulk-populated bump arena (see the `arena` module), so the
+    ///   construction takes no allocator call and no page fault even when
+    ///   earlier payloads are still alive.
+    /// * large sizes — an ordinary zeroed `Vec` (one allocation).
+    ///
+    /// The buffer's contents are unspecified before `fill` runs (arena
+    /// chunks are recycled, so it may contain bytes of earlier dropped
+    /// payloads built by this thread); `fill` must overwrite every byte it
+    /// wants defined.  The buffer of the inline and arena paths is 8-byte
+    /// aligned, so typed `f64`/`u64` views over the result are zero-copy.
+    pub fn with_len(len: usize, fill: impl FnOnce(&mut [u8])) -> Self {
+        if len <= Self::INLINE_CAP {
+            let mut buf = InlineBuf([0u8; Self::INLINE_CAP]);
+            fill(&mut buf.0[..len]);
+            return Self {
+                repr: Repr::Inline {
+                    len: len as u8,
+                    buf,
+                },
+            };
+        }
+        if len <= arena::MAX_ARENA_ALLOC {
+            let (chunk, start) = arena::carve(len);
+            // SAFETY: `carve` hands out each region exactly once and no
+            // `Bytes` view of it exists yet, so this is the region's unique
+            // reference; the chunk outlives the slice via the Arc held here.
+            let buf = unsafe { std::slice::from_raw_parts_mut(chunk.ptr().add(start), len) };
+            fill(buf);
+            return Self {
+                repr: Repr::Arena {
+                    chunk,
+                    start,
+                    end: start + len,
+                },
+            };
+        }
+        let mut v = vec![0u8; len];
+        fill(&mut v);
+        Self::from_vec(v)
     }
 
     fn from_vec(v: Vec<u8>) -> Self {
         let end = v.len();
         Self {
-            data: Arc::new(v),
-            start: 0,
-            end,
+            repr: Repr::Shared {
+                data: Arc::new(v),
+                start: 0,
+                end,
+            },
         }
     }
 
     /// Number of bytes.
     pub fn len(&self) -> usize {
-        self.end - self.start
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Shared { start, end, .. } | Repr::Arena { start, end, .. } => end - start,
+        }
     }
 
     /// Whether the buffer is empty.
@@ -57,7 +171,9 @@ impl Bytes {
         self.len() == 0
     }
 
-    /// Returns a zero-copy sub-slice sharing the same backing allocation.
+    /// Returns a zero-copy sub-slice: inline payloads are re-inlined (a
+    /// bounded memcpy, no allocation), shared payloads share the backing
+    /// allocation.
     pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
         use std::ops::Bound;
         let len = self.len();
@@ -75,10 +191,26 @@ impl Bytes {
             start <= end && end <= len,
             "slice {start}..{end} out of bounds of {len}"
         );
-        Self {
-            data: Arc::clone(&self.data),
-            start: self.start + start,
-            end: self.start + end,
+        match &self.repr {
+            Repr::Inline { buf, .. } => Self::copy_from_slice(&buf.0[start..end]),
+            Repr::Shared {
+                data, start: base, ..
+            } => Self {
+                repr: Repr::Shared {
+                    data: Arc::clone(data),
+                    start: base + start,
+                    end: base + end,
+                },
+            },
+            Repr::Arena {
+                chunk, start: base, ..
+            } => Self {
+                repr: Repr::Arena {
+                    chunk: Arc::clone(chunk),
+                    start: base + start,
+                    end: base + end,
+                },
+            },
         }
     }
 
@@ -97,7 +229,18 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        match &self.repr {
+            Repr::Inline { len, buf } => &buf.0[..*len as usize],
+            Repr::Shared { data, start, end } => &data[*start..*end],
+            // SAFETY: the region `[start, end)` was initialized by
+            // `with_len` before this value (or its slicing ancestor)
+            // existed, is never written again while any view of it is alive
+            // (see the arena module's safety model), and the chunk outlives
+            // the borrow via the Arc held in `self`.
+            Repr::Arena { chunk, start, end } => unsafe {
+                std::slice::from_raw_parts(chunk.ptr().add(*start), end - start)
+            },
+        }
     }
 }
 
@@ -131,6 +274,32 @@ impl From<Box<[u8]>> for Bytes {
     }
 }
 
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
@@ -157,7 +326,12 @@ impl PartialEq<Vec<u8>> for Bytes {
 
 impl FromIterator<u8> for Bytes {
     fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
-        Self::from_vec(iter.into_iter().collect())
+        let v: Vec<u8> = iter.into_iter().collect();
+        if v.len() <= Self::INLINE_CAP {
+            Self::copy_from_slice(&v)
+        } else {
+            Self::from_vec(v)
+        }
     }
 }
 
@@ -187,5 +361,105 @@ mod tests {
     fn empty_and_from_static() {
         assert!(Bytes::new().is_empty());
         assert_eq!(&Bytes::from_static(b"xy")[..], b"xy");
+    }
+
+    #[test]
+    fn equality_is_by_content_across_representations() {
+        // An inline value and an equal-content shared view compare equal,
+        // hash equal, and order consistently.
+        let inline = Bytes::copy_from_slice(&[9u8, 8, 7]);
+        let shared = Bytes::from(vec![0u8, 9, 8, 7, 1]).slice(1..4);
+        assert_eq!(inline, shared);
+        assert_eq!(inline.cmp(&shared), std::cmp::Ordering::Equal);
+        use std::collections::hash_map::DefaultHasher;
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        inline.hash(&mut h1);
+        shared.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn inline_payloads_are_word_aligned() {
+        // Typed zero-copy views over small message bodies depend on the
+        // inline buffer being at least 8-byte aligned.
+        for n in [1, 8, 16, Bytes::INLINE_CAP] {
+            let b = Bytes::copy_from_slice(&vec![7u8; n]);
+            assert_eq!(b.as_ref().as_ptr() as usize % 8, 0, "len {n}");
+        }
+    }
+
+    #[test]
+    fn with_len_round_trips_across_representations() {
+        // Spans inline (<= 64), arena (medium), and Vec (large) paths.
+        for n in [0, 1, 64, 65, 1000, 2056, 32 << 10, (32 << 10) + 1, 100_000] {
+            let b = Bytes::with_len(n, |buf| {
+                for (i, x) in buf.iter_mut().enumerate() {
+                    *x = (i % 251) as u8;
+                }
+            });
+            assert_eq!(b.len(), n);
+            assert!(b.iter().enumerate().all(|(i, &x)| x == (i % 251) as u8));
+            // Typed views over the payload need word alignment.
+            assert_eq!(b.as_ref().as_ptr() as usize % 8, 0, "len {n}");
+            // Slicing an arena-backed value stays zero-copy and correct.
+            let s = b.slice(n / 3..n - n / 3);
+            assert_eq!(&s[..], &b[n / 3..n - n / 3]);
+            let c = b.clone();
+            assert_eq!(b, c);
+        }
+    }
+
+    #[test]
+    fn arena_frames_do_not_overlap_and_survive_chunk_turnover() {
+        // Enough live medium frames to span several arena chunks; every
+        // frame must keep its own contents.
+        let frames: Vec<Bytes> = (0..200u32)
+            .map(|i| {
+                Bytes::with_len(1024, |buf| {
+                    buf.fill(i as u8);
+                })
+            })
+            .collect();
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.len(), 1024);
+            assert!(f.iter().all(|&x| x == i as u8), "frame {i} corrupted");
+        }
+    }
+
+    #[test]
+    fn arena_recycles_released_chunks() {
+        // Drain-heavy pattern: frames dropped promptly.  The arena should
+        // settle into reusing chunks rather than growing without bound —
+        // observable as identical backing addresses reappearing.
+        let mut seen = std::collections::HashSet::new();
+        let mut reused = false;
+        for i in 0..2_000u32 {
+            let b = Bytes::with_len(4096, |buf| buf.fill(i as u8));
+            assert!(b.iter().all(|&x| x == i as u8));
+            if !seen.insert(b.as_ref().as_ptr() as usize) {
+                reused = true;
+            }
+        }
+        assert!(reused, "arena never recycled a released chunk");
+    }
+
+    #[test]
+    fn inline_boundary_round_trips() {
+        for n in [
+            0,
+            1,
+            Bytes::INLINE_CAP - 1,
+            Bytes::INLINE_CAP,
+            Bytes::INLINE_CAP + 1,
+            200,
+        ] {
+            let v: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+            let b = Bytes::copy_from_slice(&v);
+            assert_eq!(b.len(), n);
+            assert_eq!(b, v);
+            let s = b.slice(n / 4..n - n / 4);
+            assert_eq!(&s[..], &v[n / 4..n - n / 4]);
+        }
     }
 }
