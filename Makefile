@@ -10,9 +10,9 @@ CAMPAIGN_JOBS ?= 4
 CAMPAIGN_TOL ?= 0
 
 .PHONY: all build test verify bench-build docs fmt fmt-check clippy \
-        campaign-smoke failures-smoke weak-smoke serve-smoke bench-smoke golden \
-        golden-failures golden-weak bench-json api-surface api-surface-check \
-        ci clean
+        campaign-smoke failures-smoke weak-smoke serve-smoke bench-smoke \
+        ckpt-smoke golden golden-failures golden-weak golden-ckpt bench-json \
+        api-surface api-surface-check ci clean
 
 # Label recorded with the BENCH.json entry (CI passes its own).
 BENCH_LABEL ?= local
@@ -110,6 +110,21 @@ serve-smoke:
 	./target/release/campaign diff crates/campaign/golden/smoke.json \
 		target/serve-smoke/spool/results/second.json --tol $(CAMPAIGN_TOL)
 
+# The checkpoint/restart gate: run the replication-vs-C/R grid (Young /
+# Daly intervals against the fitted MTBF hazards) at two job counts,
+# require both reports byte-identical, then gate on the checked-in golden
+# baseline.
+ckpt-smoke:
+	$(CARGO) build --release -p campaign
+	./target/release/campaign run --grid ckpt --jobs 1 \
+		--out target/campaign-ckpt-j1.json
+	./target/release/campaign run --grid ckpt --jobs 8 \
+		--out target/campaign-ckpt.json --csv target/campaign-ckpt.csv
+	./target/release/campaign diff target/campaign-ckpt-j1.json \
+		target/campaign-ckpt.json --tol 0
+	./target/release/campaign diff crates/campaign/golden/ckpt.json \
+		target/campaign-ckpt.json --tol $(CAMPAIGN_TOL)
+
 # Structural benchmark gate: the fabric + kernel suites at tiny scale,
 # asserting only structural invariants — the zero-copy byte budgets, finite
 # checksums and the BENCH.json entry schema.  Never wall-clock numbers, so
@@ -159,7 +174,13 @@ golden-weak:
 	./target/release/campaign weak --sweep weak-smoke --workers 1 \
 		--strip-informational --out crates/campaign/golden/weak_scaling.json
 
-ci: verify bench-build docs fmt-check clippy api-surface-check campaign-smoke failures-smoke weak-smoke serve-smoke bench-smoke
+# Same, for the checkpoint/restart sweep baseline.
+golden-ckpt:
+	$(CARGO) build --release -p campaign
+	./target/release/campaign run --grid ckpt --jobs $(CAMPAIGN_JOBS) \
+		--strip-informational --out crates/campaign/golden/ckpt.json
+
+ci: verify bench-build docs fmt-check clippy api-surface-check campaign-smoke failures-smoke weak-smoke ckpt-smoke serve-smoke bench-smoke
 
 clean:
 	$(CARGO) clean

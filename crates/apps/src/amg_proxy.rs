@@ -400,6 +400,10 @@ fn run_pcg(
     let mut iterations = 0usize;
 
     for iter in 0..params.max_iters {
+        // C/R-only coordinated point: AMG's timed-crash behaviour predates
+        // the checkpoint subsystem and must stay unchanged, so no
+        // failure-injection check is added here.
+        ctx.checkpoint_boundary()?;
         kernels.spmv(ctx, &mut ws, p_v, ap_v)?;
         let p_ap = kernels.dot(ctx, &mut ws, p_v, ap_v)?;
         if p_ap.abs() < f64::MIN_POSITIVE {
@@ -450,6 +454,8 @@ fn run_gmres(
     let mut residual = f64::MAX;
     let mut cycles = 0usize;
     for _cycle in 0..params.max_iters {
+        // C/R-only coordinated point (see run_pcg).
+        ctx.checkpoint_boundary()?;
         // r = b - A x
         {
             let x = ws.read_range(x_v, 0..n);

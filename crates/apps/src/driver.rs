@@ -8,9 +8,10 @@
 //! [`AppContext::run_redundant`].
 
 use crate::report::AppRunReport;
-use ipr_core::{IntraConfig, IntraResult, IntraRuntime, SectionsView, TaskCost};
+use ckpt::{CkptSession, CkptStats};
+use ipr_core::{IntraConfig, IntraError, IntraResult, IntraRuntime, SectionsView, TaskCost};
 use kernels::KernelCost;
-use replication::{ExecutionMode, FailureInjector, ReplicatedEnv};
+use replication::{ExecutionMode, FailureInjector, ProtocolPoint, ReplicatedEnv};
 use simcluster::SimTime;
 use simmpi::{MpiResult, ProcHandle};
 
@@ -31,6 +32,11 @@ pub struct AppContext {
     /// Section count / drain time already consumed by previous measured
     /// regions (so a context can be reused).
     sections_at_start: usize,
+    /// The coordinated checkpoint/restart session, when the experiment has
+    /// a checkpoint plan.  Every rank holds its own copy built from the
+    /// same inputs, advanced with allreduce-synchronized timestamps, so
+    /// the sessions stay in lock-step.
+    ckpt: Option<CkptSession>,
 }
 
 impl AppContext {
@@ -51,6 +57,7 @@ impl AppContext {
             rt,
             start,
             sections_at_start: 0,
+            ckpt: None,
         })
     }
 
@@ -66,6 +73,69 @@ impl AppContext {
     /// Name of the scheduler the intra runtime is using (for reports).
     pub fn scheduler_name(&self) -> &'static str {
         self.rt.config().scheduler.name()
+    }
+
+    /// Attaches a coordinated checkpoint/restart session.  Collective in
+    /// spirit: every rank of the run must attach a session built from the
+    /// same inputs, or none at all.
+    pub fn set_checkpointing(&mut self, session: CkptSession) {
+        self.ckpt = Some(session);
+    }
+
+    /// The coordinated protocol point applications place at iteration
+    /// boundaries: checks the timed/hand-placed failure injector exactly
+    /// like the former inline `maybe_fail` blocks, then (when a C/R
+    /// session is attached) runs the checkpoint protocol.  Behaviourally
+    /// identical to the plain `maybe_fail` check when no session is set.
+    pub fn iteration_boundary(&mut self, iteration: usize) -> IntraResult<()> {
+        if self
+            .env
+            .maybe_fail(ProtocolPoint::IterationStart { iteration })
+        {
+            return Err(IntraError::Crashed);
+        }
+        self.checkpoint_boundary()
+    }
+
+    /// A C/R-only coordinated protocol point (no failure-injection check):
+    /// synchronizes the rank clocks with an allreduce, advances the
+    /// session, and charges the identical extra virtual time (restarts,
+    /// re-executed work, a committed checkpoint) on every rank.  A no-op
+    /// without an attached session.
+    pub fn checkpoint_boundary(&mut self) -> IntraResult<()> {
+        let Some(session) = self.ckpt.as_mut() else {
+            return Ok(());
+        };
+        let synced = self
+            .env
+            .proc()
+            .world()
+            .allreduce_max_f64(self.env.now().as_secs())?;
+        let extra = session.advance(synced);
+        if extra > 0.0 {
+            self.env.proc().charge_other(SimTime::from_secs(extra));
+        }
+        Ok(())
+    }
+
+    /// The final coordinated point at the end of the run: replays any
+    /// crash events the last segment overlaps (committing no trailing
+    /// checkpoint) and returns the session's accounting.  `None` without
+    /// an attached session.
+    pub fn finish_checkpointing(&mut self) -> IntraResult<Option<CkptStats>> {
+        let Some(session) = self.ckpt.as_mut() else {
+            return Ok(None);
+        };
+        let synced = self
+            .env
+            .proc()
+            .world()
+            .allreduce_max_f64(self.env.now().as_secs())?;
+        let extra = session.finish(synced);
+        if extra > 0.0 {
+            self.env.proc().charge_other(SimTime::from_secs(extra));
+        }
+        Ok(Some(session.stats()))
     }
 
     /// Marks the beginning of the measured region (e.g. after problem setup).

@@ -15,10 +15,9 @@
 
 use crate::driver::{task_cost, AppContext, ScaledWorkload};
 use crate::report::AppRunReport;
-use ipr_core::{ArgSpec, IntraError, IntraResult, TaskDef, Workspace};
+use ipr_core::{ArgSpec, IntraResult, TaskDef, Workspace};
 use kernels::pic::{self, charge_cost, push_cost, ParticleSet};
 use kernels::vecops::grid_sum;
-use replication::ProtocolPoint;
 use simcluster::seeded_rng;
 use simmpi::Tag;
 
@@ -136,12 +135,7 @@ pub fn run_gtc(ctx: &mut AppContext, params: &GtcParams) -> IntraResult<GtcOutpu
     let mut total_charge = 0.0;
 
     for step in 0..params.steps {
-        if ctx
-            .env
-            .maybe_fail(ProtocolPoint::IterationStart { iteration: step })
-        {
-            return Err(IntraError::Crashed);
-        }
+        ctx.iteration_boundary(step)?;
 
         // --- charge deposition (intra-parallel, `out` density) ------------
         if params.intra_kernels {

@@ -15,10 +15,9 @@
 
 use crate::driver::{task_cost, AppContext, ScaledWorkload};
 use crate::report::AppRunReport;
-use ipr_core::{ArgSpec, IntraError, IntraResult, TaskDef};
+use ipr_core::{ArgSpec, IntraResult, TaskDef};
 use kernels::sparse::{spmv_cost, CsrMatrix};
 use kernels::vecops::{self, ddot_cost, waxpby_cost};
-use replication::ProtocolPoint;
 use simmpi::Tag;
 use std::sync::Arc;
 
@@ -417,12 +416,7 @@ pub fn run_hpccg(ctx: &mut AppContext, params: &HpccgParams) -> IntraResult<Hpcc
     let mut iterations = 0usize;
 
     for iter in 0..params.max_iters {
-        if ctx
-            .env
-            .maybe_fail(ProtocolPoint::IterationStart { iteration: iter })
-        {
-            return Err(IntraError::Crashed);
-        }
+        ctx.iteration_boundary(iter)?;
         if iter > 0 {
             // beta = rtrans / oldrtrans ; p = r + beta * p
             let oldrtrans = rtrans;

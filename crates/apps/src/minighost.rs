@@ -12,11 +12,10 @@
 
 use crate::driver::{task_cost, AppContext, ScaledWorkload};
 use crate::report::AppRunReport;
-use ipr_core::{ArgSpec, IntraError, IntraResult, TaskDef, Workspace};
+use ipr_core::{ArgSpec, IntraResult, TaskDef, Workspace};
 use kernels::grid::{Face, Grid3d};
 use kernels::stencil::{grid_sum_cost, stencil27_planes, stencil_cost};
 use kernels::vecops::grid_sum;
-use replication::ProtocolPoint;
 use simmpi::Tag;
 
 const HALO_TAG_UP: Tag = 131;
@@ -137,12 +136,7 @@ pub fn run_minighost(
 
     let mut last_sum = 0.0;
     for step in 0..params.steps {
-        if ctx
-            .env
-            .maybe_fail(ProtocolPoint::IterationStart { iteration: step })
-        {
-            return Err(IntraError::Crashed);
-        }
+        ctx.iteration_boundary(step)?;
 
         // --- boundary exchange (outside sections) --------------------------
         if has_above {

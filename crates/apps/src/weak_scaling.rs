@@ -34,11 +34,13 @@
 //! exactly the paper's failure handling (the surviving replica executes all
 //! tasks of the logical process).
 
+use ckpt::{CheckpointPlan, CkptSession, CkptStats};
 use simcluster::{MachineModel, SimTime, Topology};
 use simmpi::{
     run_virtual_cluster, EngineConfig, RankCtx, RankProgram, RecvOutcome, Step, Tag,
     VirtualClusterReport,
 };
+use std::sync::Arc;
 
 /// Execution configuration of a weak-scaling run (the engine-world analogue
 /// of `replication::ExecutionMode` with the paper's degree of 2).
@@ -94,6 +96,14 @@ pub struct WeakScalingSpec {
     /// Engine worker threads (`0` = host parallelism).  Virtual-time
     /// results are identical for every value.
     pub workers: usize,
+    /// Coordinated checkpoint/restart plan.  When set, crash events feed a
+    /// deterministic rollback-recovery replay instead of killing ranks:
+    /// every rank elapses the identical checkpoint/restart/re-execution
+    /// charges at its iteration boundaries (see [`ckpt_charges`]).
+    pub ckpt: Option<CheckpointPlan>,
+    /// System MTBF in seconds the Young/Daly interval policies resolve
+    /// against (ignored by fixed-interval plans; `INFINITY` = failure-free).
+    pub ckpt_mtbf_s: f64,
 }
 
 impl WeakScalingSpec {
@@ -110,7 +120,18 @@ impl WeakScalingSpec {
             flops_per_iter: 2.0e7,
             mem_bytes_per_iter: 1.6e8,
             workers: 0,
+            ckpt: None,
+            ckpt_mtbf_s: f64::INFINITY,
         }
+    }
+
+    /// Attaches a coordinated checkpoint/restart plan, resolving Young/Daly
+    /// intervals against the given system MTBF (pass `f64::INFINITY` for a
+    /// failure-free overhead-only run).
+    pub fn with_checkpointing(mut self, plan: CheckpointPlan, mtbf_s: f64) -> Self {
+        self.ckpt = Some(plan);
+        self.ckpt_mtbf_s = mtbf_s;
+        self
     }
 
     /// Sets the iteration count.
@@ -166,6 +187,7 @@ enum Pc {
     AllreduceSend(u32),
     AllreduceRecv(u32),
     NextIter,
+    Finished,
 }
 
 /// One logical rank of the weak-scaling workload, as a cooperative state
@@ -190,11 +212,21 @@ pub struct WeakScalingProgram {
     /// Receives that resolved as [`RecvOutcome::PeerFailed`] — data holes a
     /// real solver would paper over with its recovery protocol.
     holes: u64,
+    /// Per-boundary checkpoint/restart charges (empty without a plan):
+    /// `charges[i]` is elapsed after iteration `i` completes, identically
+    /// on every rank, so the C/R protocol stays coordinated.
+    charges: Arc<[f64]>,
 }
 
 impl WeakScalingProgram {
     /// Builds the program for world rank `rank`.
     pub fn new(spec: &WeakScalingSpec, rank: usize) -> Self {
+        Self::with_charges(spec, rank, Arc::from(Vec::new()))
+    }
+
+    /// Builds the program with a shared per-boundary C/R charge vector
+    /// (computed once by [`ckpt_charges`] and cloned into every rank).
+    pub fn with_charges(spec: &WeakScalingSpec, rank: usize, charges: Arc<[f64]>) -> Self {
         let logical = spec.logical;
         WeakScalingProgram {
             spec: spec.clone(),
@@ -206,6 +238,7 @@ impl WeakScalingProgram {
             expect_recv: false,
             partner_alive: true,
             holes: 0,
+            charges,
         }
     }
 
@@ -341,12 +374,21 @@ impl RankProgram for WeakScalingProgram {
                     };
                 }
                 Pc::NextIter => {
+                    // Coordinated C/R boundary: every rank elapses the same
+                    // precomputed charge (committed checkpoints, restarts,
+                    // re-executed work), keeping the protocol in lock-step.
+                    let charge = self.charges.get(self.iter).copied().unwrap_or(0.0);
                     self.iter += 1;
-                    if self.iter >= self.spec.iters {
-                        return Step::Done;
+                    self.pc = if self.iter >= self.spec.iters {
+                        Pc::Finished
+                    } else {
+                        Pc::Compute
+                    };
+                    if charge > 0.0 {
+                        return Step::Elapse(SimTime::from_secs(charge));
                     }
-                    self.pc = Pc::Compute;
                 }
+                Pc::Finished => return Step::Done,
             }
         }
     }
@@ -359,10 +401,66 @@ impl RankProgram for WeakScalingProgram {
     }
 }
 
+/// The per-boundary checkpoint/restart charges of an engine-world run, and
+/// the session's wasted-work accounting.  `None` without a plan.
+///
+/// The engine world replays the C/R protocol on a *nominal* timeline: the
+/// modeled compute cost of one iteration (roofline time of the per-rank
+/// region, halved under intra-parallelization) spaces the coordinated
+/// boundaries, and the crash events drive the same deterministic
+/// rollback-recovery replay as the thread world ([`ckpt::CkptSession`]).
+/// The result is a charge vector of length `spec.iters` — entry `i` is the
+/// extra virtual time (committed checkpoint, restarts, re-executed work)
+/// every rank elapses after iteration `i`; the last boundary commits no
+/// trailing checkpoint.  A pure function of the spec and the crash list.
+pub fn ckpt_charges(
+    spec: &WeakScalingSpec,
+    crashes: &[(usize, SimTime)],
+) -> Option<(Arc<[f64]>, CkptStats)> {
+    let plan = spec.ckpt?;
+    let machine = MachineModel::grid5000_ib20g();
+    let share = if spec.mode == WeakMode::Intra {
+        0.5
+    } else {
+        1.0
+    };
+    let iter_cost = machine
+        .compute
+        .region_time(spec.flops_per_iter * share, spec.mem_bytes_per_iter * share)
+        .as_secs();
+    let events: Vec<(usize, f64)> = crashes.iter().map(|&(r, t)| (r, t.as_secs())).collect();
+    let mut session = CkptSession::new(
+        &plan,
+        spec.ckpt_mtbf_s,
+        &events,
+        spec.logical,
+        spec.mode.degree(),
+    );
+    let mut charges = vec![0.0; spec.iters];
+    let mut clock = 0.0;
+    for (i, slot) in charges.iter_mut().enumerate() {
+        clock += iter_cost;
+        let extra = if i + 1 == spec.iters {
+            session.finish(clock)
+        } else {
+            session.advance(clock)
+        };
+        clock += extra;
+        *slot = extra;
+    }
+    Some((Arc::from(charges), session.stats()))
+}
+
 /// Runs a weak-scaling experiment on the event-driven engine, with
 /// crash-stop failures injected at the given `(world rank, virtual time)`
 /// points (typically sampled from a Poisson trace; see
 /// `replication::sample_failure_trace`).
+///
+/// With a checkpoint plan attached ([`WeakScalingSpec::with_checkpointing`])
+/// the crash events feed the rollback-recovery replay instead of killing
+/// ranks: every rank completes, elapsing the identical C/R charges at its
+/// iteration boundaries ([`ckpt_charges`] exposes the same vector and the
+/// wasted-work accounting).
 pub fn run_weak_scaling(
     spec: &WeakScalingSpec,
     crashes: &[(usize, SimTime)],
@@ -372,8 +470,16 @@ pub fn run_weak_scaling(
         .with_machine(machine)
         .with_topology(spec.topology(&machine))
         .with_workers(spec.workers);
-    config.crashes = crashes.to_vec();
-    run_virtual_cluster(&config, |rank| WeakScalingProgram::new(spec, rank))
+    let charges = match ckpt_charges(spec, crashes) {
+        Some((charges, _stats)) => charges,
+        None => {
+            config.crashes = crashes.to_vec();
+            Arc::from(Vec::new())
+        }
+    };
+    run_virtual_cluster(&config, |rank| {
+        WeakScalingProgram::with_charges(spec, rank, Arc::clone(&charges))
+    })
 }
 
 #[cfg(test)]
@@ -440,6 +546,66 @@ mod tests {
                 assert_eq!(a.compute_time, b.compute_time);
                 assert_eq!(a.comm_time, b.comm_time);
                 assert_eq!(a.wait_time, b.wait_time);
+            }
+            assert_eq!(base.messages, report.messages);
+        }
+    }
+
+    #[test]
+    fn engine_checkpoint_replay_absorbs_a_crash_and_charges_every_rank() {
+        let machine = MachineModel::grid5000_ib20g();
+        let iter_cost = machine.compute.region_time(2.0e7, 1.6e8).as_secs();
+        let plan = CheckpointPlan::fixed(0.6 * iter_cost, 0.01 * iter_cost, 0.02 * iter_cost);
+        let spec = WeakScalingSpec::new(8, WeakMode::Native)
+            .with_iters(4)
+            .with_checkpointing(plan, f64::INFINITY);
+        let crashes = vec![(3usize, SimTime::from_secs(1.5 * iter_cost))];
+
+        let (charges, stats) = ckpt_charges(&spec, &crashes).unwrap();
+        assert_eq!(charges.len(), 4);
+        assert_eq!(stats.recoveries, 1, "{stats:?}");
+        assert!(stats.checkpoints >= 2, "{stats:?}");
+        assert!(stats.time_lost_s > 0.0);
+        assert!(stats.ckpt_overhead_s > 0.0);
+
+        let baseline = run_weak_scaling(
+            &WeakScalingSpec::new(8, WeakMode::Native).with_iters(4),
+            &[],
+        );
+        let report = run_weak_scaling(&spec, &crashes);
+        // Rollback-recovery absorbs the crash: nobody dies, everybody pays.
+        assert_eq!(report.num_crashed(), 0);
+        assert_eq!(report.num_completed(), spec.num_procs());
+        assert!(report.errors().is_empty(), "{:?}", report.errors());
+        let extra: f64 = charges.iter().sum();
+        let diff = report.makespan().as_secs() - baseline.makespan().as_secs();
+        assert!(
+            (diff - extra).abs() < 1e-9,
+            "makespan grew by {diff}, charges total {extra}"
+        );
+    }
+
+    #[test]
+    fn engine_checkpoint_results_are_identical_across_worker_counts() {
+        // Ranks 5 and 21 are the two replicas of logical rank 5: a replica
+        // defeat, so the replay must roll back even in a replicated mode.
+        let plan = CheckpointPlan::fixed(0.01, 0.001, 0.002);
+        let crashes = vec![
+            (5usize, SimTime::from_secs(0.02)),
+            (21usize, SimTime::from_secs(0.05)),
+        ];
+        let base_spec = WeakScalingSpec::new(16, WeakMode::Intra)
+            .with_iters(3)
+            .with_checkpointing(plan, f64::INFINITY)
+            .with_workers(1);
+        let base = run_weak_scaling(&base_spec, &crashes);
+        assert_eq!(base.num_crashed(), 0);
+        assert_eq!(base.num_completed(), base_spec.num_procs());
+        for workers in [2usize, 4] {
+            let spec = base_spec.clone().with_workers(workers);
+            let report = run_weak_scaling(&spec, &crashes);
+            for (a, b) in base.ranks.iter().zip(&report.ranks) {
+                assert_eq!(a.final_time, b.final_time, "rank {}", a.rank);
             }
             assert_eq!(base.messages, report.messages);
         }

@@ -8,8 +8,9 @@
 //! cargo run --release -p ipr-bench --bin figures -- fig5b small adaptive   # scheduler knob
 //! ```
 //!
-//! Available figure ids: `fig5a`, `fig5b`, `fig6a`, `fig6b`, `fig6c`,
-//! `fig6d`, `granularity`, `bandwidth`, `scheduler`, `adaptive`, `all`.
+//! Available figure ids: `fig5` (the replication-vs-C/R efficiency
+//! crossover), `fig5a`, `fig5b`, `fig6a`, `fig6b`, `fig6c`, `fig6d`,
+//! `granularity`, `bandwidth`, `scheduler`, `adaptive`, `all`.
 //! After the figure id, an optional scale (`full` / `small`, default
 //! `full`) and an optional scheduler name can be given in any order; the
 //! scheduler selects who runs the tasks inside intra-parallel sections for
@@ -18,8 +19,54 @@
 
 use ipr_bench::fig6::Fig6App;
 use ipr_bench::table::{f2, f3, render};
-use ipr_bench::{ablations, fig5a, fig5b, fig6, ExperimentScale};
+use ipr_bench::{ablations, fig5, fig5a, fig5b, fig6, ExperimentScale};
 use ipr_core::SchedulerKind;
+
+fn print_fig5(scale: ExperimentScale) {
+    let study = fig5::run(scale);
+    let table_rows: Vec<Vec<String>> = study
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.4}", r.mtbf_s),
+                format!("{:.2}x", r.mtbf_over_t0),
+                f2(r.native_eff),
+                r.native_recoveries.to_string(),
+                f2(r.replicated_eff),
+                r.replicated_recoveries.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            "Figure 5 — replication vs checkpoint/restart efficiency crossover",
+            &[
+                "MTBF [s]",
+                "MTBF/T0",
+                "native+C/R eff",
+                "rollbacks",
+                "replicated2+C/R eff",
+                "defeats"
+            ],
+            &table_rows,
+        )
+    );
+    println!(
+        "Daly-interval C/R, checkpoint cost {:.4}s, restart cost {:.4}s, failure-free native T0 = {:.4}s",
+        study.ckpt_cost_s, study.restart_cost_s, study.baseline_s
+    );
+    match study.crossover_mtbf_s {
+        Some(m) => println!(
+            "Crossover: replication wins below a per-process MTBF of {:.4}s ({:.2}x T0); \
+             checkpoint/restart wins above it\n",
+            m,
+            m / study.baseline_s
+        ),
+        None => println!("No crossover inside the swept MTBF grid\n"),
+    }
+}
 
 fn print_fig5a(scale: ExperimentScale) {
     let rows = fig5a::run(scale);
@@ -255,6 +302,7 @@ fn main() {
             .unwrap_or("static-block (paper default)")
     );
     match what {
+        "fig5" => print_fig5(scale),
         "fig5a" => print_fig5a(scale),
         "fig5b" => print_fig5b(scale, scheduler),
         "fig6a" => print_fig6(Fig6App::AmgPcg27, scale, scheduler),
@@ -271,6 +319,7 @@ fn main() {
         "scheduler" => print_scheduler(scale),
         "adaptive" => print_adaptive(scale),
         "all" => {
+            print_fig5(scale);
             print_fig5a(scale);
             print_fig5b(scale, scheduler);
             for app in Fig6App::ALL {
@@ -283,7 +332,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown figure id '{other}'");
-            eprintln!("expected one of: fig5a fig5b fig6a fig6b fig6c fig6d fig6 granularity bandwidth scheduler adaptive all");
+            eprintln!("expected one of: fig5 fig5a fig5b fig6a fig6b fig6c fig6d fig6 granularity bandwidth scheduler adaptive all");
             std::process::exit(2);
         }
     }

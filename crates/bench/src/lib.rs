@@ -4,6 +4,7 @@
 //!
 //! | Figure | Generator | Content |
 //! |--------|-----------|---------|
+//! | 5 | [`fig5::run`] | replication-vs-checkpoint/restart efficiency crossover |
 //! | 5a | [`fig5a::run`] | waxpby / ddot / sparsemv kernel efficiency |
 //! | 5b | [`fig5b::run`] | HPCCG weak scaling (128/256/512 processes) |
 //! | 6a | [`fig6::run`] (`Fig6App::AmgPcg27`) | AMG2013, 27-pt PCG |
@@ -23,6 +24,7 @@
 
 pub mod ablations;
 pub mod fabric;
+pub mod fig5;
 pub mod fig5a;
 pub mod fig5b;
 pub mod fig6;

@@ -228,6 +228,35 @@ fn main() -> ExitCode {
         ("sweep_ms", Json::Num(round6(sweep_ms))),
     ]));
 
+    // --- wall-clock timed checkpointed campaign ------------------------
+    // The C/R hot path: the `ckpt` grid exercises coordinated checkpoint
+    // commits, allreduce-synchronized boundaries and rollback-recovery
+    // replay in every run that carries a plan.
+    {
+        let grid = CampaignGrid::by_name("ckpt").expect("ckpt grid is built in");
+        let num_runs = grid.expand().len();
+        let sweeps = if quick { 3 } else { 40 };
+        let t0 = Instant::now();
+        for _ in 0..sweeps {
+            let report = run_campaign(&grid, jobs);
+            assert_eq!(report.runs.len(), num_runs);
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        let sweep_ms = 1e3 * wall_s / sweeps as f64;
+        eprintln!(
+            "ckpt_overhead      {sweep_ms:>9.2} ms/sweep  ({sweeps} sweeps x {num_runs} runs, {jobs} jobs)"
+        );
+        results.push(Json::obj(vec![
+            ("name", Json::Str("ckpt_overhead".to_string())),
+            ("kind", Json::Str("campaign".to_string())),
+            ("runs", Json::Num(num_runs as f64)),
+            ("sweeps", Json::Num(sweeps as f64)),
+            ("jobs", Json::Num(jobs as f64)),
+            ("wall_s", Json::Num(round6(wall_s))),
+            ("sweep_ms", Json::Num(round6(sweep_ms))),
+        ]));
+    }
+
     // --- sweep-server sustained throughput -----------------------------
     // Queue >= 1000 specs (the smoke axes replicated across seeds, split
     // into 8 concurrent jobs) into a fresh spool with a cold cache, then
@@ -285,12 +314,17 @@ fn main() -> ExitCode {
 
     // --- event-engine weak-scaling sweeps ------------------------------
     // Wall-clock per sweep at scales no thread-per-rank run can reach.
-    // Each sweep runs once (10k is seconds, 100k is tens of seconds); the
-    // quick mode keeps only the 10k point.
+    // Each sweep runs once (10k is seconds, 100k tens of seconds, 1M
+    // minutes); the quick mode keeps only the 10k point.  The assertions
+    // are structural (every rank completes) — never wall-clock.
     let weak_sweeps: Vec<WeakSweep> = if quick {
         vec![WeakSweep::scale_10k()]
     } else {
-        vec![WeakSweep::scale_10k(), WeakSweep::scale_100k()]
+        vec![
+            WeakSweep::scale_10k(),
+            WeakSweep::scale_100k(),
+            WeakSweep::scale_1m(),
+        ]
     };
     for sweep in &weak_sweeps {
         let t0 = Instant::now();
@@ -306,6 +340,7 @@ fn main() -> ExitCode {
         let name = match sweep.name.as_str() {
             "weak-10k" => "weak_scaling_10k",
             "weak-100k" => "weak_scaling_100k",
+            "weak-1m" => "weak_scaling_1m",
             other => other,
         };
         eprintln!(

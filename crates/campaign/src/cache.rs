@@ -268,6 +268,7 @@ mod tests {
             scheduler: SchedulerKind::StaticBlock,
             failure: crate::FailureSpec::None,
             seed,
+            ckpt: None,
         }
     }
 

@@ -1,17 +1,19 @@
 //! Declarative sweep grids.
 //!
-//! A [`CampaignGrid`] is the cross product of six axes — application ×
-//! scale × execution mode × scheduler × failure behaviour × seed — that
-//! expands into independent, deterministic [`RunSpec`]s.  Built-in presets
-//! cover the CI smoke gate, a failure-rate sweep, a scheduler comparison and
-//! a broad "full" grid; custom grids are plain struct literals.
+//! A [`CampaignGrid`] is the cross product of seven axes — application ×
+//! scale × execution mode × scheduler × failure behaviour × checkpoint
+//! plan × seed — that expands into independent, deterministic
+//! [`RunSpec`]s.  Built-in presets cover the CI smoke gate, a failure-rate
+//! sweep, a scheduler comparison, a replication-vs-C/R grid and a broad
+//! "full" grid; custom grids are plain struct literals.
 
 use crate::spec::{FailureSpec, RunSpec};
 use apps::{AppId, ExperimentScale};
+use intra_replication::CheckpointPlan;
 use ipr_core::SchedulerKind;
 use replication::{ExecutionMode, FailureDomain, FailureRate};
 
-/// A declarative sweep: the cross product of the six axes below.
+/// A declarative sweep: the cross product of the seven axes below.
 #[derive(Debug, Clone)]
 pub struct CampaignGrid {
     /// Grid name (used in reports and output file names).
@@ -26,6 +28,9 @@ pub struct CampaignGrid {
     pub schedulers: Vec<SchedulerKind>,
     /// Failure behaviours to sweep.
     pub failures: Vec<FailureSpec>,
+    /// Checkpoint plans to sweep (`None` = no checkpointing; the C/R axis
+    /// of the replication-vs-C/R comparison).
+    pub ckpts: Vec<Option<CheckpointPlan>>,
     /// Seeds to sweep (each seed is an independent replication of the whole
     /// grid point).
     pub seeds: Vec<u64>,
@@ -40,16 +45,19 @@ impl CampaignGrid {
             for &mode in &self.modes {
                 for &scheduler in &self.schedulers {
                     for &failure in &self.failures {
-                        for &seed in &self.seeds {
-                            specs.push(RunSpec {
-                                index: specs.len(),
-                                app,
-                                scale: self.scale,
-                                mode,
-                                scheduler,
-                                failure,
-                                seed,
-                            });
+                        for &ckpt in &self.ckpts {
+                            for &seed in &self.seeds {
+                                specs.push(RunSpec {
+                                    index: specs.len(),
+                                    app,
+                                    scale: self.scale,
+                                    mode,
+                                    scheduler,
+                                    failure,
+                                    seed,
+                                    ckpt,
+                                });
+                            }
                         }
                     }
                 }
@@ -80,6 +88,7 @@ impl CampaignGrid {
                     horizon_s: SMOKE_FAILURE_HORIZON_S,
                 },
             ],
+            ckpts: vec![None],
             seeds: vec![43],
         }
     }
@@ -148,6 +157,7 @@ impl CampaignGrid {
                     horizon_s: h,
                 },
             ],
+            ckpts: vec![None],
             seeds: vec![42, 43, 44],
         }
     }
@@ -161,6 +171,7 @@ impl CampaignGrid {
             modes: vec![ExecutionMode::IntraParallel { degree: 2 }],
             schedulers: SchedulerKind::ALL.to_vec(),
             failures: vec![FailureSpec::None],
+            ckpts: vec![None],
             seeds: vec![42],
         }
     }
@@ -186,6 +197,45 @@ impl CampaignGrid {
                     horizon_s: 5.0,
                 },
             ],
+            ckpts: vec![None],
+            seeds: vec![42],
+        }
+    }
+
+    /// The replication-vs-C/R grid (the paper's Figure 5 axis): HPCCG
+    /// native and replicated, failure-free plus both fitted MTBF hazards,
+    /// swept against no checkpointing and the fixed / Young / Daly
+    /// interval policies.  The failure-free x Young/Daly points resolve to
+    /// an infinite interval (never checkpoint), so the pure cross product
+    /// stays meaningful.
+    pub fn ckpt() -> Self {
+        let h = SMOKE_FAILURE_HORIZON_S;
+        CampaignGrid {
+            name: "ckpt".to_string(),
+            scale: ExperimentScale::Tiny,
+            apps: vec![AppId::Hpccg],
+            modes: vec![
+                ExecutionMode::Native,
+                ExecutionMode::Replicated { degree: 2 },
+            ],
+            schedulers: vec![SchedulerKind::StaticBlock],
+            failures: vec![
+                FailureSpec::None,
+                FailureSpec::Poisson {
+                    rate: FailureRate::weibull_hpc(h),
+                    horizon_s: h,
+                },
+                FailureSpec::Poisson {
+                    rate: FailureRate::lognormal_hpc(h),
+                    horizon_s: h,
+                },
+            ],
+            ckpts: vec![
+                None,
+                Some(CheckpointPlan::fixed(0.05, 0.005, 0.01)),
+                Some(CheckpointPlan::young(0.005, 0.01)),
+                Some(CheckpointPlan::daly(0.005, 0.01)),
+            ],
             seeds: vec![42],
         }
     }
@@ -197,13 +247,14 @@ impl CampaignGrid {
             "failures" => Some(Self::failures()),
             "schedulers" => Some(Self::schedulers()),
             "full" => Some(Self::full()),
+            "ckpt" => Some(Self::ckpt()),
             _ => None,
         }
     }
 
     /// Names of the built-in grids.
     pub fn builtin_names() -> &'static [&'static str] {
-        &["smoke", "failures", "schedulers", "full"]
+        &["smoke", "failures", "schedulers", "full", "ckpt"]
     }
 }
 
@@ -228,6 +279,7 @@ mod tests {
             * grid.modes.len()
             * grid.schedulers.len()
             * grid.failures.len()
+            * grid.ckpts.len()
             * grid.seeds.len();
         assert_eq!(specs.len(), expected);
         for (i, spec) in specs.iter().enumerate() {

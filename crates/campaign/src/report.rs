@@ -86,6 +86,14 @@ pub mod v1 {
         field("tasks_reexecuted", FieldClass::Discrete),
         field("update_bytes_sent", FieldClass::Discrete),
         field("verification", FieldClass::Metric),
+        // -- checkpoint/restart rows (serialized only for checkpointed
+        //    runs, so checkpoint-free reports stay byte-identical) --------
+        field("ckpt", FieldClass::Discrete),
+        field("checkpoints", FieldClass::Discrete),
+        field("recoveries", FieldClass::Discrete),
+        field("time_lost_s", FieldClass::Metric),
+        field("ckpt_overhead_s", FieldClass::Metric),
+        field("efficiency", FieldClass::Metric),
         // -- weak-scaling rows ------------------------------------------
         field("logical", FieldClass::Discrete),
         field("holes", FieldClass::Discrete),
@@ -187,6 +195,27 @@ pub mod v1 {
         }
     }
 
+    /// The checkpoint/restart columns of one run, present only on
+    /// checkpointed runs: their fields are declared in [`FIELDS`] but
+    /// serialized conditionally, so checkpoint-free reports (and their
+    /// golden baselines) stay byte-identical across campaign versions.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct CkptColumns {
+        /// Checkpoint-plan label (`CheckpointPlan::label`).
+        pub ckpt: String,
+        /// Coordinated checkpoints committed.
+        pub checkpoints: usize,
+        /// Rollback-recoveries performed.
+        pub recoveries: usize,
+        /// Virtual seconds lost to rollbacks (restarts + re-executed work).
+        pub time_lost_s: f64,
+        /// Virtual seconds spent writing checkpoints.
+        pub ckpt_overhead_s: f64,
+        /// Useful time per resource:
+        /// `(makespan - time_lost - ckpt_overhead) / (makespan * degree)`.
+        pub efficiency: f64,
+    }
+
     /// One run of a campaign, as the v1 model records it (all fields
     /// except `wall_time_ms` are deterministic functions of the
     /// [`RunSpec`]).  This is the single row type the classic grid's JSON
@@ -243,6 +272,8 @@ pub mod v1 {
         /// Application verification value (max over completed ranks; 0 when
         /// no rank completed).
         pub verification: f64,
+        /// Checkpoint/restart columns, for checkpointed runs only.
+        pub ckpt: Option<CkptColumns>,
         /// Host wall-clock time this run took to simulate, in milliseconds.
         /// *Informational only* (see [`FieldClass::Informational`]): a cache
         /// hit replays the value recorded when the run actually executed.
@@ -252,6 +283,17 @@ pub mod v1 {
     impl RunRecord {
         /// Folds a facade [`RunReport`] into the flat v1 row for `spec`.
         pub fn from_run(spec: &RunSpec, scheduled_crashes: usize, report: &RunReport) -> Self {
+            let ckpt = match (spec.ckpt, report.ckpt) {
+                (Some(plan), Some(stats)) => Some(CkptColumns {
+                    ckpt: plan.label(),
+                    checkpoints: stats.checkpoints,
+                    recoveries: stats.recoveries,
+                    time_lost_s: stats.time_lost_s,
+                    ckpt_overhead_s: stats.ckpt_overhead_s,
+                    efficiency: stats.efficiency(report.makespan_s, spec.mode.degree()),
+                }),
+                _ => None,
+            };
             RunRecord {
                 id: spec.id(),
                 app: spec.app.name().to_string(),
@@ -274,13 +316,15 @@ pub mod v1 {
                 tasks_reexecuted: report.tasks_reexecuted(),
                 update_bytes_sent: report.update_bytes_sent(),
                 verification: report.verification(),
+                ckpt,
                 wall_time_ms: report.wall_time_ms,
             }
         }
 
-        /// The record as a JSON object (field order is the schema order).
+        /// The record as a JSON object (field order is the schema order;
+        /// the checkpoint columns appear only on checkpointed runs).
         pub fn to_json(&self) -> Json {
-            Json::obj(vec![
+            let mut doc = Json::obj(vec![
                 ("id", Json::Str(self.id.clone())),
                 ("app", Json::Str(self.app.clone())),
                 ("scale", Json::Str(self.scale.clone())),
@@ -309,7 +353,22 @@ pub mod v1 {
                 ),
                 ("verification", Json::Num(self.verification)),
                 ("wall_time_ms", Json::Num(self.wall_time_ms)),
-            ])
+            ]);
+            if let (Some(c), Json::Obj(fields)) = (&self.ckpt, &mut doc) {
+                let at = fields.len() - 1; // keep wall_time_ms last
+                fields.splice(
+                    at..at,
+                    [
+                        ("ckpt".to_string(), Json::Str(c.ckpt.clone())),
+                        ("checkpoints".to_string(), Json::Num(c.checkpoints as f64)),
+                        ("recoveries".to_string(), Json::Num(c.recoveries as f64)),
+                        ("time_lost_s".to_string(), Json::Num(c.time_lost_s)),
+                        ("ckpt_overhead_s".to_string(), Json::Num(c.ckpt_overhead_s)),
+                        ("efficiency".to_string(), Json::Num(c.efficiency)),
+                    ],
+                );
+            }
+            doc
         }
 
         /// Parses a record serialized by [`RunRecord::to_json`].  A missing
@@ -328,6 +387,18 @@ pub mod v1 {
                     .ok_or_else(|| format!("run record: missing numeric field '{name}'"))
             };
             let count = |name: &str| -> Result<usize, String> { Ok(num(name)? as usize) };
+            let ckpt = if doc.get("ckpt").is_some() {
+                Some(CkptColumns {
+                    ckpt: str_field("ckpt")?,
+                    checkpoints: count("checkpoints")?,
+                    recoveries: count("recoveries")?,
+                    time_lost_s: num("time_lost_s")?,
+                    ckpt_overhead_s: num("ckpt_overhead_s")?,
+                    efficiency: num("efficiency")?,
+                })
+            } else {
+                None
+            };
             Ok(RunRecord {
                 id: str_field("id")?,
                 app: str_field("app")?,
@@ -350,6 +421,7 @@ pub mod v1 {
                 tasks_reexecuted: count("tasks_reexecuted")?,
                 update_bytes_sent: count("update_bytes_sent")?,
                 verification: num("verification")?,
+                ckpt,
                 wall_time_ms: doc
                     .get("wall_time_ms")
                     .and_then(Json::as_f64)
@@ -415,11 +487,24 @@ pub mod v1 {
                 "id,app,scale,mode,scheduler,failure,seed,procs,completed,crashed,errored,\
                  failure_events,scheduled_crashes,makespan_s,section_s,update_drain_s,\
                  tasks_executed,tasks_received,tasks_reexecuted,update_bytes_sent,verification,\
+                 ckpt,checkpoints,recoveries,time_lost_s,ckpt_overhead_s,efficiency,\
                  wall_time_ms\n",
             );
             for r in &self.runs {
+                let (ckpt, checkpoints, recoveries, time_lost_s, ckpt_overhead_s, efficiency) =
+                    match &r.ckpt {
+                        Some(c) => (
+                            c.ckpt.as_str(),
+                            c.checkpoints,
+                            c.recoveries,
+                            c.time_lost_s,
+                            c.ckpt_overhead_s,
+                            c.efficiency,
+                        ),
+                        None => ("", 0, 0, 0.0, 0.0, 0.0),
+                    };
                 out.push_str(&format!(
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                     r.id,
                     r.app,
                     r.scale,
@@ -441,6 +526,12 @@ pub mod v1 {
                     r.tasks_reexecuted,
                     r.update_bytes_sent,
                     r.verification,
+                    ckpt,
+                    checkpoints,
+                    recoveries,
+                    time_lost_s,
+                    ckpt_overhead_s,
+                    efficiency,
                     r.wall_time_ms,
                 ));
             }
@@ -478,7 +569,24 @@ mod tests {
             tasks_reexecuted: 0,
             update_bytes_sent: 0,
             verification: 1e-6,
+            ckpt: None,
             wall_time_ms: 12.5,
+        }
+    }
+
+    fn checkpointed_record() -> RunRecord {
+        RunRecord {
+            id: "hpccg-tiny-native-static-block-none-s42-daly-c0.005-r0.01".into(),
+            failure: "poisson-weibull-0.7-1-h1".into(),
+            ckpt: Some(v1::CkptColumns {
+                ckpt: "daly-c0.005-r0.01".into(),
+                checkpoints: 3,
+                recoveries: 1,
+                time_lost_s: 0.04,
+                ckpt_overhead_s: 0.015,
+                efficiency: 0.9,
+            }),
+            ..sample_record()
         }
     }
 
@@ -581,6 +689,56 @@ mod tests {
         assert!(v1::is_informational("dispatches"));
         assert!(!v1::is_informational("makespan_s"));
         assert_eq!(v1::field_class("bogus"), None);
+    }
+
+    #[test]
+    fn checkpoint_columns_serialize_conditionally_and_round_trip() {
+        // Checkpoint-free records carry no ckpt keys at all — that is what
+        // keeps pre-existing golden baselines byte-identical.
+        let plain = sample_record().to_json();
+        for key in [
+            "ckpt",
+            "checkpoints",
+            "recoveries",
+            "time_lost_s",
+            "ckpt_overhead_s",
+            "efficiency",
+        ] {
+            assert!(plain.get(key).is_none(), "unexpected '{key}' field");
+            assert!(
+                v1::field_class(key).is_some(),
+                "'{key}' must be declared in v1::FIELDS"
+            );
+        }
+        // Checkpointed records serialize and round-trip the columns, with
+        // wall_time_ms kept last.
+        let record = checkpointed_record();
+        let doc = record.to_json();
+        assert_eq!(
+            doc.get("ckpt").and_then(Json::as_str),
+            Some("daly-c0.005-r0.01")
+        );
+        assert_eq!(doc.get("checkpoints").and_then(Json::as_f64), Some(3.0));
+        if let Json::Obj(fields) = &doc {
+            assert_eq!(fields.last().unwrap().0, "wall_time_ms");
+            for (name, _) in fields {
+                assert!(
+                    v1::field_class(name).is_some(),
+                    "field '{name}' is serialized but not declared in v1::FIELDS"
+                );
+            }
+        }
+        assert_eq!(RunRecord::from_json(&doc).unwrap(), record);
+        // The CSV export always carries the columns (empty for
+        // checkpoint-free rows); it is a convenience view, never gated.
+        let report = CampaignReport {
+            campaign: "ckpt".into(),
+            scale: "tiny".into(),
+            runs: vec![sample_record(), checkpointed_record()],
+        };
+        let csv = report.to_csv();
+        assert!(csv.lines().next().unwrap().contains(",ckpt,checkpoints,"));
+        assert!(csv.contains(",daly-c0.005-r0.01,3,1,"));
     }
 
     #[test]

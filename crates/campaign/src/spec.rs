@@ -12,7 +12,7 @@
 
 use apps::AppId;
 use apps::ExperimentScale;
-use intra_replication::Experiment;
+use intra_replication::{CheckpointPlan, Experiment};
 use ipr_core::SchedulerKind;
 use replication::ExecutionMode;
 
@@ -71,13 +71,16 @@ pub struct RunSpec {
     /// Seed for the run's deterministic randomness (cluster + failure
     /// traces).
     pub seed: u64,
+    /// Coordinated checkpoint/restart plan, if any (the C/R axis of the
+    /// replication-vs-C/R campaign).
+    pub ckpt: Option<CheckpointPlan>,
 }
 
 impl RunSpec {
     /// Unique, human-readable run id, a pure function of the configuration
     /// (not of the index), e.g. `hpccg-tiny-intra2-static-block-none-s42`.
     pub fn id(&self) -> String {
-        format!(
+        let mut id = format!(
             "{}-{}-{}-{}-{}-s{}",
             self.app.name(),
             self.scale.name(),
@@ -85,7 +88,14 @@ impl RunSpec {
             self.scheduler,
             self.failure.label(),
             self.seed
-        )
+        );
+        // Appended (never inlined) so checkpoint-free ids are byte-stable
+        // across campaign versions.
+        if let Some(plan) = self.ckpt {
+            id.push('-');
+            id.push_str(&plan.label());
+        }
+        id
     }
 
     /// Number of physical processes the run simulates.
@@ -108,8 +118,11 @@ impl RunSpec {
             .scheduler(self.scheduler)
             .failures(self.failure)
             .seed(self.seed);
-        if self.mode == ExecutionMode::Native && !self.failure.is_none() {
+        if self.mode == ExecutionMode::Native && !self.failure.is_none() && self.ckpt.is_none() {
             builder = builder.allow_unrecoverable_failures();
+        }
+        if let Some(plan) = self.ckpt {
+            builder = builder.checkpointing(plan);
         }
         builder.build()
     }
@@ -119,14 +132,22 @@ impl RunSpec {
     /// protocol's job files use for explicit spec lists.
     pub fn to_json(&self) -> crate::json::Json {
         use crate::json::Json;
-        Json::obj(vec![
+        let mut doc = Json::obj(vec![
             ("app", Json::Str(self.app.name().to_string())),
             ("scale", Json::Str(self.scale.name().to_string())),
             ("mode", Json::Str(mode_label(self.mode))),
             ("scheduler", Json::Str(self.scheduler.to_string())),
             ("failure", Json::Str(self.failure.label())),
             ("seed", Json::Num(self.seed as f64)),
-        ])
+        ]);
+        // Appended only when set, so checkpoint-free wire forms (and the
+        // job files hashed from them) stay byte-identical.
+        if let Some(plan) = self.ckpt {
+            if let Json::Obj(fields) = &mut doc {
+                fields.push(("ckpt".to_string(), Json::Str(plan.label())));
+            }
+        }
+        doc
     }
 
     /// Parses the output of [`RunSpec::to_json`], assigning `index`.
@@ -179,6 +200,14 @@ impl RunSpec {
             .get("seed")
             .and_then(Json::as_f64)
             .ok_or("run spec: missing numeric field 'seed'")? as u64;
+        let ckpt = match doc.get("ckpt").map(|v| v.as_str()) {
+            None => None,
+            Some(Some(label)) => Some(
+                CheckpointPlan::parse(label)
+                    .ok_or_else(|| format!("run spec: unknown ckpt plan '{label}'"))?,
+            ),
+            Some(None) => return Err("run spec: 'ckpt' must be a string label".to_string()),
+        };
         Ok(RunSpec {
             index,
             app,
@@ -187,6 +216,7 @@ impl RunSpec {
             scheduler,
             failure,
             seed,
+            ckpt,
         })
     }
 
@@ -209,6 +239,7 @@ impl RunSpec {
             scheduler: experiment.scheduler(),
             failure: experiment.failures(),
             seed: experiment.seed(),
+            ckpt: experiment.ckpt(),
         }
     }
 }
@@ -264,6 +295,7 @@ mod tests {
             scheduler: SchedulerKind::StaticBlock,
             failure: FailureSpec::None,
             seed: 42,
+            ckpt: None,
         };
         assert_eq!(spec.id(), "hpccg-tiny-intra2-static-block-none-s42");
         assert_eq!(spec.procs(), 4);
@@ -287,6 +319,7 @@ mod tests {
                 horizon_s: 1.0,
             },
             seed: 99,
+            ckpt: None,
         };
         let doc = spec.to_json();
         assert_eq!(RunSpec::from_json(5, &doc).unwrap(), spec);
@@ -314,6 +347,7 @@ mod tests {
                 horizon_s: 1.0,
             },
             seed: 44,
+            ckpt: None,
         };
         let experiment = spec.experiment().unwrap();
         assert_eq!(RunSpec::from_experiment(3, &experiment), spec);

@@ -179,6 +179,21 @@ impl WeakSweep {
         }
     }
 
+    /// One million logical ranks, native, one iteration — the headline
+    /// scale point proving the event-driven engine holds a 1M-rank world
+    /// (release-mode only; the run is minutes of wall clock and gigabytes
+    /// of rank state, gated structurally, never on wall clock).
+    pub fn scale_1m() -> Self {
+        WeakSweep {
+            name: "weak-1m".to_string(),
+            logical: vec![1_000_000],
+            modes: vec![WeakMode::Native],
+            iters: 1,
+            failures: vec![FailureSpec::None],
+            seeds: vec![42],
+        }
+    }
+
     /// Weak scaling under realistic failure pressure: 1k logical ranks,
     /// native vs intra, with the fitted Weibull MTBF hazard per rank and
     /// rack-correlated events (one rack = 8 nodes) — the sweep that shows
@@ -210,6 +225,7 @@ impl WeakSweep {
             "weak-smoke" => Some(Self::smoke()),
             "weak-10k" => Some(Self::scale_10k()),
             "weak-100k" => Some(Self::scale_100k()),
+            "weak-1m" => Some(Self::scale_1m()),
             "weak-failures" => Some(Self::failures()),
             _ => None,
         }
@@ -217,7 +233,13 @@ impl WeakSweep {
 
     /// Names of the built-in sweeps.
     pub fn builtin_names() -> &'static [&'static str] {
-        &["weak-smoke", "weak-10k", "weak-100k", "weak-failures"]
+        &[
+            "weak-smoke",
+            "weak-10k",
+            "weak-100k",
+            "weak-1m",
+            "weak-failures",
+        ]
     }
 }
 

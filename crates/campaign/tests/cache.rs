@@ -38,6 +38,7 @@ fn mini_specs() -> Vec<RunSpec> {
             scheduler: SchedulerKind::StaticBlock,
             failure: FailureSpec::None,
             seed,
+            ckpt: None,
         });
     }
     specs
@@ -217,6 +218,7 @@ proptest! {
                 scheduler: SchedulerKind::ALL[sched_i],
                 failure: nth_failure(fail_i),
                 seed,
+                ckpt: None,
             }
         };
         let a = build(app_i, scale_i, mode_i, degree, sched_i, fail_i, seed, 0);

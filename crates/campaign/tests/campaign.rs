@@ -28,6 +28,7 @@ fn mini_grid() -> CampaignGrid {
                 horizon_s: 1.0,
             },
         ],
+        ckpts: vec![None],
         seeds: vec![43],
     }
 }

@@ -3,7 +3,7 @@
 
 use apps::{AppId, ExperimentScale};
 use campaign::spec::RunSpec;
-use intra_replication::FailurePlan;
+use intra_replication::{CheckpointPlan, FailurePlan};
 use ipr_core::SchedulerKind;
 use proptest::prelude::*;
 use replication::{ExecutionMode, FailureRate};
@@ -23,6 +23,7 @@ proptest! {
         degree in 2usize..5,
         sched_i in 0usize..SchedulerKind::ALL.len(),
         fail_i in 0usize..8,
+        ckpt_i in 0usize..4,
         seed in 0u64..10_000,
         index in 0usize..64,
     ) {
@@ -54,6 +55,14 @@ proptest! {
                 FailureRate::Weibull { shape: 0.7, scale_s: 90.0 },
             ),
         };
+        // Exact-decimal costs so the label (which prints the floats) parses
+        // back to the identical plan.
+        let ckpt = match ckpt_i {
+            0 => None,
+            1 => Some(CheckpointPlan::fixed(0.05, 0.005, 0.01)),
+            2 => Some(CheckpointPlan::young(0.005, 0.01)),
+            _ => Some(CheckpointPlan::daly(0.0625, 0.125)),
+        };
         let spec = RunSpec {
             index,
             app: AppId::ALL[app_i],
@@ -62,6 +71,7 @@ proptest! {
             scheduler: SchedulerKind::ALL[sched_i],
             failure,
             seed,
+            ckpt,
         };
 
         // Grid form -> typed experiment -> grid form is the identity.

@@ -50,6 +50,7 @@ fn mini_specs(seeds: &[u64]) -> Vec<RunSpec> {
             scheduler: SchedulerKind::StaticBlock,
             failure: FailureSpec::None,
             seed,
+            ckpt: None,
         })
         .collect()
 }

@@ -1,0 +1,30 @@
+//! # ckpt — coordinated checkpoint/restart in virtual time
+//!
+//! The reproduced paper's whole argument for intra-parallelized replication
+//! is a comparison against coordinated checkpoint/restart (C/R) at exascale
+//! failure rates.  This crate models the C/R side of that trade-off:
+//!
+//! * [`CheckpointPlan`] — the policy axis: a fixed checkpoint interval, or
+//!   the Young / Daly optimal-interval formulas parameterized by a modeled
+//!   checkpoint cost `C`, restart cost `R`, and the system MTBF derived
+//!   from the fitted hazards of [`replication::FailureRate`];
+//! * [`system_mtbf`] — turns a failure-rate function plus a stream count
+//!   (ranks for per-rank Poisson plans, failure groups for correlated
+//!   plans) into the system-level MTBF the interval formulas consume;
+//! * [`CkptSession`] — the deterministic rollback-recovery replay: at every
+//!   coordinated protocol point it converts the precomputed crash schedule
+//!   into restart + re-execution time charged identically on every rank's
+//!   virtual clock, and accounts the wasted work ([`CkptStats`]).
+//!
+//! Everything is a pure function of the experiment axes: no randomness, no
+//! wall clocks, no shared state — which is what keeps campaign reports
+//! byte-identical at any `--jobs` count.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod plan;
+mod session;
+
+pub use plan::{system_mtbf, CheckpointPlan, IntervalPolicy};
+pub use session::{CkptSession, CkptStats};

@@ -9,6 +9,7 @@
 //! For rank counts beyond a few thousand, use the event-driven engine
 //! ([`crate::engine`]), which drops the thread-per-rank model entirely.
 
+use crate::error::ConfigError;
 use crate::proc::{ProcCore, ProcHandle};
 use crate::router::Router;
 use parking_lot::{Condvar, Mutex};
@@ -39,11 +40,12 @@ pub struct ClusterConfig {
     /// thread per rank still exists, but only this many hold a runnable
     /// permit at once — a thread parked in a blocking receive gives its
     /// permit back, so the host scheduler juggles a small worker-pool's
-    /// worth of active threads instead of all `num_procs`.  `0` (the
-    /// default) resolves to the host's available parallelism.  Virtual-time
-    /// results are identical for every value; only host wall clock and
-    /// scheduler load change.
-    pub max_runnable: usize,
+    /// worth of active threads instead of all `num_procs`.  `None` (the
+    /// default) resolves to the host's available parallelism; `Some(0)` is
+    /// rejected as [`crate::ConfigError::ZeroRunnable`] (no thread could
+    /// ever run).  Virtual-time results are identical for every value;
+    /// only host wall clock and scheduler load change.
+    pub max_runnable: Option<usize>,
 }
 
 impl ClusterConfig {
@@ -56,7 +58,7 @@ impl ClusterConfig {
             topology: None,
             seed: 42,
             watchdog: Some(Duration::from_secs(300)),
-            max_runnable: 0,
+            max_runnable: None,
         }
     }
 
@@ -93,15 +95,17 @@ impl ClusterConfig {
         self
     }
 
-    /// Sets the runnable-thread bound (`0` = host parallelism).
+    /// Sets the runnable-thread bound (`0` = host parallelism, kept for
+    /// backward compatibility with the old sentinel encoding; it maps to
+    /// `None`).
     pub fn with_max_runnable(mut self, max_runnable: usize) -> Self {
-        self.max_runnable = max_runnable;
+        self.max_runnable = (max_runnable > 0).then_some(max_runnable);
         self
     }
 
     fn resolved_max_runnable(&self) -> usize {
-        if self.max_runnable != 0 {
-            return self.max_runnable;
+        if let Some(max_runnable) = self.max_runnable {
+            return max_runnable;
         }
         // Small clusters run ungated: with only a handful of rank threads the
         // host scheduler juggles them fine, and the permit handoff on every
@@ -260,7 +264,30 @@ where
     R: Send,
     F: Fn(ProcHandle) -> R + Send + Sync,
 {
-    assert!(config.num_procs > 0, "cluster needs at least one process");
+    match try_run_cluster(config, body) {
+        Ok(report) => report,
+        Err(e) => panic!("invalid cluster configuration: {e}"),
+    }
+}
+
+/// [`run_cluster`] with the configuration validated up front: invalid
+/// configurations (a zero runnable bound, an empty cluster) return a typed
+/// [`ConfigError`] before any thread is spawned, instead of hanging or
+/// panicking.
+pub fn try_run_cluster<R, F>(
+    config: &ClusterConfig,
+    body: F,
+) -> Result<ClusterReport<R>, ConfigError>
+where
+    R: Send,
+    F: Fn(ProcHandle) -> R + Send + Sync,
+{
+    if config.num_procs == 0 {
+        return Err(ConfigError::NoProcesses);
+    }
+    if config.max_runnable == Some(0) {
+        return Err(ConfigError::ZeroRunnable);
+    }
     let topology = config.resolved_topology();
     assert!(
         topology.num_procs() >= config.num_procs,
@@ -365,18 +392,37 @@ where
         })
         .collect();
 
-    ClusterReport {
+    Ok(ClusterReport {
         results,
         procs,
         stats,
         failures: failures.events(),
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::thread;
+
+    /// Regression: `max_runnable == Some(0)` used to be unrepresentable
+    /// gibberish (the `0` sentinel meant "auto"); now it is a typed config
+    /// error instead of a hang.
+    #[test]
+    fn zero_runnable_bound_is_a_typed_config_error() {
+        let mut config = ClusterConfig::ideal(2);
+        config.max_runnable = Some(0);
+        let err = try_run_cluster(&config, |_proc| 0usize).unwrap_err();
+        assert_eq!(err, crate::ConfigError::ZeroRunnable);
+        assert!(err.to_string().contains("max_runnable"));
+        // The builder keeps the old `0 = auto` sentinel working.
+        assert_eq!(
+            ClusterConfig::ideal(2).with_max_runnable(0).max_runnable,
+            None
+        );
+        let empty = try_run_cluster(&ClusterConfig::ideal(0), |_proc| 0usize).unwrap_err();
+        assert_eq!(empty, crate::ConfigError::NoProcesses);
+    }
 
     /// Regression: a spurious condvar wakeup before the deadline must
     /// re-enter the wait, not abort a healthy run.  The notifies below do

@@ -51,6 +51,7 @@
 //! deadlock detection falls out of the scheduler for free.
 
 use crate::comm::WORLD_COMM_ID;
+use crate::error::ConfigError;
 use crate::mailbox::MailboxState;
 use crate::message::{Envelope, MatchSelector, Tag};
 use bytes::Bytes;
@@ -186,9 +187,11 @@ pub struct EngineConfig {
     /// Placement of ranks on nodes.  Defaults to block placement with
     /// `machine.cores_per_node` ranks per node.
     pub topology: Option<Topology>,
-    /// Worker threads driving the ranks; `0` picks the host parallelism.
-    /// Virtual-time results are identical for every value.
-    pub workers: usize,
+    /// Worker threads driving the ranks; `None` picks the host parallelism.
+    /// Virtual-time results are identical for every value.  `Some(0)` is
+    /// rejected as [`crate::ConfigError::ZeroWorkers`] (it could never make
+    /// progress).
+    pub workers: Option<usize>,
     /// Crash-stop failures to inject: `(rank, virtual time)`.  The crash
     /// fires at the first step boundary at which the rank's clock has
     /// reached the given time.
@@ -207,7 +210,7 @@ impl EngineConfig {
             num_ranks,
             machine: MachineModel::grid5000_ib20g(),
             topology: None,
-            workers: 0,
+            workers: None,
             crashes: Vec::new(),
             step_limit: 0,
         }
@@ -234,9 +237,11 @@ impl EngineConfig {
         self
     }
 
-    /// Sets the worker-thread count (`0` = host parallelism).
+    /// Sets the worker-thread count (`0` = host parallelism, kept for
+    /// backward compatibility with the old sentinel encoding; it maps to
+    /// `None`).
     pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = workers;
+        self.workers = (workers > 0).then_some(workers);
         self
     }
 
@@ -812,8 +817,31 @@ where
     P: RankProgram + 'static,
     F: Fn(usize) -> P,
 {
+    match try_run_virtual_cluster(config, make) {
+        Ok(report) => report,
+        Err(e) => panic!("invalid engine configuration: {e}"),
+    }
+}
+
+/// [`run_virtual_cluster`] with the configuration validated up front:
+/// invalid configurations (zero worker threads, an empty cluster) return a
+/// typed [`ConfigError`] before any thread is spawned, instead of hanging
+/// or panicking.
+pub fn try_run_virtual_cluster<P, F>(
+    config: &EngineConfig,
+    make: F,
+) -> Result<VirtualClusterReport, ConfigError>
+where
+    P: RankProgram + 'static,
+    F: Fn(usize) -> P,
+{
     let n = config.num_ranks;
-    assert!(n > 0, "cluster needs at least one rank");
+    if n == 0 {
+        return Err(ConfigError::NoProcesses);
+    }
+    if config.workers == Some(0) {
+        return Err(ConfigError::ZeroWorkers);
+    }
     let topology = config.resolved_topology();
     assert!(
         topology.num_procs() >= n,
@@ -871,13 +899,11 @@ where
     });
     let cv = Condvar::new();
 
-    let workers = if config.workers > 0 {
-        config.workers
-    } else {
-        std::thread::available_parallelism().map_or(4, |p| p.get())
-    }
-    .min(n)
-    .max(1);
+    let workers = config
+        .workers
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get()))
+        .min(n)
+        .max(1);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -932,17 +958,39 @@ where
         })
         .collect();
 
-    VirtualClusterReport {
+    Ok(VirtualClusterReport {
         ranks,
         failures,
         dispatches,
         messages: sh.messages,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression: `workers == Some(0)` used to be unrepresentable (the
+    /// `0` sentinel meant "auto"); now it is a typed config error instead
+    /// of an engine that can never dispatch a rank.
+    #[test]
+    fn zero_workers_is_a_typed_config_error() {
+        struct Noop;
+        impl RankProgram for Noop {
+            fn step(&mut self, _ctx: &RankCtx) -> Step {
+                Step::Done
+            }
+        }
+        let mut config = EngineConfig::ideal(2);
+        config.workers = Some(0);
+        let err = try_run_virtual_cluster(&config, |_rank| Noop).unwrap_err();
+        assert_eq!(err, ConfigError::ZeroWorkers);
+        assert!(err.to_string().contains("workers"));
+        // The builder keeps the old `0 = auto` sentinel working.
+        assert_eq!(EngineConfig::ideal(2).with_workers(0).workers, None);
+        let empty = try_run_virtual_cluster(&EngineConfig::ideal(0), |_rank| Noop).unwrap_err();
+        assert_eq!(empty, ConfigError::NoProcesses);
+    }
 
     /// A ring pass: every rank sends a token right, receives from the left,
     /// then finishes.

@@ -85,6 +85,45 @@ impl std::error::Error for MpiError {}
 /// Result alias used throughout the runtime.
 pub type MpiResult<T> = Result<T, MpiError>;
 
+/// Invalid launcher configurations, returned by
+/// [`crate::cluster::try_run_cluster`] and
+/// [`crate::engine::try_run_virtual_cluster`] before any thread is spawned.
+///
+/// The panicking entry points ([`crate::run_cluster`],
+/// [`crate::run_virtual_cluster`]) surface the same conditions as a panic
+/// with the error's message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `EngineConfig::workers == Some(0)`: an engine with zero worker
+    /// threads could never dispatch a rank, so the run would hang.
+    ZeroWorkers,
+    /// `ClusterConfig::max_runnable == Some(0)`: no rank thread could ever
+    /// hold a runnable permit, so the run would hang.
+    ZeroRunnable,
+    /// The cluster has no processes to run.
+    NoProcesses,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroWorkers => write!(
+                f,
+                "EngineConfig::workers is Some(0); use None for host parallelism \
+                 or a positive worker count"
+            ),
+            ConfigError::ZeroRunnable => write!(
+                f,
+                "ClusterConfig::max_runnable is Some(0); use None for host \
+                 parallelism or a positive runnable bound"
+            ),
+            ConfigError::NoProcesses => write!(f, "cluster needs at least one process"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

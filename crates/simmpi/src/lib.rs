@@ -54,17 +54,17 @@ pub mod proc;
 pub mod request;
 pub mod router;
 
-pub use cluster::{run_cluster, ClusterConfig, ClusterReport, ProcReport};
+pub use cluster::{run_cluster, try_run_cluster, ClusterConfig, ClusterReport, ProcReport};
 pub use comm::{Comm, RecvStatus, WORLD_COMM_ID};
 pub use datatype::{
     copied_bytes, copy_into, extend_from_bytes, from_bytes, reset_copied_bytes, to_bytes,
     to_bytes_into, to_payload, to_payload_framed, typed_view, Pod,
 };
 pub use engine::{
-    run_virtual_cluster, EngineConfig, RankCtx, RankEnd, RankProgram, RecvDone, RecvOutcome, Step,
-    VirtualClusterReport, VirtualRankReport,
+    run_virtual_cluster, try_run_virtual_cluster, EngineConfig, RankCtx, RankEnd, RankProgram,
+    RecvDone, RecvOutcome, Step, VirtualClusterReport, VirtualRankReport,
 };
-pub use error::{MpiError, MpiResult};
+pub use error::{ConfigError, MpiError, MpiResult};
 pub use fxhash::{FxBuildHasher, FxHasher};
 pub use message::{CommId, Envelope, MatchSelector, Tag, RESERVED_TAG_BASE};
 pub use proc::ProcHandle;

@@ -47,6 +47,7 @@ fn main() {
                 horizon_s: 1.0,
             },
         ],
+        ckpts: vec![None],
         seeds: vec![43, 44],
     };
 

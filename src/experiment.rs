@@ -36,6 +36,7 @@
 
 use crate::error::{Error, Result};
 use apps::{run_app, AppContext, AppId, AppRunReport, AppWorkload, ExperimentScale};
+use ckpt::{system_mtbf, CheckpointPlan, CkptSession, CkptStats};
 use ipr_core::{IntraConfig, IntraError, IntraResult, SchedulerKind};
 use replication::{
     sample_failure_trace, CorrelatedPlan, ExecutionMode, FailureDomain, FailureInjector,
@@ -276,6 +277,7 @@ pub struct Experiment {
     modeled_scale: Option<f64>,
     machine: MachineModel,
     injections: Vec<(usize, ProtocolPoint)>,
+    ckpt: Option<CheckpointPlan>,
 }
 
 impl Experiment {
@@ -318,6 +320,28 @@ impl Experiment {
     /// The seed of the run's deterministic randomness.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The coordinated checkpoint/restart plan, if any.
+    pub fn ckpt(&self) -> Option<CheckpointPlan> {
+        self.ckpt
+    }
+
+    /// The system MTBF the checkpoint interval policies resolve against,
+    /// in virtual seconds: the failure plan's fitted per-stream event rate
+    /// summed over its independent streams (physical ranks for a Poisson
+    /// plan, failure groups for a correlated plan).  Infinite without a
+    /// failure plan.
+    pub fn system_mtbf_s(&self) -> f64 {
+        match self.failures {
+            FailurePlan::None => f64::INFINITY,
+            FailurePlan::Poisson { rate, horizon_s } => system_mtbf(rate, horizon_s, self.procs()),
+            FailurePlan::Correlated {
+                domain,
+                rate,
+                horizon_s,
+            } => system_mtbf(rate, horizon_s, domain.num_groups(&self.topology())),
+        }
     }
 
     /// The low-level execution mode (mode + degree).
@@ -428,6 +452,9 @@ impl Experiment {
         if !self.injections.is_empty() {
             let _ = write!(m, "|injections={:?}", self.injections);
         }
+        if let Some(plan) = self.ckpt {
+            let _ = write!(m, "|ckpt={}", plan.label());
+        }
         m
     }
 
@@ -486,7 +513,7 @@ impl Experiment {
             .results
             .into_iter()
             .map(|per_rank| match per_rank {
-                Ok(Ok(value)) => Ok(value),
+                Ok(Ok((value, _stats))) => Ok(value),
                 Ok(Err(e)) => Err(Error::from(e)),
                 Err(panic) => Err(Error::Config(format!("rank panicked: {panic}"))),
             })
@@ -508,10 +535,18 @@ impl Experiment {
         let report = self.launch(body);
         let makespan_s = report.makespan().as_secs();
         let failure_events = report.failures.len();
+        let mut ckpt = None;
         let mut ranks = Vec::with_capacity(report.results.len());
         for per_rank in report.results {
             ranks.push(match per_rank {
-                Ok(Ok(r)) => RankOutcome::Completed(r),
+                Ok(Ok((r, stats))) => {
+                    // Every rank's session is advanced in lock-step, so the
+                    // first completed rank's stats are the run's stats.
+                    if ckpt.is_none() {
+                        ckpt = stats;
+                    }
+                    RankOutcome::Completed(r)
+                }
                 Ok(Err(IntraError::Crashed)) => RankOutcome::Crashed,
                 Ok(Err(e)) => RankOutcome::Failed(Error::from(e)),
                 Err(panic) => RankOutcome::Panicked(panic),
@@ -522,12 +557,32 @@ impl Experiment {
             makespan_s,
             failure_events,
             ranks,
+            ckpt,
             // Rounded to whole microseconds so renderings stay compact.
             wall_time_ms: (started.elapsed().as_secs_f64() * 1e6).round() / 1e3,
         }
     }
 
-    fn launch<T, F>(&self, body: F) -> ClusterReport<IntraResult<T>>
+    /// The per-rank checkpoint session of this experiment, when it has a
+    /// plan: a pure function of the axes, so every rank's copy is
+    /// identical.
+    fn ckpt_session(&self) -> Option<CkptSession> {
+        let plan = self.ckpt.as_ref()?;
+        let crashes: Vec<(usize, f64)> = self
+            .scheduled_crashes()
+            .into_iter()
+            .map(|(rank, at)| (rank, at.as_secs()))
+            .collect();
+        Some(CkptSession::new(
+            plan,
+            self.system_mtbf_s(),
+            &crashes,
+            self.logical_procs(),
+            self.replicas,
+        ))
+    }
+
+    fn launch<T, F>(&self, body: F) -> ClusterReport<IntraResult<(T, Option<CkptStats>)>>
     where
         T: Send,
         F: Fn(&mut AppContext) -> IntraResult<T> + Send + Sync,
@@ -536,7 +591,15 @@ impl Experiment {
         let mode = self.execution_mode();
         let intra = self.intra_config();
         let injections = self.injections.clone();
-        let crashes = self.scheduled_crashes();
+        // Under a checkpoint plan the scheduled crashes are consumed by the
+        // rollback-recovery replay (as restart + re-executed time) instead
+        // of killing ranks, so the timed injector stays disarmed.
+        let session = self.ckpt_session();
+        let crashes = if session.is_some() {
+            Vec::new()
+        } else {
+            self.scheduled_crashes()
+        };
         run_cluster(&config, move |proc| {
             let injector = FailureInjector::none();
             for &(rank, at) in &crashes {
@@ -550,7 +613,12 @@ impl Experiment {
                 }
             }
             let mut ctx = AppContext::new(proc, mode, intra.clone(), injector)?;
-            body(&mut ctx)
+            if let Some(session) = &session {
+                ctx.set_checkpointing(session.clone());
+            }
+            let value = body(&mut ctx)?;
+            let stats = ctx.finish_checkpointing()?;
+            Ok((value, stats))
         })
     }
 }
@@ -575,6 +643,7 @@ pub struct ExperimentBuilder {
     machine: Option<MachineModel>,
     injections: Vec<(usize, ProtocolPoint)>,
     allow_unrecoverable_failures: bool,
+    ckpt: Option<CheckpointPlan>,
 }
 
 impl ExperimentBuilder {
@@ -684,6 +753,20 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Enables coordinated checkpoint/restart: the failure plan's crashes
+    /// are absorbed by rollback-recovery (restart cost plus re-executed
+    /// work on every rank's virtual clock) instead of killing ranks, so a
+    /// checkpointed [`Mode::NoReplication`] run with failures needs no
+    /// [`ExperimentBuilder::allow_unrecoverable_failures`] opt-in.
+    /// Composes with every replication mode — that pairing is exactly the
+    /// paper's replication-vs-C/R efficiency comparison.  Incompatible
+    /// with hand-placed [`ExperimentBuilder::inject_failure`] points
+    /// (those are untimed and cannot be replayed).
+    pub fn checkpointing(mut self, plan: CheckpointPlan) -> Self {
+        self.ckpt = Some(plan);
+        self
+    }
+
     /// Opts into a failure plan without replication.  By default
     /// [`ExperimentBuilder::build`] rejects that combination with
     /// [`Error::UnrecoverableFailurePlan`] because an unreplicated rank
@@ -724,9 +807,28 @@ impl ExperimentBuilder {
             return Err(Error::InvalidReplicas { mode, replicas });
         }
         let failures = self.failures.unwrap_or(FailurePlan::None);
-        if !failures.is_none() && mode == Mode::NoReplication && !self.allow_unrecoverable_failures
+        // A checkpoint plan makes every crash recoverable (rollback instead
+        // of rank death), so it lifts the native-mode opt-in requirement.
+        if !failures.is_none()
+            && mode == Mode::NoReplication
+            && !self.allow_unrecoverable_failures
+            && self.ckpt.is_none()
         {
             return Err(Error::UnrecoverableFailurePlan);
+        }
+        if let Some(plan) = self.ckpt {
+            if !plan.is_valid() {
+                return Err(Error::Config(format!(
+                    "checkpoint plan parameters must be finite and positive, got {plan:?}"
+                )));
+            }
+            if !self.injections.is_empty() {
+                return Err(Error::Config(
+                    "hand-placed inject_failure points cannot be combined with \
+                     checkpointing (they are untimed and cannot be replayed)"
+                        .into(),
+                ));
+            }
         }
         if self.logical_procs == Some(0) {
             return Err(Error::NoLogicalProcs);
@@ -755,6 +857,7 @@ impl ExperimentBuilder {
             modeled_scale: self.modeled_scale,
             machine: self.machine.unwrap_or_else(MachineModel::grid5000_ib20g),
             injections: self.injections,
+            ckpt: self.ckpt,
         })
     }
 }
@@ -847,6 +950,9 @@ pub struct RunReport {
     pub failure_events: usize,
     /// Per-rank outcomes, in world-rank order.
     pub ranks: Vec<RankOutcome>,
+    /// Checkpoint/restart accounting, when the experiment had a
+    /// checkpoint plan (identical on every rank by construction).
+    pub ckpt: Option<CkptStats>,
     /// Host wall-clock time the simulation took, in milliseconds.
     /// *Informational only*: the single non-deterministic field.
     pub wall_time_ms: f64,
@@ -1346,6 +1452,10 @@ mod tests {
                 .inject_failure(0, ProtocolPoint::SectionEnter { section: 0 })
                 .build()
                 .unwrap(),
+            base()
+                .checkpointing(CheckpointPlan::daly(0.01, 0.02))
+                .build()
+                .unwrap(),
         ];
         let mut materials: Vec<String> = variants
             .iter()
@@ -1354,6 +1464,116 @@ mod tests {
         materials.push(material);
         let unique: std::collections::BTreeSet<&String> = materials.iter().collect();
         assert_eq!(unique.len(), materials.len(), "{materials:#?}");
+    }
+
+    #[test]
+    fn checkpointing_composes_with_native_failures_without_the_opt_in() {
+        // C/R makes native-mode crashes recoverable: no
+        // allow_unrecoverable_failures needed.
+        let e = Experiment::builder()
+            .app(AppId::Hpccg)
+            .mode(Mode::NoReplication)
+            .failures(FailurePlan::poisson(0.5))
+            .checkpointing(CheckpointPlan::fixed(0.05, 0.005, 0.01))
+            .build()
+            .unwrap();
+        assert!(e.ckpt().is_some());
+        // Without a failure plan the interval policies resolve against an
+        // infinite MTBF.
+        let quiet = Experiment::builder()
+            .app(AppId::Hpccg)
+            .checkpointing(CheckpointPlan::young(0.01, 0.02))
+            .build()
+            .unwrap();
+        assert_eq!(quiet.system_mtbf_s(), f64::INFINITY);
+        // Out-of-domain plan parameters are rejected.
+        assert!(matches!(
+            Experiment::builder()
+                .app(AppId::Hpccg)
+                .checkpointing(CheckpointPlan::fixed(0.0, 0.01, 0.02))
+                .build(),
+            Err(Error::Config(_))
+        ));
+        // Hand-placed injections are untimed and cannot be replayed.
+        assert!(matches!(
+            Experiment::builder()
+                .app(AppId::Hpccg)
+                .checkpointing(CheckpointPlan::young(0.01, 0.02))
+                .inject_failure(0, ProtocolPoint::SectionEnter { section: 0 })
+                .build(),
+            Err(Error::Config(_))
+        ));
+    }
+
+    #[test]
+    fn checkpointed_native_run_survives_crashes_and_accounts_overhead() {
+        let base = || {
+            Experiment::builder()
+                .app(AppId::Hpccg)
+                .mode(Mode::NoReplication)
+                .failures(FailurePlan::poisson(2.0))
+        };
+        let e = base()
+            .checkpointing(CheckpointPlan::fixed(0.02, 0.002, 0.004))
+            .build()
+            .unwrap();
+        assert!(
+            !e.scheduled_crashes().is_empty(),
+            "the hot plan must schedule crashes for rollbacks to absorb"
+        );
+        let report = e.run().unwrap();
+        // Every rank completes: crashes became rollbacks, not rank deaths.
+        assert_eq!(report.completed(), report.procs);
+        assert_eq!(report.crashed(), 0);
+        let stats = report.ckpt.expect("checkpointed run reports stats");
+        assert!(stats.recoveries > 0, "{stats:?}");
+        assert!(stats.checkpoints > 0, "{stats:?}");
+        assert!(stats.time_lost_s > 0.0 && stats.ckpt_overhead_s > 0.0);
+        // The C/R overhead is on the virtual clock: slower than the same
+        // experiment without failures and without checkpointing.
+        let baseline = Experiment::builder()
+            .app(AppId::Hpccg)
+            .mode(Mode::NoReplication)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(baseline.ckpt.is_none());
+        assert!(report.makespan_s > baseline.makespan_s);
+        let eff = stats.efficiency(report.makespan_s, 1);
+        assert!(eff > 0.0 && eff < 1.0, "{eff}");
+        // Deterministic: an identical experiment reproduces the stats.
+        assert_eq!(
+            base()
+                .checkpointing(CheckpointPlan::fixed(0.02, 0.002, 0.004))
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+                .ckpt,
+            Some(stats)
+        );
+    }
+
+    #[test]
+    fn checkpointing_composes_with_replication() {
+        // Replicated(2) + Daly under a fitted hazard: the session only
+        // rolls back when both replicas of a logical rank are lost, but
+        // the run still completes and reports stats.
+        let e = Experiment::builder()
+            .app(AppId::Hpccg)
+            .mode(Mode::Replication)
+            .failures(FailurePlan::poisson_process(
+                FailureRate::weibull_hpc(0.5),
+                1.0,
+            ))
+            .checkpointing(CheckpointPlan::daly(0.005, 0.01))
+            .build()
+            .unwrap();
+        assert!(e.system_mtbf_s().is_finite());
+        let report = e.run().unwrap();
+        assert_eq!(report.completed(), report.procs);
+        assert!(report.ckpt.is_some());
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   communicators, failure injection, the failure-model library: fitted
 //!   Weibull/LogNormal hazards, custom rate functions, correlated
 //!   node/rack failure domains);
+//! * [`ckpt`] — coordinated checkpoint/restart in virtual time: the
+//!   Young/Daly optimal-interval formulas and the deterministic
+//!   rollback-recovery replay the replication-vs-C/R comparison runs on;
 //! * [`core`] (`ipr-core`) — **the paper's contribution**: intra-parallel
 //!   sections, tasks, schedulers, update transfer, failure recovery;
 //! * [`kernels`] — HPC kernels (waxpby, ddot, sparsemv, stencils, PIC) and
@@ -42,12 +45,14 @@ pub mod error;
 pub mod experiment;
 
 pub use apps;
+pub use ckpt;
 pub use ipr_core as core;
 pub use kernels;
 pub use replication;
 pub use simcluster;
 pub use simmpi;
 
+pub use ckpt::{system_mtbf, CheckpointPlan, CkptStats, IntervalPolicy};
 pub use error::{Error, Result};
 pub use experiment::{
     CustomRun, Experiment, ExperimentBuilder, FailurePlan, Mode, RankOutcome, RunReport,
@@ -61,6 +66,7 @@ pub mod prelude {
         CustomRun, Experiment, ExperimentBuilder, FailurePlan, Mode, RankOutcome, RunReport,
     };
     pub use apps::{AppContext, AppId, AppRunReport, AppWorkload, ExperimentScale};
+    pub use ckpt::{system_mtbf, CheckpointPlan, CkptStats, IntervalPolicy};
     pub use ipr_core::prelude::*;
     pub use replication::{
         sample_failure_trace, CorrelatedPlan, ExecutionMode, FailureDomain, FailureInjector,
